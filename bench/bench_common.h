@@ -1,0 +1,168 @@
+// Shared helpers for the paper-reproduction benches: load sweeps producing
+// throughput/latency curves per system, and paper-style table output.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/table_printer.h"
+#include "src/harness/runner.h"
+
+namespace xenic::bench {
+
+using harness::RunConfig;
+using harness::RunResult;
+using harness::SystemConfig;
+
+struct CurvePoint {
+  uint32_t contexts = 0;
+  RunResult result;
+};
+
+struct Curve {
+  std::string system;
+  std::vector<CurvePoint> points;
+
+  double PeakTput() const {
+    double best = 0;
+    for (const auto& p : points) {
+      best = std::max(best, p.result.tput_per_server);
+    }
+    return best;
+  }
+  double MinMedianLatencyUs() const {
+    double best = 1e18;
+    for (const auto& p : points) {
+      if (p.result.latency.count() > 0) {
+        best = std::min(best, p.result.MedianLatencyUs());
+      }
+    }
+    return best;
+  }
+};
+
+// Run one system across the load sweep. A fresh workload instance is built
+// for the system (workloads hold per-node local state).
+inline Curve RunSweep(const SystemConfig& cfg,
+                      const std::function<std::unique_ptr<workload::Workload>()>& make_workload,
+                      const std::vector<uint32_t>& loads, RunConfig rc) {
+  auto wl = make_workload();
+  auto system = harness::BuildSystem(cfg, *wl);
+  harness::LoadWorkload(*system, *wl);
+  Curve curve;
+  curve.system = system->Name();
+  for (uint32_t contexts : loads) {
+    rc.contexts_per_node = contexts;
+    CurvePoint p;
+    p.contexts = contexts;
+    p.result = harness::RunWorkload(*system, *wl, rc);
+    curve.points.push_back(std::move(p));
+    std::fprintf(stderr, "  [%s] contexts=%u tput=%s/srv median=%.1fus abort=%.1f%%\n",
+                 curve.system.c_str(), contexts,
+                 TablePrinter::FmtOps(curve.points.back().result.tput_per_server).c_str(),
+                 curve.points.back().result.MedianLatencyUs(),
+                 curve.points.back().result.abort_rate * 100);
+  }
+  return curve;
+}
+
+// Print the full curves plus the paper-style comparison summary (peak
+// throughput factor and median latency reduction vs the best alternative).
+// Set XENIC_BENCH_CSV=1 to also emit plot-ready CSV.
+inline void PrintCurves(const std::string& title, const std::vector<Curve>& curves) {
+  TablePrinter tp({"System", "Contexts", "Tput/server", "Median(us)", "P99(us)", "Abort%",
+                   "Wire%", "Host%", "NIC%"});
+  for (const auto& c : curves) {
+    for (const auto& p : c.points) {
+      tp.AddRow({c.system, TablePrinter::Fmt(static_cast<uint64_t>(p.contexts)),
+                 TablePrinter::FmtOps(p.result.tput_per_server),
+                 TablePrinter::Fmt(p.result.MedianLatencyUs(), 1),
+                 TablePrinter::Fmt(p.result.P99LatencyUs(), 1),
+                 TablePrinter::Fmt(p.result.abort_rate * 100, 1),
+                 TablePrinter::Fmt(p.result.wire_utilization * 100, 0),
+                 TablePrinter::Fmt(p.result.host_utilization * 100, 0),
+                 TablePrinter::Fmt(p.result.nic_utilization * 100, 0)});
+    }
+  }
+  std::printf("%s\n", tp.Render(title).c_str());
+
+  if (const char* csv = std::getenv("XENIC_BENCH_CSV"); csv != nullptr && csv[0] == '1') {
+    std::printf("# CSV: %s\nsystem,contexts,tput_per_server,median_us,p99_us,abort_rate\n",
+                title.c_str());
+    for (const auto& c : curves) {
+      for (const auto& p : c.points) {
+        std::printf("%s,%u,%.0f,%.2f,%.2f,%.4f\n", c.system.c_str(), p.contexts,
+                    p.result.tput_per_server, p.result.MedianLatencyUs(),
+                    p.result.P99LatencyUs(), p.result.abort_rate);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Comparison summary (Xenic assumed first).
+  if (curves.size() > 1 && curves[0].system == "Xenic") {
+    double best_alt_tput = 0;
+    std::string best_alt;
+    double best_alt_lat = 1e18;
+    std::string best_lat_alt;
+    for (size_t i = 1; i < curves.size(); ++i) {
+      if (curves[i].PeakTput() > best_alt_tput) {
+        best_alt_tput = curves[i].PeakTput();
+        best_alt = curves[i].system;
+      }
+      if (curves[i].MinMedianLatencyUs() < best_alt_lat) {
+        best_alt_lat = curves[i].MinMedianLatencyUs();
+        best_lat_alt = curves[i].system;
+      }
+    }
+    if (best_alt_tput > 0) {
+      std::printf("Peak throughput: Xenic %s/srv = %.2fx best alternative (%s, %s/srv)\n",
+                  TablePrinter::FmtOps(curves[0].PeakTput()).c_str(),
+                  curves[0].PeakTput() / best_alt_tput, best_alt.c_str(),
+                  TablePrinter::FmtOps(best_alt_tput).c_str());
+      std::printf("Low-load median latency: Xenic %.1fus = %.0f%% below best alternative "
+                  "(%s, %.1fus)\n",
+                  curves[0].MinMedianLatencyUs(),
+                  (1.0 - curves[0].MinMedianLatencyUs() / best_alt_lat) * 100,
+                  best_lat_alt.c_str(), best_alt_lat);
+      // The paper's reference comparison is against DrTM+H.
+      for (const auto& c : curves) {
+        if (c.system == "DrTM+H") {
+          std::printf("vs DrTM+H: %.2fx peak throughput, %.0f%% lower median latency\n\n",
+                      curves[0].PeakTput() / c.PeakTput(),
+                      (1.0 - curves[0].MinMedianLatencyUs() / c.MinMedianLatencyUs()) * 100);
+        }
+      }
+    }
+  }
+}
+
+// Standard 6-node 3-replica system configs for the Figure 8 benches.
+inline std::vector<SystemConfig> Figure8Systems(uint32_t nodes = 6, uint32_t replication = 3) {
+  std::vector<SystemConfig> systems;
+  SystemConfig xenic;
+  xenic.kind = SystemConfig::Kind::kXenic;
+  xenic.num_nodes = nodes;
+  xenic.replication = replication;
+  systems.push_back(xenic);
+  for (auto mode : {baseline::BaselineMode::kDrtmH, baseline::BaselineMode::kDrtmHNC,
+                    baseline::BaselineMode::kFasst, baseline::BaselineMode::kDrtmR}) {
+    SystemConfig b;
+    b.kind = SystemConfig::Kind::kBaseline;
+    b.mode = mode;
+    b.num_nodes = nodes;
+    b.replication = replication;
+    systems.push_back(b);
+  }
+  return systems;
+}
+
+}  // namespace xenic::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

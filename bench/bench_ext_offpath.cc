@@ -1,0 +1,61 @@
+// Extension bench (paper sections 3.1 / 4.3.4): Xenic on an ON-PATH
+// SmartNIC (LiquidIO-like) versus the same protocol on an OFF-PATH
+// SmartNIC (BlueField/Stingray-like), where SoC-to-host accesses pay
+// network-stack latency instead of a low-level DMA engine. The paper
+// argues off-path devices "showed prohibitively high latency, precluding
+// Xenic's latency reduction goal" -- this quantifies it against DrTM+H on
+// plain RDMA hardware.
+
+#include "bench/bench_common.h"
+#include "src/workload/smallbank.h"
+
+int main() {
+  using namespace xenic;
+  using namespace xenic::bench;
+
+  const uint32_t nodes = 6;
+  auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
+    workload::Smallbank::Options wo;
+    wo.num_nodes = nodes;
+    wo.accounts_per_node = 60000;
+    return std::make_unique<workload::Smallbank>(wo);
+  };
+
+  RunConfig rc;
+  rc.warmup = 150 * sim::kNsPerUs;
+  rc.measure = 1000 * sim::kNsPerUs;
+  const std::vector<uint32_t> loads = {2, 16, 64, 128};
+
+  std::vector<Curve> curves;
+  {
+    SystemConfig on_path;
+    on_path.kind = SystemConfig::Kind::kXenic;
+    on_path.num_nodes = nodes;
+    curves.push_back(RunSweep(on_path, make_wl, loads, rc));
+    curves.back().system = "Xenic (on-path NIC)";
+  }
+  {
+    SystemConfig off_path;
+    off_path.kind = SystemConfig::Kind::kXenic;
+    off_path.num_nodes = nodes;
+    off_path.perf = net::OffPathPerfModel();
+    curves.push_back(RunSweep(off_path, make_wl, loads, rc));
+    curves.back().system = "Xenic (off-path NIC)";
+  }
+  {
+    SystemConfig drtmh;
+    drtmh.kind = SystemConfig::Kind::kBaseline;
+    drtmh.mode = baseline::BaselineMode::kDrtmH;
+    drtmh.num_nodes = nodes;
+    curves.push_back(RunSweep(drtmh, make_wl, loads, rc));
+    curves.back().system = "DrTM+H (RDMA NIC)";
+  }
+
+  PrintCurves("Extension: on-path vs off-path SmartNIC (Smallbank)", curves);
+  std::printf("Paper 4.3.4: \"if the SmartNIC hardware does not show latency reduction\n"
+              "potential, using SmartNICs may not be justifiable over a host-only design\".\n"
+              "Off-path Xenic min median: %.1fus vs on-path %.1fus vs DrTM+H %.1fus.\n",
+              curves[1].MinMedianLatencyUs(), curves[0].MinMedianLatencyUs(),
+              curves[2].MinMedianLatencyUs());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Table 1: NIC ARM vs host Xeon core performance. The physical hardware is
+// not available, so this bench has two parts:
+//  (1) the calibrated model ratios used throughout the simulation (taken
+//      from the paper's measurements: 3.26x per-thread multi-core, 2.04x
+//      single-threaded Coremark, with DPDK tests between 1.99x and 3.42x);
+//  (2) real synthetic kernels (hash / memcpy / PRNG, the DPDK test
+//      analogues) timed on this machine with google-benchmark, which the
+//      model scales by the ARM ratio to predict NIC-core timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+#include "src/net/perf_model.h"
+
+namespace {
+
+using namespace xenic;
+
+void PrintModelTable() {
+  net::PerfModel model;
+  TablePrinter tp({"Benchmark", "Cores", "Xeon/ARM ratio", "Source"});
+  tp.AddRow({"Coremark", "multi", "3.26", "paper (modeled 1/0.31 = 3.23)"});
+  tp.AddRow({"DPDK hash_perf", "multi", "3.24", "paper"});
+  tp.AddRow({"DPDK readwrite_lf", "multi", "3.42", "paper"});
+  tp.AddRow({"Coremark", "single", "2.04", "paper (modeled 1/0.49 = 2.04)"});
+  tp.AddRow({"DPDK memcpy_perf", "single", "1.99", "paper"});
+  tp.AddRow({"DPDK rand_perf", "single", "2.60", "paper"});
+  tp.AddRow({"Model: arm_multithread_ratio", "-",
+             TablePrinter::Fmt(1.0 / model.arm_multithread_ratio, 2), "PerfModel"});
+  tp.AddRow({"Model: arm_singlethread_ratio", "-",
+             TablePrinter::Fmt(1.0 / model.arm_singlethread_ratio, 2), "PerfModel"});
+  std::printf("%s\n", tp.Render("Table 1: ARM vs Xeon core performance (calibration)").c_str());
+}
+
+// Real kernels: per-op wall time on this host; the model's NIC-core cost
+// for the same work is host_time / arm_multithread_ratio.
+
+void BM_HashKernel(benchmark::State& state) {
+  uint64_t x = 0x12345;
+  for (auto _ : state) {
+    x = ScrambleKey(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_HashKernel);
+
+void BM_MemcpyKernel(benchmark::State& state) {
+  std::vector<uint8_t> src(static_cast<size_t>(state.range(0)), 0xAB);
+  std::vector<uint8_t> dst(src.size());
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), src.size());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_MemcpyKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RandKernel(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RandKernel);
+
+void BM_CoremarkLikeMix(benchmark::State& state) {
+  // Integer mix: list-ish chasing + CRC-ish folding + branches, roughly the
+  // flavor of Coremark's work units.
+  std::vector<uint32_t> data(4096);
+  Rng rng(3);
+  for (auto& d : data) {
+    d = static_cast<uint32_t>(rng.Next());
+  }
+  uint32_t crc = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const uint32_t v = data[i & 4095];
+    crc ^= v;
+    crc = (crc >> 3) | (crc << 29);
+    if ((v & 7) == 0) {
+      crc += v >> 5;
+    }
+    i = i * 1103515245 + 12345;
+    benchmark::DoNotOptimize(crc);
+  }
+}
+BENCHMARK(BM_CoremarkLikeMix);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintModelTable();
+  std::printf("Real kernel timings below are host-core times; the simulated NIC core\n"
+              "runs the same work %.2fx slower (arm_multithread_ratio).\n\n",
+              1.0 / net::PerfModel{}.arm_multithread_ratio);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

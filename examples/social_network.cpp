@@ -1,0 +1,160 @@
+// Social network: a Retwis-style application on the Xenic public API --
+// users post tweets (read-modify-write across profile, tweet, and timeline
+// objects) while others read timelines (multi-key read-only transactions).
+// Demonstrates mixed read/write workloads, Zipf-skewed access, the NIC
+// cache absorbing hot reads, and latency percentiles per transaction type.
+
+#include <cstdio>
+#include <functional>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/txn/xenic_cluster.h"
+
+using namespace xenic;
+using txn::ExecRound;
+using txn::TxnOutcome;
+using txn::TxnRequest;
+
+namespace {
+
+constexpr store::TableId kUsers = 0;     // profile: follower count, last post id
+constexpr store::TableId kTweets = 1;    // tweet payloads
+constexpr store::TableId kTimelines = 2; // per-user timeline head (ring of tweet ids)
+
+constexpr uint64_t kUsers_n = 5000;
+constexpr size_t kTimelineSlots = 8;
+
+store::Value UserRow(uint64_t posts) {
+  store::Value v(32, 0);
+  store::PutU64(v, 0, posts);
+  return v;
+}
+
+store::Value TimelineRow() { return store::Value(16 + 8 * kTimelineSlots, 0); }
+
+}  // namespace
+
+int main() {
+  txn::XenicClusterOptions options;
+  options.num_nodes = 6;
+  options.replication = 3;
+  options.tables = {
+      store::TableSpec{kUsers, "users", 14, 32, 8, 8},
+      store::TableSpec{kTweets, "tweets", 16, 140, 8, 8},  // tweet-sized payloads
+      store::TableSpec{kTimelines, "timelines", 14, 16 + 8 * kTimelineSlots, 8, 8},
+  };
+  txn::HashPartitioner partitioner(options.num_nodes);
+  txn::XenicCluster cluster(options, &partitioner);
+
+  for (uint64_t u = 0; u < kUsers_n; ++u) {
+    cluster.LoadReplicated(kUsers, u, UserRow(0));
+    cluster.LoadReplicated(kTimelines, u, TimelineRow());
+  }
+  cluster.StartWorkers();
+
+  Rng rng(7);
+  ZipfGenerator zipf(kUsers_n, 0.5);
+  Histogram post_latency;
+  Histogram read_latency;
+  uint64_t next_tweet_id = 1;
+  int remaining = 6000;
+  int active = 0;
+
+  std::function<void(store::NodeId)> run_one = [&](store::NodeId node) {
+    if (remaining == 0) {
+      active--;
+      return;
+    }
+    remaining--;
+    const sim::Tick start = cluster.engine().now();
+    const uint64_t author = ScrambleKey(zipf.Next(rng)) % kUsers_n;
+
+    if (rng.NextBool(0.5)) {
+      // PostTweet: read the author's profile and timeline, write a new
+      // tweet object, bump the post counter, push onto the timeline ring.
+      const uint64_t tweet = next_tweet_id++;
+      TxnRequest req;
+      req.reads = {{kUsers, author}, {kTimelines, author}};
+      req.writes = {{kUsers, author}, {kTimelines, author}, {kTweets, tweet}};
+      req.execute = [tweet](ExecRound& round) {
+        store::Value user = (*round.reads)[0].value;
+        store::Value timeline = (*round.reads)[1].value;
+        const uint64_t posts = store::GetU64(user, 0);
+        store::PutU64(user, 0, posts + 1);
+        store::PutU64(timeline, 16 + 8 * (posts % kTimelineSlots), tweet);
+        store::PutU64(timeline, 0, posts + 1);
+        (*round.writes)[0].value = std::move(user);
+        (*round.writes)[1].value = std::move(timeline);
+        store::Value body(140, 0);
+        store::PutU64(body, 0, tweet);
+        (*round.writes)[2].value = std::move(body);
+      };
+      cluster.node(node).Submit(std::move(req), [&, node, start](TxnOutcome o) {
+        if (o == TxnOutcome::kCommitted) {
+          post_latency.Record(cluster.engine().now() - start);
+        }
+        run_one(node);
+      });
+    } else {
+      // GetTimeline: read the timeline head, then fetch the referenced
+      // tweets in a second execution round (a multi-shot transaction).
+      TxnRequest req;
+      req.reads = {{kTimelines, author}};
+      req.allow_ship = false;  // multi-round
+      req.execute = [](ExecRound& round) {
+        if (round.round == 0) {
+          const store::Value& tl = (*round.reads)[0].value;
+          if (tl.empty()) {
+            return;
+          }
+          const uint64_t posts = store::GetU64(tl, 0);
+          const size_t n = posts < kTimelineSlots ? posts : kTimelineSlots;
+          for (size_t i = 0; i < n; ++i) {
+            const uint64_t id = store::GetU64(tl, 16 + 8 * i);
+            if (id != 0) {
+              round.add_reads->push_back({kTweets, id});
+            }
+          }
+        }
+      };
+      cluster.node(node).Submit(std::move(req), [&, node, start](TxnOutcome o) {
+        if (o == TxnOutcome::kCommitted) {
+          read_latency.Record(cluster.engine().now() - start);
+        }
+        run_one(node);
+      });
+    }
+  };
+
+  for (uint32_t n = 0; n < cluster.size(); ++n) {
+    for (int c = 0; c < 6; ++c) {
+      active++;
+      run_one(n);
+    }
+  }
+  while (active > 0 && !cluster.engine().idle()) {
+    cluster.engine().RunFor(100 * sim::kNsPerUs);
+  }
+  cluster.engine().RunFor(1000 * sim::kNsPerUs);
+  cluster.StopWorkers();
+  cluster.engine().Run();
+
+  const auto stats = cluster.TotalStats();
+  std::printf("posts:     %s\n", post_latency.Summary().c_str());
+  std::printf("timelines: %s\n", read_latency.Summary().c_str());
+  std::printf("committed=%llu aborted=%llu local-fastpath=%llu\n",
+              static_cast<unsigned long long>(stats.committed),
+              static_cast<unsigned long long>(stats.aborted),
+              static_cast<unsigned long long>(stats.local_fastpath));
+  // The NIC cache served hot reads without PCIe: report cache population.
+  uint64_t cached = 0;
+  for (uint32_t n = 0; n < cluster.size(); ++n) {
+    for (store::TableId t = 0; t < 3; ++t) {
+      cached += cluster.datastore(n).index(t).cached_objects();
+    }
+  }
+  std::printf("NIC-cached objects across cluster: %llu\n",
+              static_cast<unsigned long long>(cached));
+  return 0;
+}

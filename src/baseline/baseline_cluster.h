@@ -1,0 +1,58 @@
+// BaselineCluster: assembles a baseline-system deployment (RDMA fabric,
+// per-node chained stores, host thread pools, transaction engines) for one
+// of the four comparison configurations.
+
+#ifndef SRC_BASELINE_BASELINE_CLUSTER_H_
+#define SRC_BASELINE_BASELINE_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/baseline_node.h"
+#include "src/nicmodel/rdma_nic.h"
+
+namespace xenic::baseline {
+
+struct BaselineClusterOptions {
+  uint32_t num_nodes = 6;
+  uint32_t replication = 3;
+  net::PerfModel perf;
+  BaselineMode mode = BaselineMode::kDrtmH;
+  std::vector<BaselineStore::TableSpec> tables;
+  uint32_t workers_per_node = 3;
+  sim::Tick worker_poll_interval = 2 * sim::kNsPerUs;
+};
+
+class BaselineCluster {
+ public:
+  BaselineCluster(const BaselineClusterOptions& options, const txn::Partitioner* partitioner);
+
+  sim::Engine& engine() { return engine_; }
+  BaselineNode& node(store::NodeId id) { return *nodes_[id]; }
+  BaselineStore& store(store::NodeId id) { return *stores_[id]; }
+  sim::Resource& host_cores(store::NodeId id) { return *host_cores_[id]; }
+  const txn::ClusterMap& map() const { return map_; }
+  uint32_t size() const { return options_.num_nodes; }
+  BaselineMode mode() const { return options_.mode; }
+
+  void LoadReplicated(store::TableId table, store::Key key, const store::Value& value,
+                      store::Seq seq = 1);
+  void StartWorkers();
+  void StopWorkers();
+  txn::TxnStats TotalStats() const;
+  void ResetStats();
+
+ private:
+  BaselineClusterOptions options_;
+  sim::Engine engine_;
+  txn::ClusterMap map_;
+  std::vector<std::unique_ptr<sim::Resource>> host_cores_;
+  std::unique_ptr<nicmodel::RdmaFabric> fabric_;
+  std::vector<std::unique_ptr<BaselineStore>> stores_;
+  std::vector<std::unique_ptr<BaselineNode>> nodes_;
+  std::vector<BaselineNode*> peers_;
+};
+
+}  // namespace xenic::baseline
+
+#endif  // SRC_BASELINE_BASELINE_CLUSTER_H_

@@ -1,0 +1,1088 @@
+#include "src/baseline/baseline_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xenic::baseline {
+
+namespace {
+
+constexpr sim::Tick kHostInitCost = 100;
+constexpr sim::Tick kHostKeyCost = 60;
+constexpr sim::Tick kRpcHandlerPerKey = 100;
+constexpr sim::Tick kHostFinishBase = 80;
+constexpr sim::Tick kWorkerPollCost = 80;
+constexpr sim::Tick kWorkerRecordCost = 150;
+constexpr sim::Tick kWorkerWriteCost = 120;
+constexpr int kWorkerBatch = 16;
+
+bool ContainsKey(const std::vector<KeyRef>& v, const KeyRef& k) {
+  return std::find(v.begin(), v.end(), k) != v.end();
+}
+
+}  // namespace
+
+const char* BaselineModeName(BaselineMode mode) {
+  switch (mode) {
+    case BaselineMode::kDrtmH:
+      return "DrTM+H";
+    case BaselineMode::kDrtmHNC:
+      return "DrTM+H NC";
+    case BaselineMode::kFasst:
+      return "FaSST";
+    case BaselineMode::kDrtmR:
+      return "DrTM+R";
+  }
+  return "?";
+}
+
+BaselineNode::BaselineNode(nicmodel::RdmaNic* nic, sim::Resource* host_cores,
+                           BaselineStore* store, const ClusterMap* map, BaselineMode mode,
+                           std::vector<BaselineNode*>* peers)
+    : nic_(nic), host_cores_(host_cores), store_(store), map_(map), mode_(mode), peers_(peers) {}
+
+void BaselineNode::Submit(TxnRequest req, CommitCallback done) {
+  auto st = std::make_unique<TxnState>();
+  st->id = store::MakeTxnId(id(), next_txn_seq_++);
+  st->req = std::move(req);
+  st->done = std::move(done);
+  st->read_keys = st->req.reads;
+  st->write_keys = st->req.writes;
+  st->reads.resize(st->read_keys.size());
+  st->write_seqs.assign(st->write_keys.size(), 0);
+  st->writes.resize(st->write_keys.size());
+  st->write_locked.assign(st->write_keys.size(), false);
+  TxnState* raw = st.get();
+  txns_[raw->id] = std::move(st);
+  const store::TxnId txn = raw->id;
+  host_cores_->Submit(kHostInitCost, [this, txn] {
+    TxnState* st = FindState(txn);
+    assert(st != nullptr);
+    ExecutePhase(st);
+  });
+}
+
+void BaselineNode::ExecutePhase(TxnState* st) {
+  stats_.remote_rounds++;
+  const uint32_t rbase = st->exec_read_base;
+  const uint32_t wbase = st->exec_write_base;
+
+  if (mode_ == BaselineMode::kFasst) {
+    // Consolidated per-shard RPCs: one request reads and locks everything
+    // this shard holds.
+    struct Group {
+      store::NodeId shard;
+      std::vector<uint32_t> reads;
+      std::vector<uint32_t> writes;
+    };
+    std::vector<Group> groups;
+    auto group_of = [&](store::NodeId p) -> Group& {
+      for (auto& g : groups) {
+        if (g.shard == p) {
+          return g;
+        }
+      }
+      groups.push_back(Group{p, {}, {}});
+      return groups.back();
+    };
+    for (uint32_t i = rbase; i < st->read_keys.size(); ++i) {
+      group_of(map_->PrimaryOf(st->read_keys[i].table, st->read_keys[i].key)).reads.push_back(i);
+    }
+    for (uint32_t i = wbase; i < st->write_keys.size(); ++i) {
+      group_of(map_->PrimaryOf(st->write_keys[i].table, st->write_keys[i].key))
+          .writes.push_back(i);
+    }
+    st->pending = static_cast<uint32_t>(groups.size());
+    if (st->pending == 0) {
+      AfterExecuteRound(st);
+      return;
+    }
+    const store::TxnId txn = st->id;
+    for (auto& g : groups) {
+      FasstExecuteShard(st, g.shard, std::move(g.reads), std::move(g.writes), [this, txn] {
+        TxnState* st = FindState(txn);
+        if (st == nullptr) {
+          return;
+        }
+        if (--st->pending == 0) {
+          if (st->abort) {
+            AbortCleanup(st, TxnOutcome::kAborted);
+          } else {
+            AfterExecuteRound(st);
+          }
+        }
+      });
+    }
+    return;
+  }
+
+  // One-sided modes: the execution phase issues reads only; write locks
+  // are acquired after execution completes (FaRM/DrTM phase order).
+  (void)wbase;
+  st->pending = static_cast<uint32_t>(st->read_keys.size() - rbase);
+  if (st->pending == 0) {
+    AfterExecuteRound(st);
+    return;
+  }
+  const store::TxnId txn = st->id;
+  auto one_done = [this, txn] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    if (--st->pending == 0) {
+      if (st->abort) {
+        AbortCleanup(st, TxnOutcome::kAborted);
+      } else {
+        AfterExecuteRound(st);
+      }
+    }
+  };
+  for (uint32_t i = rbase; i < st->read_keys.size(); ++i) {
+    ReadOneKey(st, i, one_done);
+  }
+}
+
+void BaselineNode::LockPhase(TxnState* st) {
+  st->pending = static_cast<uint32_t>(st->write_keys.size());
+  if (st->pending == 0) {
+    ValidatePhase(st);
+    return;
+  }
+  stats_.remote_rounds++;
+  const store::TxnId txn = st->id;
+  auto one_done = [this, txn] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    if (--st->pending == 0) {
+      if (st->abort) {
+        AbortCleanup(st, TxnOutcome::kAborted);
+      } else {
+        ValidatePhase(st);
+      }
+    }
+  };
+  for (uint32_t i = 0; i < st->write_keys.size(); ++i) {
+    LockOneKey(st, i, one_done);
+  }
+}
+
+void BaselineNode::ReadOneKey(TxnState* st, uint32_t read_idx, sim::Engine::Callback done) {
+  const KeyRef k = st->read_keys[read_idx];
+  const store::NodeId shard = map_->PrimaryOf(k.table, k.key);
+  const store::TxnId txn = st->id;
+
+  if (shard == id()) {
+    host_cores_->Submit(kHostKeyCost, [this, txn, read_idx, k, done = std::move(done)]() mutable {
+      TxnState* st = FindState(txn);
+      if (st == nullptr) {
+        return;
+      }
+      if (const auto* o = store_->table(k.table).Lookup(k.key)) {
+        if (o->lock_owner != store::kNoTxn && o->lock_owner != txn) {
+          st->abort = true;
+        } else {
+          st->reads[read_idx] = ReadResult{true, o->seq, o->value};
+        }
+      }
+      done();
+    });
+    return;
+  }
+
+  BaselineNode* target = (*peers_)[shard];
+  ChainedStore& table = target->store_->table(k.table);
+  const uint32_t obj_bytes = table.object_bytes();
+
+  // Result holder filled by the target-side closure at access time.
+  struct Holder {
+    bool found = false;
+    store::Seq seq = 0;
+    store::TxnId lock = store::kNoTxn;
+    store::Value value;
+  };
+  auto h = std::make_shared<Holder>();
+  auto fetch = [&table, key = k.key, h] {
+    if (const auto* o = table.Lookup(key)) {
+      h->found = true;
+      h->seq = o->seq;
+      h->lock = o->lock_owner;
+      h->value = o->value;
+    }
+  };
+  auto finish = [this, txn, read_idx, h, done = std::move(done)]() mutable {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    if (h->found && h->lock != store::kNoTxn && h->lock != txn) {
+      st->abort = true;
+    } else if (h->found) {
+      st->reads[read_idx] = ReadResult{true, h->seq, std::move(h->value)};
+    }
+    done();
+  };
+
+  stats_.messages++;
+  if (mode_ == BaselineMode::kDrtmHNC) {
+    // No address cache: traverse the chain, one roundtrip per bucket. The
+    // final read carries the object.
+    const auto plan = table.PlanLookup(k.key);
+    auto step = std::make_shared<std::function<void(uint32_t)>>();
+    const uint32_t bucket_bytes =
+        static_cast<uint32_t>(plan.bytes / std::max<uint32_t>(1, plan.roundtrips));
+    *step = [this, shard, bucket_bytes, plan, fetch, finish = std::move(finish),
+             step](uint32_t left) mutable {
+      if (left == 1) {
+        nic_->Read(shard, bucket_bytes, fetch, std::move(finish));
+        return;
+      }
+      nic_->Read(shard, bucket_bytes, [step, left]() mutable { (*step)(left - 1); });
+    };
+    (*step)(std::max<uint32_t>(1, plan.roundtrips));
+    return;
+  }
+  // Cached remote address: one READ of the object.
+  nic_->Read(shard, obj_bytes, fetch, std::move(finish));
+}
+
+void BaselineNode::LockOneKey(TxnState* st, uint32_t write_idx, sim::Engine::Callback done) {
+  const KeyRef k = st->write_keys[write_idx];
+  const store::NodeId shard = map_->PrimaryOf(k.table, k.key);
+  const store::TxnId txn = st->id;
+
+  // Version check at lock time for keys read optimistically during
+  // execution: the value the write was computed from must still be
+  // current, else abort.
+  bool has_expected = false;
+  store::Seq expected = 0;
+  for (size_t i = 0; i < st->read_keys.size(); ++i) {
+    if (st->read_keys[i] == k) {
+      has_expected = true;
+      expected = st->reads[i].seq;
+      break;
+    }
+  }
+
+  if (shard == id()) {
+    host_cores_->Submit(kHostKeyCost, [this, txn, write_idx, k, has_expected, expected,
+                                       done = std::move(done)]() mutable {
+      TxnState* st = FindState(txn);
+      if (st == nullptr) {
+        return;
+      }
+      ChainedStore& table = store_->table(k.table);
+      if (table.TryLock(k.key, txn)) {
+        const auto* o = table.Lookup(k.key);
+        const store::Seq cur = o != nullptr ? o->seq : 0;
+        if (has_expected && cur != expected) {
+          table.Unlock(k.key, txn);
+          st->abort = true;
+        } else {
+          st->write_locked[write_idx] = true;
+          st->write_seqs[write_idx] = cur;
+        }
+      } else {
+        st->abort = true;
+      }
+      done();
+    });
+    return;
+  }
+
+  BaselineNode* target = (*peers_)[shard];
+  ChainedStore& table = target->store_->table(k.table);
+  stats_.messages++;
+
+  if (mode_ == BaselineMode::kDrtmR) {
+    // One-sided ATOMIC CAS on the versioned lock word (DrTM encodes the
+    // version in the word, so the CAS itself enforces the expected
+    // version); bit 0 of the result = acquired.
+    nic_->Atomic(
+        shard,
+        [&table, key = k.key, txn, has_expected, expected]() -> uint64_t {
+          const auto* o = table.Lookup(key);
+          const store::Seq cur = o != nullptr ? o->seq : 0;
+          if (has_expected && cur != expected) {
+            return 0;
+          }
+          if (!table.TryLock(key, txn)) {
+            return 0;
+          }
+          return (static_cast<uint64_t>(cur) << 1) | 1u;
+        },
+        [this, txn, write_idx, done = std::move(done)](uint64_t word) mutable {
+          TxnState* st = FindState(txn);
+          if (st == nullptr) {
+            return;
+          }
+          if ((word & 1u) == 0) {
+            st->abort = true;
+          } else {
+            st->write_locked[write_idx] = true;
+            st->write_seqs[write_idx] = static_cast<store::Seq>(word >> 1);
+          }
+          done();
+        });
+    return;
+  }
+
+  // DrTM+H (both variants): lock via RPC, version-checked in the handler.
+  struct Holder {
+    bool ok = false;
+    store::Seq seq = 0;
+  };
+  auto h = std::make_shared<Holder>();
+  nic_->Rpc(shard, 32, 16, kRpcHandlerPerKey,
+            [&table, key = k.key, txn, has_expected, expected, h] {
+              if (table.TryLock(key, txn)) {
+                const auto* o = table.Lookup(key);
+                const store::Seq cur = o != nullptr ? o->seq : 0;
+                if (has_expected && cur != expected) {
+                  table.Unlock(key, txn);
+                } else {
+                  h->ok = true;
+                  h->seq = cur;
+                }
+              }
+            },
+            [this, txn, write_idx, h, done = std::move(done)]() mutable {
+              TxnState* st = FindState(txn);
+              if (st == nullptr) {
+                return;
+              }
+              if (h->ok) {
+                st->write_locked[write_idx] = true;
+                st->write_seqs[write_idx] = h->seq;
+              } else {
+                st->abort = true;
+              }
+              done();
+            });
+}
+
+void BaselineNode::FasstExecuteShard(TxnState* st, store::NodeId shard,
+                                     std::vector<uint32_t> read_idx,
+                                     std::vector<uint32_t> write_idx,
+                                     sim::Engine::Callback done) {
+  const store::TxnId txn = st->id;
+  const size_t n_keys = read_idx.size() + write_idx.size();
+
+  if (shard == id()) {
+    host_cores_->Submit(
+        kHostKeyCost * static_cast<sim::Tick>(n_keys),
+        [this, txn, read_idx = std::move(read_idx), write_idx = std::move(write_idx),
+         done = std::move(done)]() mutable {
+          TxnState* st = FindState(txn);
+          if (st == nullptr) {
+            return;
+          }
+          for (uint32_t i : write_idx) {
+            const KeyRef k = st->write_keys[i];
+            if (store_->table(k.table).TryLock(k.key, txn)) {
+              const auto* o = store_->table(k.table).Lookup(k.key);
+              const store::Seq cur = o != nullptr ? o->seq : 0;
+              bool stale = false;
+              for (size_t r = 0; r < st->read_keys.size(); ++r) {
+                if (st->read_keys[r] == k && st->reads[r].found &&
+                    st->reads[r].seq != cur) {
+                  stale = true;
+                  break;
+                }
+              }
+              if (stale) {
+                store_->table(k.table).Unlock(k.key, txn);
+                st->abort = true;
+              } else {
+                st->write_locked[i] = true;
+                st->write_seqs[i] = cur;
+              }
+            } else {
+              st->abort = true;
+            }
+          }
+          for (uint32_t i : read_idx) {
+            const KeyRef k = st->read_keys[i];
+            if (const auto* o = store_->table(k.table).Lookup(k.key)) {
+              if (o->lock_owner != store::kNoTxn && o->lock_owner != txn) {
+                st->abort = true;
+              } else {
+                st->reads[i] = ReadResult{true, o->seq, o->value};
+              }
+            }
+          }
+          done();
+        });
+    return;
+  }
+
+  BaselineNode* target = (*peers_)[shard];
+  stats_.messages++;
+
+  struct Holder {
+    bool abort = false;
+    std::vector<std::pair<uint32_t, ReadResult>> reads;
+    std::vector<std::pair<uint32_t, store::Seq>> seqs;
+    std::vector<KeyRef> locked;
+  };
+  auto h = std::make_shared<Holder>();
+  uint32_t req_bytes = txn::MsgSize::ExecuteReq(read_idx.size(), write_idx.size());
+  uint32_t resp_bytes = 32;
+  for (uint32_t i : read_idx) {
+    resp_bytes += static_cast<uint32_t>(
+        target->store_->table(st->read_keys[i].table).value_size());
+  }
+
+  // Snapshot key lists for the handler closure. Write keys read in an
+  // EARLIER round carry the expected version for a lock-time check (keys
+  // read in this same RPC are read+locked atomically by the handler).
+  struct WKey {
+    uint32_t idx;
+    KeyRef key;
+    bool has_expected;
+    store::Seq expected;
+  };
+  std::vector<std::pair<uint32_t, KeyRef>> rkeys;
+  std::vector<WKey> wkeys;
+  for (uint32_t i : read_idx) {
+    rkeys.emplace_back(i, st->read_keys[i]);
+  }
+  for (uint32_t i : write_idx) {
+    WKey w{i, st->write_keys[i], false, 0};
+    for (size_t r = 0; r < st->read_keys.size(); ++r) {
+      if (st->read_keys[r] == w.key && st->reads[r].found) {
+        w.has_expected = true;
+        w.expected = st->reads[r].seq;
+        break;
+      }
+    }
+    wkeys.push_back(w);
+  }
+
+  nic_->Rpc(
+      shard, req_bytes, resp_bytes, kRpcHandlerPerKey * static_cast<sim::Tick>(n_keys),
+      [target, txn, h, rkeys = std::move(rkeys), wkeys = std::move(wkeys)] {
+        for (const auto& w : wkeys) {
+          const auto& k = w.key;
+          const uint32_t i = w.idx;
+          if (target->store_->table(k.table).TryLock(k.key, txn)) {
+            const auto* o = target->store_->table(k.table).Lookup(k.key);
+            const store::Seq cur = o != nullptr ? o->seq : 0;
+            if (w.has_expected && cur != w.expected) {
+              target->store_->table(k.table).Unlock(k.key, txn);
+              h->abort = true;
+            } else {
+              h->locked.push_back(k);
+              h->seqs.emplace_back(i, cur);
+            }
+          } else {
+            h->abort = true;
+          }
+        }
+        for (const auto& [i, k] : rkeys) {
+          if (const auto* o = target->store_->table(k.table).Lookup(k.key)) {
+            if (o->lock_owner != store::kNoTxn && o->lock_owner != txn) {
+              h->abort = true;
+            } else {
+              h->reads.emplace_back(i, ReadResult{true, o->seq, o->value});
+            }
+          }
+        }
+        if (h->abort) {
+          // All-or-nothing at this shard: release what we took.
+          for (const auto& k : h->locked) {
+            target->store_->table(k.table).Unlock(k.key, txn);
+          }
+          h->locked.clear();
+        }
+      },
+      [this, txn, h, done = std::move(done)]() mutable {
+        TxnState* st = FindState(txn);
+        if (st == nullptr) {
+          return;
+        }
+        if (h->abort) {
+          st->abort = true;
+        } else {
+          for (auto& [i, r] : h->reads) {
+            st->reads[i] = std::move(r);
+          }
+          for (auto& [i, s] : h->seqs) {
+            st->write_seqs[i] = s;
+            st->write_locked[i] = true;
+          }
+        }
+        done();
+      });
+}
+
+void BaselineNode::AfterExecuteRound(TxnState* st) {
+  const store::TxnId txn = st->id;
+  RunExecuteLogic(st, [this, txn] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    if (st->app_abort) {
+      AbortCleanup(st, TxnOutcome::kAppAborted);
+      return;
+    }
+    if (st->exec_read_base < st->read_keys.size() ||
+        st->exec_write_base < st->write_keys.size()) {
+      st->round++;
+      ExecutePhase(st);
+      return;
+    }
+    if (mode_ == BaselineMode::kFasst) {
+      // FaSST consolidated read+lock already happened per round.
+      ValidatePhase(st);
+    } else {
+      LockPhase(st);
+    }
+  });
+}
+
+void BaselineNode::RunExecuteLogic(TxnState* st, sim::Engine::Callback next) {
+  const store::TxnId txn = st->id;
+  host_cores_->Submit(st->req.exec_cost, [this, txn, next = std::move(next)]() mutable {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    std::vector<KeyRef> add_reads;
+    std::vector<KeyRef> add_writes;
+    bool abort_flag = false;
+    ExecRound er;
+    er.round = st->round;
+    er.read_keys = &st->read_keys;
+    er.reads = &st->reads;
+    er.write_keys = &st->write_keys;
+    er.writes = &st->writes;
+    er.add_reads = &add_reads;
+    er.add_writes = &add_writes;
+    er.abort = &abort_flag;
+    if (st->req.execute) {
+      st->req.execute(er);
+    }
+    st->app_abort = abort_flag;
+    st->exec_read_base = static_cast<uint32_t>(st->read_keys.size());
+    st->exec_write_base = static_cast<uint32_t>(st->write_keys.size());
+    for (const auto& k : add_reads) {
+      st->read_keys.push_back(k);
+      st->reads.emplace_back();
+    }
+    for (const auto& k : add_writes) {
+      st->write_keys.push_back(k);
+      st->write_seqs.push_back(0);
+      st->writes.emplace_back();
+      st->write_locked.push_back(false);
+    }
+    next();
+  });
+}
+
+void BaselineNode::ValidatePhase(TxnState* st) {
+  std::vector<std::pair<uint32_t, KeyRef>> checks;
+  std::vector<store::NodeId> involved;
+  for (uint32_t i = 0; i < st->read_keys.size(); ++i) {
+    const auto& k = st->read_keys[i];
+    const store::NodeId p = map_->PrimaryOf(k.table, k.key);
+    if (std::find(involved.begin(), involved.end(), p) == involved.end()) {
+      involved.push_back(p);
+    }
+    if (!ContainsKey(st->write_keys, k)) {
+      checks.emplace_back(i, k);
+    }
+  }
+
+  // Atomic-snapshot shortcuts: a single-key read, or (FaSST) a read-only
+  // single-shard transaction whose reads happened inside one RPC handler.
+  const bool atomic = st->round == 0 && st->write_keys.empty() &&
+                      (st->read_keys.size() <= 1 ||
+                       (mode_ == BaselineMode::kFasst && involved.size() == 1));
+  if (checks.empty() || atomic) {
+    if (st->write_keys.empty() && st->req.local_log_writes.empty()) {
+      ReportAndFinish(st, TxnOutcome::kCommitted);
+      EraseState(st->id);
+      return;
+    }
+    LogPhase(st);
+    return;
+  }
+
+  stats_.remote_rounds++;
+  const store::TxnId txn = st->id;
+  auto one_done = [this, txn] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    if (--st->pending > 0) {
+      return;
+    }
+    if (st->abort) {
+      AbortCleanup(st, TxnOutcome::kAborted);
+      return;
+    }
+    if (st->write_keys.empty() && st->req.local_log_writes.empty()) {
+      ReportAndFinish(st, TxnOutcome::kCommitted);
+      EraseState(txn);
+      return;
+    }
+    LogPhase(st);
+  };
+
+  if (mode_ == BaselineMode::kFasst) {
+    // Per-shard validation RPCs.
+    struct Group {
+      store::NodeId shard;
+      std::vector<std::pair<uint32_t, KeyRef>> checks;
+    };
+    std::vector<Group> groups;
+    for (auto& [i, k] : checks) {
+      const store::NodeId p = map_->PrimaryOf(k.table, k.key);
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [&](const Group& g) { return g.shard == p; });
+      if (it == groups.end()) {
+        groups.push_back(Group{p, {}});
+        it = groups.end() - 1;
+      }
+      it->checks.emplace_back(i, k);
+    }
+    st->pending = static_cast<uint32_t>(groups.size());
+    for (auto& g : groups) {
+      if (g.shard == id()) {
+        host_cores_->Submit(
+            kHostKeyCost * static_cast<sim::Tick>(g.checks.size()),
+            [this, txn, checks = std::move(g.checks), one_done]() mutable {
+              TxnState* st = FindState(txn);
+              if (st == nullptr) {
+                return;
+              }
+              for (const auto& [i, k] : checks) {
+                const auto* o = store_->table(k.table).Lookup(k.key);
+                const store::Seq cur = o != nullptr ? o->seq : 0;
+                const store::TxnId owner = o != nullptr ? o->lock_owner : store::kNoTxn;
+                if (cur != st->reads[i].seq || owner != store::kNoTxn) {
+                  st->abort = true;
+                }
+              }
+              one_done();
+            });
+        continue;
+      }
+      BaselineNode* target = (*peers_)[g.shard];
+      stats_.messages++;
+      auto ok = std::make_shared<bool>(true);
+      std::vector<std::pair<KeyRef, store::Seq>> handler_checks;
+      for (const auto& [i, k] : g.checks) {
+        handler_checks.emplace_back(k, st->reads[i].seq);
+      }
+      nic_->Rpc(g.shard, txn::MsgSize::ValidateReq(handler_checks.size()), 16,
+                kRpcHandlerPerKey * static_cast<sim::Tick>(handler_checks.size()),
+                [target, ok, handler_checks = std::move(handler_checks)] {
+                  for (const auto& [k, expected] : handler_checks) {
+                    const auto* o = target->store_->table(k.table).Lookup(k.key);
+                    const store::Seq cur = o != nullptr ? o->seq : 0;
+                    const store::TxnId owner = o != nullptr ? o->lock_owner : store::kNoTxn;
+                    if (cur != expected || owner != store::kNoTxn) {
+                      *ok = false;
+                    }
+                  }
+                },
+                [this, txn, ok, one_done]() mutable {
+                  TxnState* st = FindState(txn);
+                  if (st == nullptr) {
+                    return;
+                  }
+                  if (!*ok) {
+                    st->abort = true;
+                  }
+                  one_done();
+                });
+    }
+    return;
+  }
+
+  // One-sided modes: re-read each key's header (address known from the
+  // execute phase, so one roundtrip each).
+  st->pending = static_cast<uint32_t>(checks.size());
+  for (const auto& [i, k] : checks) {
+    const store::NodeId shard = map_->PrimaryOf(k.table, k.key);
+    if (shard == id()) {
+      const uint32_t idx = i;
+      const KeyRef key = k;
+      host_cores_->Submit(kHostKeyCost, [this, txn, idx, key, one_done]() mutable {
+        TxnState* st = FindState(txn);
+        if (st == nullptr) {
+          return;
+        }
+        const auto* o = store_->table(key.table).Lookup(key.key);
+        const store::Seq cur = o != nullptr ? o->seq : 0;
+        const store::TxnId owner = o != nullptr ? o->lock_owner : store::kNoTxn;
+        if (cur != st->reads[idx].seq || owner != store::kNoTxn) {
+          st->abort = true;
+        }
+        one_done();
+      });
+      continue;
+    }
+    BaselineNode* target = (*peers_)[shard];
+    ChainedStore& table = target->store_->table(k.table);
+    stats_.messages++;
+    struct Holder {
+      store::Seq seq = 0;
+      store::TxnId lock = store::kNoTxn;
+    };
+    auto h = std::make_shared<Holder>();
+    const uint32_t idx = i;
+    const Key key = k.key;
+    nic_->Read(shard, 16,
+               [&table, key, h] {
+                 if (const auto* o = table.Lookup(key)) {
+                   h->seq = o->seq;
+                   h->lock = o->lock_owner;
+                 }
+               },
+               [this, txn, idx, h, one_done]() mutable {
+                 TxnState* st = FindState(txn);
+                 if (st == nullptr) {
+                   return;
+                 }
+                 if (h->seq != st->reads[idx].seq || h->lock != store::kNoTxn) {
+                   st->abort = true;
+                 }
+                 one_done();
+               });
+  }
+}
+
+std::vector<store::LogWrite> BaselineNode::ShardWrites(const TxnState& st,
+                                                       store::NodeId shard) const {
+  std::vector<store::LogWrite> out;
+  for (size_t i = 0; i < st.write_keys.size(); ++i) {
+    const auto& k = st.write_keys[i];
+    if (map_->PrimaryOf(k.table, k.key) != shard) {
+      continue;
+    }
+    store::LogWrite w;
+    w.table = k.table;
+    w.key = k.key;
+    w.seq = st.write_seqs[i] + 1;
+    w.value = st.writes[i].value;
+    w.is_delete = st.writes[i].is_delete;
+    out.push_back(std::move(w));
+  }
+  if (shard == id()) {
+    for (const auto& w : st.req.local_log_writes) {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+void BaselineNode::LogPhase(TxnState* st) {
+  std::vector<store::NodeId> shards;
+  for (const auto& k : st->write_keys) {
+    const store::NodeId p = map_->PrimaryOf(k.table, k.key);
+    if (std::find(shards.begin(), shards.end(), p) == shards.end()) {
+      shards.push_back(p);
+    }
+  }
+  if (!st->req.local_log_writes.empty() &&
+      std::find(shards.begin(), shards.end(), id()) == shards.end()) {
+    shards.push_back(id());
+  }
+
+  const store::TxnId txn = st->id;
+  uint32_t pending = 0;
+  std::vector<std::pair<store::NodeId, store::LogRecord>> sends;
+  for (store::NodeId shard : shards) {
+    store::LogRecord rec;
+    rec.type = store::LogRecordType::kLog;
+    rec.txn = txn;
+    rec.writes = ShardWrites(*st, shard);
+    for (store::NodeId backup : map_->BackupsOf(shard)) {
+      sends.emplace_back(backup, rec);
+      pending++;
+    }
+  }
+  if (pending == 0) {
+    ReportAndFinish(st, TxnOutcome::kCommitted);
+    CommitPhase(st);
+    return;
+  }
+  st->pending = pending;
+  stats_.remote_rounds++;
+
+  auto one_done = [this, txn] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    if (--st->pending > 0) {
+      return;
+    }
+    ReportAndFinish(st, TxnOutcome::kCommitted);
+    CommitPhase(st);
+  };
+
+  for (auto& [backup, rec] : sends) {
+    const auto bytes = static_cast<uint32_t>(rec.ByteSize());
+    BaselineNode* target = (*peers_)[backup];
+    stats_.messages++;
+    auto append = [target, rec = std::move(rec)]() mutable {
+      auto r = target->store_->log().Append(std::move(rec));
+      assert(r.ok() && "baseline backup log overflow");
+      (void)r;
+    };
+    if (mode_ == BaselineMode::kFasst) {
+      nic_->Rpc(backup, bytes, 16, kRpcHandlerPerKey, std::move(append), one_done);
+    } else {
+      // One-sided WRITE into the backup's message log (FaRM-style).
+      nic_->Write(backup, bytes, std::move(append), one_done);
+    }
+  }
+}
+
+void BaselineNode::CommitPhase(TxnState* st) {
+  std::vector<store::NodeId> shards;
+  for (const auto& k : st->write_keys) {
+    const store::NodeId p = map_->PrimaryOf(k.table, k.key);
+    if (std::find(shards.begin(), shards.end(), p) == shards.end()) {
+      shards.push_back(p);
+    }
+  }
+  const store::TxnId txn = st->id;
+  st->pending = 0;
+
+  auto one_done = [this, txn] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    if (--st->pending == 0) {
+      EraseState(txn);
+    }
+  };
+
+  if (shards.empty()) {
+    EraseState(txn);
+    return;
+  }
+
+  for (store::NodeId shard : shards) {
+    std::vector<store::LogWrite> writes = ShardWrites(*st, shard);
+    // Strip workload-managed writes: primaries apply only table writes
+    // (host_finish already handled workload structures locally).
+    std::erase_if(writes, [this](const store::LogWrite& w) {
+      return w.table >= store_->num_tables();
+    });
+    if (writes.empty()) {
+      continue;
+    }
+
+    if (shard == id()) {
+      st->pending++;
+      host_cores_->Submit(kHostKeyCost * static_cast<sim::Tick>(writes.size()),
+                          [this, txn, writes, one_done]() mutable {
+                            for (const auto& w : writes) {
+                              if (w.is_delete) {
+                                store_->table(w.table).Erase(w.key);
+                              } else {
+                                store_->table(w.table).Apply(w.key, w.value, w.seq);
+                              }
+                              store_->table(w.table).Unlock(w.key, txn);
+                            }
+                            one_done();
+                          });
+      continue;
+    }
+
+    BaselineNode* target = (*peers_)[shard];
+    if (mode_ == BaselineMode::kDrtmR) {
+      // One-sided: per key, WRITE the new value then WRITE the unlock.
+      for (const auto& w : writes) {
+        st->pending++;
+        stats_.messages += 2;
+        const auto bytes = static_cast<uint32_t>(24 + w.value.size());
+        nic_->Write(shard, bytes,
+                    [target, w] {
+                      if (w.is_delete) {
+                        target->store_->table(w.table).Erase(w.key);
+                      } else {
+                        target->store_->table(w.table).Apply(w.key, w.value, w.seq);
+                      }
+                    },
+                    [this, shard, target, w, txn, one_done]() mutable {
+                      nic_->Write(shard, 8,
+                                  [target, w, txn] {
+                                    target->store_->table(w.table).Unlock(w.key, txn);
+                                  },
+                                  one_done);
+                    });
+      }
+      continue;
+    }
+
+    // DrTM+H / FaSST: one commit RPC per shard.
+    st->pending++;
+    stats_.messages++;
+    uint32_t bytes = 32;
+    for (const auto& w : writes) {
+      bytes += 24 + static_cast<uint32_t>(w.value.size());
+    }
+    nic_->Rpc(shard, bytes, 16, kRpcHandlerPerKey * static_cast<sim::Tick>(writes.size()),
+              [target, writes, txn] {
+                for (const auto& w : writes) {
+                  if (w.is_delete) {
+                    target->store_->table(w.table).Erase(w.key);
+                  } else {
+                    target->store_->table(w.table).Apply(w.key, w.value, w.seq);
+                  }
+                  target->store_->table(w.table).Unlock(w.key, txn);
+                }
+              },
+              one_done);
+  }
+
+  if (st->pending == 0) {
+    EraseState(txn);
+  }
+}
+
+void BaselineNode::AbortCleanup(TxnState* st, TxnOutcome outcome) {
+  const store::TxnId txn = st->id;
+  // Release every lock we hold, grouped per shard.
+  struct Group {
+    store::NodeId shard;
+    std::vector<KeyRef> keys;
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < st->write_keys.size(); ++i) {
+    if (!st->write_locked[i]) {
+      continue;
+    }
+    const auto& k = st->write_keys[i];
+    const store::NodeId p = map_->PrimaryOf(k.table, k.key);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const Group& g) { return g.shard == p; });
+    if (it == groups.end()) {
+      groups.push_back(Group{p, {}});
+      it = groups.end() - 1;
+    }
+    it->keys.push_back(k);
+  }
+  for (auto& g : groups) {
+    if (g.shard == id()) {
+      for (const auto& k : g.keys) {
+        store_->table(k.table).Unlock(k.key, txn);
+      }
+      continue;
+    }
+    BaselineNode* target = (*peers_)[g.shard];
+    if (mode_ == BaselineMode::kDrtmR) {
+      for (const auto& k : g.keys) {
+        stats_.messages++;
+        nic_->Write(g.shard, 8,
+                    [target, k, txn] { target->store_->table(k.table).Unlock(k.key, txn); },
+                    [] {});
+      }
+    } else {
+      stats_.messages++;
+      nic_->Rpc(g.shard, 32, 8, kRpcHandlerPerKey,
+                [target, keys = g.keys, txn] {
+                  for (const auto& k : keys) {
+                    target->store_->table(k.table).Unlock(k.key, txn);
+                  }
+                },
+                [] {});
+    }
+  }
+  ReportAndFinish(st, outcome);
+  EraseState(txn);
+}
+
+void BaselineNode::ReportAndFinish(TxnState* st, TxnOutcome outcome) {
+  if (outcome == TxnOutcome::kCommitted) {
+    stats_.committed++;
+  } else if (outcome == TxnOutcome::kAppAborted) {
+    stats_.app_aborted++;
+  } else {
+    stats_.aborted++;
+  }
+  auto done = std::move(st->done);
+  st->done = nullptr;
+  auto host_finish = st->req.host_finish;
+  // Same contract as Xenic: the outcome is reported at the commit point;
+  // post-commit local structure maintenance is deferred host work.
+  host_cores_->Submit(kHostFinishBase,
+                      [done = std::move(done), outcome]() mutable { done(outcome); });
+  if (host_finish && outcome == TxnOutcome::kCommitted) {
+    host_cores_->Submit(st->req.host_finish_cost,
+                        [host_finish = std::move(host_finish)]() mutable { host_finish(); });
+  }
+}
+
+void BaselineNode::EraseState(store::TxnId id) { txns_.erase(id); }
+
+BaselineNode::TxnState* BaselineNode::FindState(store::TxnId id) {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+void BaselineNode::StartWorkers(uint32_t count, sim::Tick poll_interval) {
+  workers_running_ = true;
+  for (uint32_t w = 0; w < count; ++w) {
+    const sim::Tick offset = poll_interval * (w + 1) / count;
+    nic_->engine()->ScheduleAfter(offset,
+                                  [this, w, poll_interval] { WorkerTick(w, poll_interval); });
+  }
+}
+
+void BaselineNode::StopWorkers() { workers_running_ = false; }
+
+void BaselineNode::WorkerTick(uint32_t worker, sim::Tick interval) {
+  if (!workers_running_) {
+    return;
+  }
+  host_cores_->Submit(kWorkerPollCost, [this, worker, interval] {
+    int applied = 0;
+    sim::Tick extra = 0;
+    while (applied < kWorkerBatch) {
+      const store::LogRecord* rec = store_->log().Peek();
+      if (rec == nullptr) {
+        break;
+      }
+      const uint64_t lsn = rec->lsn;
+      extra += kWorkerRecordCost;
+      for (const auto& w : rec->writes) {
+        extra += kWorkerWriteCost;
+        if (w.table < store_->num_tables()) {
+          if (w.is_delete) {
+            store_->table(w.table).Erase(w.key);
+          } else {
+            store_->table(w.table).Apply(w.key, w.value, w.seq);
+          }
+        } else if (worker_apply_hook_) {
+          extra += worker_apply_hook_(w);
+        }
+      }
+      store_->log().PopApplied();
+      store_->log().Reclaim(lsn + 1);
+      applied++;
+    }
+    sim::Engine* engine = nic_->engine();
+    if (extra > 0) {
+      host_cores_->Submit(extra, [this, engine, worker, interval] {
+        engine->ScheduleAfter(interval, [this, worker, interval] { WorkerTick(worker, interval); });
+      });
+    } else {
+      engine->ScheduleAfter(interval, [this, worker, interval] { WorkerTick(worker, interval); });
+    }
+  });
+}
+
+}  // namespace xenic::baseline

@@ -1,0 +1,310 @@
+#include "src/btree/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xenic::btree {
+
+struct BTree::Node {
+  bool leaf;
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+};
+
+struct BTree::LeafNode : BTree::Node {
+  LeafNode() : Node(true) {}
+  std::vector<Key> keys;
+  std::vector<Value> values;
+  LeafNode* next = nullptr;
+  LeafNode* prev = nullptr;
+};
+
+struct BTree::InternalNode : BTree::Node {
+  InternalNode() : Node(false) {}
+  std::vector<Key> keys;            // n keys
+  std::vector<Node*> children;      // n + 1 children
+};
+
+BTree::BTree() { root_ = new LeafNode(); }
+
+BTree::~BTree() { FreeRec(root_); }
+
+void BTree::FreeRec(Node* node) {
+  if (!node->leaf) {
+    auto* in = static_cast<InternalNode*>(node);
+    for (Node* c : in->children) {
+      FreeRec(c);
+    }
+    delete in;
+  } else {
+    delete static_cast<LeafNode*>(node);
+  }
+}
+
+BTree::LeafNode* BTree::FindLeaf(Key key) const {
+  Node* node = root_;
+  while (!node->leaf) {
+    auto* in = static_cast<InternalNode*>(node);
+    const size_t idx =
+        std::upper_bound(in->keys.begin(), in->keys.end(), key) - in->keys.begin();
+    node = in->children[idx];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+std::optional<BTree::SplitResult> BTree::InsertRec(Node* node, Key key, Value&& value,
+                                                   bool overwrite, bool* inserted,
+                                                   bool* overwrote) {
+  if (node->leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    const size_t idx =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key) - leaf->keys.begin();
+    if (idx < leaf->keys.size() && leaf->keys[idx] == key) {
+      if (overwrite) {
+        leaf->values[idx] = std::move(value);
+        *overwrote = true;
+      }
+      return std::nullopt;
+    }
+    leaf->keys.insert(leaf->keys.begin() + static_cast<ptrdiff_t>(idx), key);
+    leaf->values.insert(leaf->values.begin() + static_cast<ptrdiff_t>(idx), std::move(value));
+    *inserted = true;
+    if (leaf->keys.size() <= kLeafCapacity) {
+      return std::nullopt;
+    }
+    // Split the leaf in half; the right half's first key separates.
+    auto* right = new LeafNode();
+    const size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + static_cast<ptrdiff_t>(mid), leaf->keys.end());
+    right->values.assign(std::make_move_iterator(leaf->values.begin() + static_cast<ptrdiff_t>(mid)),
+                         std::make_move_iterator(leaf->values.end()));
+    leaf->keys.resize(mid);
+    leaf->values.resize(mid);
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (leaf->next != nullptr) {
+      leaf->next->prev = right;
+    }
+    leaf->next = right;
+    return SplitResult{right->keys.front(), right};
+  }
+
+  auto* in = static_cast<InternalNode*>(node);
+  const size_t idx = std::upper_bound(in->keys.begin(), in->keys.end(), key) - in->keys.begin();
+  auto split = InsertRec(in->children[idx], key, std::move(value), overwrite, inserted, overwrote);
+  if (!split) {
+    return std::nullopt;
+  }
+  in->keys.insert(in->keys.begin() + static_cast<ptrdiff_t>(idx), split->split_key);
+  in->children.insert(in->children.begin() + static_cast<ptrdiff_t>(idx) + 1, split->right);
+  if (in->keys.size() <= kInternalCapacity) {
+    return std::nullopt;
+  }
+  // Split the internal node; the median key moves up.
+  auto* right = new InternalNode();
+  const size_t mid = in->keys.size() / 2;
+  const Key up_key = in->keys[mid];
+  right->keys.assign(in->keys.begin() + static_cast<ptrdiff_t>(mid) + 1, in->keys.end());
+  right->children.assign(in->children.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                         in->children.end());
+  in->keys.resize(mid);
+  in->children.resize(mid + 1);
+  return SplitResult{up_key, right};
+}
+
+void BTree::Put(Key key, Value value) {
+  bool inserted = false;
+  bool overwrote = false;
+  auto split = InsertRec(root_, key, std::move(value), /*overwrite=*/true, &inserted, &overwrote);
+  if (split) {
+    auto* new_root = new InternalNode();
+    new_root->keys.push_back(split->split_key);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split->right);
+    root_ = new_root;
+    height_++;
+  }
+  if (inserted) {
+    size_++;
+  }
+}
+
+xenic::Status BTree::Insert(Key key, Value value) {
+  bool inserted = false;
+  bool overwrote = false;
+  auto split = InsertRec(root_, key, std::move(value), /*overwrite=*/false, &inserted, &overwrote);
+  if (split) {
+    auto* new_root = new InternalNode();
+    new_root->keys.push_back(split->split_key);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split->right);
+    root_ = new_root;
+    height_++;
+  }
+  if (inserted) {
+    size_++;
+    return xenic::Status::Ok();
+  }
+  return xenic::Status::AlreadyExists();
+}
+
+std::optional<Value> BTree::Get(Key key) const {
+  const LeafNode* leaf = FindLeaf(key);
+  const size_t idx =
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key) - leaf->keys.begin();
+  if (idx < leaf->keys.size() && leaf->keys[idx] == key) {
+    return leaf->values[idx];
+  }
+  return std::nullopt;
+}
+
+bool BTree::EraseRec(Node* node, Key key, bool* erased) {
+  if (node->leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    const size_t idx =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key) - leaf->keys.begin();
+    if (idx >= leaf->keys.size() || leaf->keys[idx] != key) {
+      return false;
+    }
+    leaf->keys.erase(leaf->keys.begin() + static_cast<ptrdiff_t>(idx));
+    leaf->values.erase(leaf->values.begin() + static_cast<ptrdiff_t>(idx));
+    *erased = true;
+    if (leaf->keys.empty() && node != root_) {
+      // Unlink and free; the parent removes its entry.
+      if (leaf->prev != nullptr) {
+        leaf->prev->next = leaf->next;
+      }
+      if (leaf->next != nullptr) {
+        leaf->next->prev = leaf->prev;
+      }
+      delete leaf;
+      return true;
+    }
+    return false;
+  }
+
+  auto* in = static_cast<InternalNode*>(node);
+  const size_t idx = std::upper_bound(in->keys.begin(), in->keys.end(), key) - in->keys.begin();
+  const bool child_freed = EraseRec(in->children[idx], key, erased);
+  if (!child_freed) {
+    return false;
+  }
+  in->children.erase(in->children.begin() + static_cast<ptrdiff_t>(idx));
+  if (!in->keys.empty()) {
+    const size_t key_idx = idx > 0 ? idx - 1 : 0;
+    in->keys.erase(in->keys.begin() + static_cast<ptrdiff_t>(key_idx));
+  }
+  if (in->children.empty() && node != root_) {
+    delete in;
+    return true;
+  }
+  return false;
+}
+
+xenic::Status BTree::Erase(Key key) {
+  bool erased = false;
+  EraseRec(root_, key, &erased);
+  if (!erased) {
+    return xenic::Status::NotFound();
+  }
+  size_--;
+  // Collapse a root with a single child.
+  while (!root_->leaf) {
+    auto* in = static_cast<InternalNode*>(root_);
+    if (in->children.size() != 1) {
+      break;
+    }
+    root_ = in->children[0];
+    delete in;
+    height_--;
+  }
+  return xenic::Status::Ok();
+}
+
+size_t BTree::Scan(Key lo, Key hi, const std::function<bool(Key, const Value&)>& fn) const {
+  size_t visited = 0;
+  const LeafNode* leaf = FindLeaf(lo);
+  size_t idx = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) - leaf->keys.begin();
+  while (leaf != nullptr) {
+    for (; idx < leaf->keys.size(); ++idx) {
+      if (leaf->keys[idx] > hi) {
+        return visited;
+      }
+      visited++;
+      if (!fn(leaf->keys[idx], leaf->values[idx])) {
+        return visited;
+      }
+    }
+    leaf = leaf->next;
+    idx = 0;
+  }
+  return visited;
+}
+
+std::optional<std::pair<Key, Value>> BTree::SeekFirst(Key lo) const {
+  const LeafNode* leaf = FindLeaf(lo);
+  size_t idx = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) - leaf->keys.begin();
+  while (leaf != nullptr) {
+    if (idx < leaf->keys.size()) {
+      return std::make_pair(leaf->keys[idx], leaf->values[idx]);
+    }
+    leaf = leaf->next;
+    idx = 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<Key, Value>> BTree::SeekLast(Key hi) const {
+  const LeafNode* leaf = FindLeaf(hi);
+  // Largest key <= hi in this leaf, else walk back.
+  const LeafNode* cur = leaf;
+  while (cur != nullptr) {
+    const size_t idx =
+        std::upper_bound(cur->keys.begin(), cur->keys.end(), hi) - cur->keys.begin();
+    if (idx > 0) {
+      return std::make_pair(cur->keys[idx - 1], cur->values[idx - 1]);
+    }
+    cur = cur->prev;
+  }
+  return std::nullopt;
+}
+
+void BTree::CheckRec(const Node* node, int depth, Key lo, bool has_lo, Key hi, bool has_hi,
+                     const LeafNode** prev_leaf) const {
+  if (node->leaf) {
+    assert(depth == height_ && "all leaves at the same depth");
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    assert(std::is_sorted(leaf->keys.begin(), leaf->keys.end()));
+    assert(leaf->keys.size() == leaf->values.size());
+    if (!leaf->keys.empty()) {
+      assert(!has_lo || leaf->keys.front() >= lo);
+      assert(!has_hi || leaf->keys.back() < hi);
+    }
+    assert(leaf->prev == *prev_leaf);
+    if (*prev_leaf != nullptr) {
+      assert((*prev_leaf)->next == leaf);
+    }
+    *prev_leaf = leaf;
+    return;
+  }
+  const auto* in = static_cast<const InternalNode*>(node);
+  assert(in->children.size() == in->keys.size() + 1);
+  assert(std::is_sorted(in->keys.begin(), in->keys.end()));
+  for (size_t i = 0; i < in->children.size(); ++i) {
+    const bool child_has_lo = i > 0 || has_lo;
+    const Key child_lo = i > 0 ? in->keys[i - 1] : lo;
+    const bool child_has_hi = i < in->keys.size() || has_hi;
+    const Key child_hi = i < in->keys.size() ? in->keys[i] : hi;
+    CheckRec(in->children[i], depth + 1, child_lo, child_has_lo, child_hi, child_has_hi,
+             prev_leaf);
+  }
+}
+
+void BTree::CheckInvariants() const {
+  const LeafNode* prev = nullptr;
+  CheckRec(root_, 1, 0, false, 0, false, &prev);
+  if (prev != nullptr) {
+    assert(prev->next == nullptr);
+  }
+}
+
+}  // namespace xenic::btree

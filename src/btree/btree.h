@@ -1,0 +1,90 @@
+// In-memory B+tree for TPC-C's coordinator-local tables (paper section 5.2:
+// ORDER / NEW-ORDER / ORDER-LINE are "B+ trees local to their respective
+// coordinators"). 64-bit keys, byte-vector values, linked leaves for range
+// scans (STOCK-LEVEL scans recent order lines; DELIVERY pops the oldest
+// NEW-ORDER entry).
+//
+// Deletion removes the entry and unlinks nodes that become empty; interior
+// rebalancing is deliberately omitted (TPC-C's access pattern inserts
+// monotonically and deletes from the low end, so occupancy stays healthy --
+// the btree test suite checks structural invariants under churn).
+
+#ifndef SRC_BTREE_BTREE_H_
+#define SRC_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/types.h"
+
+namespace xenic::btree {
+
+using store::Key;
+using store::Value;
+
+class BTree {
+ public:
+  static constexpr size_t kLeafCapacity = 32;
+  static constexpr size_t kInternalCapacity = 32;
+
+  BTree();
+  ~BTree();
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  // Insert or overwrite.
+  void Put(Key key, Value value);
+  // Insert only; kAlreadyExists when present.
+  xenic::Status Insert(Key key, Value value);
+  std::optional<Value> Get(Key key) const;
+  bool Contains(Key key) const { return Get(key).has_value(); }
+  xenic::Status Erase(Key key);
+
+  // Visit entries with lo <= key <= hi in ascending order; stop early when
+  // fn returns false. Returns the number of entries visited.
+  size_t Scan(Key lo, Key hi, const std::function<bool(Key, const Value&)>& fn) const;
+
+  // Smallest key >= lo (with its value).
+  std::optional<std::pair<Key, Value>> SeekFirst(Key lo) const;
+  // Largest key <= hi.
+  std::optional<std::pair<Key, Value>> SeekLast(Key hi) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+
+  // Structural invariant check for tests: key ordering within and across
+  // nodes, child counts, leaf links. Aborts via assert on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  LeafNode* FindLeaf(Key key) const;
+  // Insert into subtree; returns (split_key, new_node) when the child split.
+  struct SplitResult {
+    Key split_key;
+    Node* right;
+  };
+  std::optional<SplitResult> InsertRec(Node* node, Key key, Value&& value, bool overwrite,
+                                       bool* inserted, bool* overwrote);
+  // Erase from subtree; returns true when the child became empty and was freed.
+  bool EraseRec(Node* node, Key key, bool* erased);
+  void FreeRec(Node* node);
+  void CheckRec(const Node* node, int depth, Key lo, bool has_lo, Key hi, bool has_hi,
+                const LeafNode** prev_leaf) const;
+
+  Node* root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace xenic::btree
+
+#endif  // SRC_BTREE_BTREE_H_

@@ -1,0 +1,110 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace xenic {
+
+Histogram::Histogram()
+    : buckets_(static_cast<size_t>(kOctaves) * kSubBuckets, 0),
+      count_(0),
+      sum_(0),
+      min_(std::numeric_limits<uint64_t>::max()),
+      max_(0) {}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int octave = msb - kSubBucketBits + 1;
+  const uint64_t sub = value >> octave;  // in [kSubBuckets/2 ... kSubBuckets)
+  size_t index = static_cast<size_t>(octave) * kSubBuckets + static_cast<size_t>(sub);
+  const size_t last = static_cast<size_t>(kOctaves) * kSubBuckets - 1;
+  return std::min(index, last);
+}
+
+uint64_t Histogram::BucketMidpoint(size_t index) {
+  const size_t octave = index / kSubBuckets;
+  const uint64_t sub = index % kSubBuckets;
+  if (octave == 0) {
+    return sub;
+  }
+  const uint64_t lo = sub << octave;
+  const uint64_t width = 1ull << octave;
+  return lo + width / 2;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp(BucketMidpoint(i), min(), max());
+    }
+  }
+  return max_;
+}
+
+namespace {
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+}  // namespace
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_), FormatNs(static_cast<uint64_t>(Mean())).c_str(),
+                FormatNs(Median()).c_str(), FormatNs(P99()).c_str(), FormatNs(max()).c_str());
+  return buf;
+}
+
+}  // namespace xenic

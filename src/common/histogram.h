@@ -1,0 +1,55 @@
+// Fixed-memory latency histogram with approximate percentiles.
+//
+// Buckets are arranged log2-major with linear sub-buckets, HdrHistogram-style,
+// giving <= ~1.6% relative error with 64 sub-buckets per octave. Values are
+// nanoseconds in practice but the histogram is unit-agnostic.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xenic {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Approximate value at quantile q in [0, 1]. Returns 0 for empty histograms.
+  uint64_t ValueAtQuantile(double q) const;
+
+  uint64_t Median() const { return ValueAtQuantile(0.5); }
+  uint64_t P99() const { return ValueAtQuantile(0.99); }
+
+  // One-line summary, e.g. "n=1000 mean=12.3us p50=11us p99=40us max=80us".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 40;  // covers up to ~2^40 ns (~18 min)
+
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketMidpoint(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace xenic
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,120 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace xenic {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded generation. The retry loop rejects
+  // only when the 128-bit product lands in the biased low fringe.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+size_t Rng::NextWeighted(const std::vector<uint32_t>& weights) {
+  uint64_t total = 0;
+  for (uint32_t w : weights) {
+    total += w;
+  }
+  assert(total > 0);
+  uint64_t pick = NextBounded(total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (pick < weights[i]) {
+      return i;
+    }
+    pick -= weights[i];
+  }
+  return weights.size() - 1;  // unreachable with sane weights
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  assert(n > 0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfGenerator::H(double x) const {
+  if (alpha_ == 1.0) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (alpha_ == 1.0) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (alpha_ <= 0.0) {
+    return rng.NextBounded(n_);
+  }
+  // Rejection-inversion (Hormann & Derflinger 1996).
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    auto k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -alpha_)) {
+      return k - 1;  // shift to [0, n)
+    }
+  }
+}
+
+}  // namespace xenic

@@ -1,0 +1,84 @@
+// Deterministic random number generation for simulation and workloads.
+//
+// All randomness in the repository flows through Rng so that any run is
+// reproducible from its seed. The generator is xoshiro256**, which is fast
+// enough for the simulator hot path and has no measurable bias for our uses.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xenic {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextRange(uint64_t lo, uint64_t hi) {
+    assert(hi >= lo);
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Pick an index according to integer weights (sum > 0).
+  size_t NextWeighted(const std::vector<uint32_t>& weights);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf-distributed generator over [0, n). Uses the rejection-inversion method
+// of Hormann and Derflinger, which has O(1) sampling cost independent of n
+// (important: Retwis draws from 6M keys with alpha = 0.5).
+class ZipfGenerator {
+ public:
+  // alpha >= 0; alpha == 0 degenerates to uniform.
+  ZipfGenerator(uint64_t n, double alpha);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+// SplitMix64-based hash, used to decorrelate sequential key ids before
+// Zipf-ranked access (rank r maps to key ScrambleKey(r) so hot keys are
+// spread across the table / cluster).
+inline uint64_t ScrambleKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace xenic
+
+#endif  // SRC_COMMON_RNG_H_

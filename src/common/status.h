@@ -1,0 +1,137 @@
+// Lightweight status / result types used across the Xenic codebase.
+//
+// We deliberately avoid exceptions on the data path (the NIC runtime and the
+// simulator hot loops run millions of events per second); fallible operations
+// return Status or Result<T> instead.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xenic {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,       // key or object absent
+  kAlreadyExists,  // insertion conflict
+  kAborted,        // transaction aborted (lock conflict / validation failure)
+  kCapacity,       // structure full (table, cache, log)
+  kInvalidArgument,
+  kUnavailable,    // node or shard unreachable / recovering
+  kInternal,
+};
+
+// Human-readable name for a status code.
+constexpr std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kCapacity:
+      return "CAPACITY";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// A status code plus an optional message. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Capacity(std::string msg = "") {
+    return Status(StatusCode::kCapacity, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace xenic
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,105 @@
+#include "src/common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xenic {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::FmtOps(double ops_per_sec) {
+  char buf[48];
+  if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", ops_per_sec / 1e6);
+  } else if (ops_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fk", ops_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", ops_per_sec);
+  }
+  return buf;
+}
+
+std::string TablePrinter::FmtUs(double ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f", ns / 1e3);
+  return buf;
+}
+
+std::string TablePrinter::Render(const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!title.empty()) {
+    out += "== " + title + " ==\n";
+  }
+  out += render_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string TablePrinter::RenderCsv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) {
+        line += ',';
+      }
+      line += cells[i];
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = join(headers_);
+  for (const auto& row : rows_) {
+    out += join(row);
+  }
+  return out;
+}
+
+}  // namespace xenic

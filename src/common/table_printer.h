@@ -1,0 +1,39 @@
+// Aligned text-table output for benchmark harnesses.
+//
+// Benches print paper-style tables (Table 2, Table 3, figure series) to
+// stdout; TablePrinter keeps the columns aligned and can also emit CSV for
+// downstream plotting.
+
+#ifndef SRC_COMMON_TABLE_PRINTER_H_
+#define SRC_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xenic {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(uint64_t v);
+  static std::string FmtOps(double ops_per_sec);  // "1.19M", "232k"
+  static std::string FmtUs(double ns);             // nanoseconds -> "12.3"
+
+  // Render with a title, aligned columns, and a separator line.
+  std::string Render(const std::string& title) const;
+  std::string RenderCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xenic
+
+#endif  // SRC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,120 @@
+#include "src/harness/runner.h"
+
+#include <memory>
+
+namespace xenic::harness {
+
+namespace {
+
+struct Shared {
+  SystemAdapter* system = nullptr;
+  workload::Workload* workload = nullptr;
+  const RunConfig* config = nullptr;
+  Rng rng;
+  bool measuring = false;
+  bool stopped = false;
+  uint64_t counted_commits = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  Histogram latency;
+};
+
+// One closed-loop application context.
+void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
+  if (sh->stopped) {
+    return;
+  }
+  auto req = sh->workload->NextTxn(node, sh->rng);
+  const uint8_t tag = req.tag;
+  const sim::Tick start = sh->system->engine().now();
+
+  auto attempt = std::make_shared<std::function<void(txn::TxnRequest, uint32_t)>>();
+  *attempt = [sh, node, tag, start, attempt](txn::TxnRequest r, uint32_t tries) {
+    txn::TxnRequest copy = r;
+    sh->system->Submit(node, std::move(copy),
+                       [sh, node, tag, start, attempt, r = std::move(r),
+                        tries](txn::TxnOutcome outcome) mutable {
+                         if (sh->stopped) {
+                           return;
+                         }
+                         sim::Engine& eng = sh->system->engine();
+                         if (outcome == txn::TxnOutcome::kAborted &&
+                             tries < sh->config->max_retries) {
+                           if (tries == 0 && sh->measuring) {
+                             sh->aborts++;
+                           }
+                           const sim::Tick backoff =
+                               sh->config->retry_backoff +
+                               sh->rng.NextBounded(sh->config->retry_backoff + 1);
+                           eng.ScheduleAfter(backoff,
+                                             [sh, node, attempt, r = std::move(r), tries] {
+                                               if (!sh->stopped) {
+                                                 (*attempt)(std::move(r), tries + 1);
+                                               }
+                                             });
+                           return;
+                         }
+                         if (outcome == txn::TxnOutcome::kCommitted && sh->measuring) {
+                           sh->commits++;
+                           if (sh->workload->CountsForThroughput(tag)) {
+                             sh->counted_commits++;
+                             sh->latency.Record(eng.now() - start);
+                           }
+                         }
+                         RunContext(sh, node);
+                       });
+  };
+  (*attempt)(std::move(req), 0);
+}
+
+}  // namespace
+
+RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
+                      const RunConfig& config) {
+  auto sh = std::make_shared<Shared>();
+  sh->system = &system;
+  sh->workload = &workload;
+  sh->config = &config;
+  sh->rng.Seed(config.seed);
+
+  system.StartWorkers();
+  for (uint32_t n = 0; n < system.num_nodes(); ++n) {
+    for (uint32_t c = 0; c < config.contexts_per_node; ++c) {
+      RunContext(sh, n);
+    }
+  }
+
+  // Warmup.
+  system.engine().RunFor(config.warmup);
+  // Measure.
+  sh->measuring = true;
+  system.ResetStats();
+  const sim::Tick t0 = system.engine().now();
+  system.engine().RunFor(config.measure);
+  const sim::Tick window = system.engine().now() - t0;
+  sh->measuring = false;
+
+  RunResult result;
+  result.committed = sh->commits;
+  result.aborted = sh->aborts;
+  result.abort_rate = sh->commits + sh->aborts == 0
+                          ? 0.0
+                          : static_cast<double>(sh->aborts) /
+                                static_cast<double>(sh->commits + sh->aborts);
+  result.tput_per_server = static_cast<double>(sh->counted_commits) /
+                           (static_cast<double>(window) / 1e9) / system.num_nodes();
+  result.latency = sh->latency;
+  result.wire_utilization = system.WireUtilization(window);
+  result.dma_ops = system.DmaOps();
+  result.dma_bytes = system.DmaBytes();
+  result.host_utilization = system.HostUtilization(window);
+  result.nic_utilization = system.NicUtilization(window);
+
+  // Tear down: let in-flight work drain without restarting contexts.
+  sh->stopped = true;
+  system.StopWorkers();
+  system.engine().RunFor(200 * sim::kNsPerUs);
+  return result;
+}
+
+}  // namespace xenic::harness

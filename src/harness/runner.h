@@ -1,0 +1,47 @@
+// Closed-loop benchmark runner: per-node application contexts submit
+// transactions back-to-back (retrying OCC aborts with randomized backoff),
+// the engine runs a warmup window and a measurement window, and the result
+// reports committed throughput per server with latency percentiles --
+// matching the paper's measurement methodology (per-server average
+// throughput, median latency of committed transactions).
+
+#ifndef SRC_HARNESS_RUNNER_H_
+#define SRC_HARNESS_RUNNER_H_
+
+#include "src/common/histogram.h"
+#include "src/harness/system_adapter.h"
+#include "src/workload/workload.h"
+
+namespace xenic::harness {
+
+struct RunConfig {
+  uint32_t contexts_per_node = 8;  // offered load (closed loop)
+  sim::Tick warmup = 200 * sim::kNsPerUs;
+  sim::Tick measure = 1500 * sim::kNsPerUs;
+  uint64_t seed = 1;
+  sim::Tick retry_backoff = 4 * sim::kNsPerUs;  // randomized up to 2x
+  uint32_t max_retries = 200;                   // then drop the transaction
+};
+
+struct RunResult {
+  double tput_per_server = 0;  // counted committed txns / second / server
+  Histogram latency;           // ns, counted committed txns, incl. retries
+  uint64_t committed = 0;      // all committed (counted or not)
+  uint64_t aborted = 0;        // OCC aborts (before any successful retry)
+  double abort_rate = 0;       // aborts / (aborts + committed)
+  double wire_utilization = 0;
+  double host_utilization = 0;
+  double nic_utilization = 0;
+  uint64_t dma_ops = 0;    // SmartNIC DMA engine operations in the window
+  uint64_t dma_bytes = 0;  // ... and their payload bytes
+
+  double MedianLatencyUs() const { return static_cast<double>(latency.Median()) / 1e3; }
+  double P99LatencyUs() const { return static_cast<double>(latency.P99()) / 1e3; }
+};
+
+RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
+                      const RunConfig& config);
+
+}  // namespace xenic::harness
+
+#endif  // SRC_HARNESS_RUNNER_H_

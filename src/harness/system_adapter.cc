@@ -1,0 +1,183 @@
+#include "src/harness/system_adapter.h"
+
+namespace xenic::harness {
+
+namespace {
+
+class XenicAdapter : public SystemAdapter {
+ public:
+  XenicAdapter(const SystemConfig& config, workload::Workload& workload) {
+    txn::XenicClusterOptions o;
+    o.num_nodes = config.num_nodes;
+    o.replication = config.replication;
+    o.perf = config.perf;
+    o.features = config.features;
+    o.nic_features = config.nic_features;
+    o.workers_per_node = config.workers_per_node;
+    o.nic_index.memory_budget = config.nic_cache_budget;
+    for (const auto& t : workload.Tables()) {
+      store::TableSpec spec;
+      spec.id = t.id;
+      spec.name = t.name;
+      spec.capacity_log2 = config.capacity_log2_override != 0 ? config.capacity_log2_override
+                                                               : t.capacity_log2;
+      spec.value_size = t.value_size;
+      spec.max_displacement = config.max_displacement_override != 0
+                                  ? config.max_displacement_override
+                                  : t.max_displacement;
+      o.tables.push_back(spec);
+    }
+    cluster_ = std::make_unique<txn::XenicCluster>(o, &workload.partitioner());
+  }
+
+  std::string Name() const override { return "Xenic"; }
+  sim::Engine& engine() override { return cluster_->engine(); }
+  uint32_t num_nodes() const override { return cluster_->size(); }
+  void Submit(store::NodeId node, txn::TxnRequest req, txn::CommitCallback done) override {
+    cluster_->node(node).Submit(std::move(req), std::move(done));
+  }
+  void LoadReplicated(store::TableId t, store::Key k, const store::Value& v) override {
+    cluster_->LoadReplicated(t, k, v);
+  }
+  void SetWorkerHook(store::NodeId node,
+                     std::function<sim::Tick(const store::LogWrite&)> hook) override {
+    cluster_->node(node).set_worker_apply_hook(std::move(hook));
+  }
+  void StartWorkers() override { cluster_->StartWorkers(); }
+  void StopWorkers() override { cluster_->StopWorkers(); }
+  txn::TxnStats TotalStats() const override { return cluster_->TotalStats(); }
+  void ResetStats() override {
+    cluster_->ResetStats();
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      cluster_->nic(n).ResetStats();
+    }
+  }
+  double WireUtilization(sim::Tick window) const override {
+    double total = 0;
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      total += cluster_->nic(n).WireUtilization(window);
+    }
+    return total / cluster_->size();
+  }
+  double HostUtilization(sim::Tick window) const override {
+    double total = 0;
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      total += cluster_->nic(n).host_cores().Utilization(window);
+    }
+    return total / cluster_->size();
+  }
+  double NicUtilization(sim::Tick window) const override {
+    double total = 0;
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      total += cluster_->nic(n).nic_cores().Utilization(window);
+    }
+    return total / cluster_->size();
+  }
+  uint64_t DmaOps() const override {
+    uint64_t total = 0;
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      total += cluster_->nic(n).dma_ops();
+    }
+    return total;
+  }
+  uint64_t DmaBytes() const override {
+    uint64_t total = 0;
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      total += cluster_->nic(n).dma_bytes();
+    }
+    return total;
+  }
+
+  txn::XenicCluster& cluster() { return *cluster_; }
+
+ private:
+  std::unique_ptr<txn::XenicCluster> cluster_;
+};
+
+class BaselineAdapter : public SystemAdapter {
+ public:
+  BaselineAdapter(const SystemConfig& config, workload::Workload& workload) {
+    baseline::BaselineClusterOptions o;
+    o.num_nodes = config.num_nodes;
+    o.replication = config.replication;
+    o.perf = config.perf;
+    o.mode = config.mode;
+    o.workers_per_node = config.workers_per_node;
+    for (const auto& t : workload.Tables()) {
+      o.tables.push_back(
+          baseline::BaselineStore::TableSpec{t.id, t.capacity_log2, t.value_size});
+    }
+    cluster_ = std::make_unique<baseline::BaselineCluster>(o, &workload.partitioner());
+  }
+
+  std::string Name() const override { return baseline::BaselineModeName(cluster_->mode()); }
+  sim::Engine& engine() override { return cluster_->engine(); }
+  uint32_t num_nodes() const override { return cluster_->size(); }
+  void Submit(store::NodeId node, txn::TxnRequest req, txn::CommitCallback done) override {
+    cluster_->node(node).Submit(std::move(req), std::move(done));
+  }
+  void LoadReplicated(store::TableId t, store::Key k, const store::Value& v) override {
+    cluster_->LoadReplicated(t, k, v);
+  }
+  void SetWorkerHook(store::NodeId node,
+                     std::function<sim::Tick(const store::LogWrite&)> hook) override {
+    cluster_->node(node).set_worker_apply_hook(std::move(hook));
+  }
+  void StartWorkers() override { cluster_->StartWorkers(); }
+  void StopWorkers() override { cluster_->StopWorkers(); }
+  txn::TxnStats TotalStats() const override { return cluster_->TotalStats(); }
+  void ResetStats() override {
+    cluster_->ResetStats();
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      cluster_->node(n).nic().ResetStats();
+      cluster_->host_cores(n).ResetStats();
+    }
+  }
+  double WireUtilization(sim::Tick window) const override {
+    double total = 0;
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      total += const_cast<BaselineAdapter*>(this)->cluster_->node(n).nic().WireUtilization(
+          window);
+    }
+    return total / cluster_->size();
+  }
+  double HostUtilization(sim::Tick window) const override {
+    double total = 0;
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      total += const_cast<BaselineAdapter*>(this)->cluster_->host_cores(n).Utilization(window);
+    }
+    return total / cluster_->size();
+  }
+  double NicUtilization(sim::Tick) const override { return 0.0; }
+  uint64_t DmaOps() const override { return 0; }
+  uint64_t DmaBytes() const override { return 0; }
+
+  baseline::BaselineCluster& cluster() { return *cluster_; }
+
+ private:
+  std::unique_ptr<baseline::BaselineCluster> cluster_;
+};
+
+}  // namespace
+
+std::unique_ptr<SystemAdapter> BuildSystem(const SystemConfig& config,
+                                           workload::Workload& workload) {
+  std::unique_ptr<SystemAdapter> system;
+  if (config.kind == SystemConfig::Kind::kXenic) {
+    system = std::make_unique<XenicAdapter>(config, workload);
+  } else {
+    system = std::make_unique<BaselineAdapter>(config, workload);
+  }
+  for (uint32_t n = 0; n < config.num_nodes; ++n) {
+    system->SetWorkerHook(n, workload.WorkerHook(n));
+  }
+  return system;
+}
+
+void LoadWorkload(SystemAdapter& system, workload::Workload& workload) {
+  workload.Load([&system](store::TableId t, store::Key k, const store::Value& v) {
+    system.LoadReplicated(t, k, v);
+  });
+}
+
+}  // namespace xenic::harness

@@ -1,0 +1,115 @@
+// Timing model of the Mellanox CX5 100GbE RDMA NIC (paper sections 2.1,
+// 3.2, 3.4). The baseline transaction systems (DrTM+H, FaSST, DrTM+R) are
+// built on these verbs.
+//
+//  * One-sided READ / WRITE / ATOMIC: handled entirely by NIC hardware at
+//    the target (no host CPU), ~3.4 us RTT at low load, with a per-NIC
+//    small-op pipeline ceiling of ~15 Mops/s (doorbell batching assumed).
+//  * Two-sided SEND/RECV RPC: crosses the target host (rx ring, poll,
+//    handler, send post), ~6.3 us RTT; the handler closure runs on a target
+//    host thread and may carry extra application cost.
+
+#ifndef SRC_NICMODEL_RDMA_NIC_H_
+#define SRC_NICMODEL_RDMA_NIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/net/perf_model.h"
+#include "src/sim/channel.h"
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/store/types.h"
+
+namespace xenic::nicmodel {
+
+using store::NodeId;
+
+class RdmaFabric;
+
+class RdmaNic {
+ public:
+  RdmaNic(sim::Engine* engine, const net::PerfModel& model, RdmaFabric* fabric, NodeId id,
+          sim::Resource* host_cores);
+
+  NodeId id() const { return id_; }
+  sim::Engine* engine() { return engine_; }
+
+  // One-sided verbs, initiated from a host thread on this node. `bytes` is
+  // the payload (data read / written). The optional `at_target` closure
+  // executes the actual memory effect at the target when the NIC hardware
+  // performs the access (no host CPU there); `done` runs at the initiator
+  // when the completion is polled.
+  void Read(NodeId dst, uint32_t bytes, sim::Engine::Callback done);
+  void Read(NodeId dst, uint32_t bytes, sim::Engine::Callback at_target,
+            sim::Engine::Callback done);
+  void Write(NodeId dst, uint32_t bytes, sim::Engine::Callback done);
+  void Write(NodeId dst, uint32_t bytes, sim::Engine::Callback at_target,
+             sim::Engine::Callback done);
+  // Compare-and-swap / fetch-and-add on an 8-byte remote word: `op` runs
+  // at the target and returns the result carried back to `done`.
+  void Atomic(NodeId dst, std::function<uint64_t()> op,
+              std::function<void(uint64_t)> done);
+
+  // Two-sided RPC: `handler_cost` of target host-thread time plus the
+  // `handler` closure (which performs real work, e.g. a hash lookup), then
+  // a response of `resp_bytes`. `done` runs at the initiator.
+  void Rpc(NodeId dst, uint32_t req_bytes, uint32_t resp_bytes, sim::Tick handler_cost,
+           sim::Engine::Callback handler, sim::Engine::Callback done);
+
+  sim::Resource& pipeline() { return pipeline_; }
+  sim::Resource& host_cores() { return *host_cores_; }
+  uint64_t ops() const { return ops_; }
+  uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+  double WireUtilization(sim::Tick window) const { return tx_.Utilization(window); }
+  void ResetStats();
+
+ private:
+  friend class RdmaFabric;
+
+  struct OneSidedKind {
+    bool is_write;
+    bool is_atomic;
+  };
+  void OneSided(NodeId dst, uint32_t bytes, bool is_write, sim::Engine::Callback at_target,
+                sim::Engine::Callback done);
+  // Target side: NIC hardware handles the request and responds.
+  void HandleOneSided(NodeId src, uint32_t req_payload, uint32_t resp_payload, bool is_write,
+                      sim::Engine::Callback at_target, sim::Engine::Callback done_at_initiator);
+  void HandleRpc(NodeId src, uint32_t resp_bytes, sim::Tick handler_cost,
+                 sim::Engine::Callback handler, sim::Engine::Callback done_at_initiator);
+  void SendResponse(NodeId src, uint32_t bytes, sim::Engine::Callback done_at_initiator,
+                    bool to_host);
+
+  sim::Engine* engine_;
+  const net::PerfModel& model_;
+  RdmaFabric* fabric_;
+  NodeId id_;
+  sim::Resource* host_cores_;  // shared with the rest of the node
+  sim::Resource pipeline_;     // NIC processing units (~15 Mops/s small ops)
+  sim::Channel tx_;            // 100 Gbps link (one per CX5)
+  uint64_t ops_ = 0;
+  uint64_t wire_bytes_sent_ = 0;
+
+  static constexpr uint32_t kVerbHeader = 42;  // RoCE headers per op on the wire
+};
+
+class RdmaFabric {
+ public:
+  // host_cores[i] is node i's host thread pool (shared with the app).
+  RdmaFabric(sim::Engine* engine, const net::PerfModel& model,
+             const std::vector<sim::Resource*>& host_cores);
+
+  RdmaNic& node(NodeId id) { return *nics_[id]; }
+  uint32_t size() const { return static_cast<uint32_t>(nics_.size()); }
+
+ private:
+  sim::Engine* engine_;
+  net::PerfModel model_;
+  std::vector<std::unique_ptr<RdmaNic>> nics_;
+};
+
+}  // namespace xenic::nicmodel
+
+#endif  // SRC_NICMODEL_RDMA_NIC_H_

@@ -1,0 +1,220 @@
+#include "src/nicmodel/smart_nic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace xenic::nicmodel {
+
+SmartNic::SmartNic(sim::Engine* engine, const net::PerfModel& model, SmartNicFabric* fabric,
+                   NodeId id)
+    : engine_(engine),
+      model_(model),
+      fabric_(fabric),
+      id_(id),
+      nic_cores_(engine, "nic_cores", model.nic_cores),
+      host_cores_(engine, "host_cores", model.host_threads),
+      dma_queues_(engine, "dma_queues", model.dma_queues),
+      dma_submit_port_(engine, "dma_submit", 1),
+      pcie_up_(engine, "pcie_up", model.pcie_bytes_per_ns, 0),
+      pcie_down_(engine, "pcie_down", model.pcie_bytes_per_ns, 0) {
+  for (uint32_t p = 0; p < model.nic_ports; ++p) {
+    tx_ports_.push_back(std::make_unique<sim::Channel>(engine, "tx", model.link_bytes_per_ns,
+                                                       model.wire_latency));
+    rx_ports_.push_back(
+        std::make_unique<sim::Channel>(engine, "rx", model.link_bytes_per_ns, 0));
+  }
+}
+
+void SmartNic::NicCompute(sim::Tick cost, sim::Engine::Callback done) {
+  nic_cores_.Submit(cost, std::move(done));
+}
+
+void SmartNic::HostCompute(sim::Tick cost, sim::Engine::Callback done) {
+  host_cores_.Submit(cost, std::move(done));
+}
+
+void SmartNic::NicSend(NodeId dst, uint32_t bytes, sim::Engine::Callback deliver_at_dst) {
+  if (eth_queues_.size() < fabric_->size()) {
+    eth_queues_.resize(fabric_->size());
+  }
+  messages_sent_++;
+  DstQueue& q = eth_queues_[dst];
+  q.msgs.push_back(PendingMsg{bytes, std::move(deliver_at_dst)});
+  q.bytes += bytes;
+  if (!features_.eth_aggregation) {
+    FlushEth(dst);
+    return;
+  }
+  if (q.bytes + model_.frame_overhead >= model_.mtu) {
+    FlushEth(dst);
+    return;
+  }
+  if (!q.flush_scheduled) {
+    q.flush_scheduled = true;
+    engine_->ScheduleAfter(model_.batch_window, [this, dst] {
+      if (eth_queues_[dst].flush_scheduled) {
+        FlushEth(dst);
+      }
+    });
+  }
+}
+
+void SmartNic::FlushEth(NodeId dst) {
+  DstQueue& q = eth_queues_[dst];
+  q.flush_scheduled = false;
+  if (q.msgs.empty()) {
+    return;
+  }
+  std::vector<PendingMsg> msgs = std::move(q.msgs);
+  q.msgs.clear();
+  q.bytes = 0;
+
+  const uint64_t frame_bytes =
+      model_.frame_overhead +
+      [&] {
+        uint64_t b = 0;
+        for (const auto& m : msgs) {
+          b += m.bytes;
+        }
+        return b;
+      }();
+  frames_sent_++;
+  wire_bytes_sent_ += frame_bytes;
+
+  // TX software pipeline: gather list assembly on a NIC core, then the
+  // port serializes the frame onto the wire.
+  const sim::Tick tx_cost =
+      model_.nic_frame_tx_cost + model_.nic_msg_cost * static_cast<sim::Tick>(msgs.size());
+  auto* port = tx_ports_[next_tx_port_].get();
+  next_tx_port_ = (next_tx_port_ + 1) % tx_ports_.size();
+  nic_cores_.Submit(tx_cost, [this, port, frame_bytes, dst, msgs = std::move(msgs)]() mutable {
+    port->Send(frame_bytes, model_.port_frame_cost, [this, dst, msgs = std::move(msgs)]() mutable {
+      fabric_->node(dst).DeliverFrame(std::move(msgs));
+    });
+  });
+}
+
+void SmartNic::DeliverFrame(std::vector<PendingMsg> msgs) {
+  // RX port serialization at the destination, then software pipeline on a
+  // NIC core, then the per-message handlers run.
+  const uint64_t frame_bytes = model_.frame_overhead + [&] {
+    uint64_t b = 0;
+    for (const auto& m : msgs) {
+      b += m.bytes;
+    }
+    return b;
+  }();
+  auto* port = rx_ports_[next_rx_port_].get();
+  next_rx_port_ = (next_rx_port_ + 1) % rx_ports_.size();
+  port->Send(frame_bytes, model_.port_frame_cost, [this, msgs = std::move(msgs)]() mutable {
+    const sim::Tick rx_cost =
+        model_.nic_frame_rx_cost + model_.nic_msg_cost * static_cast<sim::Tick>(msgs.size());
+    nic_cores_.Submit(rx_cost, [msgs = std::move(msgs)]() mutable {
+      for (auto& m : msgs) {
+        m.deliver();
+      }
+    });
+  });
+}
+
+void SmartNic::HostToNic(uint32_t bytes, sim::Engine::Callback deliver_at_nic) {
+  const sim::Tick extra = features_.pcie_aggregation ? 0 : model_.pcie_msg_unbatched_cost;
+  pcie_up_.Send(bytes, extra, [this, deliver_at_nic = std::move(deliver_at_nic)]() mutable {
+    engine_->ScheduleAfter(model_.host_to_nic_crossing, std::move(deliver_at_nic));
+  });
+}
+
+void SmartNic::NicToHost(uint32_t bytes, sim::Engine::Callback deliver_at_host) {
+  const sim::Tick extra = features_.pcie_aggregation ? 0 : model_.pcie_msg_unbatched_cost;
+  pcie_down_.Send(bytes, extra, [this, deliver_at_host = std::move(deliver_at_host)]() mutable {
+    engine_->ScheduleAfter(model_.nic_to_host_crossing, std::move(deliver_at_host));
+  });
+}
+
+void SmartNic::DmaOp(uint64_t bytes, bool is_read, sim::Engine::Callback done) {
+  dma_ops_++;
+  dma_bytes_ += bytes;
+  const sim::Tick completion =
+      is_read ? model_.dma_read_completion : model_.dma_write_completion;
+  const auto transfer =
+      static_cast<sim::Tick>(static_cast<double>(bytes) / model_.pcie_bytes_per_ns);
+  const sim::Tick service = std::max<sim::Tick>(model_.dma_engine_service, transfer);
+
+  if (!features_.async_dma_batching) {
+    // Unbatched, blocking model: the issuing NIC core pays the full
+    // submission cost, the engine fetches one descriptor per request, and
+    // the core stalls until the DMA completes.
+    nic_cores_.Submit(model_.dma_submit_cost, [this, service, completion,
+                                               done = std::move(done)]() mutable {
+      dma_submit_port_.Submit(model_.dma_submit_cost, [this, service, completion,
+                                                       done = std::move(done)]() mutable {
+        const sim::Tick start = engine_->now();
+        dma_queues_.Submit(service, [this, start, completion, done = std::move(done)]() mutable {
+          const sim::Tick elapsed = engine_->now() - start;
+          const sim::Tick wait = completion > elapsed ? completion - elapsed : 0;
+          // Core blocks for the whole duration (submission already charged).
+          nic_cores_.Submit(wait, std::move(done));
+        });
+      });
+    });
+    return;
+  }
+
+  // Async vectored model: submission cost and the engine's descriptor
+  // fetch are amortized across a full vector; the core is free while the
+  // DMA engine works.
+  const sim::Tick submit_share = model_.dma_submit_cost / model_.dma_vector_max + 1;
+  nic_cores_.Submit(submit_share, [this, submit_share, service, completion,
+                                   done = std::move(done)]() mutable {
+    dma_submit_port_.Submit(submit_share, [this, service, completion,
+                                           done = std::move(done)]() mutable {
+      const sim::Tick start = engine_->now();
+      dma_queues_.Submit(service, [this, start, completion, done = std::move(done)]() mutable {
+        const sim::Tick elapsed = engine_->now() - start;
+        const sim::Tick wait = completion > elapsed ? completion - elapsed : 0;
+        engine_->ScheduleAfter(wait, std::move(done));
+      });
+    });
+  });
+}
+
+void SmartNic::DmaRead(uint64_t bytes, sim::Engine::Callback done) {
+  DmaOp(bytes, /*is_read=*/true, std::move(done));
+}
+
+void SmartNic::DmaWrite(uint64_t bytes, sim::Engine::Callback done) {
+  DmaOp(bytes, /*is_read=*/false, std::move(done));
+}
+
+double SmartNic::WireUtilization(sim::Tick window) const {
+  double total = 0;
+  for (const auto& p : tx_ports_) {
+    total += p->Utilization(window);
+  }
+  return total / static_cast<double>(tx_ports_.size());
+}
+
+void SmartNic::ResetStats() {
+  frames_sent_ = 0;
+  messages_sent_ = 0;
+  wire_bytes_sent_ = 0;
+  dma_ops_ = 0;
+  dma_bytes_ = 0;
+  nic_cores_.ResetStats();
+  host_cores_.ResetStats();
+  dma_queues_.ResetStats();
+  for (auto& p : tx_ports_) {
+    p->ResetStats();
+  }
+}
+
+SmartNicFabric::SmartNicFabric(sim::Engine* engine, const net::PerfModel& model,
+                               uint32_t num_nodes)
+    : engine_(engine), model_(model) {
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    nics_.push_back(std::make_unique<SmartNic>(engine, model_, this, i));
+  }
+}
+
+}  // namespace xenic::nicmodel

@@ -1,0 +1,25 @@
+#include "src/sim/channel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace xenic::sim {
+
+Channel::Channel(Engine* engine, std::string name, double bytes_per_ns, Tick latency)
+    : engine_(engine), name_(std::move(name)), bytes_per_ns_(bytes_per_ns), latency_(latency) {
+  assert(bytes_per_ns > 0.0);
+}
+
+void Channel::Send(uint64_t bytes, Tick extra_occupancy, Engine::Callback delivered) {
+  const Tick start = std::max(engine_->now(), next_free_);
+  const auto tx_time =
+      static_cast<Tick>(std::llround(static_cast<double>(bytes) / bytes_per_ns_));
+  next_free_ = start + tx_time + extra_occupancy;
+  bytes_sent_ += bytes;
+  sends_++;
+  engine_->ScheduleAt(next_free_ + latency_, std::move(delivered));
+}
+
+}  // namespace xenic::sim

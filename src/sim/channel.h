@@ -1,0 +1,58 @@
+// Channel: a serializing, fixed-latency pipe.
+//
+// Models one direction of an Ethernet link, a PCIe lane bundle, or the path
+// through a switch. Transmissions serialize at `bytes_per_ns`; each delivery
+// additionally incurs `latency` ns of propagation. Byte accounting feeds the
+// bandwidth-saturation checks in the Figure 8 benches.
+
+#ifndef SRC_SIM_CHANNEL_H_
+#define SRC_SIM_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/engine.h"
+
+namespace xenic::sim {
+
+class Channel {
+ public:
+  Channel(Engine* engine, std::string name, double bytes_per_ns, Tick latency);
+
+  // Transmit `bytes`; `delivered` runs when the tail arrives at the far end.
+  void Send(uint64_t bytes, Engine::Callback delivered) { Send(bytes, 0, std::move(delivered)); }
+
+  // Same, plus `extra_occupancy` ns of fixed channel time for this send
+  // (per-frame port overhead, unbatched queue-handling cost, ...).
+  void Send(uint64_t bytes, Tick extra_occupancy, Engine::Callback delivered);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t sends() const { return sends_; }
+  double bytes_per_ns() const { return bytes_per_ns_; }
+
+  // Fraction of link capacity used over `window` ns.
+  double Utilization(Tick window) const {
+    if (window == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(bytes_sent_) / (bytes_per_ns_ * static_cast<double>(window));
+  }
+
+  void ResetStats() {
+    bytes_sent_ = 0;
+    sends_ = 0;
+  }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  double bytes_per_ns_;
+  Tick latency_;
+  Tick next_free_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t sends_ = 0;
+};
+
+}  // namespace xenic::sim
+
+#endif  // SRC_SIM_CHANNEL_H_

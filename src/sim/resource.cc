@@ -1,0 +1,41 @@
+#include "src/sim/resource.h"
+
+#include <cassert>
+#include <utility>
+
+namespace xenic::sim {
+
+Resource::Resource(Engine* engine, std::string name, uint32_t servers)
+    : engine_(engine), name_(std::move(name)), servers_(servers) {
+  assert(servers > 0);
+}
+
+void Resource::Submit(Tick service, Engine::Callback done) {
+  if (busy_ < servers_) {
+    Start(Job{service, std::move(done)});
+  } else {
+    queue_.push_back(Job{service, std::move(done)});
+  }
+}
+
+void Resource::Start(Job job) {
+  busy_++;
+  const Tick service = job.service;
+  engine_->ScheduleAfter(service, [this, service, done = std::move(job.done)]() mutable {
+    Finish(service, std::move(done));
+  });
+}
+
+void Resource::Finish(Tick service, Engine::Callback done) {
+  busy_--;
+  busy_time_ += service;
+  completed_++;
+  if (!queue_.empty() && busy_ < servers_) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    Start(std::move(next));
+  }
+  done();
+}
+
+}  // namespace xenic::sim

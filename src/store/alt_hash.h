@@ -1,0 +1,125 @@
+// Baseline remote-access hash designs (paper section 4.1.4, Table 2).
+//
+// * HopscotchTable — FaRM's design: any key lives within a fixed
+//   neighborhood of H slots from its home; a remote lookup reads the H-slot
+//   neighborhood in one roundtrip and falls back to an overflow chain read
+//   (a second roundtrip) when the key spilled.
+// * ChainedTable — DrTM+H's design: a closed array of B-slot buckets with
+//   linked overflow buckets; a remote lookup reads whole buckets along the
+//   chain, one roundtrip per bucket.
+//
+// Both report the same remote-lookup cost receipt as NicIndex so the
+// Table 2 bench compares all designs on equal footing. These tables hold
+// keys and versions only (object payloads are irrelevant to the lookup-cost
+// comparison; byte counts use a configurable object size).
+
+#ifndef SRC_STORE_ALT_HASH_H_
+#define SRC_STORE_ALT_HASH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/types.h"
+
+namespace xenic::store {
+
+struct RemoteLookupStats {
+  uint32_t roundtrips = 0;
+  uint32_t objects_read = 0;
+  uint64_t bytes_read = 0;
+  bool found = false;
+};
+
+// FaRM-style Hopscotch hash table.
+class HopscotchTable {
+ public:
+  struct Options {
+    size_t capacity_log2 = 16;
+    uint32_t neighborhood = 8;  // H
+    size_t object_size = 32;    // bytes per object for byte accounting
+  };
+
+  explicit HopscotchTable(const Options& options);
+
+  Status Insert(Key key, Seq seq = 1);
+  bool Contains(Key key) const;
+
+  // Remote lookup: one READ of the H-slot neighborhood; a second READ of
+  // the home bucket's overflow chain if not found inline.
+  std::optional<Seq> RemoteLookup(Key key, RemoteLookupStats* stats) const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  size_t overflow_size() const { return overflow_count_; }
+
+ private:
+  struct Slot {
+    Key key = 0;
+    Seq seq = 0;
+    bool occupied = false;
+  };
+
+  size_t Home(Key key) const { return HashKey(key) & mask_; }
+
+  size_t capacity_;
+  size_t mask_;
+  uint32_t neighborhood_;
+  size_t object_size_;
+  std::vector<Slot> slots_;
+  // hop bitmap per home bucket: bit i set => slot home+i holds a key homed here
+  std::vector<uint32_t> hop_info_;
+  std::vector<std::vector<Slot>> overflow_;
+  size_t size_ = 0;
+  size_t overflow_count_ = 0;
+};
+
+// DrTM+H-style chained bucket table.
+class ChainedTable {
+ public:
+  struct Options {
+    size_t capacity_log2 = 16;  // total main-bucket slots
+    uint32_t bucket_slots = 4;  // B
+    size_t object_size = 32;
+  };
+
+  explicit ChainedTable(const Options& options);
+
+  Status Insert(Key key, Seq seq = 1);
+  bool Contains(Key key) const;
+
+  // Remote lookup: read B-object buckets along the chain, one roundtrip
+  // per bucket.
+  std::optional<Seq> RemoteLookup(Key key, RemoteLookupStats* stats) const;
+
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return num_buckets_; }
+  size_t chained_buckets() const { return chained_buckets_; }
+
+ private:
+  struct Slot {
+    Key key = 0;
+    Seq seq = 0;
+    bool occupied = false;
+  };
+  struct Bucket {
+    std::vector<Slot> slots;
+    int32_t next = -1;  // index into chain_pool_, -1 = end
+  };
+
+  size_t HomeBucket(Key key) const { return HashKey(key) & mask_; }
+
+  size_t num_buckets_;
+  size_t mask_;
+  uint32_t bucket_slots_;
+  size_t object_size_;
+  std::vector<Bucket> buckets_;
+  std::vector<Bucket> chain_pool_;
+  size_t size_ = 0;
+  size_t chained_buckets_ = 0;
+};
+
+}  // namespace xenic::store
+
+#endif  // SRC_STORE_ALT_HASH_H_

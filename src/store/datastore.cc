@@ -1,0 +1,130 @@
+#include "src/store/datastore.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xenic::store {
+
+Datastore::Datastore(const std::vector<TableSpec>& specs, const NicIndex::Options& nic_options) {
+  tables_.resize(specs.size());
+  indexes_.resize(specs.size());
+  for (const auto& spec : specs) {
+    assert(spec.id < specs.size() && "table ids must be dense 0..n-1");
+    RobinhoodTable::Options opts;
+    opts.capacity_log2 = spec.capacity_log2;
+    opts.value_size = spec.value_size;
+    opts.max_displacement = spec.max_displacement;
+    opts.segment_slots = spec.segment_slots;
+    tables_[spec.id] = std::make_unique<RobinhoodTable>(opts);
+    indexes_[spec.id] = std::make_unique<NicIndex>(tables_[spec.id].get(), nic_options);
+  }
+}
+
+Status Datastore::Load(TableId table, Key key, const Value& value, Seq seq) {
+  Status s = tables_.at(table)->Insert(key, value, seq);
+  if (!s.ok()) {
+    return s;
+  }
+  auto& t = *tables_[table];
+  const size_t seg = t.SegmentOfKey(key);
+  indexes_[table]->UpdateHint(seg, t.SegmentMaxDisp(seg), t.SegmentHasOverflow(seg));
+  indexes_[table]->AdmitOnLoad(key, value, seq);
+  return Status::Ok();
+}
+
+Result<uint64_t> Datastore::Append(LogRecord record) {
+  // Only COMMIT records make writes visible to host readers at this node:
+  // LOG records target the backup tables, which local transactions never
+  // read. Index commit-record writes for FreshLookup.
+  const bool index_pending = record.type == LogRecordType::kCommit;
+  std::vector<LogWrite> writes;
+  if (index_pending) {
+    writes = record.writes;  // keep a copy; the record moves into the log
+  }
+  auto result = log_.Append(std::move(record));
+  if (!result.ok()) {
+    return result;
+  }
+  if (index_pending) {
+    for (auto& w : writes) {
+      if (w.table >= tables_.size()) {
+        continue;  // workload-managed writes are not host-table state
+      }
+      pending_[PendingKey(w.table, w.key)].push_back(
+          PendingWrite{*result, w.seq, std::move(w.value), w.is_delete});
+    }
+  }
+  return result;
+}
+
+std::optional<LookupResult> Datastore::FreshLookup(TableId table, Key key) const {
+  auto it = pending_.find(PendingKey(table, key));
+  if (it != pending_.end() && !it->second.empty()) {
+    const PendingWrite& w = it->second.back();
+    if (w.is_delete) {
+      return std::nullopt;
+    }
+    return LookupResult{w.value, w.seq};
+  }
+  return tables_.at(table)->Lookup(key);
+}
+
+std::optional<Seq> Datastore::FreshSeq(TableId table, Key key) const {
+  auto it = pending_.find(PendingKey(table, key));
+  if (it != pending_.end() && !it->second.empty()) {
+    const PendingWrite& w = it->second.back();
+    return w.is_delete ? std::optional<Seq>{} : std::optional<Seq>{w.seq};
+  }
+  return tables_.at(table)->GetSeq(key);
+}
+
+void Datastore::ClearPending(const LogRecord& record) {
+  for (const auto& w : record.writes) {
+    auto it = pending_.find(PendingKey(w.table, w.key));
+    if (it == pending_.end()) {
+      continue;
+    }
+    auto& stack = it->second;
+    stack.erase(std::remove_if(stack.begin(), stack.end(),
+                               [&](const PendingWrite& p) { return p.lsn == record.lsn; }),
+                stack.end());
+    if (stack.empty()) {
+      pending_.erase(it);
+    }
+  }
+}
+
+std::vector<ApplyAck> Datastore::ApplyNext() {
+  const LogRecord* record = log_.Peek();
+  if (record == nullptr) {
+    return {};
+  }
+  auto acks = ApplyRecord(*record);
+  ClearPending(*record);
+  log_.PopApplied();
+  return acks;
+}
+
+std::vector<ApplyAck> Datastore::ApplyRecord(const LogRecord& record) {
+  std::vector<ApplyAck> acks;
+  acks.reserve(record.writes.size());
+  for (const auto& w : record.writes) {
+    if (w.table >= tables_.size()) {
+      continue;  // workload-managed write: applied through the worker hook
+    }
+    auto& t = *tables_.at(w.table);
+    if (w.is_delete) {
+      t.Erase(w.key);  // NotFound tolerated: replayed record
+    } else {
+      Status s = t.Apply(w.key, w.value, w.seq);
+      assert(s.ok());
+      (void)s;
+    }
+    const size_t seg = t.SegmentOfKey(w.key);
+    acks.push_back(ApplyAck{w.table, w.key, t.SegmentMaxDisp(seg), t.SegmentHasOverflow(seg)});
+  }
+  records_applied_++;
+  return acks;
+}
+
+}  // namespace xenic::store

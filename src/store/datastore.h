@@ -1,0 +1,105 @@
+// Datastore: one node's shard of the replicated database.
+//
+// Holds the host-side Robinhood tables (all key-value objects live here, in
+// "host DRAM"), the per-table SmartNIC caching indexes (in "NIC DRAM"), and
+// the host-memory commit log. The transaction engines operate exclusively
+// through this facade; the same instance serves as primary for one shard
+// and backup for others (replica sets are decided by the cluster layer).
+
+#ifndef SRC_STORE_DATASTORE_H_
+#define SRC_STORE_DATASTORE_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/commit_log.h"
+#include "src/store/nic_index.h"
+#include "src/store/robinhood_table.h"
+#include "src/store/types.h"
+
+namespace xenic::store {
+
+struct TableSpec {
+  TableId id = 0;
+  std::string name;
+  size_t capacity_log2 = 16;
+  size_t value_size = 64;
+  uint16_t max_displacement = 16;  // 0 = unlimited
+  uint16_t segment_slots = 8;
+};
+
+// Per-key feedback produced when the host applies a log record; piggybacked
+// on host-to-NIC traffic so the NIC can unpin cache entries and refresh its
+// d_i hints.
+struct ApplyAck {
+  TableId table = 0;
+  Key key = 0;
+  uint16_t segment_disp = 0;
+  bool has_overflow = false;
+};
+
+class Datastore {
+ public:
+  Datastore(const std::vector<TableSpec>& specs, const NicIndex::Options& nic_options);
+
+  RobinhoodTable& table(TableId id) { return *tables_.at(id); }
+  const RobinhoodTable& table(TableId id) const { return *tables_.at(id); }
+  NicIndex& index(TableId id) { return *indexes_.at(id); }
+  const NicIndex& index(TableId id) const { return *indexes_.at(id); }
+  CommitLog& log() { return log_; }
+  size_t num_tables() const { return tables_.size(); }
+
+  // Bulk-load helper (database population); keeps NIC hints in sync.
+  Status Load(TableId table, Key key, const Value& value, Seq seq = 1);
+
+  // NIC side: append a record to the host log, maintaining the host's
+  // pending-write index (the log lives in host memory, so host readers can
+  // see committed-but-unapplied writes -- see FreshLookup).
+  Result<uint64_t> Append(LogRecord record);
+
+  // Host-local read that observes the freshest committed state: the newest
+  // pending log write for the key if one exists, else the table. Local
+  // transactions use this so the deferred worker apply can never make them
+  // read stale data (which would fail NIC-side validation spuriously).
+  std::optional<LookupResult> FreshLookup(TableId table, Key key) const;
+  std::optional<Seq> FreshSeq(TableId table, Key key) const;
+
+  // Remove a record's writes from the pending index (call after applying).
+  void ClearPending(const LogRecord& record);
+  size_t pending_writes() const { return pending_.size(); }
+
+  // Host worker: apply the next pending log record to the tables. Returns
+  // the acks to feed back to the NIC (empty when the log is drained).
+  std::vector<ApplyAck> ApplyNext();
+
+  // Apply one record directly (recovery replay path).
+  std::vector<ApplyAck> ApplyRecord(const LogRecord& record);
+
+  uint64_t records_applied() const { return records_applied_; }
+
+ private:
+  struct PendingWrite {
+    uint64_t lsn;
+    Seq seq;
+    Value value;
+    bool is_delete;
+  };
+  static uint64_t PendingKey(TableId table, Key key) {
+    return (static_cast<uint64_t>(table) << 48) ^ key;
+  }
+
+  std::vector<std::unique_ptr<RobinhoodTable>> tables_;
+  std::vector<std::unique_ptr<NicIndex>> indexes_;
+  CommitLog log_;
+  uint64_t records_applied_ = 0;
+  // (table, key) -> stack of committed-but-unapplied writes, newest last.
+  std::unordered_map<uint64_t, std::vector<PendingWrite>> pending_;
+};
+
+}  // namespace xenic::store
+
+#endif  // SRC_STORE_DATASTORE_H_

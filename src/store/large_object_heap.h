@@ -1,0 +1,46 @@
+// Heap for values larger than the inline-slot threshold (256 B).
+//
+// Xenic stores large objects outside the host hash table to keep Robinhood
+// swaps cheap and DMA lookups small (paper 4.1.2); the table slot holds an
+// 8-byte handle and the NIC retrieves the payload with one additional
+// single-object DMA read.
+
+#ifndef SRC_STORE_LARGE_OBJECT_HEAP_H_
+#define SRC_STORE_LARGE_OBJECT_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/store/types.h"
+
+namespace xenic::store {
+
+class LargeObjectHeap {
+ public:
+  using Handle = uint64_t;
+  static constexpr Handle kNullHandle = ~0ull;
+
+  Handle Alloc(Value value);
+  void Free(Handle h);
+  // Replace contents in place (object size may change).
+  void Update(Handle h, Value value);
+  const Value& Get(Handle h) const;
+  bool Valid(Handle h) const;
+
+  size_t live_objects() const { return live_; }
+  size_t live_bytes() const { return live_bytes_; }
+
+ private:
+  struct Slot {
+    Value value;
+    bool live = false;
+  };
+  std::vector<Slot> slots_;
+  std::vector<Handle> free_list_;
+  size_t live_ = 0;
+  size_t live_bytes_ = 0;
+};
+
+}  // namespace xenic::store
+
+#endif  // SRC_STORE_LARGE_OBJECT_HEAP_H_

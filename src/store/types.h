@@ -1,0 +1,58 @@
+// Core identifier and value types shared by the data store and protocols.
+
+#ifndef SRC_STORE_TYPES_H_
+#define SRC_STORE_TYPES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace xenic::store {
+
+using Key = uint64_t;
+using Seq = uint32_t;    // per-object version counter
+using TableId = uint16_t;
+using NodeId = uint32_t;
+using TxnId = uint64_t;  // (node index << 40) | sequence number
+
+constexpr TxnId kNoTxn = 0;
+
+// Value bytes. Values are small (4-660 B in the paper's workloads); a
+// vector keeps the code simple and the copies honest (the simulator moves
+// real bytes on every modeled DMA).
+using Value = std::vector<uint8_t>;
+
+inline Value MakeValue(size_t size, uint8_t fill) { return Value(size, fill); }
+
+// Encode a uint64 into the first 8 bytes of a value (workload payloads).
+inline void PutU64(Value& v, size_t offset, uint64_t x) {
+  std::memcpy(v.data() + offset, &x, sizeof(x));
+}
+inline uint64_t GetU64(const Value& v, size_t offset) {
+  uint64_t x = 0;
+  std::memcpy(&x, v.data() + offset, sizeof(x));
+  return x;
+}
+inline void PutI64(Value& v, size_t offset, int64_t x) {
+  PutU64(v, offset, static_cast<uint64_t>(x));
+}
+inline int64_t GetI64(const Value& v, size_t offset) {
+  return static_cast<int64_t>(GetU64(v, offset));
+}
+
+// Hash used for table placement. Must match between the host table and the
+// NIC index (the NIC plans DMA reads from the key's home slot).
+inline uint64_t HashKey(Key key) { return ScrambleKey(key); }
+
+// Build a transaction id from node index and per-node sequence.
+inline TxnId MakeTxnId(NodeId node, uint64_t seq) {
+  return (static_cast<TxnId>(node + 1) << 40) | (seq & ((1ull << 40) - 1));
+}
+inline NodeId TxnNode(TxnId id) { return static_cast<NodeId>(id >> 40) - 1; }
+
+}  // namespace xenic::store
+
+#endif  // SRC_STORE_TYPES_H_

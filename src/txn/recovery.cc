@@ -1,0 +1,141 @@
+#include "src/txn/recovery.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xenic::txn {
+
+ClusterManager::ClusterManager(sim::Engine* engine, uint32_t num_nodes,
+                               sim::Tick lease_duration)
+    : engine_(engine),
+      lease_duration_(lease_duration),
+      lease_expiry_(num_nodes, lease_duration),
+      failed_(num_nodes, false) {}
+
+void ClusterManager::RenewLease(NodeId node) {
+  if (!failed_[node]) {
+    lease_expiry_[node] = engine_->now() + lease_duration_;
+  }
+}
+
+bool ClusterManager::IsAlive(NodeId node) const {
+  return !failed_[node] && lease_expiry_[node] > engine_->now();
+}
+
+std::vector<NodeId> ClusterManager::ExpiredLeases() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < lease_expiry_.size(); ++n) {
+    if (!failed_[n] && lease_expiry_[n] <= engine_->now()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+void ClusterManager::MarkFailed(NodeId node) {
+  if (!failed_[node]) {
+    failed_[node] = true;
+    epoch_++;
+  }
+}
+
+RecoveryReport RecoverShard(XenicCluster& cluster, NodeId failed, NodeId promoted) {
+  RecoveryReport report;
+  const ClusterMap& map = cluster.map();
+  const std::vector<NodeId> backups = map.BackupsOf(failed);
+  assert(std::find(backups.begin(), backups.end(), promoted) != backups.end() &&
+         "promoted node must be a backup of the failed primary");
+
+  // Surviving replicas of the failed node's shard.
+  std::vector<NodeId> survivors;
+  for (NodeId b : backups) {
+    if (b != failed) {
+      survivors.push_back(b);
+    }
+  }
+
+  // Collect unacknowledged records touching the failed shard, per survivor.
+  struct Found {
+    store::LogRecord record;
+    size_t copies = 0;
+  };
+  std::map<store::TxnId, Found> in_flight;
+  for (NodeId s : survivors) {
+    for (const auto& rec : cluster.datastore(s).log().Snapshot()) {
+      bool touches_failed_shard = false;
+      for (const auto& w : rec.writes) {
+        if (w.table < cluster.datastore(s).num_tables() &&
+            map.PrimaryOf(w.table, w.key) == failed) {
+          touches_failed_shard = true;
+          break;
+        }
+      }
+      if (!touches_failed_shard) {
+        continue;
+      }
+      report.records_scanned++;
+      auto [it, inserted] = in_flight.try_emplace(rec.txn, Found{rec, 0});
+      it->second.copies++;
+      (void)inserted;
+    }
+  }
+
+  // The promoted node's NIC cache was never maintained by the commit
+  // protocol for the failed shard (backups' NICs serve no lookups):
+  // invalidate every cached value of that shard so lookups refill from the
+  // recovered host table.
+  auto& promoted_ds = cluster.datastore(promoted);
+  for (store::TableId t = 0; t < promoted_ds.num_tables(); ++t) {
+    for (const auto& e : promoted_ds.index(t).CachedEntries()) {
+      if (map.PrimaryOf(t, e.key) == failed) {
+        promoted_ds.index(t).Invalidate(e.key);
+      }
+    }
+  }
+
+  // Rebuild lock state at the new primary before serving (4.2.1: "lock
+  // state is reconstructed ... Once all locks are set, the shard can serve
+  // new transactions").
+  XenicNode& new_primary = cluster.node(promoted);
+  std::vector<store::LogRecord> records;
+  records.reserve(in_flight.size());
+  for (auto& [txn, f] : in_flight) {
+    records.push_back(f.record);
+  }
+  report.locks_rebuilt = new_primary.RebuildLocksFromLog(records);
+
+  // Reconcile: a transaction whose LOG record reached every surviving
+  // replica may have been reported committed -- roll it forward; anything
+  // else never committed and is discarded.
+  for (auto& [txn, f] : in_flight) {
+    const bool complete = f.copies == survivors.size();
+    for (const auto& w : f.record.writes) {
+      if (w.table >= cluster.datastore(promoted).num_tables()) {
+        continue;
+      }
+      if (map.PrimaryOf(w.table, w.key) != failed) {
+        continue;
+      }
+      auto& ds = cluster.datastore(promoted);
+      if (complete) {
+        const auto current = ds.table(w.table).GetSeq(w.key).value_or(0);
+        if (w.seq > current) {
+          if (w.is_delete) {
+            ds.table(w.table).Erase(w.key);
+          } else {
+            ds.table(w.table).Apply(w.key, w.value, w.seq);
+          }
+        }
+      }
+      ds.index(w.table).ReleaseLock(w.key, txn);
+    }
+    if (complete) {
+      report.rolled_forward++;
+    } else {
+      report.discarded++;
+    }
+  }
+  return report;
+}
+
+}  // namespace xenic::txn

@@ -1,0 +1,77 @@
+// Reconfiguration and recovery (paper section 4.2.1).
+//
+// Xenic adopts FaRM's recovery design: a lease-based cluster manager
+// detects failures; when a primary fails, a backup is promoted, lock state
+// (which lives only in SmartNIC memory) is reconstructed from the
+// transactions found in the surviving replicas' logs, and each in-flight
+// transaction is either rolled forward (its LOG record reached every
+// surviving replica, so the coordinator may have reported commit) or
+// discarded. Only then does the shard serve new transactions.
+
+#ifndef SRC_TXN_RECOVERY_H_
+#define SRC_TXN_RECOVERY_H_
+
+#include <map>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/txn/xenic_cluster.h"
+
+namespace xenic::txn {
+
+// Lease-based membership service (the paper uses Zookeeper; the manager is
+// off the critical path either way).
+class ClusterManager {
+ public:
+  ClusterManager(sim::Engine* engine, uint32_t num_nodes, sim::Tick lease_duration);
+
+  void RenewLease(NodeId node);
+  bool IsAlive(NodeId node) const;
+  // Nodes whose lease has expired as of now.
+  std::vector<NodeId> ExpiredLeases() const;
+  // Declare a node failed, bumping the configuration epoch.
+  void MarkFailed(NodeId node);
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  sim::Engine* engine_;
+  sim::Tick lease_duration_;
+  std::vector<sim::Tick> lease_expiry_;
+  std::vector<bool> failed_;
+  uint64_t epoch_ = 1;
+};
+
+// Partitioner wrapper routing a failed node's shards to promoted backups.
+class RemappedPartitioner : public Partitioner {
+ public:
+  RemappedPartitioner(const Partitioner* base, std::map<NodeId, NodeId> promotions)
+      : base_(base), promotions_(std::move(promotions)) {}
+
+  NodeId PrimaryOf(TableId table, Key key) const override {
+    const NodeId p = base_->PrimaryOf(table, key);
+    auto it = promotions_.find(p);
+    return it == promotions_.end() ? p : it->second;
+  }
+
+ private:
+  const Partitioner* base_;
+  std::map<NodeId, NodeId> promotions_;
+};
+
+struct RecoveryReport {
+  size_t records_scanned = 0;
+  size_t locks_rebuilt = 0;
+  size_t rolled_forward = 0;  // transactions applied at the new primary
+  size_t discarded = 0;       // incomplete transactions dropped
+};
+
+// Promote `promoted` (a backup) to primary for the shards of `failed`:
+// scan surviving replicas' logs for unacknowledged records touching those
+// shards, rebuild lock state at the new primary, then roll forward
+// transactions whose LOG record reached every surviving replica and
+// discard the rest, releasing locks.
+RecoveryReport RecoverShard(XenicCluster& cluster, NodeId failed, NodeId promoted);
+
+}  // namespace xenic::txn
+
+#endif  // SRC_TXN_RECOVERY_H_

@@ -1,0 +1,191 @@
+// Transaction protocol types shared by the Xenic engine and the RDMA
+// baselines: transaction requests, execution-logic interface, cluster
+// layout (partitioning + replication), feature flags, and message size
+// accounting.
+
+#ifndef SRC_TXN_TYPES_H_
+#define SRC_TXN_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/store/commit_log.h"
+#include "src/store/types.h"
+
+namespace xenic::txn {
+
+using store::Key;
+using store::NodeId;
+using store::Seq;
+using store::TableId;
+using store::TxnId;
+using store::Value;
+
+struct KeyRef {
+  TableId table = 0;
+  Key key = 0;
+  bool operator==(const KeyRef& o) const { return table == o.table && key == o.key; }
+};
+
+struct ReadResult {
+  bool found = false;
+  Seq seq = 0;
+  Value value;
+};
+
+struct WriteIntent {
+  Value value;
+  bool is_delete = false;
+};
+
+// One round of application execution logic. The engine fills `reads`
+// (aligned with the transaction's read set, including keys added in earlier
+// rounds) and the app fills `writes` (aligned with the write set). Adding
+// keys triggers another EXECUTE round (multi-shot transactions, paper
+// section 4.2 step 3).
+struct ExecRound {
+  int round = 0;
+  const std::vector<KeyRef>* read_keys = nullptr;
+  const std::vector<ReadResult>* reads = nullptr;
+  const std::vector<KeyRef>* write_keys = nullptr;
+  std::vector<WriteIntent>* writes = nullptr;
+  std::vector<KeyRef>* add_reads = nullptr;
+  std::vector<KeyRef>* add_writes = nullptr;
+  bool* abort = nullptr;
+};
+
+using ExecuteFn = std::function<void(ExecRound&)>;
+
+struct TxnRequest {
+  std::vector<KeyRef> reads;   // read set (may overlap the write set)
+  std::vector<KeyRef> writes;  // write set keys; values produced by execute
+  ExecuteFn execute;
+  sim::Tick exec_cost = 200;     // host-core ns per execution round
+  uint32_t external_bytes = 16;  // application state shipped with the txn
+  bool allow_ship = true;        // user annotation: may run on NIC / remote NIC
+  uint8_t tag = 0;               // workload-defined transaction type
+
+  // Workload-managed local writes (e.g. TPC-C B+tree rows) that must be
+  // replicated to the local shard's backups. Fixed at request creation;
+  // backup workers apply them through the node's WorkerApplyHook.
+  std::vector<store::LogWrite> local_log_writes;
+  // Host work performed after commit on the application thread (B+tree
+  // manipulation; paper 5.6 notes TPC-C keeps this on the host).
+  sim::Tick host_finish_cost = 0;
+  std::function<void()> host_finish;
+};
+
+// Outcome reported to the application.
+enum class TxnOutcome : uint8_t {
+  kCommitted = 0,
+  kAborted,       // lock conflict or validation failure: retry
+  kAppAborted,    // execution logic chose to abort: do not retry
+};
+using CommitCallback = std::function<void(TxnOutcome)>;
+
+// Xenic protocol feature flags (Figure 9 ablations). All on by default.
+struct XenicFeatures {
+  // Combined remote commit operations (lock+read in one EXECUTE, batched
+  // VALIDATE) instead of DrTM+H-style one-op-per-request.
+  bool smart_remote_ops = true;
+  // Ship execution logic from the host to the coordinator-side NIC.
+  bool nic_execution = true;
+  // Multi-hop OCC: ship eligible transactions to the remote primary NIC
+  // and let backups acknowledge directly to the coordinator NIC.
+  bool occ_multihop = true;
+};
+
+// Key -> primary node placement. Workloads provide an implementation
+// (hash-based for Retwis/Smallbank, warehouse-based for TPC-C).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual NodeId PrimaryOf(TableId table, Key key) const = 0;
+};
+
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+  NodeId PrimaryOf(TableId table, Key key) const override {
+    return static_cast<NodeId>(xenic::ScrambleKey(key * 0x9e3779b9u + table) % num_nodes_);
+  }
+
+ private:
+  uint32_t num_nodes_;
+};
+
+// Cluster layout: placement plus primary-backup replica chains. With
+// replication factor f, shard p is backed up on nodes p+1 .. p+f-1 (mod n).
+struct ClusterMap {
+  uint32_t num_nodes = 1;
+  uint32_t replication = 1;  // total copies including the primary
+  const Partitioner* partitioner = nullptr;
+
+  NodeId PrimaryOf(TableId table, Key key) const { return partitioner->PrimaryOf(table, key); }
+  std::vector<NodeId> BackupsOf(NodeId primary) const {
+    std::vector<NodeId> out;
+    for (uint32_t i = 1; i < replication; ++i) {
+      out.push_back((primary + i) % num_nodes);
+    }
+    return out;
+  }
+  bool IsReplicaOf(NodeId node, NodeId primary) const {
+    for (uint32_t i = 0; i < replication; ++i) {
+      if ((primary + i) % num_nodes == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Wire-format size accounting (bytes). The simulator moves closures, but
+// every message is charged the size a real implementation would put on the
+// wire.
+struct MsgSize {
+  static constexpr uint32_t kHeader = 24;        // msg type, txn id, counts
+  static constexpr uint32_t kKeyEntry = 12;      // table + key + flags
+  static constexpr uint32_t kSeqEntry = 4;
+  static constexpr uint32_t kAck = 8;
+
+  static uint32_t ExecuteReq(size_t n_reads, size_t n_writes, uint32_t external = 0) {
+    return kHeader + static_cast<uint32_t>((n_reads + n_writes) * kKeyEntry) + external;
+  }
+  static uint32_t ExecuteResp(const std::vector<ReadResult>& reads, size_t n_writes) {
+    uint32_t b = kHeader + static_cast<uint32_t>(n_writes * kSeqEntry);
+    for (const auto& r : reads) {
+      b += kSeqEntry + static_cast<uint32_t>(r.value.size());
+    }
+    return b;
+  }
+  static uint32_t ValidateReq(size_t n_keys) {
+    return kHeader + static_cast<uint32_t>(n_keys * (kKeyEntry + kSeqEntry));
+  }
+  static uint32_t WriteSetMsg(const std::vector<std::pair<KeyRef, WriteIntent>>& writes) {
+    uint32_t b = kHeader;
+    for (const auto& [k, w] : writes) {
+      (void)k;
+      b += kKeyEntry + kSeqEntry + static_cast<uint32_t>(w.value.size());
+    }
+    return b;
+  }
+};
+
+// Per-node protocol statistics.
+struct TxnStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t app_aborted = 0;
+  uint64_t local_fastpath = 0;
+  uint64_t shipped_multihop = 0;
+  uint64_t remote_rounds = 0;  // network roundtrip-phases executed
+  uint64_t messages = 0;
+
+  void Reset() { *this = TxnStats{}; }
+};
+
+}  // namespace xenic::txn
+
+#endif  // SRC_TXN_TYPES_H_

@@ -1,0 +1,65 @@
+// XenicCluster: assembles a full simulated deployment -- the event engine,
+// the SmartNIC fabric, one Datastore per node, and the per-node transaction
+// engines -- mirroring the paper's 6-server testbed.
+
+#ifndef SRC_TXN_XENIC_CLUSTER_H_
+#define SRC_TXN_XENIC_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nicmodel/smart_nic.h"
+#include "src/store/datastore.h"
+#include "src/txn/types.h"
+#include "src/txn/xenic_node.h"
+
+namespace xenic::txn {
+
+struct XenicClusterOptions {
+  uint32_t num_nodes = 6;
+  uint32_t replication = 3;  // total copies (1 primary + 2 backups)
+  net::PerfModel perf;
+  XenicFeatures features;
+  nicmodel::NicFeatures nic_features;
+  store::NicIndex::Options nic_index;
+  std::vector<store::TableSpec> tables;
+  uint32_t workers_per_node = 3;
+  sim::Tick worker_poll_interval = 2 * sim::kNsPerUs;
+};
+
+class XenicCluster {
+ public:
+  XenicCluster(const XenicClusterOptions& options, const Partitioner* partitioner);
+
+  sim::Engine& engine() { return engine_; }
+  XenicNode& node(NodeId id) { return *nodes_[id]; }
+  store::Datastore& datastore(NodeId id) { return *stores_[id]; }
+  nicmodel::SmartNic& nic(NodeId id) { return fabric_->node(id); }
+  const ClusterMap& map() const { return map_; }
+  uint32_t size() const { return options_.num_nodes; }
+
+  // Load a key into its primary and all backup replicas (tables stay in
+  // sync across the replica chain, as after a quiesced run).
+  void LoadReplicated(store::TableId table, store::Key key, const store::Value& value,
+                      store::Seq seq = 1);
+
+  void StartWorkers();
+  void StopWorkers();
+
+  // Aggregate statistics.
+  TxnStats TotalStats() const;
+  void ResetStats();
+
+ private:
+  XenicClusterOptions options_;
+  sim::Engine engine_;
+  ClusterMap map_;
+  std::unique_ptr<nicmodel::SmartNicFabric> fabric_;
+  std::vector<std::unique_ptr<store::Datastore>> stores_;
+  std::vector<std::unique_ptr<XenicNode>> nodes_;
+  std::vector<XenicNode*> peers_;
+};
+
+}  // namespace xenic::txn
+
+#endif  // SRC_TXN_XENIC_CLUSTER_H_

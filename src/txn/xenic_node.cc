@@ -1,0 +1,1587 @@
+#include "src/txn/xenic_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xenic::txn {
+
+namespace {
+
+// Host-core costs (ns) for transaction initiation and local data access.
+constexpr sim::Tick kHostInitCost = 100;
+constexpr sim::Tick kHostKeyCost = 60;
+constexpr sim::Tick kHostFinishBase = 80;
+
+// NIC-core handler costs: per-message base plus per-key work. The base
+// matches the measured minimal-RPC handler (section 3.3).
+constexpr sim::Tick kNicOpBase = 150;
+constexpr sim::Tick kNicKeyCost = 60;
+
+// Robinhood worker costs.
+constexpr sim::Tick kWorkerPollCost = 80;
+constexpr sim::Tick kWorkerRecordCost = 150;
+constexpr sim::Tick kWorkerWriteCost = 120;
+constexpr int kWorkerBatch = 16;
+
+bool ContainsKey(const std::vector<KeyRef>& v, const KeyRef& k) {
+  return std::find(v.begin(), v.end(), k) != v.end();
+}
+
+}  // namespace
+
+XenicNode::XenicNode(nicmodel::SmartNic* nic, store::Datastore* ds, const ClusterMap* map,
+                     const XenicFeatures* features, std::vector<XenicNode*>* peers)
+    : nic_(nic), ds_(ds), map_(map), features_(features), peers_(peers) {}
+
+sim::Tick XenicNode::NicOpCost(size_t n_keys) const {
+  return kNicOpBase + kNicKeyCost * static_cast<sim::Tick>(n_keys);
+}
+
+sim::Tick XenicNode::NicExecCost(sim::Tick host_cost) const {
+  return static_cast<sim::Tick>(static_cast<double>(host_cost) /
+                                nic_->model().arm_multithread_ratio);
+}
+
+void XenicNode::SendMsg(NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst) {
+  if (dst == id()) {
+    // Local shard: the coordinator-side NIC handles its own primary's
+    // operations directly -- no wire, no PCIe.
+    nic_->engine()->ScheduleAfter(0, std::move(at_dst));
+    return;
+  }
+  stats_.messages++;
+  nic_->NicSend(dst, bytes, std::move(at_dst));
+}
+
+// ---------------------------------------------------------------------------
+// Submission and path selection.
+// ---------------------------------------------------------------------------
+
+void XenicNode::Submit(TxnRequest req, CommitCallback done) {
+  auto st = std::make_unique<TxnState>();
+  st->id = store::MakeTxnId(id(), next_txn_seq_++);
+  st->req = std::move(req);
+  st->done = std::move(done);
+  st->read_keys = st->req.reads;
+  st->write_keys = st->req.writes;
+  st->reads.resize(st->read_keys.size());
+  st->write_seqs.assign(st->write_keys.size(), 0);
+  st->writes.resize(st->write_keys.size());
+  SubmitOnHost(std::move(st));
+}
+
+void XenicNode::SubmitOnHost(StatePtr st) {
+  bool all_local = true;
+  for (const auto& k : st->read_keys) {
+    all_local &= map_->PrimaryOf(k.table, k.key) == id();
+  }
+  for (const auto& k : st->write_keys) {
+    all_local &= map_->PrimaryOf(k.table, k.key) == id();
+  }
+
+  if (all_local && st->write_keys.empty() && st->req.local_log_writes.empty()) {
+    LocalReadOnlyPath(std::move(st));
+    return;
+  }
+  if (all_local) {
+    LocalWritePath(std::move(st));
+    return;
+  }
+
+  // Distributed: ship the transaction state to the coordinator-side NIC.
+  const TxnId txn = st->id;
+  TxnState* raw = st.get();
+  txns_[txn] = std::move(st);
+  const uint32_t bytes =
+      MsgSize::kHeader +
+      static_cast<uint32_t>((raw->read_keys.size() + raw->write_keys.size()) * MsgSize::kKeyEntry) +
+      raw->req.external_bytes;
+  nic_->HostCompute(kHostInitCost, [this, txn, bytes] {
+    nic_->HostToNic(bytes, [this, txn] { CoordStartOnNic(txn); });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Local fast paths (paper 4.2.4).
+// ---------------------------------------------------------------------------
+
+void XenicNode::LocalReadOnlyPath(StatePtr st) {
+  stats_.local_fastpath++;
+  // All reads and execution rounds happen on the host against the local
+  // tables within one charged block: atomic, so no validation is needed.
+  TxnState* raw = st.get();
+  const TxnId txn = raw->id;
+  txns_[txn] = std::move(st);
+
+  sim::Tick cost = kHostInitCost + raw->req.exec_cost;
+  cost += kHostKeyCost * static_cast<sim::Tick>(raw->read_keys.size());
+  nic_->HostCompute(cost, [this, txn] {
+    TxnState* st = FindState(txn);
+    assert(st != nullptr);
+    bool app_abort = false;
+    int round = 0;
+    while (true) {
+      for (size_t i = 0; i < st->read_keys.size(); ++i) {
+        if (st->reads[i].found) {
+          continue;
+        }
+        const auto& k = st->read_keys[i];
+        auto r = ds_->FreshLookup(k.table, k.key);
+        if (r) {
+          st->reads[i] = ReadResult{true, r->seq, std::move(r->value)};
+        }
+      }
+      std::vector<KeyRef> add_reads;
+      std::vector<KeyRef> add_writes;
+      bool abort_flag = false;
+      ExecRound er;
+      er.round = round++;
+      er.read_keys = &st->read_keys;
+      er.reads = &st->reads;
+      er.write_keys = &st->write_keys;
+      er.writes = &st->writes;
+      er.add_reads = &add_reads;
+      er.add_writes = &add_writes;
+      er.abort = &abort_flag;
+      if (st->req.execute) {
+        st->req.execute(er);
+      }
+      if (abort_flag) {
+        app_abort = true;
+        break;
+      }
+      assert(add_writes.empty() && "read-only transaction added writes");
+      if (add_reads.empty()) {
+        break;
+      }
+      bool all_local = true;
+      for (const auto& k : add_reads) {
+        all_local &= map_->PrimaryOf(k.table, k.key) == id();
+      }
+      if (!all_local) {
+        // Execution discovered remote keys: escalate to the distributed
+        // path (restart from the original key set; nothing was locked).
+        EscalateToDistributed(txn);
+        return;
+      }
+      for (const auto& k : add_reads) {
+        st->read_keys.push_back(k);
+        st->reads.emplace_back();
+      }
+    }
+    auto done = std::move(st->done);
+    if (app_abort) {
+      stats_.app_aborted++;
+    } else {
+      stats_.committed++;
+    }
+    const TxnOutcome outcome = app_abort ? TxnOutcome::kAppAborted : TxnOutcome::kCommitted;
+    EraseState(txn);
+    done(outcome);
+  });
+}
+
+void XenicNode::LocalWritePath(StatePtr st) {
+  stats_.local_fastpath++;
+  TxnState* raw = st.get();
+  const TxnId txn = raw->id;
+  txns_[txn] = std::move(st);
+
+  // Optimistic host execution: read local values + run all rounds in one
+  // charged block, producing the write set.
+  sim::Tick cost = kHostInitCost + raw->req.exec_cost;
+  cost += kHostKeyCost *
+          static_cast<sim::Tick>(raw->read_keys.size() + raw->write_keys.size());
+  nic_->HostCompute(cost, [this, txn] {
+    TxnState* st = FindState(txn);
+    assert(st != nullptr);
+    bool app_abort = false;
+    int round = 0;
+    while (true) {
+      for (size_t i = 0; i < st->read_keys.size(); ++i) {
+        if (st->reads[i].found) {
+          continue;
+        }
+        const auto& k = st->read_keys[i];
+        auto r = ds_->FreshLookup(k.table, k.key);
+        if (r) {
+          st->reads[i] = ReadResult{true, r->seq, std::move(r->value)};
+        }
+      }
+      for (size_t i = 0; i < st->write_keys.size(); ++i) {
+        if (st->write_seqs[i] == 0) {
+          const auto& k = st->write_keys[i];
+          st->write_seqs[i] = ds_->FreshSeq(k.table, k.key).value_or(0);
+        }
+      }
+      std::vector<KeyRef> add_reads;
+      std::vector<KeyRef> add_writes;
+      bool abort_flag = false;
+      ExecRound er;
+      er.round = round++;
+      er.read_keys = &st->read_keys;
+      er.reads = &st->reads;
+      er.write_keys = &st->write_keys;
+      er.writes = &st->writes;
+      er.add_reads = &add_reads;
+      er.add_writes = &add_writes;
+      er.abort = &abort_flag;
+      if (st->req.execute) {
+        st->req.execute(er);
+      }
+      if (abort_flag) {
+        app_abort = true;
+        break;
+      }
+      if (add_reads.empty() && add_writes.empty()) {
+        break;
+      }
+      bool all_local = true;
+      for (const auto& k : add_reads) {
+        all_local &= map_->PrimaryOf(k.table, k.key) == id();
+      }
+      for (const auto& k : add_writes) {
+        all_local &= map_->PrimaryOf(k.table, k.key) == id();
+      }
+      if (!all_local) {
+        EscalateToDistributed(txn);
+        return;
+      }
+      for (const auto& k : add_reads) {
+        st->read_keys.push_back(k);
+        st->reads.emplace_back();
+      }
+      for (const auto& k : add_writes) {
+        st->write_keys.push_back(k);
+        st->write_seqs.push_back(0);
+        st->writes.emplace_back();
+      }
+    }
+    if (app_abort) {
+      AbortCleanup(st, TxnOutcome::kAppAborted);
+      return;
+    }
+
+    // Ship the transaction state to the local NIC: acquire write locks and
+    // re-validate the optimistic reads, then replicate.
+    uint32_t bytes = MsgSize::kHeader;
+    for (const auto& w : st->writes) {
+      bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
+    }
+    const TxnId id2 = st->id;
+    nic_->HostToNic(bytes, [this, id2] {
+      TxnState* st = FindState(id2);
+      assert(st != nullptr);
+      nic_->NicCompute(NicOpCost(st->write_keys.size() + st->read_keys.size()), [this, id2] {
+        TxnState* st = FindState(id2);
+        assert(st != nullptr);
+        if (!LockAll(st->id, st->write_keys)) {
+          AbortCleanup(st, TxnOutcome::kAborted);
+          return;
+        }
+        st->locked_shards.push_back(id());
+        // Validate: every read and write key's version must still match
+        // what the host saw (writes are now locked, reads are not).
+        bool ok = true;
+        store::NicIndex::LookupStats agg;
+        for (size_t i = 0; i < st->read_keys.size() && ok; ++i) {
+          const auto& k = st->read_keys[i];
+          store::NicIndex::LookupStats s;
+          auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
+          agg.dma_reads += s.dma_reads;
+          agg.bytes_read += s.bytes_read;
+          const Seq cur = m ? m->seq : 0;
+          const TxnId owner = m ? m->lock_owner : store::kNoTxn;
+          if (cur != st->reads[i].seq || (owner != store::kNoTxn && owner != st->id)) {
+            ok = false;
+          }
+        }
+        for (size_t i = 0; i < st->write_keys.size() && ok; ++i) {
+          const auto& k = st->write_keys[i];
+          store::NicIndex::LookupStats s;
+          auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
+          agg.dma_reads += s.dma_reads;
+          agg.bytes_read += s.bytes_read;
+          if ((m ? m->seq : 0) != st->write_seqs[i]) {
+            ok = false;
+          }
+        }
+        ChargeDmaReads(agg, [this, id2, ok] {
+          TxnState* st = FindState(id2);
+          assert(st != nullptr);
+          if (!ok) {
+            AbortCleanup(st, TxnOutcome::kAborted);
+            return;
+          }
+          LogPhase(st);
+        });
+      });
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Distributed path: coordinator side.
+// ---------------------------------------------------------------------------
+
+void XenicNode::EscalateToDistributed(TxnId txn) {
+  TxnState* st = FindState(txn);
+  assert(st != nullptr);
+  // Reset the optimistic local progress and restart through the NIC.
+  st->read_keys = st->req.reads;
+  st->write_keys = st->req.writes;
+  st->reads.assign(st->read_keys.size(), ReadResult{});
+  st->write_seqs.assign(st->write_keys.size(), 0);
+  st->writes.assign(st->write_keys.size(), WriteIntent{});
+  st->round = 0;
+  st->new_exec_read_base = 0;
+  st->new_exec_write_base = 0;
+  const uint32_t bytes =
+      MsgSize::kHeader +
+      static_cast<uint32_t>((st->read_keys.size() + st->write_keys.size()) * MsgSize::kKeyEntry) +
+      st->req.external_bytes;
+  nic_->HostToNic(bytes, [this, txn] { CoordStartOnNic(txn); });
+}
+
+void XenicNode::CoordStartOnNic(TxnId id) {
+  TxnState* st = FindState(id);
+  assert(st != nullptr);
+  st->coord_start = nic_->engine()->now();
+  st->phase_start = st->coord_start;
+  nic_->NicCompute(NicOpCost(st->read_keys.size() + st->write_keys.size()), [this, id] {
+    TxnState* st = FindState(id);
+    assert(st != nullptr);
+    NodeId remote = 0;
+    if (features_->smart_remote_ops && features_->nic_execution && features_->occ_multihop &&
+        st->req.allow_ship && ShipEligible(*st, &remote)) {
+      ShippedPath(st, remote);
+      return;
+    }
+    ExecutePhase(st);
+  });
+}
+
+bool XenicNode::ShipEligible(const TxnState& st, NodeId* remote_out) const {
+  if (st.write_keys.empty()) {
+    return false;  // read-only: the normal path already commits in one RTT
+  }
+  bool has_remote = false;
+  NodeId remote = 0;
+  auto check = [&](const KeyRef& k) {
+    const NodeId p = map_->PrimaryOf(k.table, k.key);
+    if (p == id()) {
+      return true;
+    }
+    if (!has_remote) {
+      has_remote = true;
+      remote = p;
+      return true;
+    }
+    return p == remote;
+  };
+  for (const auto& k : st.read_keys) {
+    if (!check(k)) {
+      return false;
+    }
+  }
+  for (const auto& k : st.write_keys) {
+    if (!check(k)) {
+      return false;
+    }
+  }
+  if (!has_remote) {
+    return false;  // fully local: handled by the local path already
+  }
+  *remote_out = remote;
+  return true;
+}
+
+std::vector<XenicNode::ShardGroup> XenicNode::GroupByShard(const TxnState& st,
+                                                           bool new_only) const {
+  std::vector<ShardGroup> groups;
+  auto group_of = [&](NodeId p) -> ShardGroup& {
+    for (auto& g : groups) {
+      if (g.primary == p) {
+        return g;
+      }
+    }
+    groups.push_back(ShardGroup{p, {}, {}});
+    return groups.back();
+  };
+  const uint32_t rbase = new_only ? st.new_exec_read_base : 0;
+  const uint32_t wbase = new_only ? st.new_exec_write_base : 0;
+  for (uint32_t i = rbase; i < st.read_keys.size(); ++i) {
+    group_of(map_->PrimaryOf(st.read_keys[i].table, st.read_keys[i].key)).read_idx.push_back(i);
+  }
+  for (uint32_t i = wbase; i < st.write_keys.size(); ++i) {
+    group_of(map_->PrimaryOf(st.write_keys[i].table, st.write_keys[i].key))
+        .write_idx.push_back(i);
+  }
+  return groups;
+}
+
+void XenicNode::ExecutePhase(TxnState* st) {
+  stats_.remote_rounds++;
+  const bool new_only = st->round > 0;
+  std::vector<ShardGroup> groups = GroupByShard(*st, new_only);
+
+  // Without the combined "smart" remote operations, each read is its own
+  // request and write locks move to a separate post-execution round (the
+  // one-sided-RDMA-style baseline in Figure 9).
+  if (!features_->smart_remote_ops) {
+    std::vector<ShardGroup> split;
+    for (const auto& g : groups) {
+      for (uint32_t r : g.read_idx) {
+        split.push_back(ShardGroup{g.primary, {r}, {}});
+      }
+    }
+    groups = std::move(split);
+  }
+
+  st->pending = static_cast<uint32_t>(groups.size());
+  if (st->pending == 0) {
+    AfterExecuteRound(st);
+    return;
+  }
+  const TxnId txn = st->id;
+  for (const auto& g : groups) {
+    std::vector<std::pair<uint32_t, KeyRef>> reads;
+    std::vector<std::pair<uint32_t, KeyRef>> writes;
+    for (uint32_t i : g.read_idx) {
+      reads.emplace_back(i, st->read_keys[i]);
+    }
+    for (uint32_t i : g.write_idx) {
+      writes.emplace_back(i, st->write_keys[i]);
+    }
+    const uint32_t req_bytes = MsgSize::ExecuteReq(reads.size(), writes.size());
+    XenicNode* server = (*peers_)[g.primary];
+    const NodeId shard = g.primary;
+    SendMsg(shard, req_bytes,
+            [this, server, txn, shard, reads = std::move(reads),
+             writes = std::move(writes)]() mutable {
+              server->ServeExecute(
+                  txn, id(), std::move(reads), std::move(writes),
+                  [this, server, txn, shard](ExecReply r) {
+                    uint32_t bytes = MsgSize::kHeader;
+                    for (const auto& [i, rr] : r.reads) {
+                      (void)i;
+                      bytes += MsgSize::kSeqEntry + static_cast<uint32_t>(rr.value.size());
+                    }
+                    bytes += static_cast<uint32_t>(r.write_seqs.size()) * MsgSize::kSeqEntry;
+                    server->SendMsg(id(), bytes, [this, txn, shard, r = std::move(r)]() mutable {
+                      OnExecuteResp(txn, shard, r.ok, std::move(r.reads),
+                                    std::move(r.write_seqs));
+                    });
+                  });
+            });
+  }
+}
+
+void XenicNode::OnExecuteResp(TxnId id, NodeId shard, bool ok,
+                              std::vector<std::pair<uint32_t, ReadResult>> reads,
+                              std::vector<std::pair<uint32_t, Seq>> write_seqs) {
+  TxnState* st = FindState(id);
+  if (st == nullptr) {
+    return;  // raced with an abort
+  }
+  if (ok) {
+    for (auto& [i, r] : reads) {
+      st->reads[i] = std::move(r);
+    }
+    for (auto& [i, s] : write_seqs) {
+      st->write_seqs[i] = s;
+    }
+    if (!write_seqs.empty() &&
+        std::find(st->locked_shards.begin(), st->locked_shards.end(), shard) ==
+            st->locked_shards.end()) {
+      st->locked_shards.push_back(shard);
+    }
+  } else {
+    st->abort = true;
+  }
+  assert(st->pending > 0);
+  if (--st->pending > 0) {
+    return;
+  }
+  if (st->abort) {
+    AbortCleanup(st, TxnOutcome::kAborted);
+    return;
+  }
+  AfterExecuteRound(st);
+}
+
+bool XenicNode::CheckReadWriteGap(TxnState* st) {
+  // Version-gap check for keys both read and written: with the combined
+  // EXECUTE operation the lock and read happen atomically in one handler,
+  // so the versions trivially match; with smart_remote_ops disabled
+  // (separate read and lock requests, the Figure 9 baseline) a concurrent
+  // commit can slip between them and must abort this transaction.
+  for (size_t j = 0; j < st->write_keys.size(); ++j) {
+    for (size_t i = 0; i < st->read_keys.size(); ++i) {
+      if (st->read_keys[i] == st->write_keys[j] && st->reads[i].found &&
+          st->reads[i].seq != st->write_seqs[j]) {
+        AbortCleanup(st, TxnOutcome::kAborted);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void XenicNode::AfterExecuteRound(TxnState* st) {
+  if (features_->smart_remote_ops && !CheckReadWriteGap(st)) {
+    return;
+  }
+  const TxnId txn = st->id;
+  RunExecuteLogic(st, [this, txn] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    if (st->app_abort) {
+      AbortCleanup(st, TxnOutcome::kAppAborted);
+      return;
+    }
+    if (st->new_exec_read_base < st->read_keys.size() ||
+        st->new_exec_write_base < st->write_keys.size()) {
+      // Execution added keys: another EXECUTE round (multi-shot).
+      st->round++;
+      ExecutePhase(st);
+      return;
+    }
+    if (!features_->smart_remote_ops && !st->write_keys.empty()) {
+      LockRound(st);
+      return;
+    }
+    ValidatePhase(st);
+  });
+}
+
+void XenicNode::LockRound(TxnState* st) {
+  stats_.remote_rounds++;
+  const TxnId txn = st->id;
+  st->pending = static_cast<uint32_t>(st->write_keys.size());
+  if (st->pending == 0) {
+    ValidatePhase(st);
+    return;
+  }
+  for (uint32_t i = 0; i < st->write_keys.size(); ++i) {
+    const NodeId shard = map_->PrimaryOf(st->write_keys[i].table, st->write_keys[i].key);
+    std::vector<std::pair<uint32_t, KeyRef>> writes = {{i, st->write_keys[i]}};
+    const uint32_t req_bytes = MsgSize::ExecuteReq(0, 1);
+    XenicNode* server = (*peers_)[shard];
+    SendMsg(shard, req_bytes, [this, server, txn, shard, writes = std::move(writes)]() mutable {
+      server->ServeExecute(txn, id(), {}, std::move(writes),
+                           [this, server, txn, shard](ExecReply r) {
+                             const uint32_t bytes =
+                                 MsgSize::kHeader +
+                                 static_cast<uint32_t>(r.write_seqs.size()) * MsgSize::kSeqEntry;
+                             server->SendMsg(id(), bytes,
+                                             [this, txn, shard, r = std::move(r)]() mutable {
+                                               OnLockResp(txn, shard, r.ok,
+                                                          std::move(r.write_seqs));
+                                             });
+                           });
+    });
+  }
+}
+
+void XenicNode::OnLockResp(TxnId id, NodeId shard, bool ok,
+                           std::vector<std::pair<uint32_t, Seq>> write_seqs) {
+  TxnState* st = FindState(id);
+  if (st == nullptr) {
+    return;
+  }
+  if (ok) {
+    for (auto& [i, s] : write_seqs) {
+      st->write_seqs[i] = s;
+    }
+    if (std::find(st->locked_shards.begin(), st->locked_shards.end(), shard) ==
+        st->locked_shards.end()) {
+      st->locked_shards.push_back(shard);
+    }
+  } else {
+    st->abort = true;
+  }
+  assert(st->pending > 0);
+  if (--st->pending > 0) {
+    return;
+  }
+  if (st->abort) {
+    AbortCleanup(st, TxnOutcome::kAborted);
+    return;
+  }
+  if (!CheckReadWriteGap(st)) {
+    return;
+  }
+  ValidatePhase(st);
+}
+
+void XenicNode::RunExecuteLogic(TxnState* st, sim::Engine::Callback next) {
+  const TxnId txn = st->id;
+  auto run_logic = [this, txn] {
+    TxnState* st = FindState(txn);
+    assert(st != nullptr);
+    std::vector<KeyRef> add_reads;
+    std::vector<KeyRef> add_writes;
+    bool abort_flag = false;
+    ExecRound er;
+    er.round = st->round;
+    er.read_keys = &st->read_keys;
+    er.reads = &st->reads;
+    er.write_keys = &st->write_keys;
+    er.writes = &st->writes;
+    er.add_reads = &add_reads;
+    er.add_writes = &add_writes;
+    er.abort = &abort_flag;
+    if (st->req.execute) {
+      st->req.execute(er);
+    }
+    st->app_abort = abort_flag;
+    st->new_exec_read_base = static_cast<uint32_t>(st->read_keys.size());
+    st->new_exec_write_base = static_cast<uint32_t>(st->write_keys.size());
+    for (const auto& k : add_reads) {
+      st->read_keys.push_back(k);
+      st->reads.emplace_back();
+    }
+    for (const auto& k : add_writes) {
+      st->write_keys.push_back(k);
+      st->write_seqs.push_back(0);
+      st->writes.emplace_back();
+    }
+  };
+
+  if (features_->nic_execution && st->req.allow_ship) {
+    nic_->NicCompute(NicExecCost(st->req.exec_cost),
+                     [run_logic = std::move(run_logic), next = std::move(next)]() mutable {
+                       run_logic();
+                       next();
+                     });
+    return;
+  }
+
+  // Host execution: ship read values up, compute, ship write values down
+  // (two extra PCIe crossings on the critical path).
+  uint32_t up_bytes = MsgSize::kHeader;
+  for (const auto& r : st->reads) {
+    up_bytes += MsgSize::kSeqEntry + static_cast<uint32_t>(r.value.size());
+  }
+  const sim::Tick exec_cost = st->req.exec_cost;
+  nic_->NicToHost(up_bytes, [this, txn, exec_cost, run_logic = std::move(run_logic),
+                             next = std::move(next)]() mutable {
+    nic_->HostCompute(exec_cost, [this, txn, run_logic = std::move(run_logic),
+                                  next = std::move(next)]() mutable {
+      run_logic();
+      TxnState* st = FindState(txn);
+      assert(st != nullptr);
+      uint32_t down_bytes = MsgSize::kHeader;
+      for (const auto& w : st->writes) {
+        down_bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
+      }
+      nic_->HostToNic(down_bytes, std::move(next));
+    });
+  });
+}
+
+void XenicNode::ValidatePhase(TxnState* st) {
+  if (st->coord_start != 0) {
+    const sim::Tick now = nic_->engine()->now();
+    phases_.execute.Record(now - st->phase_start);
+    st->phase_start = now;
+  }
+  // Keys to validate: read-set keys that are not written (written keys are
+  // locked since EXECUTE).
+  struct ShardChecks {
+    NodeId primary;
+    std::vector<std::pair<KeyRef, Seq>> checks;
+  };
+  std::vector<ShardChecks> shards;
+  std::vector<NodeId> involved;
+  auto note_shard = [&](NodeId p) {
+    if (std::find(involved.begin(), involved.end(), p) == involved.end()) {
+      involved.push_back(p);
+    }
+  };
+  for (const auto& k : st->read_keys) {
+    note_shard(map_->PrimaryOf(k.table, k.key));
+  }
+  for (const auto& k : st->write_keys) {
+    note_shard(map_->PrimaryOf(k.table, k.key));
+  }
+
+  for (size_t i = 0; i < st->read_keys.size(); ++i) {
+    const auto& k = st->read_keys[i];
+    if (ContainsKey(st->write_keys, k)) {
+      continue;
+    }
+    const NodeId p = map_->PrimaryOf(k.table, k.key);
+    auto it = std::find_if(shards.begin(), shards.end(),
+                           [&](const ShardChecks& s) { return s.primary == p; });
+    if (it == shards.end()) {
+      shards.push_back(ShardChecks{p, {}});
+      it = shards.end() - 1;
+    }
+    it->checks.emplace_back(k, st->reads[i].seq);
+  }
+
+  // Single-shard, single-round transactions read atomically inside one
+  // EXECUTE handler; with the combined operations enabled, read-only ones
+  // need no validation round.
+  const bool atomic_snapshot = features_->smart_remote_ops && st->round == 0 &&
+                               involved.size() == 1 && st->write_keys.empty();
+  if (shards.empty() || atomic_snapshot) {
+    if (st->write_keys.empty() && st->req.local_log_writes.empty()) {
+      ReportAndFinish(st, TxnOutcome::kCommitted);
+      return;
+    }
+    LogPhase(st);
+    return;
+  }
+
+  if (!features_->smart_remote_ops) {
+    // One VALIDATE request per key.
+    std::vector<ShardChecks> split;
+    for (auto& s : shards) {
+      for (auto& c : s.checks) {
+        split.push_back(ShardChecks{s.primary, {c}});
+      }
+    }
+    shards = std::move(split);
+  }
+
+  stats_.remote_rounds++;
+  st->pending = static_cast<uint32_t>(shards.size());
+  const TxnId txn = st->id;
+  for (auto& s : shards) {
+    const uint32_t bytes = MsgSize::ValidateReq(s.checks.size());
+    XenicNode* server = (*peers_)[s.primary];
+    SendMsg(s.primary, bytes, [this, server, txn, checks = std::move(s.checks)]() mutable {
+      server->ServeValidate(std::move(checks), [this, server, txn](bool ok) {
+        server->SendMsg(id(), MsgSize::kAck + MsgSize::kHeader,
+                        [this, txn, ok] { OnValidateResp(txn, ok); });
+      });
+    });
+  }
+}
+
+void XenicNode::OnValidateResp(TxnId id, bool ok) {
+  TxnState* st = FindState(id);
+  if (st == nullptr) {
+    return;
+  }
+  if (!ok) {
+    st->abort = true;
+  }
+  assert(st->pending > 0);
+  if (--st->pending > 0) {
+    return;
+  }
+  if (st->abort) {
+    AbortCleanup(st, TxnOutcome::kAborted);
+    return;
+  }
+  if (st->write_keys.empty() && st->req.local_log_writes.empty()) {
+    ReportAndFinish(st, TxnOutcome::kCommitted);
+    return;
+  }
+  LogPhase(st);
+}
+
+std::vector<store::LogWrite> XenicNode::ShardWrites(const TxnState& st, NodeId shard) const {
+  std::vector<store::LogWrite> out;
+  for (size_t i = 0; i < st.write_keys.size(); ++i) {
+    const auto& k = st.write_keys[i];
+    if (map_->PrimaryOf(k.table, k.key) != shard) {
+      continue;
+    }
+    store::LogWrite w;
+    w.table = k.table;
+    w.key = k.key;
+    w.seq = st.write_seqs[i] + 1;
+    w.value = st.writes[i].value;
+    w.is_delete = st.writes[i].is_delete;
+    out.push_back(std::move(w));
+  }
+  if (shard == id()) {
+    for (const auto& w : st.req.local_log_writes) {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+void XenicNode::LogPhase(TxnState* st) {
+  if (st->coord_start != 0) {
+    const sim::Tick now = nic_->engine()->now();
+    phases_.validate.Record(now - st->phase_start);
+    st->phase_start = now;
+  }
+  // One LOG record per written shard, sent to each of that shard's backups.
+  std::vector<NodeId> shards;
+  for (const auto& k : st->write_keys) {
+    const NodeId p = map_->PrimaryOf(k.table, k.key);
+    if (std::find(shards.begin(), shards.end(), p) == shards.end()) {
+      shards.push_back(p);
+    }
+  }
+  if (!st->req.local_log_writes.empty() &&
+      std::find(shards.begin(), shards.end(), id()) == shards.end()) {
+    shards.push_back(id());
+  }
+
+  uint32_t pending = 0;
+  const TxnId txn = st->id;
+  std::vector<std::pair<NodeId, store::LogRecord>> to_send;
+  for (NodeId shard : shards) {
+    store::LogRecord rec;
+    rec.type = store::LogRecordType::kLog;
+    rec.txn = txn;
+    rec.writes = ShardWrites(*st, shard);
+    for (NodeId backup : map_->BackupsOf(shard)) {
+      to_send.emplace_back(backup, rec);
+      pending++;
+    }
+  }
+  if (pending == 0) {
+    // Replication factor 1: commit point reached immediately.
+    ReportAndFinish(st, TxnOutcome::kCommitted);
+    CommitPhase(st);
+    return;
+  }
+  st->pending = pending;
+  stats_.remote_rounds++;
+  for (auto& [backup, rec] : to_send) {
+    const uint32_t bytes = static_cast<uint32_t>(rec.ByteSize()) + MsgSize::kHeader;
+    XenicNode* server = (*peers_)[backup];
+    SendMsg(backup, bytes, [this, server, txn, rec = std::move(rec)]() mutable {
+      server->ServeLog(std::move(rec), [this, server, txn](bool ok) {
+        server->SendMsg(id(), MsgSize::kAck + MsgSize::kHeader,
+                        [this, txn, ok] { OnLogAck(txn, ok); });
+      });
+    });
+  }
+}
+
+void XenicNode::OnLogAck(TxnId id, bool ok) {
+  TxnState* st = FindState(id);
+  if (st == nullptr) {
+    return;
+  }
+  if (!ok) {
+    st->abort = true;
+  }
+  assert(st->pending > 0);
+  if (--st->pending > 0) {
+    return;
+  }
+  if (st->abort) {
+    AbortCleanup(st, TxnOutcome::kAborted);
+    return;
+  }
+  // Commit point: all backups hold the record. Report to the application,
+  // then apply at the primaries in the background.
+  ReportAndFinish(st, TxnOutcome::kCommitted);
+  CommitPhase(st);
+}
+
+void XenicNode::CommitPhase(TxnState* st) {
+  std::vector<NodeId> shards;
+  for (const auto& k : st->write_keys) {
+    const NodeId p = map_->PrimaryOf(k.table, k.key);
+    if (std::find(shards.begin(), shards.end(), p) == shards.end()) {
+      shards.push_back(p);
+    }
+  }
+  if (!st->req.local_log_writes.empty() &&
+      std::find(shards.begin(), shards.end(), id()) == shards.end()) {
+    shards.push_back(id());
+  }
+  st->pending = static_cast<uint32_t>(shards.size());
+  const TxnId txn = st->id;
+  if (st->pending == 0) {
+    EraseState(txn);
+    return;
+  }
+  for (NodeId shard : shards) {
+    std::vector<store::LogWrite> writes = ShardWrites(*st, shard);
+    // The primary's COMMIT record covers datastore writes only:
+    // workload-managed writes are applied by host_finish on the
+    // coordinator and by the worker hook at backups (via LOG records).
+    std::erase_if(writes,
+                  [this](const store::LogWrite& w) { return w.table >= ds_->num_tables(); });
+    // Shipped transactions locked their read-set keys too; release them
+    // with the commit message.
+    std::vector<KeyRef> release_keys;
+    if (st->lock_all) {
+      for (const auto& k : st->read_keys) {
+        if (map_->PrimaryOf(k.table, k.key) == shard && !ContainsKey(st->write_keys, k)) {
+          release_keys.push_back(k);
+        }
+      }
+    }
+    if (writes.empty() && release_keys.empty()) {
+      if (--st->pending == 0) {
+        EraseState(txn);
+        return;
+      }
+      continue;
+    }
+    uint32_t bytes = MsgSize::kHeader;
+    for (const auto& w : writes) {
+      bytes += MsgSize::kKeyEntry + MsgSize::kSeqEntry + static_cast<uint32_t>(w.value.size());
+    }
+    bytes += static_cast<uint32_t>(release_keys.size()) * MsgSize::kKeyEntry;
+    XenicNode* server = (*peers_)[shard];
+    SendMsg(shard, bytes, [this, server, txn, writes = std::move(writes),
+                           release_keys = std::move(release_keys)]() mutable {
+      server->ServeCommit(txn, std::move(writes), std::move(release_keys), [this, server, txn] {
+        server->SendMsg(id(), MsgSize::kAck + MsgSize::kHeader, [this, txn] {
+          TxnState* st = FindState(txn);
+          if (st == nullptr) {
+            return;
+          }
+          assert(st->pending > 0);
+          if (--st->pending == 0) {
+            EraseState(txn);
+          }
+        });
+      });
+    });
+  }
+}
+
+void XenicNode::ReportAndFinish(TxnState* st, TxnOutcome outcome) {
+  if (st->coord_start != 0 && outcome == TxnOutcome::kCommitted) {
+    const sim::Tick now = nic_->engine()->now();
+    phases_.log.Record(now - st->phase_start);
+    phases_.total.Record(now - st->coord_start);
+  }
+  if (outcome == TxnOutcome::kCommitted) {
+    stats_.committed++;
+  } else if (outcome == TxnOutcome::kAppAborted) {
+    stats_.app_aborted++;
+  } else {
+    stats_.aborted++;
+  }
+  auto done = std::move(st->done);
+  st->done = nullptr;
+  const sim::Tick finish_cost = st->req.host_finish_cost;
+  auto host_finish = st->req.host_finish;
+  nic_->NicToHost(MsgSize::kHeader, [this, finish_cost, host_finish = std::move(host_finish),
+                                     done = std::move(done), outcome]() mutable {
+    // The commit point was the log acks; the application learns the
+    // outcome now. Post-commit local work (B+tree maintenance etc.) is
+    // deferred host work off the latency path, serialized behind this
+    // completion on the host thread pool.
+    nic_->HostCompute(kHostFinishBase, [done = std::move(done), outcome]() mutable {
+      done(outcome);
+    });
+    if (host_finish && outcome == TxnOutcome::kCommitted) {
+      nic_->HostCompute(finish_cost,
+                        [host_finish = std::move(host_finish)]() mutable { host_finish(); });
+    }
+  });
+}
+
+void XenicNode::AbortCleanup(TxnState* st, TxnOutcome outcome) {
+  const TxnId txn = st->id;
+  // Release locks at every shard that acknowledged EXECUTE (or the local
+  // lock set for local/shipped paths).
+  for (NodeId shard : st->locked_shards) {
+    std::vector<KeyRef> keys;
+    for (const auto& k : st->write_keys) {
+      if (map_->PrimaryOf(k.table, k.key) == shard) {
+        keys.push_back(k);
+      }
+    }
+    if (st->local_locked && shard == id()) {
+      for (const auto& k : st->read_keys) {
+        if (map_->PrimaryOf(k.table, k.key) == shard && !ContainsKey(keys, k)) {
+          keys.push_back(k);
+        }
+      }
+    }
+    if (keys.empty()) {
+      continue;
+    }
+    XenicNode* server = (*peers_)[shard];
+    const uint32_t bytes =
+        MsgSize::kHeader + static_cast<uint32_t>(keys.size()) * MsgSize::kKeyEntry;
+    SendMsg(shard, bytes, [server, txn, keys = std::move(keys)]() mutable {
+      server->ServeRelease(txn, std::move(keys));
+    });
+  }
+  ReportAndFinish(st, outcome);
+  EraseState(txn);
+}
+
+void XenicNode::EraseState(TxnId id) { txns_.erase(id); }
+
+XenicNode::TxnState* XenicNode::FindState(TxnId id) {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-hop shipped execution (paper 4.2.3, Figure 7b).
+// ---------------------------------------------------------------------------
+
+void XenicNode::ShippedPath(TxnState* st, NodeId remote) {
+  stats_.shipped_multihop++;
+  const TxnId txn = st->id;
+
+  // Lock ALL local keys (reads included: the shipped path has no separate
+  // validation phase) and read local read-set values.
+  std::vector<KeyRef> local_keys;
+  std::vector<uint32_t> local_reads;
+  for (uint32_t i = 0; i < st->read_keys.size(); ++i) {
+    if (map_->PrimaryOf(st->read_keys[i].table, st->read_keys[i].key) == id()) {
+      local_keys.push_back(st->read_keys[i]);
+      local_reads.push_back(i);
+    }
+  }
+  for (const auto& k : st->write_keys) {
+    if (map_->PrimaryOf(k.table, k.key) == id() && !ContainsKey(local_keys, k)) {
+      local_keys.push_back(k);
+    }
+  }
+
+  st->lock_all = true;
+  if (!LockAll(txn, local_keys)) {
+    AbortCleanup(st, TxnOutcome::kAborted);
+    return;
+  }
+  if (!local_keys.empty()) {
+    st->local_locked = true;
+    st->locked_shards.push_back(id());
+  }
+
+  // Read local read-set values and the current seqs of local write keys.
+  store::NicIndex::LookupStats agg;
+  for (uint32_t i : local_reads) {
+    const auto& k = st->read_keys[i];
+    store::NicIndex::LookupStats s;
+    auto r = ds_->index(k.table).LookupRemote(k.key, &s);
+    agg.dma_reads += s.dma_reads;
+    agg.bytes_read += s.bytes_read;
+    if (r) {
+      st->reads[i] = ReadResult{true, r->seq, std::move(r->value)};
+    }
+  }
+  for (size_t i = 0; i < st->write_keys.size(); ++i) {
+    const auto& k = st->write_keys[i];
+    if (map_->PrimaryOf(k.table, k.key) != id()) {
+      continue;
+    }
+    store::NicIndex::LookupStats s;
+    auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
+    agg.dma_reads += s.dma_reads;
+    agg.bytes_read += s.bytes_read;
+    st->write_seqs[i] = m ? m->seq : 0;
+  }
+
+  ChargeDmaReads(agg, [this, txn, remote] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr) {
+      return;
+    }
+    uint32_t bytes = MsgSize::kHeader + st->req.external_bytes;
+    bytes += static_cast<uint32_t>((st->read_keys.size() + st->write_keys.size()) *
+                                   MsgSize::kKeyEntry);
+    for (const auto& r : st->reads) {
+      bytes += static_cast<uint32_t>(r.value.size());
+    }
+    for (const auto& w : st->req.local_log_writes) {
+      bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
+    }
+    // Expected completion signals: one EXEC result plus one ack per backup
+    // of every written shard (counted at the remote executor, which knows
+    // the final shard set -- precomputed here since shipping fixes the key
+    // set).
+    std::vector<NodeId> shards;
+    for (const auto& k : st->write_keys) {
+      const NodeId p = map_->PrimaryOf(k.table, k.key);
+      if (std::find(shards.begin(), shards.end(), p) == shards.end()) {
+        shards.push_back(p);
+      }
+    }
+    if (!st->req.local_log_writes.empty() &&
+        std::find(shards.begin(), shards.end(), id()) == shards.end()) {
+      shards.push_back(id());
+    }
+    st->pending = 1;  // EXEC result
+    for (NodeId s : shards) {
+      st->pending += static_cast<uint32_t>(map_->BackupsOf(s).size());
+    }
+
+    XenicNode* server = (*peers_)[remote];
+    SendMsg(remote, bytes, [this, server, txn, st] { server->ServeShipExec(txn, id(), st); });
+  });
+}
+
+void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
+  XenicNode* coordinator = (*peers_)[coord];
+  // Lock all keys homed here (reads and writes), read read-set values,
+  // execute, then fan out LOG records to every backup with acks converging
+  // at the coordinator NIC.
+  std::vector<KeyRef> my_keys;
+  std::vector<uint32_t> my_reads;
+  for (uint32_t i = 0; i < st->read_keys.size(); ++i) {
+    if (map_->PrimaryOf(st->read_keys[i].table, st->read_keys[i].key) == id()) {
+      my_keys.push_back(st->read_keys[i]);
+      my_reads.push_back(i);
+    }
+  }
+  for (const auto& k : st->write_keys) {
+    if (map_->PrimaryOf(k.table, k.key) == id() && !ContainsKey(my_keys, k)) {
+      my_keys.push_back(k);
+    }
+  }
+
+  nic_->NicCompute(NicOpCost(my_keys.size()), [this, txn, coord, coordinator, st,
+                                               my_keys = std::move(my_keys),
+                                               my_reads = std::move(my_reads)]() mutable {
+    if (!LockAll(txn, my_keys)) {
+      SendMsg(coord, MsgSize::kHeader + MsgSize::kAck,
+              [coordinator, txn] { coordinator->OnShipFailure(txn); });
+      return;
+    }
+
+    store::NicIndex::LookupStats agg;
+    for (uint32_t i : my_reads) {
+      const auto& k = st->read_keys[i];
+      store::NicIndex::LookupStats s;
+      auto r = ds_->index(k.table).LookupRemote(k.key, &s);
+      agg.dma_reads += s.dma_reads;
+      agg.bytes_read += s.bytes_read;
+      if (r) {
+        st->reads[i] = ReadResult{true, r->seq, std::move(r->value)};
+      }
+    }
+    for (size_t i = 0; i < st->write_keys.size(); ++i) {
+      const auto& k = st->write_keys[i];
+      if (map_->PrimaryOf(k.table, k.key) != id()) {
+        continue;
+      }
+      store::NicIndex::LookupStats s;
+      auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
+      agg.dma_reads += s.dma_reads;
+      agg.bytes_read += s.bytes_read;
+      st->write_seqs[i] = m ? m->seq : 0;
+    }
+
+    ChargeDmaReads(agg, [this, txn, coord, coordinator, st,
+                         my_keys = std::move(my_keys)]() mutable {
+      // Execute on this NIC.
+      nic_->NicCompute(NicExecCost(st->req.exec_cost), [this, txn, coord, coordinator, st,
+                                                        my_keys =
+                                                            std::move(my_keys)]() mutable {
+        std::vector<KeyRef> add_reads;
+        std::vector<KeyRef> add_writes;
+        bool abort_flag = false;
+        ExecRound er;
+        er.round = 0;
+        er.read_keys = &st->read_keys;
+        er.reads = &st->reads;
+        er.write_keys = &st->write_keys;
+        er.writes = &st->writes;
+        er.add_reads = &add_reads;
+        er.add_writes = &add_writes;
+        er.abort = &abort_flag;
+        if (st->req.execute) {
+          st->req.execute(er);
+        }
+        assert(add_reads.empty() && add_writes.empty() &&
+               "shipped transactions must be single-round (allow_ship misuse)");
+        if (abort_flag) {
+          UnlockAll(txn, my_keys);
+          SendMsg(coord, MsgSize::kHeader + MsgSize::kAck, [coordinator, txn] {
+            TxnState* cst = coordinator->FindState(txn);
+            if (cst != nullptr) {
+              cst->app_abort = true;
+            }
+            coordinator->OnShipFailure(txn);
+          });
+          return;
+        }
+
+        // LOG fan-out to all backups of all written shards; acks go
+        // straight to the coordinator NIC (the multi-hop pattern).
+        std::vector<NodeId> shards;
+        for (const auto& k : st->write_keys) {
+          const NodeId p = map_->PrimaryOf(k.table, k.key);
+          if (std::find(shards.begin(), shards.end(), p) == shards.end()) {
+            shards.push_back(p);
+          }
+        }
+        if (!st->req.local_log_writes.empty() &&
+            std::find(shards.begin(), shards.end(), coord) == shards.end()) {
+          shards.push_back(coord);
+        }
+        for (NodeId shard : shards) {
+          store::LogRecord rec;
+          rec.type = store::LogRecordType::kLog;
+          rec.txn = txn;
+          rec.writes = coordinator->ShardWrites(*st, shard);
+          for (NodeId backup : map_->BackupsOf(shard)) {
+            const uint32_t bytes = static_cast<uint32_t>(rec.ByteSize()) + MsgSize::kHeader;
+            XenicNode* bnode = (*peers_)[backup];
+            SendMsg(backup, bytes, [coordinator, bnode, txn, rec]() mutable {
+              bnode->ServeLog(std::move(rec), [coordinator, bnode, txn](bool ok) {
+                bnode->SendMsg(coordinator->id(), MsgSize::kAck + MsgSize::kHeader,
+                               [coordinator, txn, ok] { coordinator->OnLogAck(txn, ok); });
+              });
+            });
+          }
+        }
+
+        // EXEC result back to the coordinator (write values for its local
+        // commit); counts as one of the pending completion signals.
+        uint32_t result_bytes = MsgSize::kHeader;
+        for (const auto& w : st->writes) {
+          result_bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
+        }
+        SendMsg(coord, result_bytes, [coordinator, txn] { coordinator->OnLogAck(txn, true); });
+      });
+    });
+  });
+}
+
+void XenicNode::OnShipFailure(TxnId txn) {
+  TxnState* st = FindState(txn);
+  if (st == nullptr) {
+    return;
+  }
+  const TxnOutcome outcome = st->app_abort ? TxnOutcome::kAppAborted : TxnOutcome::kAborted;
+  AbortCleanup(st, outcome);
+}
+
+// ---------------------------------------------------------------------------
+// Server-side handlers.
+// ---------------------------------------------------------------------------
+
+bool XenicNode::LockAll(TxnId txn, const std::vector<KeyRef>& keys) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!ds_->index(keys[i].table).AcquireLock(keys[i].key, txn).ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        ds_->index(keys[j].table).ReleaseLock(keys[j].key, txn);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void XenicNode::UnlockAll(TxnId txn, const std::vector<KeyRef>& keys) {
+  for (const auto& k : keys) {
+    ds_->index(k.table).ReleaseLock(k.key, txn);
+  }
+}
+
+void XenicNode::ChargeDmaReads(const store::NicIndex::LookupStats& stats,
+                               sim::Engine::Callback done) {
+  if (stats.dma_reads == 0) {
+    done();
+    return;
+  }
+  const uint64_t per_read = stats.bytes_read / stats.dma_reads;
+  auto remaining = std::make_shared<uint32_t>(stats.dma_reads);
+  auto shared_done = std::make_shared<sim::Engine::Callback>(std::move(done));
+  // The reads of one operation are issued as one vector: they proceed in
+  // parallel on the DMA engine; completion is when the last one lands.
+  for (uint32_t i = 0; i < stats.dma_reads; ++i) {
+    nic_->DmaRead(per_read, [remaining, shared_done] {
+      if (--*remaining == 0) {
+        (*shared_done)();
+      }
+    });
+  }
+}
+
+void XenicNode::NicReadKey(const KeyRef& ref, bool metadata_only,
+                           std::function<void(ReadResult, store::TxnId)> done) {
+  store::NicIndex::LookupStats s;
+  std::optional<store::NicIndex::RemoteObject> r;
+  if (metadata_only) {
+    r = ds_->index(ref.table).ReadMetadata(ref.key, &s);
+  } else {
+    r = ds_->index(ref.table).LookupRemote(ref.key, &s);
+  }
+  ReadResult result;
+  TxnId owner = store::kNoTxn;
+  if (r) {
+    result = ReadResult{true, r->seq, std::move(r->value)};
+    owner = r->lock_owner;
+  }
+  ChargeDmaReads(s, [done = std::move(done), result = std::move(result), owner]() mutable {
+    done(std::move(result), owner);
+  });
+}
+
+void XenicNode::ServeExecute(TxnId txn, NodeId coord,
+                             std::vector<std::pair<uint32_t, KeyRef>> reads,
+                             std::vector<std::pair<uint32_t, KeyRef>> writes,
+                             std::function<void(ExecReply)> reply) {
+  (void)coord;
+  nic_->NicCompute(
+      NicOpCost(reads.size() + writes.size()),
+      [this, txn, reads = std::move(reads), writes = std::move(writes),
+       reply = std::move(reply)]() mutable {
+        // Lock the write set first (all-or-nothing at this shard).
+        std::vector<KeyRef> lock_keys;
+        for (const auto& [i, k] : writes) {
+          (void)i;
+          lock_keys.push_back(k);
+        }
+        if (!LockAll(txn, lock_keys)) {
+          reply(ExecReply{false, {}, {}});
+          return;
+        }
+
+        // Abort when a read-set key is locked by another transaction
+        // (paper 4.2 step 2).
+        auto state = std::make_shared<ExecReply>();
+        state->ok = true;
+        auto reads_ptr = std::make_shared<std::vector<std::pair<uint32_t, KeyRef>>>(
+            std::move(reads));
+        auto writes_ptr = std::make_shared<std::vector<std::pair<uint32_t, KeyRef>>>(
+            std::move(writes));
+        auto lock_keys_ptr = std::make_shared<std::vector<KeyRef>>(std::move(lock_keys));
+        auto reply_ptr = std::make_shared<std::function<void(ExecReply)>>(std::move(reply));
+
+        // Sequentially read each read-set key (charging DMA costs), then
+        // fetch current versions for the write set, then reply.
+        auto finish = [this, txn, state, writes_ptr, lock_keys_ptr, reply_ptr]() {
+          if (!state->ok) {
+            UnlockAll(txn, *lock_keys_ptr);
+            (*reply_ptr)(ExecReply{false, {}, {}});
+            return;
+          }
+          // Current versions for the write set (from NIC metadata; absent
+          // keys are inserts with seq 0).
+          store::NicIndex::LookupStats agg;
+          for (const auto& [i, k] : *writes_ptr) {
+            store::NicIndex::LookupStats s;
+            auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
+            agg.dma_reads += s.dma_reads;
+            agg.bytes_read += s.bytes_read;
+            state->write_seqs.emplace_back(i, m ? m->seq : 0);
+          }
+          ChargeDmaReads(agg, [state, reply_ptr] { (*reply_ptr)(std::move(*state)); });
+        };
+
+        auto step = std::make_shared<std::function<void(size_t)>>();
+        *step = [this, txn, state, reads_ptr, finish, step](size_t idx) {
+          if (idx >= reads_ptr->size()) {
+            finish();
+            return;
+          }
+          const auto& [i, k] = (*reads_ptr)[idx];
+          const uint32_t read_idx = i;
+          NicReadKey(k, /*metadata_only=*/false,
+                     [state, step, idx, read_idx, txn](ReadResult r, TxnId owner) {
+                       if (owner != store::kNoTxn && owner != txn) {
+                         state->ok = false;
+                       } else {
+                         state->reads.emplace_back(read_idx, std::move(r));
+                       }
+                       (*step)(idx + 1);
+                     });
+        };
+        (*step)(0);
+      });
+}
+
+void XenicNode::ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
+                              std::function<void(bool)> reply) {
+  nic_->NicCompute(NicOpCost(checks.size()), [this, checks = std::move(checks),
+                                              reply = std::move(reply)]() mutable {
+    bool ok = true;
+    store::NicIndex::LookupStats agg;
+    for (const auto& [k, expected] : checks) {
+      store::NicIndex::LookupStats s;
+      auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
+      agg.dma_reads += s.dma_reads;
+      agg.bytes_read += s.bytes_read;
+      const Seq cur = m ? m->seq : 0;
+      const TxnId owner = m ? m->lock_owner : store::kNoTxn;
+      if (cur != expected || owner != store::kNoTxn) {
+        ok = false;
+      }
+    }
+    ChargeDmaReads(agg, [ok, reply = std::move(reply)]() mutable { reply(ok); });
+  });
+}
+
+void XenicNode::AppendWhenSpace(store::LogRecord record, sim::Engine::Callback appended) {
+  if (ds_->log().Full()) {
+    // Host has fallen behind: back-pressure by retrying until workers free
+    // ring space. Commit-point decisions never observe a failed append.
+    nic_->engine()->ScheduleAfter(
+        2 * sim::kNsPerUs, [this, record = std::move(record),
+                            appended = std::move(appended)]() mutable {
+          AppendWhenSpace(std::move(record), std::move(appended));
+        });
+    return;
+  }
+  const auto bytes = static_cast<uint32_t>(record.ByteSize());
+  // The record becomes host-visible when the DMA completes: append then,
+  // in the same event as the caller's continuation, so the host workers
+  // can never observe the record before the NIC's own bookkeeping (cache
+  // pinning) is in place.
+  nic_->DmaWrite(bytes, [this, record = std::move(record),
+                         appended = std::move(appended)]() mutable {
+    if (ds_->log().Full()) {
+      AppendWhenSpace(std::move(record), std::move(appended));
+      return;
+    }
+    auto result = ds_->Append(std::move(record));
+    assert(result.ok());
+    (void)result;
+    appended();
+  });
+}
+
+void XenicNode::ServeLog(store::LogRecord record, std::function<void(bool)> reply) {
+  nic_->NicCompute(NicOpCost(record.writes.size()), [this, record = std::move(record),
+                                                     reply = std::move(reply)]() mutable {
+    AppendWhenSpace(std::move(record),
+                    [reply = std::move(reply)]() mutable { reply(true); });
+  });
+}
+
+void XenicNode::ApplyCommitAtNic(TxnId txn, const std::vector<store::LogWrite>& writes,
+                                 sim::Engine::Callback done) {
+  for (const auto& w : writes) {
+    if (w.table >= ds_->num_tables()) {
+      continue;  // workload-managed: applied by host workers only
+    }
+    if (w.is_delete) {
+      // Deletes are applied to the host structure synchronously at commit
+      // time (no stale-read window via the cache).
+      ds_->table(w.table).Erase(w.key);
+    } else {
+      ds_->index(w.table).ApplyCommit(w.key, w.value, w.seq);
+    }
+    ds_->index(w.table).ReleaseLock(w.key, txn);
+  }
+  done();
+}
+
+void XenicNode::ServeCommit(TxnId txn, std::vector<store::LogWrite> writes,
+                            std::vector<KeyRef> release_keys, sim::Engine::Callback ack) {
+  nic_->NicCompute(NicOpCost(writes.size()), [this, txn, writes = std::move(writes),
+                                              release_keys = std::move(release_keys),
+                                              ack = std::move(ack)]() mutable {
+    store::LogRecord rec;
+    rec.type = store::LogRecordType::kCommit;
+    rec.txn = txn;
+    rec.writes = writes;
+    // The commit record is applied by the host workers; cache entries are
+    // updated and pinned now, and locks release once the DMA completes.
+    AppendWhenSpace(std::move(rec), [this, txn, writes = std::move(writes),
+                                     release_keys = std::move(release_keys),
+                                     ack = std::move(ack)]() mutable {
+      for (const auto& k : release_keys) {
+        ds_->index(k.table).ReleaseLock(k.key, txn);
+      }
+      ApplyCommitAtNic(txn, writes, std::move(ack));
+    });
+  });
+}
+
+void XenicNode::ServeRelease(TxnId txn, std::vector<KeyRef> keys) {
+  nic_->NicCompute(NicOpCost(keys.size()),
+                   [this, txn, keys = std::move(keys)] { UnlockAll(txn, keys); });
+}
+
+// ---------------------------------------------------------------------------
+// Robinhood workers (paper step 7).
+// ---------------------------------------------------------------------------
+
+void XenicNode::StartWorkers(uint32_t count, sim::Tick poll_interval) {
+  workers_running_ = true;
+  workers_ = count;
+  for (uint32_t w = 0; w < count; ++w) {
+    // Stagger the workers across the poll interval.
+    nic_->engine()->ScheduleAfter(poll_interval * (w + 1) / count,
+                                  [this, w, poll_interval] { WorkerTick(w, poll_interval); });
+  }
+}
+
+void XenicNode::StopWorkers() { workers_running_ = false; }
+
+void XenicNode::WorkerTick(uint32_t worker, sim::Tick interval) {
+  if (!workers_running_) {
+    return;
+  }
+  // Charge the poll, then apply up to a batch of records (charging the
+  // apply work before the next poll).
+  nic_->HostCompute(kWorkerPollCost, [this, worker, interval] {
+    int applied = 0;
+    sim::Tick extra = 0;
+    while (applied < kWorkerBatch) {
+      const store::LogRecord* rec = ds_->log().Peek();
+      if (rec == nullptr) {
+        break;
+      }
+      const uint64_t lsn = rec->lsn;
+      extra += kWorkerRecordCost;
+      for (const auto& w : rec->writes) {
+        extra += kWorkerWriteCost;
+        if (w.table < ds_->num_tables()) {
+          auto& t = ds_->table(w.table);
+          if (w.is_delete) {
+            t.Erase(w.key);
+          } else {
+            t.Apply(w.key, w.value, w.seq);
+          }
+          const size_t seg = t.SegmentOfKey(w.key);
+          // Ack piggybacked on host-to-NIC traffic: unpin + refresh hint.
+          ds_->index(w.table).OnHostApplied(w.key, t.SegmentMaxDisp(seg),
+                                            t.SegmentHasOverflow(seg));
+        } else if (worker_apply_hook_) {
+          extra += worker_apply_hook_(w);
+        }
+      }
+      ds_->ClearPending(*rec);
+      ds_->log().PopApplied();
+      ds_->log().Reclaim(lsn + 1);
+      applied++;
+    }
+    if (extra > 0) {
+      // Charge the apply work before the next poll.
+      nic_->HostCompute(extra, [this, worker, interval] {
+        nic_->engine()->ScheduleAfter(interval, [this, worker, interval] {
+          WorkerTick(worker, interval);
+        });
+      });
+    } else {
+      nic_->engine()->ScheduleAfter(interval,
+                                    [this, worker, interval] { WorkerTick(worker, interval); });
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Recovery support.
+// ---------------------------------------------------------------------------
+
+size_t XenicNode::RebuildLocksFromLog(const std::vector<store::LogRecord>& unacked) {
+  size_t locked = 0;
+  for (const auto& rec : unacked) {
+    for (const auto& w : rec.writes) {
+      if (w.table >= ds_->num_tables()) {
+        continue;
+      }
+      if (ds_->index(w.table).AcquireLock(w.key, rec.txn).ok()) {
+        locked++;
+      }
+    }
+  }
+  return locked;
+}
+
+void XenicNode::ClearNicState() { txns_.clear(); }
+
+}  // namespace xenic::txn

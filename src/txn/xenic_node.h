@@ -1,0 +1,220 @@
+// XenicNode: one server's transaction engine (paper section 4.2).
+//
+// Each node is simultaneously a transaction coordinator, the primary of one
+// shard, and a backup for other shards. The engine is split between the
+// host (application threads, Robinhood worker threads) and the SmartNIC
+// (coordinator-side transaction state machines, server-side
+// EXECUTE / VALIDATE / LOG / COMMIT handlers).
+//
+// Paths, selected per transaction:
+//  * Local fast path (4.2.4): all keys on this shard. Read-only commits on
+//    the host with no NIC involvement; read-write executes optimistically
+//    on the host and uses the NIC only for locking, replication and commit.
+//  * Standard distributed path (4.2): EXECUTE (combined lock+read) ->
+//    [execution on coordinator NIC or host] -> VALIDATE -> LOG -> COMMIT.
+//  * Multi-hop shipped path (4.2.3): single-round transactions touching at
+//    most {local shard, one remote shard} execute at the remote primary
+//    NIC; LOG requests fan out from there and backups acknowledge directly
+//    to the coordinator NIC, eliminating one message delay.
+//
+// Feature flags (XenicFeatures) gate the smart combined operations, NIC
+// execution, and the multi-hop optimization for the Figure 9 ablations.
+
+#ifndef SRC_TXN_XENIC_NODE_H_
+#define SRC_TXN_XENIC_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/nicmodel/smart_nic.h"
+#include "src/store/commit_log.h"
+#include "src/store/datastore.h"
+#include "src/txn/types.h"
+
+namespace xenic::txn {
+
+class XenicNode {
+ public:
+  // `peers` is the cluster registry, filled by XenicCluster before use.
+  XenicNode(nicmodel::SmartNic* nic, store::Datastore* ds, const ClusterMap* map,
+            const XenicFeatures* features, std::vector<XenicNode*>* peers);
+
+  // Application entry point (called in host context): run one transaction.
+  void Submit(TxnRequest req, CommitCallback done);
+
+  // Start `count` Robinhood worker threads polling the commit log every
+  // `poll_interval` ns (paper step 7).
+  void StartWorkers(uint32_t count, sim::Tick poll_interval);
+  void StopWorkers();
+
+  // Workload hook: applies log writes whose table id is outside the
+  // Robinhood datastore (workload-managed structures, e.g. TPC-C B+trees
+  // replicated to backups). Returns extra host ns to charge.
+  using WorkerApplyHook = std::function<sim::Tick(const store::LogWrite&)>;
+  void set_worker_apply_hook(WorkerApplyHook hook) { worker_apply_hook_ = std::move(hook); }
+
+  // Per-phase latency breakdown for distributed transactions (EXECUTE /
+  // VALIDATE / LOG as seen by the coordinator NIC).
+  struct PhaseBreakdown {
+    Histogram execute;
+    Histogram validate;
+    Histogram log;
+    Histogram total;
+  };
+  const PhaseBreakdown& phases() const { return phases_; }
+  PhaseBreakdown& phases() { return phases_; }
+
+  NodeId id() const { return nic_->id(); }
+  store::Datastore& datastore() { return *ds_; }
+  nicmodel::SmartNic& nic() { return *nic_; }
+  TxnStats& stats() { return stats_; }
+  const TxnStats& stats() const { return stats_; }
+
+  // --- Recovery support (paper 4.2.1) ---
+  // Rebuild NIC lock state for in-flight transactions found in the log
+  // (called on a backup promoted to primary). Returns keys re-locked.
+  size_t RebuildLocksFromLog(const std::vector<store::LogRecord>& unacked);
+  // Drop all transaction state (simulates NIC lock-state loss on failure).
+  void ClearNicState();
+
+ private:
+  // ---- Per-transaction coordinator state (lives on the coordinator NIC).
+  struct ShardGroup {
+    NodeId primary = 0;
+    std::vector<uint32_t> read_idx;   // indexes into TxnState::read_keys
+    std::vector<uint32_t> write_idx;  // indexes into TxnState::write_keys
+  };
+  struct TxnState {
+    TxnId id = store::kNoTxn;
+    TxnRequest req;
+    CommitCallback done;
+    // Current key/read/write views (grow across execution rounds).
+    std::vector<KeyRef> read_keys;
+    std::vector<KeyRef> write_keys;
+    std::vector<ReadResult> reads;      // aligned with read_keys
+    std::vector<Seq> write_seqs;        // current seq per write key
+    std::vector<WriteIntent> writes;    // aligned with write_keys (after exec)
+    int round = 0;
+    uint32_t pending = 0;     // outstanding responses in the current phase
+    bool abort = false;
+    bool app_abort = false;
+    std::vector<NodeId> locked_shards;  // primaries holding our locks
+    bool local_locked = false;          // shipped path: local keys locked
+    bool lock_all = false;              // shipped path: read keys locked too
+    uint32_t new_exec_read_base = 0;    // first read index of current round
+    uint32_t new_exec_write_base = 0;
+    sim::Tick coord_start = 0;          // distributed path: NIC start time
+    sim::Tick phase_start = 0;          // current phase start time
+  };
+
+  using StatePtr = std::unique_ptr<TxnState>;
+
+  // ---- Coordinator-side phases.
+  void SubmitOnHost(StatePtr st);
+  void LocalReadOnlyPath(StatePtr st);
+  void LocalWritePath(StatePtr st);
+  void CoordStartOnNic(TxnId id);
+  // A local fast-path execution discovered remote keys: restart the
+  // transaction through the distributed path.
+  void EscalateToDistributed(TxnId txn);
+  bool ShipEligible(const TxnState& st, NodeId* remote_out) const;
+  void ShippedPath(TxnState* st, NodeId remote);
+  void ExecutePhase(TxnState* st);
+  void OnExecuteResp(TxnId id, NodeId shard, bool ok,
+                     std::vector<std::pair<uint32_t, ReadResult>> reads,
+                     std::vector<std::pair<uint32_t, Seq>> write_seqs);
+  void AfterExecuteRound(TxnState* st);
+  // Separate lock round used when smart_remote_ops is disabled (the
+  // one-op-per-request ablation baseline): one LOCK request per write key,
+  // issued after execution completes, DrTM-style.
+  void LockRound(TxnState* st);
+  void OnLockResp(TxnId id, NodeId shard, bool ok,
+                  std::vector<std::pair<uint32_t, Seq>> write_seqs);
+  // Version-gap check for keys both read and written; aborts and returns
+  // false on a mismatch.
+  bool CheckReadWriteGap(TxnState* st);
+  void RunExecuteLogic(TxnState* st, sim::Engine::Callback next);
+  void ValidatePhase(TxnState* st);
+  void OnValidateResp(TxnId id, bool ok);
+  void LogPhase(TxnState* st);
+  void OnLogAck(TxnId id, bool ok);
+  void OnShipFailure(TxnId id);
+  void CommitPhase(TxnState* st);
+  void ReportAndFinish(TxnState* st, TxnOutcome outcome);
+  void AbortCleanup(TxnState* st, TxnOutcome outcome);
+  void EraseState(TxnId id);
+  TxnState* FindState(TxnId id);
+
+  // Group the transaction's current keys by primary shard.
+  std::vector<ShardGroup> GroupByShard(const TxnState& st, bool new_only) const;
+  // Collect the write set of one shard as (key, intent, new seq) triples.
+  std::vector<store::LogWrite> ShardWrites(const TxnState& st, NodeId shard) const;
+
+  // ---- Server-side handlers (invoked on this node by peers' closures).
+  struct ExecReply {
+    bool ok = false;
+    std::vector<std::pair<uint32_t, ReadResult>> reads;
+    std::vector<std::pair<uint32_t, Seq>> write_seqs;
+  };
+  void ServeExecute(TxnId txn, NodeId coord, std::vector<std::pair<uint32_t, KeyRef>> reads,
+                    std::vector<std::pair<uint32_t, KeyRef>> writes,
+                    std::function<void(ExecReply)> reply);
+  void ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks, std::function<void(bool)> reply);
+  void ServeLog(store::LogRecord record, std::function<void(bool)> reply);
+  void ServeCommit(TxnId txn, std::vector<store::LogWrite> writes,
+                   std::vector<KeyRef> release_keys, sim::Engine::Callback ack);
+  void ServeRelease(TxnId txn, std::vector<KeyRef> keys);
+  void ServeShipExec(TxnId txn, NodeId coord, TxnState* coord_state);
+
+  // Lock all given keys in the NIC index; on conflict release those taken
+  // and return false.
+  bool LockAll(TxnId txn, const std::vector<KeyRef>& keys);
+  void UnlockAll(TxnId txn, const std::vector<KeyRef>& keys);
+
+  // Read one key at the server-side NIC, charging DMA costs; calls `done`
+  // with the result.
+  void NicReadKey(const KeyRef& ref, bool metadata_only,
+                  std::function<void(ReadResult, store::TxnId)> done);
+  // Charge `stats` worth of DMA reads, then `done`.
+  void ChargeDmaReads(const store::NicIndex::LookupStats& stats, sim::Engine::Callback done);
+
+  // Append a record to the host log via DMA write, waiting (back-pressure)
+  // while the bounded ring is full; `appended` runs after the DMA lands.
+  void AppendWhenSpace(store::LogRecord record, sim::Engine::Callback appended);
+
+  // Commit application at the primary NIC for `writes` (cache update, pin,
+  // unlock); used by both ServeCommit and the local path.
+  void ApplyCommitAtNic(TxnId txn, const std::vector<store::LogWrite>& writes,
+                        sim::Engine::Callback done);
+
+  // Messaging helper: send to peer node (or run locally when dst == self).
+  void SendMsg(NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst);
+
+  // Robinhood worker iteration.
+  void WorkerTick(uint32_t worker, sim::Tick interval);
+
+  // NIC-core cost helpers.
+  sim::Tick NicOpCost(size_t n_keys) const;
+  sim::Tick NicExecCost(sim::Tick host_cost) const;
+
+  nicmodel::SmartNic* nic_;
+  store::Datastore* ds_;
+  const ClusterMap* map_;
+  const XenicFeatures* features_;
+  std::vector<XenicNode*>* peers_;
+  std::unordered_map<TxnId, StatePtr> txns_;
+  uint64_t next_txn_seq_ = 1;
+  TxnStats stats_;
+  PhaseBreakdown phases_;
+  WorkerApplyHook worker_apply_hook_;
+  bool workers_running_ = false;
+  uint32_t workers_ = 0;
+};
+
+}  // namespace xenic::txn
+
+#endif  // SRC_TXN_XENIC_NODE_H_

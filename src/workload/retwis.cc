@@ -1,0 +1,112 @@
+#include "src/workload/retwis.h"
+
+#include <algorithm>
+
+namespace xenic::workload {
+
+namespace {
+
+store::Value Payload(uint64_t stamp) {
+  store::Value v(Retwis::kValueSize, 0);
+  store::PutU64(v, 0, stamp);
+  return v;
+}
+
+}  // namespace
+
+Retwis::Retwis(const Options& options)
+    : options_(options),
+      total_keys_(options.keys_per_node * options.num_nodes),
+      part_(options.num_nodes),
+      zipf_(total_keys_, options.zipf_alpha) {}
+
+std::vector<TableDef> Retwis::Tables() const {
+  // Per-node share (own shard + backed-up shards) with headroom; see the
+  // sizing note in smallbank.cc.
+  size_t cap = 1;
+  size_t log2 = 0;
+  const auto need = static_cast<size_t>(static_cast<double>(total_keys_) * 0.8);
+  while (cap < need) {
+    cap <<= 1;
+    log2++;
+  }
+  return {TableDef{kStore, "kv", log2, kValueSize, 8}};
+}
+
+void Retwis::Load(const LoadFn& load) {
+  for (uint64_t k = 0; k < total_keys_; ++k) {
+    load(kStore, k, Payload(k));
+  }
+}
+
+TxnRequest Retwis::NextTxn(NodeId coordinator, Rng& rng) {
+  (void)coordinator;
+  static const std::vector<uint32_t> kMix = {5, 15, 30, 50};
+  const auto type = static_cast<TxnType>(rng.NextWeighted(kMix));
+
+  TxnRequest req;
+  req.tag = type;
+  req.exec_cost = 80;  // minimal coordinator-side computation
+  req.external_bytes = 8;
+  req.allow_ship = true;
+
+  auto pick_distinct = [&](size_t n) {
+    std::vector<Key> keys;
+    while (keys.size() < n) {
+      const Key k = PickKey(rng);
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    }
+    return keys;
+  };
+  const uint64_t stamp = rng.Next();
+
+  switch (type) {
+    case kAddUser: {
+      auto keys = pick_distinct(3);
+      req.reads = {{kStore, keys[0]}};
+      for (Key k : keys) {
+        req.writes.push_back({kStore, k});
+      }
+      break;
+    }
+    case kFollow: {
+      auto keys = pick_distinct(2);
+      for (Key k : keys) {
+        req.reads.push_back({kStore, k});
+        req.writes.push_back({kStore, k});
+      }
+      break;
+    }
+    case kPostTweet: {
+      auto keys = pick_distinct(5);
+      for (size_t i = 0; i < 3; ++i) {
+        req.reads.push_back({kStore, keys[i]});
+      }
+      for (Key k : keys) {
+        req.writes.push_back({kStore, k});
+      }
+      break;
+    }
+    case kGetTimeline: {
+      auto keys = pick_distinct(rng.NextRange(1, 10));
+      for (Key k : keys) {
+        req.reads.push_back({kStore, k});
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  const size_t n_writes = req.writes.size();
+  req.execute = [stamp, n_writes](txn::ExecRound& er) {
+    for (size_t i = 0; i < n_writes; ++i) {
+      (*er.writes)[i].value = Payload(stamp + i);
+    }
+  };
+  return req;
+}
+
+}  // namespace xenic::workload

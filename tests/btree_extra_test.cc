@@ -1,0 +1,108 @@
+// Additional B+tree coverage: boundary keys, dense duplicates of Put,
+// interleaved scan-and-mutate patterns, and deep-tree structural checks.
+
+#include <gtest/gtest.h>
+
+#include "src/btree/btree.h"
+#include "src/common/rng.h"
+
+namespace xenic::btree {
+namespace {
+
+Value V(uint8_t fill) { return Value(8, fill); }
+
+TEST(BTreeExtraTest, BoundaryKeys) {
+  BTree t;
+  t.Put(0, V(1));
+  t.Put(~0ull, V(2));
+  EXPECT_EQ(t.Get(0).value(), V(1));
+  EXPECT_EQ(t.Get(~0ull).value(), V(2));
+  EXPECT_EQ(t.SeekFirst(0)->first, 0u);
+  EXPECT_EQ(t.SeekLast(~0ull)->first, ~0ull);
+  size_t n = t.Scan(0, ~0ull, [](Key, const Value&) { return true; });
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(BTreeExtraTest, RepeatedOverwritesKeepSize) {
+  BTree t;
+  for (int round = 0; round < 50; ++round) {
+    for (Key k = 0; k < 100; ++k) {
+      t.Put(k, V(static_cast<uint8_t>(round)));
+    }
+  }
+  EXPECT_EQ(t.size(), 100u);
+  t.CheckInvariants();
+  for (Key k = 0; k < 100; ++k) {
+    EXPECT_EQ(t.Get(k).value(), V(49));
+  }
+}
+
+TEST(BTreeExtraTest, DeepTreeHeightGrowsLogarithmically) {
+  BTree t;
+  for (Key k = 0; k < 200000; ++k) {
+    t.Put(k, V(1));
+  }
+  t.CheckInvariants();
+  // Fanout >= 16 effective: height should stay small.
+  EXPECT_LE(t.height(), 6);
+  EXPECT_EQ(t.size(), 200000u);
+}
+
+TEST(BTreeExtraTest, ScanSeesConsistentSnapshotBetweenMutations) {
+  BTree t;
+  for (Key k = 0; k < 1000; ++k) {
+    t.Put(k * 2, V(1));  // even keys
+  }
+  // Collect, then mutate, then re-scan.
+  std::vector<Key> first;
+  t.Scan(0, 2000, [&](Key k, const Value&) {
+    first.push_back(k);
+    return true;
+  });
+  for (Key k : first) {
+    if (k % 4 == 0) {
+      ASSERT_TRUE(t.Erase(k).ok());
+    }
+  }
+  std::vector<Key> second;
+  t.Scan(0, 2000, [&](Key k, const Value&) {
+    second.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(second.size(), first.size() - (first.size() + 1) / 2);
+  for (Key k : second) {
+    EXPECT_EQ(k % 4, 2u);
+  }
+  t.CheckInvariants();
+}
+
+TEST(BTreeExtraTest, AlternatingInsertEraseAtSameKeys) {
+  BTree t;
+  Rng rng(5);
+  for (int round = 0; round < 200; ++round) {
+    const Key k = rng.NextBounded(64);
+    if (t.Contains(k)) {
+      ASSERT_TRUE(t.Erase(k).ok());
+    } else {
+      ASSERT_TRUE(t.Insert(k, V(1)).ok());
+    }
+    if (round % 50 == 49) {
+      t.CheckInvariants();
+    }
+  }
+}
+
+TEST(BTreeExtraTest, SeekFirstOnEmptyRanges) {
+  BTree t;
+  t.Put(100, V(1));
+  t.Put(200, V(2));
+  EXPECT_FALSE(t.SeekFirst(201).has_value());
+  EXPECT_EQ(t.SeekFirst(101)->first, 200u);
+  EXPECT_FALSE(t.SeekLast(99).has_value());
+  EXPECT_EQ(t.SeekLast(199)->first, 100u);
+  size_t n = t.Scan(101, 199, [](Key, const Value&) { return true; });
+  EXPECT_EQ(n, 0u);
+}
+
+}  // namespace
+}  // namespace xenic::btree

@@ -1,0 +1,219 @@
+#include "src/btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace xenic::btree {
+namespace {
+
+Value V(uint8_t fill, size_t n = 8) { return Value(n, fill); }
+
+TEST(BTreeTest, EmptyTree) {
+  BTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.Get(1).has_value());
+  EXPECT_EQ(t.Erase(1).code(), xenic::StatusCode::kNotFound);
+  EXPECT_FALSE(t.SeekFirst(0).has_value());
+  EXPECT_FALSE(t.SeekLast(~0ull).has_value());
+}
+
+TEST(BTreeTest, PutGet) {
+  BTree t;
+  t.Put(5, V(1));
+  EXPECT_EQ(t.Get(5).value(), V(1));
+  EXPECT_EQ(t.size(), 1u);
+  t.Put(5, V(2));  // overwrite
+  EXPECT_EQ(t.Get(5).value(), V(2));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, InsertRejectsDuplicates) {
+  BTree t;
+  EXPECT_TRUE(t.Insert(1, V(1)).ok());
+  EXPECT_EQ(t.Insert(1, V(2)).code(), xenic::StatusCode::kAlreadyExists);
+  EXPECT_EQ(t.Get(1).value(), V(1));
+}
+
+TEST(BTreeTest, SequentialInsertSplits) {
+  BTree t;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    t.Put(i, V(static_cast<uint8_t>(i)));
+  }
+  EXPECT_EQ(t.size(), 10000u);
+  EXPECT_GT(t.height(), 1);
+  t.CheckInvariants();
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(t.Get(i).value(), V(static_cast<uint8_t>(i)));
+  }
+}
+
+TEST(BTreeTest, ReverseInsert) {
+  BTree t;
+  for (uint64_t i = 5000; i > 0; --i) {
+    t.Put(i, V(1));
+  }
+  t.CheckInvariants();
+  EXPECT_EQ(t.size(), 5000u);
+  auto first = t.SeekFirst(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->first, 1u);
+}
+
+TEST(BTreeTest, ScanRange) {
+  BTree t;
+  for (uint64_t i = 0; i < 1000; i += 2) {
+    t.Put(i, V(static_cast<uint8_t>(i)));
+  }
+  std::vector<Key> seen;
+  t.Scan(100, 120, [&](Key k, const Value&) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<Key>{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120}));
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  BTree t;
+  for (uint64_t i = 0; i < 100; ++i) {
+    t.Put(i, V(1));
+  }
+  int count = 0;
+  const size_t visited = t.Scan(0, 99, [&](Key, const Value&) { return ++count < 5; });
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST(BTreeTest, SeekFirstLast) {
+  BTree t;
+  t.Put(10, V(1));
+  t.Put(20, V(2));
+  t.Put(30, V(3));
+  EXPECT_EQ(t.SeekFirst(15)->first, 20u);
+  EXPECT_EQ(t.SeekFirst(20)->first, 20u);
+  EXPECT_FALSE(t.SeekFirst(31).has_value());
+  EXPECT_EQ(t.SeekLast(25)->first, 20u);
+  EXPECT_EQ(t.SeekLast(20)->first, 20u);
+  EXPECT_FALSE(t.SeekLast(5).has_value());
+  EXPECT_EQ(t.SeekLast(~0ull)->first, 30u);
+}
+
+TEST(BTreeTest, EraseAndCollapse) {
+  BTree t;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    t.Put(i, V(1));
+  }
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(t.Erase(i).ok()) << i;
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1);
+  t.CheckInvariants();
+  // Tree remains usable.
+  t.Put(7, V(7));
+  EXPECT_EQ(t.Get(7).value(), V(7));
+}
+
+TEST(BTreeTest, FifoChurnLikeNewOrder) {
+  // TPC-C NEW-ORDER pattern: insert at the high end, delete from the low
+  // end (DELIVERY pops the oldest).
+  BTree t;
+  uint64_t head = 0;
+  uint64_t tail = 0;
+  for (int round = 0; round < 20000; ++round) {
+    t.Put(tail++, V(1));
+    if (tail - head > 100) {
+      auto oldest = t.SeekFirst(head);
+      ASSERT_TRUE(oldest.has_value());
+      ASSERT_TRUE(t.Erase(oldest->first).ok());
+      head = oldest->first + 1;
+    }
+  }
+  t.CheckInvariants();
+  EXPECT_EQ(t.size(), 100u);
+}
+
+TEST(BTreeTest, RandomChurnAgainstStdMap) {
+  BTree t;
+  std::map<Key, Value> oracle;
+  xenic::Rng rng(42);
+  for (int step = 0; step < 30000; ++step) {
+    const double roll = rng.NextDouble();
+    const Key k = rng.NextBounded(2000);
+    if (roll < 0.5) {
+      Value v(8, static_cast<uint8_t>(rng.Next()));
+      t.Put(k, v);
+      oracle[k] = v;
+    } else if (roll < 0.8) {
+      const bool in_oracle = oracle.erase(k) > 0;
+      EXPECT_EQ(t.Erase(k).ok(), in_oracle);
+    } else {
+      auto r = t.Get(k);
+      auto it = oracle.find(k);
+      ASSERT_EQ(r.has_value(), it != oracle.end());
+      if (r) {
+        ASSERT_EQ(*r, it->second);
+      }
+    }
+    if (step % 5000 == 4999) {
+      t.CheckInvariants();
+      ASSERT_EQ(t.size(), oracle.size());
+      // Full scan must visit exactly the oracle contents in order.
+      std::vector<Key> scanned;
+      t.Scan(0, ~0ull, [&](Key key, const Value&) {
+        scanned.push_back(key);
+        return true;
+      });
+      ASSERT_EQ(scanned.size(), oracle.size());
+      auto it = oracle.begin();
+      for (Key key : scanned) {
+        ASSERT_EQ(key, it->first);
+        ++it;
+      }
+    }
+  }
+}
+
+TEST(BTreeTest, ScanAcrossLeafBoundaries) {
+  BTree t;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    t.Put(i * 3, V(1));
+  }
+  size_t n = t.Scan(0, 3000, [](Key, const Value&) { return true; });
+  EXPECT_EQ(n, 1000u);
+}
+
+TEST(BTreeTest, CompositeKeysForTpcc) {
+  // (warehouse, district, order) composite keys preserve order grouping.
+  auto make_key = [](uint64_t w, uint64_t d, uint64_t o) {
+    return (w << 40) | (d << 32) | o;
+  };
+  BTree t;
+  for (uint64_t w = 1; w <= 3; ++w) {
+    for (uint64_t d = 1; d <= 2; ++d) {
+      for (uint64_t o = 1; o <= 50; ++o) {
+        t.Put(make_key(w, d, o), V(static_cast<uint8_t>(o)));
+      }
+    }
+  }
+  // Oldest order in (2, 1): scan the district's range.
+  auto oldest = t.SeekFirst(make_key(2, 1, 0));
+  ASSERT_TRUE(oldest.has_value());
+  EXPECT_EQ(oldest->first, make_key(2, 1, 1));
+  // Newest order in (2, 1).
+  auto newest = t.SeekLast(make_key(2, 1, ~0u));
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->first, make_key(2, 1, 50));
+  // Range scan stays within the district.
+  size_t count = 0;
+  t.Scan(make_key(2, 1, 0), make_key(2, 1, ~0u), [&](Key, const Value&) {
+    count++;
+    return true;
+  });
+  EXPECT_EQ(count, 50u);
+}
+
+}  // namespace
+}  // namespace xenic::btree

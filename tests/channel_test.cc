@@ -1,0 +1,76 @@
+#include "src/sim/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace xenic::sim {
+namespace {
+
+TEST(ChannelTest, DeliveryTimeIsSerializationPlusLatency) {
+  Engine e;
+  // 1 byte/ns, 100 ns propagation.
+  Channel ch(&e, "link", 1.0, 100);
+  Tick delivered = 0;
+  ch.Send(50, [&] { delivered = e.now(); });
+  e.Run();
+  EXPECT_EQ(delivered, 150u);
+}
+
+TEST(ChannelTest, BackToBackSendsSerialize) {
+  Engine e;
+  Channel ch(&e, "link", 1.0, 0);
+  std::vector<Tick> times;
+  ch.Send(100, [&] { times.push_back(e.now()); });
+  ch.Send(100, [&] { times.push_back(e.now()); });
+  e.Run();
+  EXPECT_EQ(times, (std::vector<Tick>{100, 200}));
+}
+
+TEST(ChannelTest, IdleGapResetsStart) {
+  Engine e;
+  Channel ch(&e, "link", 1.0, 0);
+  std::vector<Tick> times;
+  ch.Send(10, [&] { times.push_back(e.now()); });
+  e.ScheduleAt(1000, [&] { ch.Send(10, [&] { times.push_back(e.now()); }); });
+  e.Run();
+  EXPECT_EQ(times, (std::vector<Tick>{10, 1010}));
+}
+
+TEST(ChannelTest, BandwidthMatches100Gbe) {
+  // 100 Gbps = 12.5 bytes/ns. A 1500 B frame takes 120 ns to serialize.
+  Engine e;
+  Channel ch(&e, "100g", 12.5, 0);
+  Tick delivered = 0;
+  ch.Send(1500, [&] { delivered = e.now(); });
+  e.Run();
+  EXPECT_EQ(delivered, 120u);
+}
+
+TEST(ChannelTest, UtilizationAccounting) {
+  Engine e;
+  Channel ch(&e, "link", 2.0, 0);
+  ch.Send(1000, [] {});
+  e.Run();
+  // 1000 bytes over a 1000 ns window on a 2 B/ns link = 50%.
+  EXPECT_DOUBLE_EQ(ch.Utilization(1000), 0.5);
+  EXPECT_EQ(ch.bytes_sent(), 1000u);
+  EXPECT_EQ(ch.sends(), 1u);
+  ch.ResetStats();
+  EXPECT_EQ(ch.bytes_sent(), 0u);
+}
+
+TEST(ChannelTest, ManySmallVsOneLargeSameOccupancy) {
+  Engine e;
+  Channel a(&e, "a", 1.0, 0);
+  Channel b(&e, "b", 1.0, 0);
+  Tick last_a = 0;
+  Tick last_b = 0;
+  for (int i = 0; i < 10; ++i) {
+    a.Send(10, [&] { last_a = e.now(); });
+  }
+  b.Send(100, [&] { last_b = e.now(); });
+  e.Run();
+  EXPECT_EQ(last_a, last_b);
+}
+
+}  // namespace
+}  // namespace xenic::sim

@@ -1,0 +1,92 @@
+#include "src/store/commit_log.h"
+
+#include <gtest/gtest.h>
+
+namespace xenic::store {
+namespace {
+
+LogRecord MakeRecord(TxnId txn, std::vector<Key> keys) {
+  LogRecord r;
+  r.type = LogRecordType::kLog;
+  r.txn = txn;
+  for (Key k : keys) {
+    r.writes.push_back(LogWrite{0, k, 1, Value(8, 1), false});
+  }
+  return r;
+}
+
+TEST(CommitLogTest, AppendAssignsMonotoneLsns) {
+  CommitLog log;
+  auto a = log.Append(MakeRecord(1, {1}));
+  auto b = log.Append(MakeRecord(2, {2}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(log.pending(), 2u);
+}
+
+TEST(CommitLogTest, PeekPopOrder) {
+  CommitLog log;
+  log.Append(MakeRecord(1, {1}));
+  log.Append(MakeRecord(2, {2}));
+  ASSERT_NE(log.Peek(), nullptr);
+  EXPECT_EQ(log.Peek()->txn, 1u);
+  log.PopApplied();
+  EXPECT_EQ(log.Peek()->txn, 2u);
+  log.PopApplied();
+  EXPECT_EQ(log.Peek(), nullptr);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_EQ(log.unreclaimed(), 2u);
+}
+
+TEST(CommitLogTest, ReclaimFreesApplied) {
+  CommitLog log;
+  log.Append(MakeRecord(1, {1}));
+  log.Append(MakeRecord(2, {2}));
+  log.PopApplied();
+  log.PopApplied();
+  log.Reclaim(1);
+  EXPECT_EQ(log.unreclaimed(), 1u);
+  log.Reclaim(2);
+  EXPECT_EQ(log.unreclaimed(), 0u);
+}
+
+TEST(CommitLogTest, CapacityBackpressure) {
+  CommitLog log(2);
+  EXPECT_TRUE(log.Append(MakeRecord(1, {1})).ok());
+  EXPECT_TRUE(log.Append(MakeRecord(2, {2})).ok());
+  auto r = log.Append(MakeRecord(3, {3}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCapacity);
+  // Apply + reclaim frees space.
+  log.PopApplied();
+  log.Reclaim(1);
+  EXPECT_TRUE(log.Append(MakeRecord(3, {3})).ok());
+}
+
+TEST(CommitLogTest, ByteSizeCountsWrites) {
+  LogRecord r = MakeRecord(1, {1, 2, 3});
+  EXPECT_EQ(r.ByteSize(), 24 + 3 * (24 + 8));
+}
+
+TEST(CommitLogTest, RecordContentsPreserved) {
+  CommitLog log;
+  LogRecord r;
+  r.type = LogRecordType::kCommit;
+  r.txn = 42;
+  r.writes.push_back(LogWrite{3, 77, 9, Value(4, 0xAB), false});
+  log.Append(std::move(r));
+  const LogRecord* p = log.Peek();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->type, LogRecordType::kCommit);
+  EXPECT_EQ(p->txn, 42u);
+  ASSERT_EQ(p->writes.size(), 1u);
+  EXPECT_EQ(p->writes[0].table, 3);
+  EXPECT_EQ(p->writes[0].key, 77u);
+  EXPECT_EQ(p->writes[0].seq, 9u);
+  EXPECT_EQ(p->writes[0].value, Value(4, 0xAB));
+}
+
+}  // namespace
+}  // namespace xenic::store

@@ -1,0 +1,104 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xenic::sim {
+namespace {
+
+TEST(EngineTest, StartsAtZeroIdle) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_TRUE(e.idle());
+  EXPECT_FALSE(e.Step());
+}
+
+TEST(EngineTest, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(30, [&] { order.push_back(3); });
+  e.ScheduleAt(10, [&] { order.push_back(1); });
+  e.ScheduleAt(20, [&] { order.push_back(2); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(EngineTest, TieBrokenByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EngineTest, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  Tick seen = 0;
+  e.ScheduleAt(100, [&] {
+    e.ScheduleAfter(50, [&] { seen = e.now(); });
+  });
+  e.Run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EngineTest, CascadingEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      e.ScheduleAfter(1, recurse);
+    }
+  };
+  e.ScheduleAt(0, recurse);
+  e.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99u);
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundary) {
+  Engine e;
+  int ran = 0;
+  e.ScheduleAt(10, [&] { ran++; });
+  e.ScheduleAt(20, [&] { ran++; });
+  e.ScheduleAt(21, [&] { ran++; });
+  e.RunUntil(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(e.now(), 20u);
+  EXPECT_EQ(e.pending_events(), 1u);
+}
+
+TEST(EngineTest, RunUntilAdvancesClockWhenIdle) {
+  Engine e;
+  e.RunUntil(500);
+  EXPECT_EQ(e.now(), 500u);
+}
+
+TEST(EngineTest, EventCountTracked) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) {
+    e.ScheduleAt(static_cast<Tick>(i), [] {});
+  }
+  e.Run();
+  EXPECT_EQ(e.events_executed(), 5u);
+}
+
+TEST(EngineTest, EventsScheduledDuringRunUntilWindowExecute) {
+  Engine e;
+  int count = 0;
+  e.ScheduleAt(5, [&] {
+    count++;
+    e.ScheduleAfter(2, [&] { count++; });  // lands at 7, inside window
+    e.ScheduleAfter(100, [&] { count++; });  // outside window
+  });
+  e.RunUntil(50);
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace xenic::sim

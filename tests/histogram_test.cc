@@ -1,0 +1,109 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace xenic {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Median(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234u);
+  EXPECT_EQ(h.max(), 1234u);
+  EXPECT_NEAR(h.Median(), 1234, 20);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 64; ++v) {
+    h.Record(v);
+  }
+  // Sub-64 values are exact buckets.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_NEAR(h.Median(), 32, 1);
+}
+
+TEST(HistogramTest, QuantilesOfUniform) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.NextBounded(1000000));
+  }
+  EXPECT_NEAR(static_cast<double>(h.Median()), 500000.0, 500000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.ValueAtQuantile(0.9)), 900000.0, 900000.0 * 0.05);
+  EXPECT_NEAR(h.Mean(), 500000.0, 500000.0 * 0.02);
+}
+
+TEST(HistogramTest, RelativeErrorBounded) {
+  // Every recorded value must be recoverable within ~2x sub-bucket width.
+  for (uint64_t v : {1ull, 100ull, 1000ull, 123456ull, 99999999ull, 123456789012ull}) {
+    Histogram h;
+    h.Record(v);
+    const double err =
+        std::abs(static_cast<double>(h.Median()) - static_cast<double>(v)) / std::max<double>(1.0, static_cast<double>(v));
+    EXPECT_LT(err, 0.02) << "value " << v;
+  }
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 1000; ++i) {
+    a.Record(100);
+    b.Record(10000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 10000u);
+  EXPECT_NEAR(a.Mean(), 5050.0, 60.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.Record(7);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(rng.NextBounded(1 << 20));
+  }
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const uint64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1500);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xenic

@@ -1,0 +1,63 @@
+#include "src/store/large_object_heap.h"
+
+#include <gtest/gtest.h>
+
+namespace xenic::store {
+namespace {
+
+TEST(LargeObjectHeapTest, AllocGetFree) {
+  LargeObjectHeap heap;
+  auto h = heap.Alloc(Value(300, 7));
+  EXPECT_TRUE(heap.Valid(h));
+  EXPECT_EQ(heap.Get(h), Value(300, 7));
+  EXPECT_EQ(heap.live_objects(), 1u);
+  EXPECT_EQ(heap.live_bytes(), 300u);
+  heap.Free(h);
+  EXPECT_FALSE(heap.Valid(h));
+  EXPECT_EQ(heap.live_objects(), 0u);
+  EXPECT_EQ(heap.live_bytes(), 0u);
+}
+
+TEST(LargeObjectHeapTest, HandleReuse) {
+  LargeObjectHeap heap;
+  auto h1 = heap.Alloc(Value(10, 1));
+  heap.Free(h1);
+  auto h2 = heap.Alloc(Value(10, 2));
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(heap.Get(h2), Value(10, 2));
+}
+
+TEST(LargeObjectHeapTest, UpdateChangesSizeAccounting) {
+  LargeObjectHeap heap;
+  auto h = heap.Alloc(Value(100, 1));
+  heap.Update(h, Value(500, 2));
+  EXPECT_EQ(heap.live_bytes(), 500u);
+  EXPECT_EQ(heap.Get(h), Value(500, 2));
+}
+
+TEST(LargeObjectHeapTest, ManyObjectsIndependent) {
+  LargeObjectHeap heap;
+  std::vector<LargeObjectHeap::Handle> hs;
+  for (int i = 0; i < 100; ++i) {
+    hs.push_back(heap.Alloc(Value(8, static_cast<uint8_t>(i))));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(heap.Get(hs[static_cast<size_t>(i)]), Value(8, static_cast<uint8_t>(i)));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    heap.Free(hs[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(heap.live_objects(), 50u);
+  for (int i = 1; i < 100; i += 2) {
+    EXPECT_EQ(heap.Get(hs[static_cast<size_t>(i)]), Value(8, static_cast<uint8_t>(i)));
+  }
+}
+
+TEST(LargeObjectHeapTest, InvalidHandleChecks) {
+  LargeObjectHeap heap;
+  EXPECT_FALSE(heap.Valid(LargeObjectHeap::kNullHandle));
+  EXPECT_FALSE(heap.Valid(0));
+}
+
+}  // namespace
+}  // namespace xenic::store

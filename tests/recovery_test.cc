@@ -1,0 +1,193 @@
+// Recovery tests (paper 4.2.1): lease-based failure detection, backup
+// promotion with lock-state reconstruction, roll-forward/discard decisions
+// from surviving logs, and post-recovery routing via the remapped
+// partitioner.
+
+#include <gtest/gtest.h>
+
+#include "src/txn/recovery.h"
+
+namespace xenic::txn {
+namespace {
+
+using store::GetI64;
+using store::MakeValue;
+using store::PutI64;
+using store::Value;
+
+constexpr store::TableId kBank = 0;
+
+Value Balance(int64_t v) {
+  Value out = MakeValue(16, 0);
+  PutI64(out, 0, v);
+  return out;
+}
+
+XenicClusterOptions Opts() {
+  XenicClusterOptions o;
+  o.num_nodes = 4;
+  o.replication = 3;  // primary + 2 backups: one survivor pair per shard
+  o.tables = {store::TableSpec{kBank, "bank", 12, 16, 8, 8}};
+  return o;
+}
+
+store::Key KeyOn(const XenicCluster& c, store::NodeId node, uint64_t salt = 0) {
+  for (store::Key k = salt * 100000 + 1;; ++k) {
+    if (c.map().PrimaryOf(kBank, k) == node) {
+      return k;
+    }
+  }
+}
+
+TEST(ClusterManagerTest, LeasesExpireAndRenew) {
+  sim::Engine eng;
+  ClusterManager mgr(&eng, 3, 1000);
+  EXPECT_TRUE(mgr.IsAlive(0));
+  eng.RunUntil(500);
+  mgr.RenewLease(0);
+  eng.RunUntil(1200);
+  EXPECT_TRUE(mgr.IsAlive(0));   // renewed at 500 -> expires 1500
+  EXPECT_FALSE(mgr.IsAlive(1));  // never renewed
+  auto expired = mgr.ExpiredLeases();
+  EXPECT_EQ(expired.size(), 2u);
+}
+
+TEST(ClusterManagerTest, MarkFailedBumpsEpochOnce) {
+  sim::Engine eng;
+  ClusterManager mgr(&eng, 3, 1000);
+  const uint64_t e0 = mgr.epoch();
+  mgr.MarkFailed(1);
+  EXPECT_EQ(mgr.epoch(), e0 + 1);
+  mgr.MarkFailed(1);
+  EXPECT_EQ(mgr.epoch(), e0 + 1);
+  EXPECT_FALSE(mgr.IsAlive(1));
+  mgr.RenewLease(1);  // failed nodes cannot renew
+  EXPECT_FALSE(mgr.IsAlive(1));
+}
+
+TEST(RemappedPartitionerTest, RoutesFailedShards) {
+  HashPartitioner base(4);
+  RemappedPartitioner remap(&base, {{2, 3}});
+  for (store::Key k = 0; k < 1000; ++k) {
+    const store::NodeId orig = base.PrimaryOf(0, k);
+    const store::NodeId now = remap.PrimaryOf(0, k);
+    if (orig == 2) {
+      EXPECT_EQ(now, 3u);
+    } else {
+      EXPECT_EQ(now, orig);
+    }
+  }
+}
+
+TEST(RecoveryTest, RollsForwardCompleteTransactions) {
+  HashPartitioner part(4);
+  XenicCluster c(Opts(), &part);
+  const store::NodeId failed = 1;
+  const store::Key key = KeyOn(c, failed);
+  c.LoadReplicated(kBank, key, Balance(100));
+
+  // A transaction reached its commit point: LOG records on BOTH surviving
+  // backups, but the primary crashed before applying.
+  const store::TxnId txn = store::MakeTxnId(0, 99);
+  store::LogRecord rec;
+  rec.type = store::LogRecordType::kLog;
+  rec.txn = txn;
+  rec.writes.push_back(store::LogWrite{kBank, key, 2, Balance(150), false});
+  for (store::NodeId b : c.map().BackupsOf(failed)) {
+    ASSERT_TRUE(c.datastore(b).log().Append(rec).ok());
+  }
+
+  const store::NodeId promoted = c.map().BackupsOf(failed)[0];
+  RecoveryReport report = RecoverShard(c, failed, promoted);
+  EXPECT_EQ(report.rolled_forward, 1u);
+  EXPECT_EQ(report.discarded, 0u);
+  EXPECT_GE(report.locks_rebuilt, 1u);
+  // The new primary holds the committed value, lock released.
+  auto r = c.datastore(promoted).table(kBank).Lookup(key);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(GetI64(r->value, 0), 150);
+  EXPECT_EQ(r->seq, 2u);
+  EXPECT_FALSE(c.datastore(promoted).index(kBank).IsLocked(key));
+  // The promoted node's stale backup cache was invalidated: a remote
+  // lookup must serve the ROLLED-FORWARD value, not the load-time one.
+  store::NicIndex::LookupStats st;
+  auto cached = c.datastore(promoted).index(kBank).LookupRemote(key, &st);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(GetI64(cached->value, 0), 150);
+  EXPECT_EQ(cached->seq, 2u);
+}
+
+TEST(RecoveryTest, DiscardsIncompleteTransactions) {
+  HashPartitioner part(4);
+  XenicCluster c(Opts(), &part);
+  const store::NodeId failed = 1;
+  const store::Key key = KeyOn(c, failed);
+  c.LoadReplicated(kBank, key, Balance(100));
+
+  // LOG record reached only ONE backup: the commit point was never
+  // reached, so recovery must discard it.
+  const store::TxnId txn = store::MakeTxnId(2, 7);
+  store::LogRecord rec;
+  rec.txn = txn;
+  rec.writes.push_back(store::LogWrite{kBank, key, 2, Balance(999), false});
+  const auto backups = c.map().BackupsOf(failed);
+  ASSERT_TRUE(c.datastore(backups[0]).log().Append(rec).ok());
+
+  RecoveryReport report = RecoverShard(c, failed, backups[0]);
+  EXPECT_EQ(report.rolled_forward, 0u);
+  EXPECT_EQ(report.discarded, 1u);
+  auto r = c.datastore(backups[0]).table(kBank).Lookup(key);
+  EXPECT_EQ(GetI64(r->value, 0), 100);  // old value preserved
+  EXPECT_FALSE(c.datastore(backups[0]).index(kBank).IsLocked(key));
+}
+
+TEST(RecoveryTest, EndToEndPromotionServesNewTransactions) {
+  // Run real traffic, "fail" a node, promote, remap, and keep running
+  // against the promoted primary.
+  HashPartitioner part(4);
+  XenicClusterOptions opts = Opts();
+  XenicCluster c(opts, &part);
+  const store::NodeId failed = 2;
+  const store::Key a = KeyOn(c, failed);
+  const store::Key b = KeyOn(c, 0);
+  c.LoadReplicated(kBank, a, Balance(500));
+  c.LoadReplicated(kBank, b, Balance(500));
+  c.StartWorkers();
+
+  // Commit one transfer before the failure.
+  bool done = false;
+  TxnRequest req;
+  req.reads = {{kBank, a}, {kBank, b}};
+  req.writes = {{kBank, a}, {kBank, b}};
+  req.execute = [](ExecRound& er) {
+    (*er.writes)[0].value = Balance(GetI64((*er.reads)[0].value, 0) - 50);
+    (*er.writes)[1].value = Balance(GetI64((*er.reads)[1].value, 0) + 50);
+  };
+  c.node(0).Submit(std::move(req), [&](TxnOutcome o) {
+    done = true;
+    EXPECT_EQ(o, TxnOutcome::kCommitted);
+  });
+  for (int i = 0; i < 1000 && !done; ++i) {
+    c.engine().RunFor(10 * sim::kNsPerUs);
+  }
+  c.engine().RunFor(500 * sim::kNsPerUs);
+
+  // Failure detection + promotion.
+  ClusterManager mgr(&c.engine(), 4, 1000);
+  mgr.MarkFailed(failed);
+  const store::NodeId promoted = c.map().BackupsOf(failed)[0];
+  RecoverShard(c, failed, promoted);
+  EXPECT_EQ(GetI64(c.datastore(promoted).table(kBank).Lookup(a)->value, 0), 450);
+
+  // New transactions route to the promoted primary. (The coordinator map
+  // is swapped via the remapped partitioner in a real reconfiguration; we
+  // verify the promoted replica serves consistent data.)
+  RemappedPartitioner remap(&part, {{failed, promoted}});
+  EXPECT_EQ(remap.PrimaryOf(kBank, a), promoted);
+
+  c.StopWorkers();
+  c.engine().Run();
+}
+
+}  // namespace
+}  // namespace xenic::txn

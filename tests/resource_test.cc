@@ -1,0 +1,105 @@
+#include "src/sim/resource.h"
+
+#include <gtest/gtest.h>
+
+namespace xenic::sim {
+namespace {
+
+TEST(ResourceTest, SingleServerSerializes) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  std::vector<Tick> done;
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(10, [&] { done.push_back(e.now()); });
+  }
+  e.Run();
+  EXPECT_EQ(done, (std::vector<Tick>{10, 20, 30}));
+  EXPECT_EQ(r.completed(), 3u);
+}
+
+TEST(ResourceTest, MultipleServersRunConcurrently) {
+  Engine e;
+  Resource r(&e, "cores", 4);
+  std::vector<Tick> done;
+  for (int i = 0; i < 4; ++i) {
+    r.Submit(10, [&] { done.push_back(e.now()); });
+  }
+  e.Run();
+  EXPECT_EQ(done, (std::vector<Tick>{10, 10, 10, 10}));
+}
+
+TEST(ResourceTest, QueueDrainsFifo) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    r.Submit(5, [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, UtilizationLaw) {
+  // 1 server, jobs arriving faster than service: utilization ~ 1.
+  Engine e;
+  Resource r(&e, "core", 1);
+  for (int i = 0; i < 100; ++i) {
+    r.Submit(10, [] {});
+  }
+  e.Run();
+  EXPECT_EQ(e.now(), 1000u);
+  EXPECT_DOUBLE_EQ(r.Utilization(1000), 1.0);
+}
+
+TEST(ResourceTest, PartialUtilization) {
+  Engine e;
+  Resource r(&e, "cores", 2);
+  r.Submit(100, [] {});
+  e.RunUntil(1000);
+  // 100 ns busy on one of two servers over a 1000 ns window.
+  EXPECT_DOUBLE_EQ(r.Utilization(1000), 0.05);
+}
+
+TEST(ResourceTest, LateSubmissionStartsImmediately) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  Tick done_at = 0;
+  e.ScheduleAt(500, [&] { r.Submit(10, [&] { done_at = e.now(); }); });
+  e.Run();
+  EXPECT_EQ(done_at, 510u);
+}
+
+TEST(ResourceTest, QueueDepthVisible) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  for (int i = 0; i < 5; ++i) {
+    r.Submit(10, [] {});
+  }
+  EXPECT_EQ(r.queue_depth(), 4u);
+  EXPECT_EQ(r.busy(), 1u);
+  e.Run();
+  EXPECT_EQ(r.queue_depth(), 0u);
+  EXPECT_EQ(r.busy(), 0u);
+}
+
+TEST(ResourceTest, ResetStatsClearsCounters) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  r.Submit(10, [] {});
+  e.Run();
+  r.ResetStats();
+  EXPECT_EQ(r.completed(), 0u);
+  EXPECT_EQ(r.busy_time(), 0u);
+}
+
+TEST(ResourceTest, ZeroServiceTimeCompletes) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  bool done = false;
+  r.Submit(0, [&] { done = true; });
+  e.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace xenic::sim

@@ -1,0 +1,181 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace xenic {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) {
+      same++;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedResets) {
+  Rng a(7);
+  const uint64_t first = a.Next();
+  a.Next();
+  a.Seed(7);
+  EXPECT_EQ(a.Next(), first);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BoundedRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 10> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[rng.NextBounded(10)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(17);
+  std::vector<uint32_t> weights = {10, 0, 30, 60};
+  std::array<int, 4> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[rng.NextWeighted(weights)]++;
+  }
+  EXPECT_NEAR(counts[0], n / 10, n / 50);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2], 3 * n / 10, n / 50);
+  EXPECT_NEAR(counts[3], 6 * n / 10, n / 50);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  Rng rng(19);
+  ZipfGenerator zipf(100, 0.0);
+  std::array<int, 100> counts{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 100, n / 200);
+  }
+}
+
+TEST(ZipfTest, StaysInRange) {
+  Rng rng(23);
+  ZipfGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(29);
+  ZipfGenerator zipf(10000, 0.99);
+  int head = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next(rng) < 100) {
+      head++;
+    }
+  }
+  // Under uniform, the first 1% of ranks would get ~1% of draws; Zipf 0.99
+  // concentrates far more.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(ZipfTest, RankFrequencyMatchesTheory) {
+  Rng rng(31);
+  const double alpha = 1.0;
+  const uint64_t n_keys = 1000;
+  ZipfGenerator zipf(n_keys, alpha);
+  std::vector<int> counts(n_keys, 0);
+  const int n = 2000000;
+  for (int i = 0; i < n; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  // P(rank 1) / P(rank 10) should be ~10 for alpha = 1.
+  const double ratio = static_cast<double>(counts[0]) / counts[9];
+  EXPECT_NEAR(ratio, 10.0, 2.0);
+}
+
+TEST(ZipfTest, ModerateSkewHalfAlpha) {
+  // Retwis uses alpha = 0.5; ratio of P(1)/P(100) ~ sqrt(100) = 10.
+  Rng rng(37);
+  ZipfGenerator zipf(100000, 0.5);
+  std::vector<int> counts(100000, 0);
+  const int n = 3000000;
+  for (int i = 0; i < n; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  const double ratio = static_cast<double>(counts[0]) / std::max(1, counts[99]);
+  EXPECT_NEAR(ratio, 10.0, 4.0);
+}
+
+TEST(ScrambleKeyTest, InjectiveOnSample) {
+  std::vector<uint64_t> outs;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    outs.push_back(ScrambleKey(i));
+  }
+  std::sort(outs.begin(), outs.end());
+  EXPECT_EQ(std::adjacent_find(outs.begin(), outs.end()), outs.end());
+}
+
+}  // namespace
+}  // namespace xenic

@@ -1,0 +1,106 @@
+// Harness runner behavior: warmup exclusion, retry accounting, counted
+// (tag-filtered) throughput, and determinism for a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include "src/harness/runner.h"
+#include "src/workload/smallbank.h"
+
+namespace xenic::harness {
+namespace {
+
+std::unique_ptr<workload::Smallbank> MakeWl(uint32_t nodes = 3) {
+  workload::Smallbank::Options wo;
+  wo.num_nodes = nodes;
+  wo.accounts_per_node = 3000;
+  return std::make_unique<workload::Smallbank>(wo);
+}
+
+SystemConfig Cfg() {
+  SystemConfig cfg;
+  cfg.kind = SystemConfig::Kind::kXenic;
+  cfg.num_nodes = 3;
+  cfg.replication = 2;
+  return cfg;
+}
+
+TEST(RunnerTest, ThroughputScalesWithMeasureWindow) {
+  auto wl = MakeWl();
+  auto sys = BuildSystem(Cfg(), *wl);
+  LoadWorkload(*sys, *wl);
+  RunConfig rc;
+  rc.contexts_per_node = 8;
+  rc.warmup = 100 * sim::kNsPerUs;
+  rc.measure = 300 * sim::kNsPerUs;
+  const RunResult short_run = RunWorkload(*sys, *wl, rc);
+  rc.measure = 1200 * sim::kNsPerUs;
+  const RunResult long_run = RunWorkload(*sys, *wl, rc);
+  // Rates should agree within noise; commit COUNTS scale ~4x.
+  EXPECT_NEAR(long_run.tput_per_server / short_run.tput_per_server, 1.0, 0.3);
+  EXPECT_GT(long_run.committed, short_run.committed * 2);
+}
+
+TEST(RunnerTest, DeterministicForSeed) {
+  double tput[2];
+  for (int i = 0; i < 2; ++i) {
+    auto wl = MakeWl();
+    auto sys = BuildSystem(Cfg(), *wl);
+    LoadWorkload(*sys, *wl);
+    RunConfig rc;
+    rc.contexts_per_node = 6;
+    rc.seed = 42;
+    rc.warmup = 100 * sim::kNsPerUs;
+    rc.measure = 400 * sim::kNsPerUs;
+    tput[i] = RunWorkload(*sys, *wl, rc).tput_per_server;
+  }
+  EXPECT_DOUBLE_EQ(tput[0], tput[1]);
+}
+
+TEST(RunnerTest, DifferentSeedsDiffer) {
+  double tput[2];
+  for (int i = 0; i < 2; ++i) {
+    auto wl = MakeWl();
+    auto sys = BuildSystem(Cfg(), *wl);
+    LoadWorkload(*sys, *wl);
+    RunConfig rc;
+    rc.contexts_per_node = 6;
+    rc.seed = 100 + static_cast<uint64_t>(i);
+    rc.warmup = 100 * sim::kNsPerUs;
+    rc.measure = 400 * sim::kNsPerUs;
+    tput[i] = RunWorkload(*sys, *wl, rc).tput_per_server;
+  }
+  EXPECT_NE(tput[0], tput[1]);  // different streams, (almost surely) different counts
+}
+
+TEST(RunnerTest, LatencyCountsOnlyMeasuredWindow) {
+  auto wl = MakeWl();
+  auto sys = BuildSystem(Cfg(), *wl);
+  LoadWorkload(*sys, *wl);
+  RunConfig rc;
+  rc.contexts_per_node = 4;
+  rc.warmup = 400 * sim::kNsPerUs;
+  rc.measure = 400 * sim::kNsPerUs;
+  const RunResult r = RunWorkload(*sys, *wl, rc);
+  // Latency records == counted commits (Smallbank counts everything).
+  EXPECT_EQ(r.latency.count(), r.committed);
+}
+
+TEST(RunnerTest, UtilizationWithinBounds) {
+  auto wl = MakeWl();
+  auto sys = BuildSystem(Cfg(), *wl);
+  LoadWorkload(*sys, *wl);
+  RunConfig rc;
+  rc.contexts_per_node = 32;
+  rc.warmup = 100 * sim::kNsPerUs;
+  rc.measure = 500 * sim::kNsPerUs;
+  const RunResult r = RunWorkload(*sys, *wl, rc);
+  EXPECT_GE(r.host_utilization, 0.0);
+  EXPECT_LE(r.host_utilization, 1.01);
+  EXPECT_GE(r.nic_utilization, 0.0);
+  EXPECT_LE(r.nic_utilization, 1.01);
+  EXPECT_GE(r.wire_utilization, 0.0);
+  EXPECT_LE(r.wire_utilization, 1.05);
+}
+
+}  // namespace
+}  // namespace xenic::harness

@@ -1,0 +1,230 @@
+// Serializability checker: run concurrent read-modify-write transactions,
+// record the version each transaction read and wrote for every key, build
+// the precedence graph (write-read, write-write, and read-write
+// anti-dependency edges derived from the per-key version chains), and
+// verify it is acyclic. A cycle would be a serializability violation.
+//
+// Runs against the Xenic engine (all feature combinations) and every
+// baseline engine.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+
+#include "src/baseline/baseline_cluster.h"
+#include "src/common/rng.h"
+#include "src/txn/xenic_cluster.h"
+
+namespace xenic {
+namespace {
+
+using store::GetI64;
+using store::PutI64;
+using store::Value;
+using txn::ExecRound;
+using txn::TxnOutcome;
+using txn::TxnRequest;
+
+constexpr store::TableId kBank = 0;
+
+struct Observation {
+  // (key -> version read); writes produced version read+1 for every key
+  // (all transactions here are read-modify-write on their whole key set).
+  std::map<store::Key, store::Seq> reads;
+};
+
+// Kahn's algorithm over the precedence graph; true iff acyclic.
+bool Acyclic(const std::vector<std::vector<int>>& adj) {
+  const size_t n = adj.size();
+  std::vector<int> indeg(n, 0);
+  for (const auto& out : adj) {
+    for (int v : out) {
+      indeg[static_cast<size_t>(v)]++;
+    }
+  }
+  std::queue<int> q;
+  for (size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) {
+      q.push(static_cast<int>(i));
+    }
+  }
+  size_t seen = 0;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    seen++;
+    for (int v : adj[static_cast<size_t>(u)]) {
+      if (--indeg[static_cast<size_t>(v)] == 0) {
+        q.push(v);
+      }
+    }
+  }
+  return seen == n;
+}
+
+// Build the precedence graph from per-key version chains and check it.
+// Each committed txn i read version r(i,k) and wrote r(i,k)+1 of every key
+// k it touched. Version 1 is the initial load (virtual txn -1, ignored).
+void CheckHistory(const std::vector<Observation>& txns) {
+  // writer_of[k][v] = txn that produced version v of key k.
+  std::map<store::Key, std::map<store::Seq, int>> writer_of;
+  for (size_t i = 0; i < txns.size(); ++i) {
+    for (const auto& [k, r] : txns[i].reads) {
+      auto [it, fresh] = writer_of[k].emplace(r + 1, static_cast<int>(i));
+      ASSERT_TRUE(fresh) << "two transactions produced version " << r + 1 << " of key " << k
+                         << ": txns " << it->second << " and " << i;
+    }
+  }
+
+  std::vector<std::vector<int>> adj(txns.size());
+  for (size_t i = 0; i < txns.size(); ++i) {
+    for (const auto& [k, r] : txns[i].reads) {
+      const auto& chain = writer_of[k];
+      // wr edge: the writer of the version we read precedes us.
+      if (auto it = chain.find(r); it != chain.end() && it->second != static_cast<int>(i)) {
+        adj[static_cast<size_t>(it->second)].push_back(static_cast<int>(i));
+      }
+      // ww edge: we precede the writer of the next version (that is the
+      // writer of r+2, since we wrote r+1).
+      if (auto it = chain.find(r + 2); it != chain.end()) {
+        adj[i].push_back(it->second);
+      }
+    }
+  }
+  EXPECT_TRUE(Acyclic(adj)) << "serializability violation: precedence cycle";
+}
+
+Value Balance(int64_t v) {
+  Value out(16, 0);
+  PutI64(out, 0, v);
+  return out;
+}
+
+// A transfer whose execute closure records the versions it observed.
+TxnRequest RecordingTransfer(std::vector<store::Key> keys,
+                             std::shared_ptr<Observation> obs) {
+  TxnRequest req;
+  for (auto k : keys) {
+    req.reads.push_back({kBank, k});
+    req.writes.push_back({kBank, k});
+  }
+  req.execute = [obs](ExecRound& er) {
+    obs->reads.clear();
+    int64_t sum = 0;
+    for (const auto& r : *er.reads) {
+      sum += GetI64(r.value, 0);
+    }
+    for (size_t i = 0; i < er.reads->size(); ++i) {
+      obs->reads[(*er.read_keys)[i].key] = (*er.reads)[i].seq;
+      // Rebalance: spread the total across the keys (conserves money and
+      // forces real read-write dependencies between overlapping txns).
+      const int64_t share = sum / static_cast<int64_t>(er.reads->size()) +
+                            (i == 0 ? sum % static_cast<int64_t>(er.reads->size()) : 0);
+      (*er.writes)[i].value = Balance(share);
+    }
+  };
+  return req;
+}
+
+template <typename Cluster>
+void RunHistoryTest(Cluster& cluster, uint32_t nodes, int txns_per_ctx) {
+  Rng rng(777);
+  constexpr int kKeys = 24;
+  for (store::Key k = 1; k <= kKeys; ++k) {
+    cluster.LoadReplicated(kBank, k, Balance(120));
+  }
+  cluster.StartWorkers();
+
+  std::vector<Observation> committed;
+  int active = 0;
+  std::function<void(store::NodeId, int)> run_one = [&](store::NodeId n, int left) {
+    if (left == 0) {
+      active--;
+      return;
+    }
+    const size_t n_keys = 2 + rng.NextBounded(2);
+    std::vector<store::Key> keys;
+    while (keys.size() < n_keys) {
+      const store::Key k = 1 + rng.NextBounded(kKeys);
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    }
+    auto obs = std::make_shared<Observation>();
+    cluster.node(n).Submit(RecordingTransfer(keys, obs), [&, n, left, obs](TxnOutcome o) {
+      if (o == TxnOutcome::kCommitted) {
+        committed.push_back(*obs);
+      }
+      run_one(n, left - 1);
+    });
+  };
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (int c = 0; c < 3; ++c) {
+      active++;
+      run_one(n, txns_per_ctx);
+    }
+  }
+  while (active > 0 && !cluster.engine().idle()) {
+    cluster.engine().RunFor(50 * sim::kNsPerUs);
+  }
+  cluster.StopWorkers();
+  cluster.engine().Run();
+
+  ASSERT_GT(committed.size(), 30u);
+  CheckHistory(committed);
+}
+
+class XenicSerializabilityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XenicSerializabilityTest, HistoryIsSerializable) {
+  txn::XenicClusterOptions o;
+  o.num_nodes = 3;
+  o.replication = 2;
+  o.tables = {store::TableSpec{kBank, "bank", 10, 16, 8, 8}};
+  const int p = GetParam();
+  o.features.smart_remote_ops = (p & 1) != 0;
+  o.features.nic_execution = (p & 2) != 0;
+  o.features.occ_multihop = (p & 4) != 0;
+  txn::HashPartitioner part(3);
+  txn::XenicCluster cluster(o, &part);
+  RunHistoryTest(cluster, 3, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Features, XenicSerializabilityTest, ::testing::Values(0, 3, 7));
+
+class BaselineSerializabilityTest
+    : public ::testing::TestWithParam<baseline::BaselineMode> {};
+
+TEST_P(BaselineSerializabilityTest, HistoryIsSerializable) {
+  baseline::BaselineClusterOptions o;
+  o.num_nodes = 3;
+  o.replication = 2;
+  o.mode = GetParam();
+  o.tables = {baseline::BaselineStore::TableSpec{kBank, 10, 16}};
+  txn::HashPartitioner part(3);
+  baseline::BaselineCluster cluster(o, &part);
+  RunHistoryTest(cluster, 3, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, BaselineSerializabilityTest,
+                         ::testing::Values(baseline::BaselineMode::kDrtmH,
+                                           baseline::BaselineMode::kDrtmHNC,
+                                           baseline::BaselineMode::kFasst,
+                                           baseline::BaselineMode::kDrtmR),
+                         [](const ::testing::TestParamInfo<baseline::BaselineMode>& info) {
+                           switch (info.param) {
+                             case baseline::BaselineMode::kDrtmH:
+                               return "DrtmH";
+                             case baseline::BaselineMode::kDrtmHNC:
+                               return "DrtmHNC";
+                             case baseline::BaselineMode::kFasst:
+                               return "Fasst";
+                             case baseline::BaselineMode::kDrtmR:
+                               return "DrtmR";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace xenic

@@ -1,0 +1,63 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace xenic {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpers) {
+  EXPECT_EQ(Status::NotFound().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Aborted().code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Capacity().code(), StatusCode::kCapacity);
+  EXPECT_EQ(Status::AlreadyExists().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::InvalidArgument().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Unavailable().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Internal().code(), StatusCode::kInternal);
+  EXPECT_FALSE(Status::NotFound().ok());
+}
+
+TEST(StatusTest, MessagePropagates) {
+  Status s = Status::Aborted("lock held by txn 7");
+  EXPECT_EQ(s.message(), "lock held by txn 7");
+  EXPECT_EQ(s.ToString(), "ABORTED: lock held by txn 7");
+}
+
+TEST(StatusTest, EqualityByCode) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Aborted());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace xenic

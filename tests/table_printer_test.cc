@@ -1,0 +1,44 @@
+#include "src/common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace xenic {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedColumns) {
+  TablePrinter tp({"System", "Tput", "Lat"});
+  tp.AddRow({"Xenic", "1.19M", "12"});
+  tp.AddRow({"DrTM+H", "490k", "29"});
+  const std::string out = tp.Render("Fig 8a");
+  EXPECT_NE(out.find("== Fig 8a =="), std::string::npos);
+  EXPECT_NE(out.find("System"), std::string::npos);
+  EXPECT_NE(out.find("Xenic"), std::string::npos);
+  EXPECT_NE(out.find("DrTM+H"), std::string::npos);
+  // Header line and both rows present.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter tp({"a", "b", "c"});
+  tp.AddRow({"x"});
+  const std::string csv = tp.RenderCsv();
+  EXPECT_NE(csv.find("x,,"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvFormat) {
+  TablePrinter tp({"k", "v"});
+  tp.AddRow({"1", "2"});
+  EXPECT_EQ(tp.RenderCsv(), "k,v\n1,2\n");
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::FmtOps(1190000.0), "1.19M");
+  EXPECT_EQ(TablePrinter::FmtOps(232000.0), "232k");
+  EXPECT_EQ(TablePrinter::FmtOps(17.0), "17");
+  EXPECT_EQ(TablePrinter::FmtUs(12345.0), "12.3");
+}
+
+}  // namespace
+}  // namespace xenic

@@ -1,0 +1,134 @@
+// Cross-system workload integration: run Retwis and a money-conserving
+// Smallbank mix on every engine via the harness, then audit invariants by
+// reading back through the public transaction API (no internal peeking),
+// exactly as an application would.
+
+#include <gtest/gtest.h>
+
+#include "src/harness/runner.h"
+#include "src/workload/retwis.h"
+#include "src/workload/smallbank.h"
+
+namespace xenic::harness {
+namespace {
+
+std::vector<SystemConfig> AllSystems() {
+  std::vector<SystemConfig> out;
+  SystemConfig x;
+  x.kind = SystemConfig::Kind::kXenic;
+  x.num_nodes = 3;
+  x.replication = 2;
+  out.push_back(x);
+  for (auto mode : {baseline::BaselineMode::kDrtmH, baseline::BaselineMode::kDrtmHNC,
+                    baseline::BaselineMode::kFasst, baseline::BaselineMode::kDrtmR}) {
+    SystemConfig b;
+    b.kind = SystemConfig::Kind::kBaseline;
+    b.mode = mode;
+    b.num_nodes = 3;
+    b.replication = 2;
+    out.push_back(b);
+  }
+  return out;
+}
+
+// Read one key's first-8-bytes value through a transaction.
+int64_t ReadBalance(SystemAdapter& sys, store::TableId t, store::Key k,
+                    store::NodeId coordinator) {
+  int64_t got = 0;
+  bool done = false;
+  txn::TxnRequest req;
+  req.reads = {{t, k}};
+  req.execute = [&got](txn::ExecRound& er) {
+    got = (*er.reads)[0].found ? store::GetI64((*er.reads)[0].value, 0) : 0;
+  };
+  sys.Submit(coordinator, std::move(req), [&](txn::TxnOutcome o) {
+    EXPECT_EQ(o, txn::TxnOutcome::kCommitted);
+    done = true;
+  });
+  for (int i = 0; i < 2000 && !done; ++i) {
+    sys.engine().RunFor(10 * sim::kNsPerUs);
+  }
+  EXPECT_TRUE(done);
+  return got;
+}
+
+TEST(WorkloadIntegrationTest, SmallbankMoneyConservedOnEverySystem) {
+  for (const auto& cfg : AllSystems()) {
+    workload::Smallbank::Options wo;
+    wo.num_nodes = 3;
+    wo.accounts_per_node = 400;
+    wo.mix = {40, 10, 0, 50, 0, 0};  // Amalgamate / Balance / SendPayment
+    workload::Smallbank wl(wo);
+    auto sys = BuildSystem(cfg, wl);
+    LoadWorkload(*sys, wl);
+
+    RunConfig rc;
+    rc.contexts_per_node = 4;
+    rc.warmup = 100 * sim::kNsPerUs;
+    rc.measure = 600 * sim::kNsPerUs;
+    RunResult r = RunWorkload(*sys, wl, rc);
+    ASSERT_GT(r.committed, 50u) << sys->Name();
+
+    // Drain, then audit total money through the public API.
+    sys->StartWorkers();
+    sys->engine().RunFor(2000 * sim::kNsPerUs);
+    int64_t total = 0;
+    for (store::Key a = 0; a < wl.total_accounts(); ++a) {
+      total += ReadBalance(*sys, workload::Smallbank::kSavings, a, 0);
+      total += ReadBalance(*sys, workload::Smallbank::kChecking, a, 0);
+    }
+    EXPECT_EQ(total, wl.initial_total()) << sys->Name();
+    sys->StopWorkers();
+    sys->engine().Run();
+  }
+}
+
+TEST(WorkloadIntegrationTest, RetwisWritesVisibleOnEverySystem) {
+  for (const auto& cfg : AllSystems()) {
+    workload::Retwis::Options wo;
+    wo.num_nodes = 3;
+    wo.keys_per_node = 1500;
+    workload::Retwis wl(wo);
+    auto sys = BuildSystem(cfg, wl);
+    LoadWorkload(*sys, wl);
+
+    RunConfig rc;
+    rc.contexts_per_node = 4;
+    rc.warmup = 100 * sim::kNsPerUs;
+    rc.measure = 500 * sim::kNsPerUs;
+    RunResult r = RunWorkload(*sys, wl, rc);
+    EXPECT_GT(r.committed, 100u) << sys->Name();
+    EXPECT_LT(r.abort_rate, 0.5) << sys->Name();
+
+    // Every key must still be readable (no lost objects under the mix of
+    // blind writes and read-modify-writes).
+    sys->StartWorkers();
+    bool done = false;
+    size_t found = 0;
+    txn::TxnRequest audit;
+    for (store::Key k = 0; k < 10; ++k) {
+      audit.reads.push_back({workload::Retwis::kStore, k * 97 % wl.total_keys()});
+    }
+    audit.allow_ship = false;
+    audit.execute = [&found](txn::ExecRound& er) {
+      found = 0;
+      for (const auto& rr : *er.reads) {
+        found += rr.found ? 1 : 0;
+      }
+    };
+    sys->Submit(0, std::move(audit), [&](txn::TxnOutcome o) {
+      EXPECT_EQ(o, txn::TxnOutcome::kCommitted);
+      done = true;
+    });
+    for (int i = 0; i < 2000 && !done; ++i) {
+      sys->engine().RunFor(10 * sim::kNsPerUs);
+    }
+    ASSERT_TRUE(done) << sys->Name();
+    EXPECT_EQ(found, 10u) << sys->Name();
+    sys->StopWorkers();
+    sys->engine().Run();
+  }
+}
+
+}  // namespace
+}  // namespace xenic::harness

@@ -1,0 +1,176 @@
+// xenic_sim: command-line driver for the simulated cluster.
+//
+//   xenic_sim --system=xenic --workload=smallbank --nodes=6 --contexts=64
+//             --measure-us=1000 [--replication=3] [--seed=1] [--csv]
+//
+// Systems:   xenic | drtmh | drtmhnc | fasst | drtmr
+// Workloads: smallbank | retwis | tpcc | tpcc-no
+//
+// Prints a one-run summary (throughput per server, latency percentiles,
+// abort rate, resource utilization); --csv emits a machine-readable line.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/table_printer.h"
+#include "src/harness/runner.h"
+#include "src/workload/retwis.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+
+namespace {
+
+using namespace xenic;
+
+struct Args {
+  std::string system = "xenic";
+  std::string workload = "smallbank";
+  uint32_t nodes = 6;
+  uint32_t replication = 3;
+  uint32_t contexts = 32;
+  uint64_t measure_us = 1000;
+  uint64_t seed = 1;
+  uint64_t scale = 0;  // per-node keys/accounts/warehouses; 0 = default
+  bool csv = false;
+  bool help = false;
+};
+
+bool ParseArg(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseArg(argv[i], "--system", &v)) {
+      a.system = v;
+    } else if (ParseArg(argv[i], "--workload", &v)) {
+      a.workload = v;
+    } else if (ParseArg(argv[i], "--nodes", &v)) {
+      a.nodes = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseArg(argv[i], "--replication", &v)) {
+      a.replication = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseArg(argv[i], "--contexts", &v)) {
+      a.contexts = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseArg(argv[i], "--measure-us", &v)) {
+      a.measure_us = std::stoull(v);
+    } else if (ParseArg(argv[i], "--seed", &v)) {
+      a.seed = std::stoull(v);
+    } else if (ParseArg(argv[i], "--scale", &v)) {
+      a.scale = std::stoull(v);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      a.csv = true;
+    } else {
+      a.help = true;
+    }
+  }
+  return a;
+}
+
+std::unique_ptr<workload::Workload> MakeWorkload(const Args& a) {
+  if (a.workload == "smallbank") {
+    workload::Smallbank::Options wo;
+    wo.num_nodes = a.nodes;
+    wo.accounts_per_node = a.scale != 0 ? a.scale : 60000;
+    return std::make_unique<workload::Smallbank>(wo);
+  }
+  if (a.workload == "retwis") {
+    workload::Retwis::Options wo;
+    wo.num_nodes = a.nodes;
+    wo.keys_per_node = a.scale != 0 ? a.scale : 60000;
+    return std::make_unique<workload::Retwis>(wo);
+  }
+  if (a.workload == "tpcc" || a.workload == "tpcc-no") {
+    workload::Tpcc::Options wo;
+    wo.num_nodes = a.nodes;
+    wo.warehouses_per_node = a.scale != 0 ? static_cast<uint32_t>(a.scale) : 24;
+    wo.customers_per_district = 40;
+    wo.items = 1000;
+    wo.new_order_only = a.workload == "tpcc-no";
+    wo.uniform_remote_items = a.workload == "tpcc-no";
+    return std::make_unique<workload::Tpcc>(wo);
+  }
+  return nullptr;
+}
+
+bool MakeSystemConfig(const Args& a, harness::SystemConfig* cfg) {
+  cfg->num_nodes = a.nodes;
+  cfg->replication = a.replication;
+  if (a.system == "xenic") {
+    cfg->kind = harness::SystemConfig::Kind::kXenic;
+    return true;
+  }
+  cfg->kind = harness::SystemConfig::Kind::kBaseline;
+  if (a.system == "drtmh") {
+    cfg->mode = baseline::BaselineMode::kDrtmH;
+  } else if (a.system == "drtmhnc") {
+    cfg->mode = baseline::BaselineMode::kDrtmHNC;
+  } else if (a.system == "fasst") {
+    cfg->mode = baseline::BaselineMode::kFasst;
+  } else if (a.system == "drtmr") {
+    cfg->mode = baseline::BaselineMode::kDrtmR;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a = Parse(argc, argv);
+  harness::SystemConfig cfg;
+  auto wl = MakeWorkload(a);
+  if (a.help || wl == nullptr || !MakeSystemConfig(a, &cfg)) {
+    std::fprintf(stderr,
+                 "usage: %s --system=xenic|drtmh|drtmhnc|fasst|drtmr\n"
+                 "          --workload=smallbank|retwis|tpcc|tpcc-no\n"
+                 "          [--nodes=N] [--replication=R] [--contexts=C]\n"
+                 "          [--measure-us=T] [--seed=S] [--scale=K] [--csv]\n",
+                 argv[0]);
+    return a.help ? 0 : 1;
+  }
+
+  auto system = harness::BuildSystem(cfg, *wl);
+  std::fprintf(stderr, "loading %s...\n", wl->Name().c_str());
+  harness::LoadWorkload(*system, *wl);
+
+  harness::RunConfig rc;
+  rc.contexts_per_node = a.contexts;
+  rc.seed = a.seed;
+  rc.warmup = 150 * sim::kNsPerUs;
+  rc.measure = a.measure_us * sim::kNsPerUs;
+  std::fprintf(stderr, "running %s on %s (%u nodes, %u contexts/node)...\n", wl->Name().c_str(),
+               system->Name().c_str(), a.nodes, a.contexts);
+  harness::RunResult r = harness::RunWorkload(*system, *wl, rc);
+
+  if (a.csv) {
+    std::printf("system,workload,nodes,contexts,tput_per_server,median_us,p99_us,abort_rate,"
+                "wire_util,host_util,nic_util\n");
+    std::printf("%s,%s,%u,%u,%.0f,%.2f,%.2f,%.4f,%.3f,%.3f,%.3f\n", system->Name().c_str(),
+                wl->Name().c_str(), a.nodes, a.contexts, r.tput_per_server, r.MedianLatencyUs(),
+                r.P99LatencyUs(), r.abort_rate, r.wire_utilization, r.host_utilization,
+                r.nic_utilization);
+    return 0;
+  }
+
+  TablePrinter tp({"Metric", "Value"});
+  tp.AddRow({"System", system->Name()});
+  tp.AddRow({"Workload", wl->Name()});
+  tp.AddRow({"Throughput/server", TablePrinter::FmtOps(r.tput_per_server) + " txn/s"});
+  tp.AddRow({"Median latency", TablePrinter::Fmt(r.MedianLatencyUs(), 1) + " us"});
+  tp.AddRow({"P99 latency", TablePrinter::Fmt(r.P99LatencyUs(), 1) + " us"});
+  tp.AddRow({"Abort rate", TablePrinter::Fmt(r.abort_rate * 100, 2) + " %"});
+  tp.AddRow({"Wire utilization", TablePrinter::Fmt(r.wire_utilization * 100, 1) + " %"});
+  tp.AddRow({"Host utilization", TablePrinter::Fmt(r.host_utilization * 100, 1) + " %"});
+  tp.AddRow({"NIC utilization", TablePrinter::Fmt(r.nic_utilization * 100, 1) + " %"});
+  std::printf("%s", tp.Render("xenic_sim").c_str());
+  return 0;
+}
