@@ -13,12 +13,16 @@
 
 #include "src/common/table_printer.h"
 #include "src/harness/runner.h"
+#include "src/harness/sweep.h"
 
 namespace xenic::bench {
 
 using harness::RunConfig;
 using harness::RunResult;
+using harness::SweepExecutor;
 using harness::SystemConfig;
+
+using WorkloadFactory = std::function<std::unique_ptr<workload::Workload>()>;
 
 struct CurvePoint {
   uint32_t contexts = 0;
@@ -47,8 +51,60 @@ struct Curve {
   }
 };
 
+// Run every (system, load) point of a multi-system sweep as an independent
+// job through a SweepExecutor. Each point builds its own workload and
+// system (fully self-contained, seeded-deterministic simulation), so the
+// resulting tables are bit-identical for any --jobs value; only wall-clock
+// time changes. Progress lines are printed after the sweep, in
+// deterministic (system, load) order.
+inline std::vector<Curve> RunSweeps(const std::vector<SystemConfig>& cfgs,
+                                    const WorkloadFactory& make_workload,
+                                    const std::vector<uint32_t>& loads, const RunConfig& rc,
+                                    SweepExecutor& ex) {
+  struct Slot {
+    std::string system;
+    CurvePoint point;
+  };
+  std::vector<Slot> slots(cfgs.size() * loads.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(slots.size());
+  for (size_t ci = 0; ci < cfgs.size(); ++ci) {
+    for (size_t li = 0; li < loads.size(); ++li) {
+      tasks.push_back([&cfgs, &make_workload, &loads, &rc, &slots, ci, li] {
+        auto wl = make_workload();
+        auto system = harness::BuildSystem(cfgs[ci], *wl);
+        harness::LoadWorkload(*system, *wl);
+        RunConfig r = rc;
+        r.contexts_per_node = loads[li];
+        Slot& s = slots[ci * loads.size() + li];
+        s.system = system->Name();
+        s.point.contexts = loads[li];
+        s.point.result = harness::RunWorkload(*system, *wl, r);
+      });
+    }
+  }
+  ex.RunAll(tasks);
+
+  std::vector<Curve> curves(cfgs.size());
+  for (size_t ci = 0; ci < cfgs.size(); ++ci) {
+    curves[ci].system = slots[ci * loads.size()].system;
+    for (size_t li = 0; li < loads.size(); ++li) {
+      Slot& s = slots[ci * loads.size() + li];
+      std::fprintf(stderr, "  [%s] contexts=%u tput=%s/srv median=%.1fus abort=%.1f%% (%s ev/s)\n",
+                   s.system.c_str(), s.point.contexts,
+                   TablePrinter::FmtOps(s.point.result.tput_per_server).c_str(),
+                   s.point.result.MedianLatencyUs(), s.point.result.abort_rate * 100,
+                   TablePrinter::FmtOps(s.point.result.sim_events_per_sec).c_str());
+      curves[ci].points.push_back(std::move(s.point));
+    }
+  }
+  return curves;
+}
+
 // Run one system across the load sweep. A fresh workload instance is built
-// for the system (workloads hold per-node local state).
+// for the system (workloads hold per-node local state). NOTE: unlike
+// RunSweeps, the system instance is shared across the sweep's load points
+// (database state carries over), so this path cannot be parallelized.
 inline Curve RunSweep(const SystemConfig& cfg,
                       const std::function<std::unique_ptr<workload::Workload>()>& make_workload,
                       const std::vector<uint32_t>& loads, RunConfig rc) {

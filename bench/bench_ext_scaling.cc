@@ -9,47 +9,60 @@
 #include "bench/bench_common.h"
 #include "src/workload/smallbank.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xenic;
   using namespace xenic::bench;
+
+  SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
 
   RunConfig rc;
   rc.contexts_per_node = 64;
   rc.warmup = 150 * sim::kNsPerUs;
   rc.measure = 800 * sim::kNsPerUs;
 
+  // Every (cluster size, system) cell is an independent simulation; run the
+  // whole grid through the sweep executor.
+  const std::vector<uint32_t> node_counts = {3, 6, 9, 12};
+  struct Cell {
+    double tput = 0;
+    double median_us = 0;
+  };
+  std::vector<Cell> cells(node_counts.size() * 2);
+  std::vector<std::function<void()>> tasks;
+  for (size_t ni = 0; ni < node_counts.size(); ++ni) {
+    for (int which = 0; which < 2; ++which) {
+      tasks.push_back([&, ni, which] {
+        const uint32_t nodes = node_counts[ni];
+        workload::Smallbank::Options wo;
+        wo.num_nodes = nodes;
+        wo.accounts_per_node = 40000;
+        auto wl = std::make_unique<workload::Smallbank>(wo);
+        SystemConfig cfg;
+        if (which == 0) {
+          cfg.kind = SystemConfig::Kind::kXenic;
+        } else {
+          cfg.kind = SystemConfig::Kind::kBaseline;
+          cfg.mode = baseline::BaselineMode::kDrtmH;
+        }
+        cfg.num_nodes = nodes;
+        cfg.replication = 3;
+        auto sys = harness::BuildSystem(cfg, *wl);
+        harness::LoadWorkload(*sys, *wl);
+        harness::RunResult r = harness::RunWorkload(*sys, *wl, rc);
+        cells[ni * 2 + which] = Cell{r.tput_per_server, r.MedianLatencyUs()};
+      });
+    }
+  }
+  ex.RunAll(tasks);
+
   TablePrinter tp({"Nodes", "Xenic tput/srv", "Xenic median(us)", "DrTM+H tput/srv",
                    "DrTM+H median(us)"});
-  for (uint32_t nodes : {3u, 6u, 9u, 12u}) {
-    auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
-      workload::Smallbank::Options wo;
-      wo.num_nodes = nodes;
-      wo.accounts_per_node = 40000;
-      return std::make_unique<workload::Smallbank>(wo);
-    };
-    double tput[2];
-    double med[2];
-    for (int which = 0; which < 2; ++which) {
-      SystemConfig cfg;
-      if (which == 0) {
-        cfg.kind = SystemConfig::Kind::kXenic;
-      } else {
-        cfg.kind = SystemConfig::Kind::kBaseline;
-        cfg.mode = baseline::BaselineMode::kDrtmH;
-      }
-      cfg.num_nodes = nodes;
-      cfg.replication = 3;
-      auto wl = make_wl();
-      auto sys = harness::BuildSystem(cfg, *wl);
-      harness::LoadWorkload(*sys, *wl);
-      harness::RunResult r = harness::RunWorkload(*sys, *wl, rc);
-      tput[which] = r.tput_per_server;
-      med[which] = r.MedianLatencyUs();
-      std::fprintf(stderr, "  nodes=%u %s done\n", nodes, sys->Name().c_str());
-    }
-    tp.AddRow({std::to_string(nodes), TablePrinter::FmtOps(tput[0]),
-               TablePrinter::Fmt(med[0], 1), TablePrinter::FmtOps(tput[1]),
-               TablePrinter::Fmt(med[1], 1)});
+  for (size_t ni = 0; ni < node_counts.size(); ++ni) {
+    const Cell& xe = cells[ni * 2];
+    const Cell& dr = cells[ni * 2 + 1];
+    tp.AddRow({std::to_string(node_counts[ni]), TablePrinter::FmtOps(xe.tput),
+               TablePrinter::Fmt(xe.median_us, 1), TablePrinter::FmtOps(dr.tput),
+               TablePrinter::Fmt(dr.median_us, 1)});
   }
   std::printf("%s\n",
               tp.Render("Extension: weak scaling, Smallbank, per-server throughput").c_str());

@@ -5,6 +5,8 @@
 // latency (reads complete in up to ~1295 ns, writes ~570 ns; submission
 // costs up to 190 ns, amortized 15x by vectors).
 
+#include <functional>
+
 #include "src/common/histogram.h"
 #include "src/common/table_printer.h"
 #include "src/nicmodel/smart_nic.h"

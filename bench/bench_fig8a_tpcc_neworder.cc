@@ -7,10 +7,11 @@
 #include "bench/bench_common.h"
 #include "src/workload/tpcc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xenic;
   using namespace xenic::bench;
 
+  SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Tpcc::Options wo;
@@ -28,10 +29,7 @@ int main() {
   rc.measure = 1500 * sim::kNsPerUs;
 
   const std::vector<uint32_t> loads = {1, 4, 16, 48, 96, 160};
-  std::vector<Curve> curves;
-  for (const auto& cfg : Figure8Systems(nodes)) {
-    curves.push_back(RunSweep(cfg, make_wl, loads, rc));
-  }
+  std::vector<Curve> curves = RunSweeps(Figure8Systems(nodes), make_wl, loads, rc, ex);
   PrintCurves("Figure 8a: TPC-C New Order, throughput per server vs median latency", curves);
   return 0;
 }

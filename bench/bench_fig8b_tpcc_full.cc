@@ -8,10 +8,11 @@
 #include "bench/bench_common.h"
 #include "src/workload/tpcc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xenic;
   using namespace xenic::bench;
 
+  SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Tpcc::Options wo;
@@ -32,10 +33,7 @@ int main() {
   // DrTM+R's PUBLISHED result. We still run our (idealized) baseline
   // emulations for context, clearly labeled as such.
   const std::vector<uint32_t> loads = {1, 4, 16, 48, 96, 160};
-  std::vector<Curve> curves;
-  for (const auto& cfg : Figure8Systems(nodes)) {
-    curves.push_back(RunSweep(cfg, make_wl, loads, rc));
-  }
+  std::vector<Curve> curves = RunSweeps(Figure8Systems(nodes), make_wl, loads, rc, ex);
   for (size_t i = 1; i < curves.size(); ++i) {
     curves[i].system += " (emulated, not in paper)";
   }
@@ -54,12 +52,9 @@ int main() {
       wo.items = 1000;
       return std::make_unique<workload::Tpcc>(wo);
     };
-    std::vector<Curve> curves53;
-    {
-      auto cfg = Figure8Systems(nodes)[0];  // Xenic
-      cfg.perf.nic_ports = 1;               // one 50GbE link
-      curves53.push_back(RunSweep(cfg, make_big, {16, 64, 128}, rc));
-    }
+    auto cfg = Figure8Systems(nodes)[0];  // Xenic
+    cfg.perf.nic_ports = 1;               // one 50GbE link
+    std::vector<Curve> curves53 = RunSweeps({cfg}, make_big, {16, 64, 128}, rc, ex);
     PrintCurves("Section 5.3: TPC-C at 50Gbps (384-warehouse scale)", curves53);
     // The paper compares against DrTM+R's PUBLISHED result (150k new
     // orders/s/server on a 56Gbps network), reporting Xenic at 322k (2.1x).

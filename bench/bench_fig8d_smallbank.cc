@@ -6,10 +6,11 @@
 #include "bench/bench_common.h"
 #include "src/workload/smallbank.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xenic;
   using namespace xenic::bench;
 
+  SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Smallbank::Options wo;
@@ -23,10 +24,7 @@ int main() {
   rc.measure = 1200 * sim::kNsPerUs;
 
   const std::vector<uint32_t> loads = {1, 4, 16, 64, 128, 192};
-  std::vector<Curve> curves;
-  for (const auto& cfg : Figure8Systems(nodes)) {
-    curves.push_back(RunSweep(cfg, make_wl, loads, rc));
-  }
+  std::vector<Curve> curves = RunSweeps(Figure8Systems(nodes), make_wl, loads, rc, ex);
   PrintCurves("Figure 8d: Smallbank, throughput per server vs median latency", curves);
   return 0;
 }

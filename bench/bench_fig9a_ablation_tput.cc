@@ -8,10 +8,11 @@
 #include "bench/bench_common.h"
 #include "src/workload/retwis.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xenic;
   using namespace xenic::bench;
 
+  SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Retwis::Options wo;
@@ -38,14 +39,14 @@ int main() {
       {"+Async DMA", true, true, true},
   };
 
-  // Reference: DrTM+H.
+  // Reference (DrTM+H) first, then the feature steps; all points run as
+  // one parallel sweep.
+  std::vector<SystemConfig> cfgs;
   SystemConfig drtmh;
   drtmh.kind = SystemConfig::Kind::kBaseline;
   drtmh.mode = baseline::BaselineMode::kDrtmH;
   drtmh.num_nodes = nodes;
-  Curve ref = RunSweep(drtmh, make_wl, loads, rc);
-
-  std::vector<Curve> curves;
+  cfgs.push_back(drtmh);
   for (const auto& s : steps) {
     SystemConfig cfg;
     cfg.kind = SystemConfig::Kind::kXenic;
@@ -56,9 +57,14 @@ int main() {
     cfg.nic_features.eth_aggregation = s.eth;
     cfg.nic_features.pcie_aggregation = s.eth;
     cfg.nic_features.async_dma_batching = s.dma;
-    Curve c = RunSweep(cfg, make_wl, loads, rc);
-    c.system = s.name;
-    curves.push_back(std::move(c));
+    cfgs.push_back(cfg);
+  }
+
+  std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
+  Curve ref = std::move(curves.front());
+  curves.erase(curves.begin());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    curves[i].system = steps[i].name;
   }
 
   TablePrinter tp({"Configuration", "Peak tput/srv", "vs DrTM+H"});

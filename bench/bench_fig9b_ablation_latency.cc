@@ -7,10 +7,11 @@
 #include "bench/bench_common.h"
 #include "src/workload/smallbank.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xenic;
   using namespace xenic::bench;
 
+  SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Smallbank::Options wo;
@@ -37,13 +38,12 @@ int main() {
       {"+OCC optimization", true, true, true},
   };
 
+  std::vector<SystemConfig> cfgs;
   SystemConfig drtmh;
   drtmh.kind = SystemConfig::Kind::kBaseline;
   drtmh.mode = baseline::BaselineMode::kDrtmH;
   drtmh.num_nodes = nodes;
-  Curve ref = RunSweep(drtmh, make_wl, loads, rc);
-
-  std::vector<Curve> curves;
+  cfgs.push_back(drtmh);
   for (const auto& s : steps) {
     SystemConfig cfg;
     cfg.kind = SystemConfig::Kind::kXenic;
@@ -52,9 +52,14 @@ int main() {
     cfg.features.nic_execution = s.nic_exec;
     cfg.features.occ_multihop = s.multihop;
     // Throughput-oriented batching stays on (its latency cost is small).
-    Curve c = RunSweep(cfg, make_wl, loads, rc);
-    c.system = s.name;
-    curves.push_back(std::move(c));
+    cfgs.push_back(cfg);
+  }
+
+  std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
+  Curve ref = std::move(curves.front());
+  curves.erase(curves.begin());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    curves[i].system = steps[i].name;
   }
 
   TablePrinter tp({"Configuration", "Median latency (us)", "vs DrTM+H"});

@@ -29,12 +29,28 @@ double RunOnce(SystemConfig cfg, const WorkloadFactory& make_wl, uint32_t contex
 }
 
 // Ascending search for the smallest value in `ladder` whose run stays
-// within 95% of `peak`.
-uint32_t MinThreads(const std::vector<uint32_t>& ladder, double peak,
+// within 95% of `peak`. With a multi-worker executor every rung runs
+// concurrently and the first satisfying rung is picked afterwards --
+// the same answer the serial early-exit scan produces.
+uint32_t MinThreads(SweepExecutor& ex, const std::vector<uint32_t>& ladder, double peak,
                     const std::function<double(uint32_t)>& run) {
+  if (ex.jobs() <= 1) {
+    for (uint32_t t : ladder) {
+      if (run(t) >= 0.95 * peak) {
+        return t;
+      }
+    }
+    return ladder.back();
+  }
+  std::vector<std::function<double()>> tasks;
+  tasks.reserve(ladder.size());
   for (uint32_t t : ladder) {
-    if (run(t) >= 0.95 * peak) {
-      return t;
+    tasks.push_back([&run, t] { return run(t); });
+  }
+  const std::vector<double> tput = ex.Map(tasks);
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    if (tput[i] >= 0.95 * peak) {
+      return ladder[i];
     }
   }
   return ladder.back();
@@ -48,7 +64,8 @@ struct BenchDef {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
   const uint32_t nodes = 6;
   net::PerfModel base_model;
 
@@ -93,12 +110,12 @@ int main() {
     xcfg.kind = SystemConfig::Kind::kXenic;
     xcfg.num_nodes = nodes;
     const double xpeak = RunOnce(xcfg, b.make, b.contexts);
-    const uint32_t xhost = MinThreads(host_ladder, xpeak, [&](uint32_t t) {
+    const uint32_t xhost = MinThreads(ex, host_ladder, xpeak, [&](uint32_t t) {
       SystemConfig c = xcfg;
       c.perf.host_threads = t;
       return RunOnce(c, b.make, b.contexts);
     });
-    const uint32_t xnic = MinThreads(nic_ladder, xpeak, [&](uint32_t t) {
+    const uint32_t xnic = MinThreads(ex, nic_ladder, xpeak, [&](uint32_t t) {
       SystemConfig c = xcfg;
       c.perf.nic_cores = t;
       return RunOnce(c, b.make, b.contexts);
@@ -112,7 +129,7 @@ int main() {
       c.mode = mode;
       c.num_nodes = nodes;
       const double peak = RunOnce(c, b.make, b.contexts);
-      return MinThreads(host_ladder, peak, [&](uint32_t t) {
+      return MinThreads(ex, host_ladder, peak, [&](uint32_t t) {
         SystemConfig cc = c;
         cc.perf.host_threads = t;
         return RunOnce(cc, b.make, b.contexts);

@@ -230,7 +230,7 @@ void BaselineNode::ReadOneKey(TxnState* st, uint32_t read_idx, sim::Engine::Call
     // No address cache: traverse the chain, one roundtrip per bucket. The
     // final read carries the object.
     const auto plan = table.PlanLookup(k.key);
-    auto step = std::make_shared<std::function<void(uint32_t)>>();
+    auto step = std::make_shared<sim::SmallFunction<void(uint32_t)>>();
     const uint32_t bucket_bytes =
         static_cast<uint32_t>(plan.bytes / std::max<uint32_t>(1, plan.roundtrips));
     *step = [this, shard, bucket_bytes, plan, fetch, finish = std::move(finish),

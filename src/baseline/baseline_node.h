@@ -19,6 +19,7 @@
 #ifndef SRC_BASELINE_BASELINE_NODE_H_
 #define SRC_BASELINE_BASELINE_NODE_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>

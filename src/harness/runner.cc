@@ -1,5 +1,6 @@
 #include "src/harness/runner.h"
 
+#include <chrono>
 #include <memory>
 
 namespace xenic::harness {
@@ -77,6 +78,9 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
   sh->config = &config;
   sh->rng.Seed(config.seed);
 
+  const uint64_t events_before = system.engine().events_executed();
+  const auto wall_start = std::chrono::steady_clock::now();
+
   system.StartWorkers();
   for (uint32_t n = 0; n < system.num_nodes(); ++n) {
     for (uint32_t c = 0; c < config.contexts_per_node; ++c) {
@@ -114,6 +118,12 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
   sh->stopped = true;
   system.StopWorkers();
   system.engine().RunFor(200 * sim::kNsPerUs);
+
+  result.sim_events = system.engine().events_executed() - events_before;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  result.sim_events_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.sim_events) / result.wall_seconds : 0;
   return result;
 }
 

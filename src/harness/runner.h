@@ -35,6 +35,14 @@ struct RunResult {
   uint64_t dma_ops = 0;    // SmartNIC DMA engine operations in the window
   uint64_t dma_bytes = 0;  // ... and their payload bytes
 
+  // Simulator self-performance: events executed over the whole run (warmup
+  // + measure + drain) and the host wall-clock rate at which the engine
+  // dispatched them. Diagnostic only -- never feeds a simulated metric, so
+  // results stay bit-deterministic.
+  uint64_t sim_events = 0;
+  double wall_seconds = 0;
+  double sim_events_per_sec = 0;
+
   double MedianLatencyUs() const { return static_cast<double>(latency.Median()) / 1e3; }
   double P99LatencyUs() const { return static_cast<double>(latency.P99()) / 1e3; }
 };

@@ -5,6 +5,7 @@
 #ifndef SRC_HARNESS_SYSTEM_ADAPTER_H_
 #define SRC_HARNESS_SYSTEM_ADAPTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 

@@ -33,12 +33,12 @@ void RdmaNic::Write(NodeId dst, uint32_t bytes, sim::Engine::Callback at_target,
   OneSided(dst, bytes, /*is_write=*/true, std::move(at_target), std::move(done));
 }
 
-void RdmaNic::Atomic(NodeId dst, std::function<uint64_t()> op,
-                     std::function<void(uint64_t)> done) {
+void RdmaNic::Atomic(NodeId dst, sim::SmallFunction<uint64_t()> op,
+                     sim::SmallFunction<void(uint64_t)> done) {
   auto result = std::make_shared<uint64_t>(0);
   OneSided(
       dst, 8, /*is_write=*/false,
-      [op = std::move(op), result] { *result = op(); },
+      [op = std::move(op), result]() mutable { *result = op(); },
       [result, done = std::move(done)]() mutable { done(*result); });
 }
 

@@ -12,6 +12,7 @@
 #ifndef SRC_NICMODEL_RDMA_NIC_H_
 #define SRC_NICMODEL_RDMA_NIC_H_
 
+#include <functional>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -49,8 +50,8 @@ class RdmaNic {
              sim::Engine::Callback done);
   // Compare-and-swap / fetch-and-add on an 8-byte remote word: `op` runs
   // at the target and returns the result carried back to `done`.
-  void Atomic(NodeId dst, std::function<uint64_t()> op,
-              std::function<void(uint64_t)> done);
+  void Atomic(NodeId dst, sim::SmallFunction<uint64_t()> op,
+              sim::SmallFunction<void(uint64_t)> done);
 
   // Two-sided RPC: `handler_cost` of target host-thread time plus the
   // `handler` closure (which performs real work, e.g. a hash lookup), then

@@ -1,0 +1,30 @@
+#include "src/sim/calendar_queue.h"
+
+#include <algorithm>
+
+namespace xenic::sim {
+
+void CalendarQueue::PushOverflow(Tick t, uint64_t seq, SmallCallback cb) {
+  overflow_.push_back(Item{t, seq, std::move(cb)});
+  std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+}
+
+void CalendarQueue::RebaseFromOverflow() {
+  assert(wheel_count_ == 0 && !overflow_.empty());
+  base_ = overflow_.front().time;
+  cursor_ = 0;
+  // Migrate every overflow event inside the new window. Heap pops come out
+  // in (time, seq) order and seq is globally monotone, so appends preserve
+  // FIFO-equals-(time, seq) within each single-tick bucket.
+  while (!overflow_.empty() && overflow_.front().time - base_ < kWheelSize) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Item it = std::move(overflow_.back());
+    overflow_.pop_back();
+    const size_t idx = static_cast<size_t>(it.time - base_);
+    wheel_[idx].items.push_back(std::move(it.cb));
+    MarkOccupied(idx);
+    ++wheel_count_;
+  }
+}
+
+}  // namespace xenic::sim

@@ -1,0 +1,155 @@
+// Two-level calendar queue for the discrete-event engine.
+//
+// Level 0 is a wheel of kWheelSize single-tick buckets covering the
+// near-term window [base_, base_ + kWheelSize): the common case, since most
+// simulated events land within a few microseconds of the current time.
+// Pushing into the window is O(1), and because every bucket spans exactly
+// one tick, a wheel entry needs neither its time (the bucket index encodes
+// it) nor its sequence number (sequence numbers are globally monotone, so
+// FIFO order within a bucket IS (time, seq) order) -- an entry is just the
+// callback, one cache line. Level 1 is a binary heap holding events at or
+// beyond the window; when the wheel drains, the window is re-based at the
+// earliest overflow event and every overflow event inside the new window
+// migrates into its bucket, so each event passes through the heap at most
+// once.
+//
+// Pop order is exactly (time, seq): deterministic and identical to the
+// reference binary-heap engine (see calendar_queue_test.cc).
+
+#ifndef SRC_SIM_CALENDAR_QUEUE_H_
+#define SRC_SIM_CALENDAR_QUEUE_H_
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/sbo_callback.h"
+
+namespace xenic::sim {
+
+using Tick = uint64_t;
+
+class CalendarQueue {
+ public:
+  static constexpr size_t kWheelBits = 12;
+  static constexpr size_t kWheelSize = size_t{1} << kWheelBits;  // 4096 ticks ≈ 4 us
+
+  CalendarQueue() : wheel_(kWheelSize) { occupied_.fill(0); }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  // Insert an event. `t` must be >= the time of the last popped event and
+  // `seq` strictly greater than every previously pushed sequence number
+  // (the engine's monotone event counter guarantees both).
+  void Push(Tick t, uint64_t seq, SmallCallback cb) {
+    assert(t >= base_ && "event precedes the wheel window (engine now_ invariant broken)");
+    if (t - base_ < kWheelSize) {
+      const size_t idx = static_cast<size_t>(t - base_);
+      assert(idx >= cursor_ && "event precedes the consumed wheel prefix");
+      wheel_[idx].items.push_back(std::move(cb));
+      MarkOccupied(idx);
+      ++wheel_count_;
+    } else {
+      PushOverflow(t, seq, std::move(cb));
+    }
+    ++size_;
+  }
+
+  // Earliest (time, seq) event's time. Requires !empty().
+  Tick PeekTime() const {
+    assert(size_ > 0);
+    if (wheel_count_ == 0) {
+      // All wheel events consumed: the overflow min is the global min. Do
+      // not rebase here -- the window may only move when an event is
+      // popped, so base_ never runs ahead of the engine clock.
+      return overflow_.front().time;
+    }
+    return base_ + FirstOccupied();
+  }
+
+  // Remove the earliest (time, seq) event and move its callback out --
+  // a proper mutable pop, unlike priority_queue::top()'s const ref.
+  // Requires !empty().
+  SmallCallback PopNext(Tick* time_out) {
+    assert(size_ > 0);
+    if (wheel_count_ == 0) {
+      RebaseFromOverflow();
+    }
+    const size_t idx = FirstOccupied();
+    cursor_ = idx;
+    Bucket& b = wheel_[idx];
+    *time_out = base_ + idx;
+    SmallCallback cb = std::move(b.items[b.head]);
+    ++b.head;
+    if (b.head == b.items.size()) {
+      b.items.clear();  // keeps capacity; buckets are reused as the wheel wraps
+      b.head = 0;
+      ClearOccupied(idx);
+    }
+    --wheel_count_;
+    --size_;
+    return cb;
+  }
+
+ private:
+  // Overflow entries carry explicit (time, seq) so the heap can restore
+  // total order when events migrate back into the wheel.
+  struct Item {
+    Tick time;
+    uint64_t seq;
+    SmallCallback cb;
+  };
+  // Heap comparator ("later than"): with std::push_heap/pop_heap this makes
+  // overflow_ a min-heap on (time, seq). The free-function heap algorithms
+  // move elements, so popping needs no const_cast (std::priority_queue::top
+  // returns const& and would).
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  struct Bucket {
+    std::vector<SmallCallback> items;
+    size_t head = 0;  // consumed prefix; items[head..) are pending
+  };
+
+  // Index (>= cursor_) of the first non-empty bucket. Requires
+  // wheel_count_ > 0 (so a set bit at or after cursor_ exists).
+  size_t FirstOccupied() const {
+    size_t word = cursor_ >> 6;
+    uint64_t bits = occupied_[word] & (~uint64_t{0} << (cursor_ & 63));
+    while (bits == 0) {
+      ++word;
+      assert(word < occupied_.size() && "wheel_count_ > 0 but no occupied bucket");
+      bits = occupied_[word];
+    }
+    return (word << 6) + static_cast<size_t>(std::countr_zero(bits));
+  }
+  void MarkOccupied(size_t idx) { occupied_[idx >> 6] |= uint64_t{1} << (idx & 63); }
+  void ClearOccupied(size_t idx) { occupied_[idx >> 6] &= ~(uint64_t{1} << (idx & 63)); }
+
+  void PushOverflow(Tick t, uint64_t seq, SmallCallback cb);
+
+  // Move the window so it starts at the earliest overflow event and pull
+  // every overflow event inside the new window into the wheel. Called only
+  // when the wheel is empty and the overflow heap is not.
+  void RebaseFromOverflow();
+
+  std::vector<Bucket> wheel_;
+  std::array<uint64_t, kWheelSize / 64> occupied_;
+  Tick base_ = 0;      // time of wheel slot 0
+  size_t cursor_ = 0;  // slots before cursor_ are fully consumed
+  size_t wheel_count_ = 0;
+  std::vector<Item> overflow_;  // binary heap via std::push_heap/pop_heap
+  size_t size_ = 0;
+};
+
+}  // namespace xenic::sim
+
+#endif  // SRC_SIM_CALENDAR_QUEUE_H_

@@ -6,42 +6,37 @@ namespace xenic::sim {
 
 void Engine::ScheduleAt(Tick t, Callback cb) {
   assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  queue_.Push(t, next_seq_++, std::move(cb));
 }
 
 bool Engine::Step() {
   if (queue_.empty()) {
     return false;
   }
-  // priority_queue::top returns a const ref; move the callback out via a
-  // const_cast that is safe because we pop immediately after.
-  auto& top = const_cast<Event&>(queue_.top());
-  now_ = top.time;
-  Callback cb = std::move(top.cb);
-  queue_.pop();
+  Tick t = 0;
+  Callback cb = queue_.PopNext(&t);
+  now_ = t;
   events_executed_++;
   cb();
   return true;
 }
 
 uint64_t Engine::Run() {
-  uint64_t n = 0;
+  const uint64_t before = events_executed_;
   while (Step()) {
-    ++n;
   }
-  return n;
+  return events_executed_ - before;
 }
 
 uint64_t Engine::RunUntil(Tick t) {
-  uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= t) {
+  const uint64_t before = events_executed_;
+  while (!queue_.empty() && queue_.PeekTime() <= t) {
     Step();
-    ++n;
   }
   if (now_ < t) {
     now_ = t;
   }
-  return n;
+  return events_executed_ - before;
 }
 
 }  // namespace xenic::sim

@@ -18,6 +18,7 @@
 #ifndef SRC_WORKLOAD_TPCC_H_
 #define SRC_WORKLOAD_TPCC_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 

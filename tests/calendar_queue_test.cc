@@ -1,0 +1,207 @@
+// Determinism tests for the calendar-queue engine: an adversarial schedule
+// (ties, far-future events beyond the wheel window, zero-delay
+// self-rescheduling, randomized churn) must execute in exactly the same
+// order as a reference binary-heap implementation of the (time, seq)
+// contract.
+
+#include "src/sim/calendar_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/engine.h"
+
+namespace xenic::sim {
+namespace {
+
+// Reference implementation: the seed engine's std::priority_queue ordered
+// by (time, seq). Records are plain ids so popping needs no callback moves.
+class ReferenceQueue {
+ public:
+  void Push(Tick t, uint64_t seq, int id) { q_.push({t, seq, id}); }
+  bool empty() const { return q_.empty(); }
+  Tick PeekTime() const { return q_.top().time; }
+  int Pop(Tick* time_out) {
+    Rec r = q_.top();
+    q_.pop();
+    *time_out = r.time;
+    return r.id;
+  }
+
+ private:
+  struct Rec {
+    Tick time;
+    uint64_t seq;
+    int id;
+  };
+  struct Later {
+    bool operator()(const Rec& a, const Rec& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Rec, std::vector<Rec>, Later> q_;
+};
+
+TEST(CalendarQueueTest, PopsInTimeSeqOrder) {
+  CalendarQueue q;
+  std::vector<int> order;
+  uint64_t seq = 0;
+  q.Push(30, seq++, [&order] { order.push_back(3); });
+  q.Push(10, seq++, [&order] { order.push_back(1); });
+  q.Push(10, seq++, [&order] { order.push_back(2); });  // tie: seq breaks it
+  q.Push(5, seq++, [&order] { order.push_back(0); });
+  while (!q.empty()) {
+    Tick t = 0;
+    q.PopNext(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CalendarQueueTest, FarFutureEventsCrossTheWheelWindow) {
+  CalendarQueue q;
+  std::vector<int> order;
+  uint64_t seq = 0;
+  // Far beyond the wheel window (kWheelSize ticks): lands in the overflow
+  // heap and migrates back on rebase.
+  const Tick far = CalendarQueue::kWheelSize * 10;
+  q.Push(far, seq++, [&order] { order.push_back(2); });
+  q.Push(far + 1, seq++, [&order] { order.push_back(3); });
+  q.Push(1, seq++, [&order] { order.push_back(0); });
+  q.Push(2, seq++, [&order] { order.push_back(1); });
+  std::vector<Tick> times;
+  while (!q.empty()) {
+    const Tick peeked = q.PeekTime();
+    Tick t = 0;
+    q.PopNext(&t)();
+    EXPECT_EQ(t, peeked);
+    times.push_back(t);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(times, (std::vector<Tick>{1, 2, far, far + 1}));
+}
+
+// The full adversarial schedule, driven through Engine so zero-delay
+// self-rescheduling (events pushed into the bucket currently draining) is
+// exercised, mirrored against a reference engine built on ReferenceQueue.
+TEST(CalendarQueueTest, AdversarialScheduleMatchesReferenceHeap) {
+  // Script the schedule first so both implementations replay the identical
+  // event set: (delay-from-previous-now, kind) pairs.
+  struct Op {
+    Tick at;
+    int id;
+  };
+  std::vector<Op> script;
+  Rng rng(2024);
+  Tick t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    switch (rng.NextBounded(8)) {
+      case 0:
+        t += 0;  // exact tie with the previous event
+        break;
+      case 1:
+        t += rng.NextBounded(4);  // dense near-term cluster
+        break;
+      case 2:
+        t += CalendarQueue::kWheelSize + rng.NextBounded(1000);  // past the window
+        break;
+      default:
+        t += rng.NextBounded(500);
+        break;
+    }
+    script.push_back({t, i});
+  }
+
+  // Reference order.
+  std::vector<int> ref_order;
+  {
+    ReferenceQueue rq;
+    uint64_t seq = 0;
+    for (const Op& op : script) {
+      rq.Push(op.at, seq++, op.id);
+    }
+    while (!rq.empty()) {
+      Tick tt = 0;
+      ref_order.push_back(rq.Pop(&tt));
+    }
+  }
+
+  // Engine order, plus zero-delay and short-delay self-rescheduling layered
+  // on top (both implementations would agree on those too, but the point
+  // here is that they cannot perturb the scripted order's relative
+  // sequence... so track scripted ids only).
+  std::vector<int> engine_order;
+  {
+    Engine eng;
+    for (const Op& op : script) {
+      eng.ScheduleAt(op.at, [&engine_order, id = op.id] { engine_order.push_back(id); });
+    }
+    // Zero-delay self-rescheduling chain: runs interleaved with the script
+    // without touching engine_order.
+    int bounce = 0;
+    std::function<void()> chain = [&] {
+      if (++bounce < 64) {
+        eng.ScheduleAfter(0, chain);
+      }
+    };
+    eng.ScheduleAt(0, chain);
+    eng.Run();
+    EXPECT_EQ(bounce, 64);
+  }
+
+  ASSERT_EQ(engine_order.size(), ref_order.size());
+  EXPECT_EQ(engine_order, ref_order);
+}
+
+TEST(CalendarQueueTest, ZeroDelaySelfRescheduleStaysFifoWithinTick) {
+  Engine eng;
+  std::vector<int> order;
+  eng.ScheduleAt(10, [&] {
+    order.push_back(0);
+    eng.ScheduleAfter(0, [&] { order.push_back(2); });  // same tick, later seq
+  });
+  eng.ScheduleAt(10, [&] { order.push_back(1); });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(eng.now(), 10u);
+}
+
+TEST(CalendarQueueTest, RunAndRunUntilReturnEventsExecutedDelta) {
+  Engine eng;
+  for (int i = 0; i < 10; ++i) {
+    eng.ScheduleAt(static_cast<Tick>(i * 100), [] {});
+  }
+  const uint64_t first = eng.RunUntil(449);
+  EXPECT_EQ(first, 5u);
+  EXPECT_EQ(eng.events_executed(), 5u);
+  const uint64_t rest = eng.Run();
+  EXPECT_EQ(rest, 5u);
+  EXPECT_EQ(eng.events_executed(), 10u);
+}
+
+TEST(CalendarQueueTest, MoveOnlyCaptureAndLargeCaptureBothWork) {
+  Engine eng;
+  int hits = 0;
+  auto big = std::make_unique<int>(41);
+  // Move-only capture (unique_ptr): impossible with std::function.
+  eng.ScheduleAt(1, [p = std::move(big), &hits] { hits += *p - 40; });
+  // Capture larger than the inline buffer: heap fallback path.
+  struct Fat {
+    char pad[96] = {0};
+  };
+  Fat fat;
+  fat.pad[0] = 1;
+  eng.ScheduleAt(2, [fat, &hits] { hits += fat.pad[0]; });
+  eng.Run();
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace xenic::sim

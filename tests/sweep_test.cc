@@ -1,0 +1,122 @@
+// SweepExecutor: results must be identical to serial execution for any
+// worker count -- both for plain tasks and for full simulation runs.
+
+#include "src/harness/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/harness/runner.h"
+#include "src/harness/system_adapter.h"
+#include "src/workload/smallbank.h"
+
+namespace xenic::harness {
+namespace {
+
+TEST(SweepExecutorTest, RunsEveryTaskExactlyOnce) {
+  for (uint32_t jobs : {1u, 2u, 8u}) {
+    SweepExecutor ex(jobs);
+    std::vector<std::atomic<int>> hits(100);
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+    }
+    ex.RunAll(tasks);
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(SweepExecutorTest, MapCollectsResultsByIndexForAnyWorkerCount) {
+  std::vector<std::function<uint64_t()>> tasks;
+  for (uint64_t i = 0; i < 64; ++i) {
+    tasks.push_back([i] { return i * i + 7; });
+  }
+  SweepExecutor serial(1);
+  const std::vector<uint64_t> expected = serial.Map(tasks);
+  for (uint32_t jobs : {2u, 8u}) {
+    SweepExecutor ex(jobs);
+    EXPECT_EQ(ex.Map(tasks), expected) << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepExecutorTest, TaskExceptionPropagatesAfterJoin) {
+  SweepExecutor ex(4);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i] {
+      if (i == 9) {
+        throw std::runtime_error("boom");
+      }
+    });
+  }
+  EXPECT_THROW(ex.RunAll(tasks), std::runtime_error);
+}
+
+TEST(SweepExecutorTest, ParseJobsFlag) {
+  const char* argv1[] = {"bench", "--jobs", "6"};
+  EXPECT_EQ(SweepExecutor::ParseJobsFlag(3, const_cast<char**>(argv1)), 6u);
+  const char* argv2[] = {"bench", "--jobs=3"};
+  EXPECT_EQ(SweepExecutor::ParseJobsFlag(2, const_cast<char**>(argv2)), 3u);
+  const char* argv3[] = {"bench"};
+  EXPECT_EQ(SweepExecutor::ParseJobsFlag(1, const_cast<char**>(argv3), 1), 1u);
+}
+
+// The load-bearing guarantee: full simulation runs submitted as independent
+// sweep tasks produce bit-identical results for 1, 2, and 8 workers.
+TEST(SweepExecutorTest, SimulationSweepIsIdenticalAcrossWorkerCounts) {
+  const std::vector<uint32_t> loads = {2, 8, 24};
+
+  struct Point {
+    uint64_t committed;
+    uint64_t aborted;
+    double tput;
+    uint64_t median;
+
+    bool operator==(const Point& o) const {
+      return committed == o.committed && aborted == o.aborted && tput == o.tput &&
+             median == o.median;
+    }
+  };
+
+  auto run_sweep = [&loads](uint32_t jobs) {
+    SweepExecutor ex(jobs);
+    std::vector<Point> out(loads.size());
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < loads.size(); ++i) {
+      tasks.push_back([&loads, &out, i] {
+        workload::Smallbank::Options wo;
+        wo.num_nodes = 2;
+        wo.accounts_per_node = 4000;
+        workload::Smallbank wl(wo);
+        SystemConfig cfg;
+        cfg.kind = SystemConfig::Kind::kXenic;
+        cfg.num_nodes = 2;
+        cfg.replication = 2;
+        auto sys = BuildSystem(cfg, wl);
+        LoadWorkload(*sys, wl);
+        RunConfig rc;
+        rc.contexts_per_node = loads[i];
+        rc.seed = 11;
+        rc.warmup = 50 * sim::kNsPerUs;
+        rc.measure = 200 * sim::kNsPerUs;
+        const RunResult r = RunWorkload(*sys, wl, rc);
+        out[i] = Point{r.committed, r.aborted, r.tput_per_server, r.latency.Median()};
+      });
+    }
+    ex.RunAll(tasks);
+    return out;
+  };
+
+  const std::vector<Point> serial = run_sweep(1);
+  EXPECT_TRUE(run_sweep(2) == serial);
+  EXPECT_TRUE(run_sweep(8) == serial);
+}
+
+}  // namespace
+}  // namespace xenic::harness

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the fixed-seed Smallbank sweep twice -- serial and with a 4-worker
+# thread pool -- and diffs the printed result tables. The SweepExecutor
+# contract is that worker count never changes results; any diff here is a
+# determinism regression and fails tier-1 (wired in as a ctest).
+set -euo pipefail
+
+BIN=${1:?usage: check_determinism.sh <path-to-xenic_sweep_check>}
+
+serial=$(mktemp)
+parallel=$(mktemp)
+trap 'rm -f "$serial" "$parallel"' EXIT
+
+"$BIN" --jobs 1 >"$serial" 2>/dev/null
+"$BIN" --jobs 4 >"$parallel" 2>/dev/null
+
+if ! diff -u "$serial" "$parallel"; then
+  echo "FAIL: --jobs 1 and --jobs 4 produced different results" >&2
+  exit 1
+fi
+echo "determinism OK: serial and 4-worker sweeps are byte-identical"

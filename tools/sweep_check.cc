@@ -1,0 +1,47 @@
+// Determinism checker: runs a small fixed-seed Smallbank sweep (Xenic and
+// DrTM+H across three load points) through the SweepExecutor and prints the
+// result table. tools/check_determinism.sh runs this binary with --jobs 1
+// and --jobs 4 and diffs the output: any divergence means the thread pool
+// leaked state between supposedly independent simulations, which would
+// break every figure bench's reproducibility guarantee.
+
+#include "bench/bench_common.h"
+#include "src/workload/smallbank.h"
+
+int main(int argc, char** argv) {
+  using namespace xenic;
+  using namespace xenic::bench;
+
+  SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
+
+  const uint32_t nodes = 3;
+  auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
+    workload::Smallbank::Options wo;
+    wo.num_nodes = nodes;
+    wo.accounts_per_node = 20000;
+    return std::make_unique<workload::Smallbank>(wo);
+  };
+
+  RunConfig rc;
+  rc.seed = 7;
+  rc.warmup = 100 * sim::kNsPerUs;
+  rc.measure = 400 * sim::kNsPerUs;
+
+  std::vector<SystemConfig> cfgs;
+  SystemConfig xenic_cfg;
+  xenic_cfg.kind = SystemConfig::Kind::kXenic;
+  xenic_cfg.num_nodes = nodes;
+  cfgs.push_back(xenic_cfg);
+  SystemConfig drtmh;
+  drtmh.kind = SystemConfig::Kind::kBaseline;
+  drtmh.mode = baseline::BaselineMode::kDrtmH;
+  drtmh.num_nodes = nodes;
+  cfgs.push_back(drtmh);
+
+  const std::vector<uint32_t> loads = {4, 16, 48};
+  std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
+  // PrintCurves emits only simulation-derived values (no wall-clock), so
+  // the output is byte-comparable across --jobs settings.
+  PrintCurves("Determinism check: Smallbank, fixed seed", curves);
+  return 0;
+}
