@@ -230,18 +230,21 @@ void BaselineNode::ReadOneKey(TxnState* st, uint32_t read_idx, sim::Engine::Call
     // No address cache: traverse the chain, one roundtrip per bucket. The
     // final read carries the object.
     const auto plan = table.PlanLookup(k.key);
-    auto step = std::make_shared<sim::SmallFunction<void(uint32_t)>>();
-    const uint32_t bucket_bytes =
-        static_cast<uint32_t>(plan.bytes / std::max<uint32_t>(1, plan.roundtrips));
-    *step = [this, shard, bucket_bytes, plan, fetch, finish = std::move(finish),
-             step](uint32_t left) mutable {
-      if (left == 1) {
-        nic_->Read(shard, bucket_bytes, fetch, std::move(finish));
-        return;
-      }
-      nic_->Read(shard, bucket_bytes, [step, left]() mutable { (*step)(left - 1); });
+    const uint32_t hops = std::max<uint32_t>(1, plan.roundtrips);
+    const uint32_t bucket_bytes = static_cast<uint32_t>(plan.bytes / hops);
+    // Build the hop chain back-to-front (the roundtrip count is known up
+    // front); a self-capturing shared function here would be a reference
+    // cycle leaking once per remote read.
+    sim::Engine::Callback chain = [this, shard, bucket_bytes, fetch,
+                                   finish = std::move(finish)]() mutable {
+      nic_->Read(shard, bucket_bytes, fetch, std::move(finish));
     };
-    (*step)(std::max<uint32_t>(1, plan.roundtrips));
+    for (uint32_t i = 1; i < hops; ++i) {
+      chain = [this, shard, bucket_bytes, next = std::move(chain)]() mutable {
+        nic_->Read(shard, bucket_bytes, std::move(next));
+      };
+    }
+    chain();
     return;
   }
   // Cached remote address: one READ of the object.

@@ -1,0 +1,274 @@
+#include "src/chaos/chaos_run.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "src/workload/workload.h"
+
+namespace xenic::chaos {
+
+namespace {
+
+using store::GetI64;
+using store::PutI64;
+using store::Value;
+using txn::ExecRound;
+using txn::TxnOutcome;
+using txn::TxnRequest;
+
+constexpr store::TableId kBank = 0;
+
+Value Balance(int64_t v) {
+  Value out(16, 0);
+  PutI64(out, 0, v);
+  return out;
+}
+
+// Closed-loop bank-transfer workload: every transaction reads 2-3 accounts
+// and rebalances their total across them (conserving money and creating
+// real read-write dependencies between overlapping transactions).
+class BankWorkload : public workload::Workload {
+ public:
+  BankWorkload(uint32_t keys, int64_t initial_balance, uint32_t num_nodes)
+      : keys_(keys), initial_balance_(initial_balance), part_(num_nodes) {}
+
+  std::string Name() const override { return "chaos-bank"; }
+
+  std::vector<workload::TableDef> Tables() const override {
+    workload::TableDef t;
+    t.id = kBank;
+    t.name = "bank";
+    t.capacity_log2 = 10;
+    t.value_size = 16;
+    t.max_displacement = 8;
+    return {t};
+  }
+
+  const txn::Partitioner& partitioner() const override { return part_; }
+
+  void Load(const workload::LoadFn& load) override {
+    for (store::Key k = 1; k <= keys_; ++k) {
+      load(kBank, k, Balance(initial_balance_));
+    }
+  }
+
+  TxnRequest NextTxn(store::NodeId coordinator, Rng& rng) override {
+    (void)coordinator;
+    const size_t n_keys = 2 + rng.NextBounded(2);
+    std::vector<store::Key> keys;
+    while (keys.size() < n_keys) {
+      const store::Key k = 1 + rng.NextBounded(keys_);
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    }
+    TxnRequest req;
+    for (auto k : keys) {
+      req.reads.push_back({kBank, k});
+      req.writes.push_back({kBank, k});
+    }
+    req.execute = [](ExecRound& er) {
+      int64_t sum = 0;
+      for (const auto& r : *er.reads) {
+        sum += GetI64(r.value, 0);
+      }
+      const auto n = static_cast<int64_t>(er.reads->size());
+      for (size_t i = 0; i < er.reads->size(); ++i) {
+        (*er.writes)[i].value = Balance(sum / n + (i == 0 ? sum % n : 0));
+      }
+    };
+    return req;
+  }
+
+ private:
+  uint32_t keys_;
+  int64_t initial_balance_;
+  txn::HashPartitioner part_;
+};
+
+}  // namespace
+
+ChaosVerdict RunChaos(const ChaosConfig& config) {
+  ChaosVerdict verdict;
+  verdict.seed = config.seed;
+  verdict.epoch = config.epoch;
+
+  BankWorkload workload(config.keys, config.initial_balance, config.system.num_nodes);
+  auto system = harness::BuildSystem(config.system, workload);
+  verdict.system_name = system->Name();
+  harness::LoadWorkload(*system, workload);
+  system->StartWorkers();
+
+  sim::Engine& engine = system->engine();
+  FaultInjector injector(*system, config.faults, config.seed, config.epoch);
+  injector.Arm(config.horizon);
+
+  // Closed-loop submitters. The Rng stream is decorrelated from the fault
+  // plan's; callback order inside the engine is deterministic, so one
+  // shared stream keeps the whole run a function of (seed, epoch).
+  Rng rng(ScrambleKey(config.seed ^ ScrambleKey(config.epoch + 0x243f6a88u)) | 1u);
+  HistoryRecorder recorder;
+  uint32_t active = 0;
+  std::function<void(store::NodeId)> run_one = [&](store::NodeId n) {
+    if (engine.now() >= config.horizon) {
+      active--;
+      return;
+    }
+    TxnRequest req = workload.NextTxn(n, rng);
+    auto obs = recorder.Instrument(req);
+    // A submit to a crashed coordinator is silently dropped: the chain
+    // wedges, which is exactly what a client talking to a dead node sees.
+    system->Submit(n, std::move(req), [&, n, obs](TxnOutcome o) {
+      if (o == TxnOutcome::kCommitted) {
+        recorder.Commit(obs);
+        verdict.committed++;
+      } else {
+        verdict.aborted++;
+      }
+      run_one(n);
+    });
+  };
+  for (store::NodeId n = 0; n < config.system.num_nodes; ++n) {
+    for (uint32_t c = 0; c < config.contexts_per_node; ++c) {
+      active++;
+      run_one(n);
+    }
+  }
+
+  engine.RunUntil(config.horizon);
+  engine.RunFor(config.drain);
+  verdict.unfinished = active;
+
+  // Chains wedge only when their coordinator died mid-flight; anything
+  // beyond that is a transaction the epoch sweep failed to resolve.
+  const uint32_t max_wedged =
+      config.contexts_per_node * static_cast<uint32_t>(injector.stats().crashes);
+  if (verdict.unfinished > max_wedged) {
+    std::ostringstream os;
+    os << "wedged transactions: " << verdict.unfinished << " chains unfinished but only "
+       << max_wedged << " can be stuck on crashed coordinators";
+    verdict.failures.push_back(os.str());
+  }
+
+  // Money audit through the system itself: one read-all transaction (from
+  // the lowest-id live node) sees every committed write via the same
+  // pending-aware read path normal transactions use, on Xenic and the
+  // baselines alike. It doubles as a liveness probe of the recovered map.
+  store::NodeId reader = 0;
+  while (reader < config.system.num_nodes && injector.NodeCrashed(reader)) {
+    reader++;
+  }
+  bool read_done = false;
+  int64_t total = 0;
+  std::function<void()> submit_read = [&] {
+    TxnRequest req;
+    for (store::Key k = 1; k <= config.keys; ++k) {
+      req.reads.push_back({kBank, k});
+    }
+    req.execute = [&total](ExecRound& er) {
+      int64_t sum = 0;
+      for (const auto& r : *er.reads) {
+        sum += GetI64(r.value, 0);
+      }
+      total = sum;
+    };
+    system->Submit(reader, std::move(req), [&](TxnOutcome o) {
+      if (o == TxnOutcome::kCommitted) {
+        read_done = true;
+      } else {
+        submit_read();
+      }
+    });
+  };
+  submit_read();
+  for (int i = 0; i < 400 && !read_done; ++i) {
+    engine.RunFor(5 * sim::kNsPerUs);
+  }
+  verdict.expected_total = static_cast<int64_t>(config.keys) * config.initial_balance;
+  verdict.actual_total = read_done ? total : -1;
+  if (!read_done) {
+    verdict.failures.push_back("final audit read did not commit (system wedged)");
+  } else if (verdict.actual_total != verdict.expected_total) {
+    std::ostringstream os;
+    os << "money not conserved: expected " << verdict.expected_total << " got "
+       << verdict.actual_total;
+    verdict.failures.push_back(os.str());
+  }
+
+  // Let post-commit release/apply messages of the audit read settle before
+  // inspecting NIC and log state.
+  engine.RunFor(20 * sim::kNsPerUs);
+
+  if (txn::XenicCluster* cluster = system->xenic_cluster()) {
+    for (store::NodeId n = 0; n < cluster->size(); ++n) {
+      if (cluster->node(n).crashed()) {
+        continue;
+      }
+      auto& ds = cluster->datastore(n);
+      size_t locks = 0;
+      uint64_t pins = 0;
+      for (store::TableId t = 0; t < ds.num_tables(); ++t) {
+        locks += ds.index(t).LockedKeys().size();
+        pins += ds.index(t).pinned_objects();
+      }
+      if (locks > 0) {
+        std::ostringstream os;
+        os << "leaked locks: node " << n << " holds " << locks << " at quiesce";
+        verdict.failures.push_back(os.str());
+      }
+      if (pins > 0) {
+        std::ostringstream os;
+        os << "leaked pins: node " << n << " has " << pins << " pinned objects at quiesce";
+        verdict.failures.push_back(os.str());
+      }
+      if (ds.log().unreclaimed() > 0) {
+        std::ostringstream os;
+        os << "commit log not drained: node " << n << " has " << ds.log().unreclaimed()
+           << " unreclaimed records";
+        verdict.failures.push_back(os.str());
+      }
+    }
+  }
+
+  verdict.check = recorder.Check();
+  verdict.faults = injector.stats();
+  system->ForEachWireChannel([&](sim::Channel& ch) {
+    verdict.frames_dropped += ch.frames_dropped();
+    verdict.frames_duplicated += ch.frames_duplicated();
+    verdict.frames_delayed += ch.frames_delayed();
+  });
+  verdict.events_executed = engine.events_executed();
+  return verdict;
+}
+
+std::string ChaosVerdict::Summary() const {
+  std::ostringstream os;
+  os << "chaos system=" << system_name << " seed=" << seed << " epoch=" << epoch << "\n";
+  os << "txns: committed=" << committed << " aborted=" << aborted
+     << " unfinished=" << unfinished << "\n";
+  os << "faults: crashes=" << faults.crashes << " skipped=" << faults.crashes_skipped
+     << " storms=" << faults.storms << " evictions=" << faults.storm_evictions
+     << " stalls=" << faults.stalls << "\n";
+  os << "recovery: sweep_committed=" << faults.sweep_committed
+     << " sweep_aborted=" << faults.sweep_aborted
+     << " rolled_forward=" << faults.rolled_forward << " discarded=" << faults.discarded
+     << " locks_released=" << faults.locks_released << "\n";
+  os << "wire: dropped=" << frames_dropped << " duplicated=" << frames_duplicated
+     << " delayed=" << frames_delayed << "\n";
+  os << "checker: txns=" << check.txns << " edges=" << check.edges
+     << " version_gaps=" << check.version_gaps << " violations=" << check.violations.size()
+     << "\n";
+  os << "money: expected=" << expected_total << " actual=" << actual_total << "\n";
+  for (const auto& v : check.violations) {
+    os << "  ! " << v << "\n";
+  }
+  for (const auto& f : failures) {
+    os << "  ! " << f << "\n";
+  }
+  os << "events_executed=" << events_executed << "\n";
+  os << "verdict=" << (ok() ? "PASS" : "FAIL") << "\n";
+  return os.str();
+}
+
+}  // namespace xenic::chaos

@@ -1,0 +1,69 @@
+// One deterministic chaos run: a seeded bank-transfer workload driven
+// through a system under test (Xenic or any baseline) while a FaultPlan
+// injects crashes, wire faults, eviction storms, and back-pressure windows.
+// Every committed transaction's observation is recorded; at the end the run
+// is audited for serializability, money conservation, leaked locks, leaked
+// NIC-index pins, and undrained commit logs.
+//
+// Determinism contract: the verdict -- every counter, every violation
+// string, and the simulator's total event count -- is a pure function of
+// (ChaosConfig, seed, epoch). Two runs with the same config produce
+// byte-identical Summary() output regardless of wall-clock, process, or how
+// many runs execute concurrently (each run owns its engine and Rng streams).
+
+#ifndef SRC_CHAOS_CHAOS_RUN_H_
+#define SRC_CHAOS_CHAOS_RUN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/fault_plan.h"
+#include "src/chaos/history.h"
+#include "src/harness/system_adapter.h"
+
+namespace xenic::chaos {
+
+struct ChaosConfig {
+  uint64_t seed = 1;
+  uint64_t epoch = 1;
+  harness::SystemConfig system;
+  FaultSpec faults;
+
+  sim::Tick horizon = 600 * sim::kNsPerUs;  // submission window
+  sim::Tick drain = 200 * sim::kNsPerUs;    // post-horizon settle time
+  uint32_t keys = 48;                       // bank accounts
+  uint32_t contexts_per_node = 3;           // closed-loop submitters
+  int64_t initial_balance = 100;
+};
+
+struct ChaosVerdict {
+  std::string system_name;
+  uint64_t seed = 0;
+  uint64_t epoch = 0;
+
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint32_t unfinished = 0;  // chains wedged at run end (crashed coordinators)
+
+  FaultInjector::Stats faults;
+  uint64_t frames_dropped = 0;
+  uint64_t frames_duplicated = 0;
+  uint64_t frames_delayed = 0;
+
+  CheckResult check;                  // serializability verdict
+  int64_t expected_total = 0;         // keys * initial_balance
+  int64_t actual_total = 0;           // final audit-read sum
+  std::vector<std::string> failures;  // non-checker audit failures
+
+  uint64_t events_executed = 0;  // total sim events; the determinism probe
+
+  bool ok() const { return check.ok() && failures.empty(); }
+  // Deterministic multi-line report (identical across runs of one config).
+  std::string Summary() const;
+};
+
+ChaosVerdict RunChaos(const ChaosConfig& config);
+
+}  // namespace xenic::chaos
+
+#endif  // SRC_CHAOS_CHAOS_RUN_H_

@@ -1,0 +1,210 @@
+#include "src/chaos/fault_plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xenic::chaos {
+
+namespace {
+
+// Decorrelate (seed, epoch) into an Rng stream of its own.
+uint64_t PlanSeed(uint64_t seed, uint64_t epoch) {
+  return ScrambleKey(seed ^ ScrambleKey(epoch + 0x5bd1e995u));
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Generate(uint64_t seed, uint64_t epoch, const FaultSpec& spec,
+                              uint32_t num_nodes, sim::Tick horizon) {
+  FaultPlan plan;
+  Rng rng(PlanSeed(seed, epoch));
+  const sim::Tick lo = horizon / 5;
+  const sim::Tick hi = horizon - horizon / 5;
+  auto place = [&](FaultKind kind, sim::Tick duration) {
+    FaultEvent ev;
+    ev.at = lo + static_cast<sim::Tick>(rng.NextBounded(static_cast<uint64_t>(hi - lo)));
+    ev.kind = kind;
+    ev.node = static_cast<store::NodeId>(rng.NextBounded(num_nodes));
+    ev.duration = duration;
+    plan.events.push_back(ev);
+  };
+  for (uint32_t i = 0; i < spec.crashes; ++i) {
+    place(FaultKind::kCrash, 0);
+  }
+  for (uint32_t i = 0; i < spec.eviction_storms; ++i) {
+    place(FaultKind::kEvictionStorm, 0);
+  }
+  for (uint32_t i = 0; i < spec.stall_windows; ++i) {
+    place(FaultKind::kStallStart, spec.stall_duration);
+  }
+  std::sort(plan.events.begin(), plan.events.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    if (a.kind != b.kind) {
+      return static_cast<uint8_t>(a.kind) < static_cast<uint8_t>(b.kind);
+    }
+    return a.node < b.node;
+  });
+  return plan;
+}
+
+FaultInjector::FaultInjector(harness::SystemAdapter& system, const FaultSpec& spec,
+                             uint64_t seed, uint64_t epoch)
+    : system_(system),
+      spec_(spec),
+      seed_(seed),
+      epoch_(epoch),
+      wire_rng_(ScrambleKey(PlanSeed(seed, epoch))) {
+  if (txn::XenicCluster* cluster = system_.xenic_cluster()) {
+    manager_ = std::make_unique<txn::ClusterManager>(&cluster->engine(), cluster->size(),
+                                                     spec_.detection_delay);
+    base_partitioner_ = cluster->map().partitioner;
+  }
+}
+
+bool FaultInjector::NodeCrashed(store::NodeId n) const {
+  if (txn::XenicCluster* cluster = system_.xenic_cluster()) {
+    return cluster->node(n).crashed();
+  }
+  return false;
+}
+
+void FaultInjector::Arm(sim::Tick horizon) {
+  plan_ = FaultPlan::Generate(seed_, epoch_, spec_, system_.num_nodes(), horizon);
+  for (const FaultEvent& ev : plan_.events) {
+    system_.engine().ScheduleAt(ev.at, [this, ev] { Fire(ev); });
+  }
+  if (spec_.drop_prob > 0 || spec_.dup_prob > 0 || spec_.delay_prob > 0) {
+    system_.ForEachWireChannel([this](sim::Channel& ch) {
+      ch.set_fault_hook([this](uint64_t bytes) {
+        (void)bytes;
+        sim::Channel::FaultDecision d;
+        if (spec_.drop_prob > 0 && wire_rng_.NextBool(spec_.drop_prob)) {
+          // Modeled as a link-layer retransmission (see header).
+          d.extra_delay += spec_.retransmit_delay;
+          d.duplicates += 1;
+        }
+        if (spec_.dup_prob > 0 && wire_rng_.NextBool(spec_.dup_prob)) {
+          d.duplicates += 1;
+        }
+        if (spec_.delay_prob > 0 && wire_rng_.NextBool(spec_.delay_prob)) {
+          d.extra_delay +=
+              1 + static_cast<sim::Tick>(wire_rng_.NextBounded(
+                      static_cast<uint64_t>(spec_.max_delay)));
+        }
+        return d;
+      });
+    });
+  }
+}
+
+void FaultInjector::Fire(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kCrash:
+      CrashNode(ev.node);
+      break;
+    case FaultKind::kEvictionStorm:
+      EvictionStorm(ev.node);
+      break;
+    case FaultKind::kStallStart:
+      Stall(ev.node, ev.duration);
+      break;
+  }
+}
+
+void FaultInjector::CrashNode(store::NodeId victim) {
+  txn::XenicCluster* cluster = system_.xenic_cluster();
+  if (cluster == nullptr || manager_ == nullptr) {
+    stats_.crashes_skipped++;  // baseline systems have no crash support
+    return;
+  }
+  if (cluster->node(victim).crashed()) {
+    stats_.crashes_skipped++;
+    return;
+  }
+  // Keep a quorum: every shard needs at least one live backup, and the
+  // recovery scan needs surviving replicas to read from.
+  uint32_t live = 0;
+  for (store::NodeId n = 0; n < cluster->size(); ++n) {
+    live += cluster->node(n).crashed() ? 0 : 1;
+  }
+  if (live <= cluster->options().replication) {
+    stats_.crashes_skipped++;
+    return;
+  }
+  cluster->node(victim).Crash();
+  manager_->MarkFailed(victim);
+  stats_.crashes++;
+  system_.engine().ScheduleAfter(spec_.detection_delay,
+                                 [this, victim] { DetectAndRecover(victim); });
+}
+
+void FaultInjector::DetectAndRecover(store::NodeId victim) {
+  txn::XenicCluster* cluster = system_.xenic_cluster();
+  // Promote the first live backup of the failed primary.
+  store::NodeId promoted = victim;
+  for (store::NodeId b : cluster->map().BackupsOf(victim)) {
+    if (!cluster->node(b).crashed()) {
+      promoted = b;
+      break;
+    }
+  }
+  assert(promoted != victim && "no live backup to promote");
+
+  // Order matters: resolve wedged transactions at live coordinators first
+  // (commit the provably-replicated, abort + tombstone the rest), then
+  // recover the failed shard and the failed coordinator's leftovers against
+  // the pre-failure map, and only then swap the remap in.
+  txn::EpochSweepReport sweep = txn::SweepWedgedTxns(*cluster, victim);
+  stats_.sweep_committed += sweep.committed;
+  stats_.sweep_aborted += sweep.aborted;
+
+  txn::RecoveryReport shard =
+      txn::RecoverShard(*cluster, victim, promoted, sweep.committed_txns);
+  stats_.rolled_forward += shard.rolled_forward;
+  stats_.discarded += shard.discarded;
+
+  txn::CoordinatorSweepReport coord = txn::RecoverCoordinatorLocks(*cluster, victim);
+  stats_.rolled_forward += coord.rolled_forward;
+  stats_.discarded += coord.discarded;
+  stats_.locks_released += coord.locks_released;
+
+  promotions_[victim] = promoted;
+  remapped_ = std::make_unique<txn::RemappedPartitioner>(base_partitioner_, promotions_);
+  cluster->mutable_map().partitioner = remapped_.get();
+  // Evict the dead node from the membership view last: the sweep and the
+  // recovery scans above reason about the pre-failure replica chains, but
+  // from here on LOG fan-out must not wait on the dead backup's ack.
+  cluster->mutable_map().MarkFailed(victim);
+}
+
+void FaultInjector::EvictionStorm(store::NodeId node) {
+  txn::XenicCluster* cluster = system_.xenic_cluster();
+  if (cluster == nullptr || cluster->node(node).crashed()) {
+    return;
+  }
+  stats_.storms++;
+  auto& ds = cluster->datastore(node);
+  for (store::TableId t = 0; t < ds.num_tables(); ++t) {
+    for (const auto& e : ds.index(t).CachedEntries()) {
+      ds.index(t).Invalidate(e.key);
+      stats_.storm_evictions++;
+    }
+  }
+}
+
+void FaultInjector::Stall(store::NodeId node, sim::Tick duration) {
+  if (NodeCrashed(node)) {
+    return;
+  }
+  stats_.stalls++;
+  system_.StopNodeWorkers(node);
+  system_.engine().ScheduleAfter(duration, [this, node] {
+    if (!NodeCrashed(node)) {
+      system_.StartNodeWorkers(node);
+    }
+  });
+}
+
+}  // namespace xenic::chaos

@@ -1,0 +1,129 @@
+// Deterministic fault planning and injection.
+//
+// A FaultPlan is generated up front from (seed, epoch) and a FaultSpec: the
+// schedule of node crashes, NIC-index eviction storms, and commit-log
+// back-pressure windows is fixed before the run starts, so the same
+// (seed, epoch) replays the same chaos byte-for-byte. Per-frame wire faults
+// (delay, duplication, modeled drops) are drawn from a dedicated Rng inside
+// the deterministic event loop, which makes them equally reproducible.
+//
+// Fault semantics:
+//  - "Drop" is modeled as a retransmission: the frame is charged twice on
+//    the wire and delayed by `retransmit_delay`. The commit protocol counts
+//    acks and has no retransmission timer of its own, so a true loss would
+//    wedge it; modeling the link-layer retry keeps the protocol semantics
+//    while still exercising reordering and extra occupancy.
+//  - Duplicates charge wire occupancy only; the duplicate frame delivers
+//    nothing (the simulator's message closures are single-shot, which
+//    models receiver-side transport dedup).
+//  - A crash is fail-stop: the node's NIC state (locks, in-flight work) is
+//    gone; detection fires after `detection_delay` and runs the epoch
+//    sweep, shard recovery, coordinator-lock recovery, and the partitioner
+//    remap, in that order.
+
+#ifndef SRC_CHAOS_FAULT_PLAN_H_
+#define SRC_CHAOS_FAULT_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/harness/system_adapter.h"
+#include "src/txn/recovery.h"
+
+namespace xenic::chaos {
+
+struct FaultSpec {
+  // Per-frame wire fault probabilities (applied on every outbound channel).
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  sim::Tick max_delay = 2 * sim::kNsPerUs;         // uniform in [1, max_delay]
+  sim::Tick retransmit_delay = 3 * sim::kNsPerUs;  // per modeled drop
+
+  // Scheduled faults over the run horizon.
+  uint32_t crashes = 0;           // fail-stop node crashes (with recovery)
+  uint32_t eviction_storms = 0;   // NIC-index cache wipe on one node
+  uint32_t stall_windows = 0;     // commit-log back-pressure: workers stopped
+  sim::Tick stall_duration = 60 * sim::kNsPerUs;
+  sim::Tick detection_delay = 8 * sim::kNsPerUs;  // crash -> lease expiry
+};
+
+enum class FaultKind : uint8_t {
+  kCrash = 0,
+  kEvictionStorm,
+  kStallStart,
+};
+
+struct FaultEvent {
+  sim::Tick at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  store::NodeId node = 0;
+  sim::Tick duration = 0;  // stall windows
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // sorted by time
+
+  // Deterministic plan from (seed, epoch): same inputs, same schedule.
+  // Events are placed in the middle 60% of the horizon so the system has
+  // warm-up and drain time around them.
+  static FaultPlan Generate(uint64_t seed, uint64_t epoch, const FaultSpec& spec,
+                            uint32_t num_nodes, sim::Tick horizon);
+};
+
+// Arms a plan against a running system: schedules the planned events on the
+// sim engine and installs per-frame fault hooks on every wire channel.
+// Crash events drive the full recovery pipeline (ClusterManager::MarkFailed,
+// epoch sweep, RecoverShard, RecoverCoordinatorLocks, RemappedPartitioner
+// promotion) and are skipped for baseline systems, which have no crash
+// support -- wire faults, stalls, and storms apply everywhere.
+class FaultInjector {
+ public:
+  struct Stats {
+    uint64_t crashes = 0;
+    uint64_t crashes_skipped = 0;  // too few live nodes / baseline system
+    uint64_t storms = 0;
+    uint64_t storm_evictions = 0;
+    uint64_t stalls = 0;
+    uint64_t sweep_committed = 0;
+    uint64_t sweep_aborted = 0;
+    uint64_t rolled_forward = 0;  // RecoverShard + coordinator sweep
+    uint64_t discarded = 0;
+    uint64_t locks_released = 0;
+  };
+
+  FaultInjector(harness::SystemAdapter& system, const FaultSpec& spec, uint64_t seed,
+                uint64_t epoch);
+
+  // Schedule the plan's events and arm wire hooks. Call once, before Run.
+  void Arm(sim::Tick horizon);
+
+  const Stats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+  bool NodeCrashed(store::NodeId n) const;
+
+ private:
+  void Fire(const FaultEvent& ev);
+  void CrashNode(store::NodeId victim);
+  void DetectAndRecover(store::NodeId victim);
+  void EvictionStorm(store::NodeId node);
+  void Stall(store::NodeId node, sim::Tick duration);
+
+  harness::SystemAdapter& system_;
+  FaultSpec spec_;
+  uint64_t seed_ = 0;
+  uint64_t epoch_ = 0;
+  FaultPlan plan_;
+  Rng wire_rng_;
+  Stats stats_;
+  std::unique_ptr<txn::ClusterManager> manager_;  // Xenic systems only
+  std::map<store::NodeId, store::NodeId> promotions_;
+  std::unique_ptr<txn::RemappedPartitioner> remapped_;
+  const txn::Partitioner* base_partitioner_ = nullptr;
+};
+
+}  // namespace xenic::chaos
+
+#endif  // SRC_CHAOS_FAULT_PLAN_H_

@@ -1,0 +1,140 @@
+#include "src/chaos/history.h"
+
+#include <queue>
+#include <sstream>
+
+namespace xenic::chaos {
+
+namespace {
+
+std::string KeyName(const TableKey& k) {
+  std::ostringstream os;
+  os << "t" << k.first << "/k" << k.second;
+  return os.str();
+}
+
+// Kahn's algorithm over the precedence graph; true iff acyclic.
+bool Acyclic(const std::vector<std::vector<int>>& adj) {
+  const size_t n = adj.size();
+  std::vector<int> indeg(n, 0);
+  for (const auto& out : adj) {
+    for (int v : out) {
+      indeg[static_cast<size_t>(v)]++;
+    }
+  }
+  std::queue<int> q;
+  for (size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) {
+      q.push(static_cast<int>(i));
+    }
+  }
+  size_t seen = 0;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    seen++;
+    for (int v : adj[static_cast<size_t>(u)]) {
+      if (--indeg[static_cast<size_t>(v)] == 0) {
+        q.push(v);
+      }
+    }
+  }
+  return seen == n;
+}
+
+}  // namespace
+
+CheckResult CheckSerializability(const std::vector<TxnObservation>& txns) {
+  CheckResult result;
+  result.txns = txns.size();
+
+  // writer_of[k][v] = index of the transaction that produced version v of
+  // key k (it read v-1 and wrote). Two writers of one version is a lost
+  // update: both read the same version and both committed.
+  std::map<TableKey, std::map<store::Seq, int>> writer_of;
+  for (size_t i = 0; i < txns.size(); ++i) {
+    for (const auto& k : txns[i].writes) {
+      auto rit = txns[i].reads.find(k);
+      if (rit == txns[i].reads.end()) {
+        std::ostringstream os;
+        os << "txn " << i << " wrote " << KeyName(k)
+           << " without reading it (recorder contract: RMW only)";
+        result.violations.push_back(os.str());
+        continue;
+      }
+      const store::Seq produced = rit->second + 1;
+      auto [it, fresh] = writer_of[k].emplace(produced, static_cast<int>(i));
+      if (!fresh) {
+        std::ostringstream os;
+        os << "lost update on " << KeyName(k) << ": txns " << it->second << " and " << i
+           << " both produced version " << produced;
+        result.violations.push_back(os.str());
+      }
+    }
+  }
+
+  // Edges. For txn i reading version r of key k:
+  //   wr: the writer of r precedes i.
+  //   rw: i precedes the writer of r+1 (unless that writer is i itself).
+  // For txn i writing version r+1:
+  //   ww: i precedes the writer of r+2.
+  std::vector<std::vector<int>> adj(txns.size());
+  auto add_edge = [&](int from, int to) {
+    if (from != to) {
+      adj[static_cast<size_t>(from)].push_back(to);
+      result.edges++;
+    }
+  };
+  for (size_t i = 0; i < txns.size(); ++i) {
+    for (const auto& [k, r] : txns[i].reads) {
+      auto cit = writer_of.find(k);
+      if (cit == writer_of.end()) {
+        continue;
+      }
+      const auto& chain = cit->second;
+      if (auto it = chain.find(r); it != chain.end()) {
+        add_edge(it->second, static_cast<int>(i));
+      } else if (r > 1) {
+        result.version_gaps++;  // read a version no recorded txn produced
+      }
+      if (auto it = chain.find(r + 1); it != chain.end()) {
+        add_edge(static_cast<int>(i), it->second);
+      }
+      if (txns[i].writes.count(k) > 0) {
+        if (auto it = chain.find(r + 2); it != chain.end()) {
+          add_edge(static_cast<int>(i), it->second);
+        }
+      }
+    }
+  }
+
+  if (!Acyclic(adj)) {
+    result.violations.push_back("serializability violation: precedence cycle");
+  }
+  return result;
+}
+
+std::shared_ptr<TxnObservation> HistoryRecorder::Instrument(txn::TxnRequest& req) {
+  auto obs = std::make_shared<TxnObservation>();
+  txn::ExecuteFn inner = std::move(req.execute);
+  req.execute = [obs, inner = std::move(inner)](txn::ExecRound& er) {
+    if (inner) {
+      inner(er);
+    }
+    // Re-record from scratch every round: on retries and multi-round
+    // executions only the final round's complete view must survive.
+    obs->reads.clear();
+    obs->writes.clear();
+    for (size_t i = 0; i < er.reads->size(); ++i) {
+      const auto& k = (*er.read_keys)[i];
+      const auto& r = (*er.reads)[i];
+      obs->reads[{k.table, k.key}] = r.found ? r.seq : 0;
+    }
+    for (const auto& k : *er.write_keys) {
+      obs->writes.insert({k.table, k.key});
+    }
+  };
+  return obs;
+}
+
+}  // namespace xenic::chaos

@@ -1,0 +1,75 @@
+// Reusable serializability history checker.
+//
+// Transactions under test are read-modify-write: each one records, for
+// every key it touched, the version (Seq) it read; every key it wrote got
+// version read+1. From the committed observations the checker rebuilds the
+// per-key version chains, derives the precedence graph (write-read,
+// write-write, and read-write anti-dependency edges), and verifies it is
+// acyclic. Two transactions producing the same version of a key (a lost
+// update) or a precedence cycle are serializability violations.
+//
+// Gaps in a version chain are tolerated and counted, not flagged: a
+// crash-recovered transaction can be rolled forward by recovery after its
+// coordinator died, so its write exists in the history of versions but no
+// observation was ever recorded for it.
+
+#ifndef SRC_CHAOS_HISTORY_H_
+#define SRC_CHAOS_HISTORY_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/txn/types.h"
+
+namespace xenic::chaos {
+
+using TableKey = std::pair<store::TableId, store::Key>;
+
+// What one committed transaction observed: the version it read of every key
+// in its final read set, and which of those keys it wrote (producing
+// version read+1). A key read as absent records version 0.
+struct TxnObservation {
+  std::map<TableKey, store::Seq> reads;
+  std::set<TableKey> writes;
+};
+
+struct CheckResult {
+  std::vector<std::string> violations;  // empty iff the history passes
+  size_t txns = 0;
+  size_t edges = 0;
+  size_t version_gaps = 0;  // unrecorded writers (tolerated; see header)
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Build the precedence graph from the committed observations and check it.
+CheckResult CheckSerializability(const std::vector<TxnObservation>& txns);
+
+// Records a run's committed history. Instrument wraps a request's execute
+// closure so every execution round (re)captures the versions read and the
+// keys written; on a committed outcome the caller hands the observation
+// back via Commit. Observations of aborted or unfinished transactions are
+// simply dropped by never committing them.
+class HistoryRecorder {
+ public:
+  // Wraps req.execute in place; the returned observation is updated on
+  // every execution round (retries and multi-round executions re-record,
+  // so the final round's view wins).
+  std::shared_ptr<TxnObservation> Instrument(txn::TxnRequest& req);
+
+  void Commit(const std::shared_ptr<TxnObservation>& obs) { history_.push_back(*obs); }
+
+  const std::vector<TxnObservation>& history() const { return history_; }
+  CheckResult Check() const { return CheckSerializability(history_); }
+
+ private:
+  std::vector<TxnObservation> history_;
+};
+
+}  // namespace xenic::chaos
+
+#endif  // SRC_CHAOS_HISTORY_H_

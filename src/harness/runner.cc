@@ -29,11 +29,14 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
   const uint8_t tag = req.tag;
   const sim::Tick start = sh->system->engine().now();
 
-  auto attempt = std::make_shared<std::function<void(txn::TxnRequest, uint32_t)>>();
-  *attempt = [sh, node, tag, start, attempt](txn::TxnRequest r, uint32_t tries) {
+  // Retry closure that recurses by passing a copy of itself along; a
+  // shared_ptr<function> capturing itself would be a reference cycle that
+  // leaks once per transaction.
+  auto attempt = [sh, node, tag, start](auto&& self, txn::TxnRequest r,
+                                        uint32_t tries) -> void {
     txn::TxnRequest copy = r;
     sh->system->Submit(node, std::move(copy),
-                       [sh, node, tag, start, attempt, r = std::move(r),
+                       [sh, node, tag, start, self, r = std::move(r),
                         tries](txn::TxnOutcome outcome) mutable {
                          if (sh->stopped) {
                            return;
@@ -47,12 +50,13 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
                            const sim::Tick backoff =
                                sh->config->retry_backoff +
                                sh->rng.NextBounded(sh->config->retry_backoff + 1);
-                           eng.ScheduleAfter(backoff,
-                                             [sh, node, attempt, r = std::move(r), tries] {
-                                               if (!sh->stopped) {
-                                                 (*attempt)(std::move(r), tries + 1);
-                                               }
-                                             });
+                           eng.ScheduleAfter(
+                               backoff, [sh, self = std::move(self), r = std::move(r),
+                                         tries]() mutable {
+                                 if (!sh->stopped) {
+                                   self(self, std::move(r), tries + 1);
+                                 }
+                               });
                            return;
                          }
                          if (outcome == txn::TxnOutcome::kCommitted && sh->measuring) {
@@ -65,7 +69,7 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
                          RunContext(sh, node);
                        });
   };
-  (*attempt)(std::move(req), 0);
+  attempt(attempt, std::move(req), 0);
 }
 
 }  // namespace

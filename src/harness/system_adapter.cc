@@ -14,6 +14,7 @@ class XenicAdapter : public SystemAdapter {
     o.features = config.features;
     o.nic_features = config.nic_features;
     o.workers_per_node = config.workers_per_node;
+    o.log_capacity = config.log_capacity;
     o.nic_index.memory_budget = config.nic_cache_budget;
     for (const auto& t : workload.Tables()) {
       store::TableSpec spec;
@@ -88,6 +89,21 @@ class XenicAdapter : public SystemAdapter {
     return total;
   }
 
+  void ForEachWireChannel(const std::function<void(sim::Channel&)>& fn) override {
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      auto& nic = cluster_->nic(n);
+      for (size_t p = 0; p < nic.num_tx_ports(); ++p) {
+        fn(nic.tx_port(p));
+      }
+    }
+  }
+  void StopNodeWorkers(store::NodeId node) override { cluster_->node(node).StopWorkers(); }
+  void StartNodeWorkers(store::NodeId node) override {
+    cluster_->node(node).StartWorkers(cluster_->options().workers_per_node,
+                                      cluster_->options().worker_poll_interval);
+  }
+  txn::XenicCluster* xenic_cluster() override { return cluster_.get(); }
+
   txn::XenicCluster& cluster() { return *cluster_; }
 
  private:
@@ -107,6 +123,8 @@ class BaselineAdapter : public SystemAdapter {
       o.tables.push_back(
           baseline::BaselineStore::TableSpec{t.id, t.capacity_log2, t.value_size});
     }
+    workers_per_node_ = o.workers_per_node;
+    worker_poll_interval_ = o.worker_poll_interval;
     cluster_ = std::make_unique<baseline::BaselineCluster>(o, &workload.partitioner());
   }
 
@@ -152,10 +170,23 @@ class BaselineAdapter : public SystemAdapter {
   uint64_t DmaOps() const override { return 0; }
   uint64_t DmaBytes() const override { return 0; }
 
+  void ForEachWireChannel(const std::function<void(sim::Channel&)>& fn) override {
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      fn(cluster_->node(n).nic().tx());
+    }
+  }
+  void StopNodeWorkers(store::NodeId node) override { cluster_->node(node).StopWorkers(); }
+  void StartNodeWorkers(store::NodeId node) override {
+    cluster_->node(node).StartWorkers(workers_per_node_, worker_poll_interval_);
+  }
+  baseline::BaselineCluster* baseline_cluster() override { return cluster_.get(); }
+
   baseline::BaselineCluster& cluster() { return *cluster_; }
 
  private:
   std::unique_ptr<baseline::BaselineCluster> cluster_;
+  uint32_t workers_per_node_ = 0;
+  sim::Tick worker_poll_interval_ = 0;
 };
 
 }  // namespace

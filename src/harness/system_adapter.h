@@ -38,6 +38,19 @@ class SystemAdapter {
   // (0 for the RDMA baselines, whose PCIe work is inside the NIC model).
   virtual uint64_t DmaOps() const = 0;
   virtual uint64_t DmaBytes() const = 0;
+
+  // --- Chaos hooks ---
+  // Visit every outbound wire channel in the deployment (fault injectors
+  // arm sim::Channel fault hooks through this).
+  virtual void ForEachWireChannel(const std::function<void(sim::Channel&)>& fn) = 0;
+  // Per-node worker control (back-pressure windows stall one node's log
+  // apply pipeline without touching the rest of the cluster).
+  virtual void StopNodeWorkers(store::NodeId node) = 0;
+  virtual void StartNodeWorkers(store::NodeId node) = 0;
+  // Underlying cluster access for system-specific faults (node crashes,
+  // recovery); null for systems of the other kind.
+  virtual txn::XenicCluster* xenic_cluster() { return nullptr; }
+  virtual baseline::BaselineCluster* baseline_cluster() { return nullptr; }
 };
 
 // Configuration of the system under test.
@@ -54,6 +67,7 @@ struct SystemConfig {
   uint64_t nic_cache_budget = 0;        // bytes; 0 = unlimited
   uint16_t max_displacement_override = 0;  // replace every table's Dm; 0 = keep
   size_t capacity_log2_override = 0;       // replace every table's capacity; 0 = keep
+  size_t log_capacity = 1 << 16;  // commit-log ring records per node (Xenic)
 };
 
 // Build a system ready to run `workload` (tables created, hooks wired; the

@@ -66,6 +66,9 @@ class RdmaNic {
   double WireUtilization(sim::Tick window) const { return tx_.Utilization(window); }
   void ResetStats();
 
+  // Wire channel, exposed so fault injectors can arm per-frame hooks.
+  sim::Channel& tx() { return tx_; }
+
  private:
   friend class RdmaFabric;
 

@@ -79,6 +79,11 @@ class SmartNic {
   double WireUtilization(sim::Tick window) const;
   void ResetStats();
 
+  // Wire-facing channels, exposed so fault injectors can arm per-frame
+  // drop/delay/duplication hooks (sim::Channel::set_fault_hook).
+  size_t num_tx_ports() const { return tx_ports_.size(); }
+  sim::Channel& tx_port(size_t i) { return *tx_ports_[i]; }
+
  private:
   friend class SmartNicFabric;
 

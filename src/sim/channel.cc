@@ -12,14 +12,47 @@ Channel::Channel(Engine* engine, std::string name, double bytes_per_ns, Tick lat
   assert(bytes_per_ns > 0.0);
 }
 
-void Channel::Send(uint64_t bytes, Tick extra_occupancy, Engine::Callback delivered) {
+Tick Channel::Occupy(uint64_t bytes, Tick extra_occupancy) {
   const Tick start = std::max(engine_->now(), next_free_);
   const auto tx_time =
       static_cast<Tick>(std::llround(static_cast<double>(bytes) / bytes_per_ns_));
   next_free_ = start + tx_time + extra_occupancy;
   bytes_sent_ += bytes;
   sends_++;
-  engine_->ScheduleAt(next_free_ + latency_, std::move(delivered));
+  return next_free_;
+}
+
+void Channel::Send(uint64_t bytes, Tick extra_occupancy, Engine::Callback delivered) {
+  if (fault_hook_) {
+    SendFaulted(bytes, extra_occupancy, std::move(delivered));
+    return;
+  }
+  engine_->ScheduleAt(Occupy(bytes, extra_occupancy) + latency_, std::move(delivered));
+}
+
+void Channel::SendFaulted(uint64_t bytes, Tick extra_occupancy, Engine::Callback delivered) {
+  const FaultDecision d = fault_hook_(bytes);
+  if (d.drop) {
+    // The frame still serializes onto the wire before being lost, so the
+    // occupancy charge stands; only the delivery vanishes.
+    Occupy(bytes, extra_occupancy);
+    frames_dropped_++;
+    return;
+  }
+  // The first copy follows the exact no-hook schedule (plus any injected
+  // delay): a default FaultDecision is bit-identical to the fast path.
+  const Tick tail = Occupy(bytes, extra_occupancy);
+  if (d.extra_delay > 0) {
+    frames_delayed_++;
+  }
+  engine_->ScheduleAt(tail + latency_ + d.extra_delay, std::move(delivered));
+  // Duplicates charge the channel again but deliver nothing: the receiver's
+  // transport layer discards the redundant copies, and the callback (move-
+  // only) has already been consumed by the primary delivery.
+  for (uint32_t i = 0; i < d.duplicates; i++) {
+    Occupy(bytes, extra_occupancy);
+    frames_duplicated_++;
+  }
 }
 
 }  // namespace xenic::sim

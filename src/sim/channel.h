@@ -9,6 +9,7 @@
 #define SRC_SIM_CHANNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "src/sim/engine.h"
@@ -17,6 +18,17 @@ namespace xenic::sim {
 
 class Channel {
  public:
+  // Per-send fault decision, produced by an optional hook (chaos testing).
+  // The default-constructed decision is the identity: the send behaves
+  // exactly as if no hook were installed -- same occupancy accounting, same
+  // delivery tick, same event-insertion order.
+  struct FaultDecision {
+    bool drop = false;          // destroy the frame; callback never runs
+    uint32_t duplicates = 0;    // extra copies that re-occupy the channel
+    Tick extra_delay = 0;       // added propagation delay for this frame
+  };
+  using FaultHook = std::function<FaultDecision(uint64_t bytes)>;
+
   Channel(Engine* engine, std::string name, double bytes_per_ns, Tick latency);
 
   // Transmit `bytes`; `delivered` runs when the tail arrives at the far end.
@@ -25,6 +37,15 @@ class Channel {
   // Same, plus `extra_occupancy` ns of fixed channel time for this send
   // (per-frame port overhead, unbatched queue-handling cost, ...).
   void Send(uint64_t bytes, Tick extra_occupancy, Engine::Callback delivered);
+
+  // Install (or clear, with nullptr) the fault hook. The hook is consulted
+  // once per Send; duplicated copies do not re-enter the hook.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  bool has_fault_hook() const { return static_cast<bool>(fault_hook_); }
+
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t frames_duplicated() const { return frames_duplicated_; }
+  uint64_t frames_delayed() const { return frames_delayed_; }
 
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t sends() const { return sends_; }
@@ -41,9 +62,18 @@ class Channel {
   void ResetStats() {
     bytes_sent_ = 0;
     sends_ = 0;
+    frames_dropped_ = 0;
+    frames_duplicated_ = 0;
+    frames_delayed_ = 0;
   }
 
  private:
+  // Charge one transmission's occupancy (serialization + extra) and byte
+  // accounting; returns the tick at which the tail leaves the channel.
+  Tick Occupy(uint64_t bytes, Tick extra_occupancy);
+
+  void SendFaulted(uint64_t bytes, Tick extra_occupancy, Engine::Callback delivered);
+
   Engine* engine_;
   std::string name_;
   double bytes_per_ns_;
@@ -51,6 +81,10 @@ class Channel {
   Tick next_free_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t sends_ = 0;
+  uint64_t frames_dropped_ = 0;
+  uint64_t frames_duplicated_ = 0;
+  uint64_t frames_delayed_ = 0;
+  FaultHook fault_hook_;
 };
 
 }  // namespace xenic::sim

@@ -38,6 +38,11 @@ struct LogRecord {
   LogRecordType type = LogRecordType::kLog;
   TxnId txn = kNoTxn;
   uint64_t lsn = 0;  // assigned by Append
+  // How many distinct written shards the transaction logged to. Recovery
+  // uses this to decide global completeness: a transaction is committed iff
+  // records for all `total_shards` shards reached every surviving backup.
+  // Fits in the 24-byte record header, so ByteSize() is unchanged.
+  uint32_t total_shards = 1;
   std::vector<LogWrite> writes;
 
   // Serialized size, used for DMA-write cost accounting.

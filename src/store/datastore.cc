@@ -5,7 +5,9 @@
 
 namespace xenic::store {
 
-Datastore::Datastore(const std::vector<TableSpec>& specs, const NicIndex::Options& nic_options) {
+Datastore::Datastore(const std::vector<TableSpec>& specs, const NicIndex::Options& nic_options,
+                     size_t log_capacity_records)
+    : log_(log_capacity_records) {
   tables_.resize(specs.size());
   indexes_.resize(specs.size());
   for (const auto& spec : specs) {
@@ -33,6 +35,12 @@ Status Datastore::Load(TableId table, Key key, const Value& value, Seq seq) {
 }
 
 Result<uint64_t> Datastore::Append(LogRecord record) {
+  if (IsTombstoned(record.txn)) {
+    // Late-arriving record for a transaction the epoch change already
+    // aborted: acknowledge (the sender's state is gone anyway) but never
+    // buffer it where a worker could apply it.
+    return Result<uint64_t>(log_.next_lsn());
+  }
   // Only COMMIT records make writes visible to host readers at this node:
   // LOG records target the backup tables, which local transactions never
   // read. Index commit-record writes for FreshLookup.
@@ -107,6 +115,10 @@ std::vector<ApplyAck> Datastore::ApplyNext() {
 
 std::vector<ApplyAck> Datastore::ApplyRecord(const LogRecord& record) {
   std::vector<ApplyAck> acks;
+  if (IsTombstoned(record.txn)) {
+    records_applied_++;  // consumed, writes dropped
+    return acks;
+  }
   acks.reserve(record.writes.size());
   for (const auto& w : record.writes) {
     if (w.table >= tables_.size()) {
@@ -125,6 +137,21 @@ std::vector<ApplyAck> Datastore::ApplyRecord(const LogRecord& record) {
   }
   records_applied_++;
   return acks;
+}
+
+void Datastore::TombstoneTxn(TxnId txn) {
+  if (!tombstoned_.insert(txn).second) {
+    return;
+  }
+  // Drop already-buffered records' writes from the pending-read index so
+  // FreshLookup stops serving the aborted values; the records themselves
+  // stay in the ring (workers pop-and-skip them, keeping lsn accounting
+  // intact).
+  for (const auto& rec : log_.Snapshot()) {
+    if (rec.txn == txn) {
+      ClearPending(rec);
+    }
+  }
 }
 
 }  // namespace xenic::store

@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <string>
 #include <vector>
 
@@ -44,7 +45,8 @@ struct ApplyAck {
 
 class Datastore {
  public:
-  Datastore(const std::vector<TableSpec>& specs, const NicIndex::Options& nic_options);
+  Datastore(const std::vector<TableSpec>& specs, const NicIndex::Options& nic_options,
+            size_t log_capacity_records = 1 << 16);
 
   RobinhoodTable& table(TableId id) { return *tables_.at(id); }
   const RobinhoodTable& table(TableId id) const { return *tables_.at(id); }
@@ -79,6 +81,16 @@ class Datastore {
   // Apply one record directly (recovery replay path).
   std::vector<ApplyAck> ApplyRecord(const LogRecord& record);
 
+  // Recovery/abort: mark `txn`'s log records dead on this node. Existing
+  // records stay buffered (the ring's lsn accounting is untouched) but their
+  // writes are dropped from the pending index and must not be applied by
+  // workers; late-arriving appends for the txn are swallowed. Used when an
+  // epoch change aborts a transaction whose LOG records were already (or are
+  // still being) replicated -- without this a surviving backup could apply a
+  // write that the coordinator aborted.
+  void TombstoneTxn(TxnId txn);
+  bool IsTombstoned(TxnId txn) const { return tombstoned_.count(txn) > 0; }
+
   uint64_t records_applied() const { return records_applied_; }
 
  private:
@@ -98,6 +110,10 @@ class Datastore {
   uint64_t records_applied_ = 0;
   // (table, key) -> stack of committed-but-unapplied writes, newest last.
   std::unordered_map<uint64_t, std::vector<PendingWrite>> pending_;
+  // Transactions whose records must not be applied on this node (epoch
+  // aborts). Only ever holds txns aborted across an epoch change, so it
+  // stays small.
+  std::unordered_set<TxnId> tombstoned_;
 };
 
 }  // namespace xenic::store

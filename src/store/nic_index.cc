@@ -314,6 +314,12 @@ bool NicIndex::IsCached(Key key) const {
 
 void NicIndex::Invalidate(Key key) {
   if (CachedObject* obj = Find(key)) {
+    if (obj->pin_count > 0) {
+      // A pinned object is a committed value the host has not applied yet:
+      // the NIC copy is the only fresh one, so it must survive every form
+      // of eviction (the miss path DMA-reads the stale host table).
+      return;
+    }
     if (obj->has_value) {
       cached_bytes_ -= CostOf(*obj);
       obj->value.clear();
@@ -335,6 +341,18 @@ std::vector<NicIndex::CachedEntry> NicIndex::CachedEntries() const {
       if (obj.valid && obj.has_value) {
         out.push_back(CachedEntry{obj.key, obj.seq, &obj.value, obj.pin_count > 0,
                                   obj.lock_owner != kNoTxn});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NicIndex::LockedKey> NicIndex::LockedKeys() const {
+  std::vector<LockedKey> out;
+  for (const auto& entry : entries_) {
+    for (const auto& obj : entry.objects) {
+      if (obj.valid && obj.lock_owner != kNoTxn) {
+        out.push_back(LockedKey{obj.key, obj.lock_owner});
       }
     }
   }

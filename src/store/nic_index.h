@@ -116,6 +116,16 @@ class NicIndex {
   };
   std::vector<CachedEntry> CachedEntries() const;
 
+  // Audit/recovery surface: every key whose NIC-resident lock word is held,
+  // with its owner. Includes metadata-only entries (no cached value), which
+  // CachedEntries() skips -- locks live only in NIC memory, so this is the
+  // authoritative lock table for leak audits and coordinator-crash sweeps.
+  struct LockedKey {
+    Key key;
+    TxnId owner;
+  };
+  std::vector<LockedKey> LockedKeys() const;
+
   // Drop a key's cached value (metadata/locks survive); used when a backup
   // is promoted to primary: its cache was never maintained by the commit
   // protocol and must refill from the (recovered) host table.

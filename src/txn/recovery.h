@@ -58,6 +58,21 @@ class RemappedPartitioner : public Partitioner {
   std::map<NodeId, NodeId> promotions_;
 };
 
+// Epoch-change sweep (run at failure detection, before RecoverShard): every
+// live coordinator's wedged transactions -- unreported in-flight
+// transactions involving the failed node -- are resolved exactly once. A
+// transaction whose LOG fan-out already reached (or was applied by) every
+// live backup of every written shard is committed by synthesizing the dead
+// node's acks; anything else is aborted, its records tombstoned on all live
+// nodes and its locks released cluster-wide.
+struct EpochSweepReport {
+  size_t committed = 0;
+  size_t aborted = 0;
+  size_t acks_synthesized = 0;
+  std::vector<store::TxnId> committed_txns;  // feed to RecoverShard
+};
+EpochSweepReport SweepWedgedTxns(XenicCluster& cluster, NodeId failed);
+
 struct RecoveryReport {
   size_t records_scanned = 0;
   size_t locks_rebuilt = 0;
@@ -68,9 +83,31 @@ struct RecoveryReport {
 // Promote `promoted` (a backup) to primary for the shards of `failed`:
 // scan surviving replicas' logs for unacknowledged records touching those
 // shards, rebuild lock state at the new primary, then roll forward
-// transactions whose LOG record reached every surviving replica and
-// discard the rest, releasing locks.
-RecoveryReport RecoverShard(XenicCluster& cluster, NodeId failed, NodeId promoted);
+// transactions whose LOG records reached every surviving replica of every
+// written shard (the coordinator may have reported commit) and discard the
+// rest, releasing locks and tombstoning the discarded records so no
+// surviving backup applies them later.
+// `known_committed` lists transactions a preceding SweepWedgedTxns already
+// decided to commit (their coordinator is live and was unwedged by
+// synthesizing the dead node's acks): they are rolled forward regardless of
+// what the log scan alone can prove.
+RecoveryReport RecoverShard(XenicCluster& cluster, NodeId failed, NodeId promoted,
+                            const std::vector<store::TxnId>& known_committed = {});
+
+// Coordinator-failure sweep: transactions coordinated by `failed` can leave
+// locks (EXECUTE acquires them eagerly) and replicated-but-unapplied LOG
+// records at live primaries. Completeness is decided with the same global
+// rule as RecoverShard: complete transactions are rolled forward at the
+// live primaries (with NIC caches refreshed), incomplete ones are
+// tombstoned; either way every orphaned lock owned by a failed-coordinator
+// transaction is released.
+struct CoordinatorSweepReport {
+  size_t txns_swept = 0;
+  size_t locks_released = 0;
+  size_t rolled_forward = 0;
+  size_t discarded = 0;
+};
+CoordinatorSweepReport RecoverCoordinatorLocks(XenicCluster& cluster, NodeId failed);
 
 }  // namespace xenic::txn
 

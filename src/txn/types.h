@@ -118,16 +118,32 @@ class HashPartitioner : public Partitioner {
 
 // Cluster layout: placement plus primary-backup replica chains. With
 // replication factor f, shard p is backed up on nodes p+1 .. p+f-1 (mod n).
+// `failed` is the membership view: once failure detection evicts a node
+// (epoch bump), BackupsOf stops returning it, so commit-time LOG fan-out
+// never waits on a dead backup's ack. Until re-replication the affected
+// shards simply run at reduced redundancy.
 struct ClusterMap {
   uint32_t num_nodes = 1;
   uint32_t replication = 1;  // total copies including the primary
   const Partitioner* partitioner = nullptr;
+  std::vector<bool> failed;  // sized lazily by MarkFailed; empty = all live
+
+  bool IsFailed(NodeId node) const { return node < failed.size() && failed[node]; }
+  void MarkFailed(NodeId node) {
+    if (failed.size() < num_nodes) {
+      failed.resize(num_nodes, false);
+    }
+    failed[node] = true;
+  }
 
   NodeId PrimaryOf(TableId table, Key key) const { return partitioner->PrimaryOf(table, key); }
   std::vector<NodeId> BackupsOf(NodeId primary) const {
     std::vector<NodeId> out;
     for (uint32_t i = 1; i < replication; ++i) {
-      out.push_back((primary + i) % num_nodes);
+      const NodeId b = (primary + i) % num_nodes;
+      if (!IsFailed(b)) {
+        out.push_back(b);
+      }
     }
     return out;
   }

@@ -12,7 +12,8 @@ XenicCluster::XenicCluster(const XenicClusterOptions& options, const Partitioner
                                                        options.num_nodes);
   for (uint32_t i = 0; i < options.num_nodes; ++i) {
     fabric_->node(i).features() = options.nic_features;
-    stores_.push_back(std::make_unique<store::Datastore>(options.tables, options.nic_index));
+    stores_.push_back(std::make_unique<store::Datastore>(options.tables, options.nic_index,
+                                                         options.log_capacity));
   }
   for (uint32_t i = 0; i < options.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<XenicNode>(&fabric_->node(i), stores_[i].get(), &map_,

@@ -25,6 +25,9 @@ struct XenicClusterOptions {
   std::vector<store::TableSpec> tables;
   uint32_t workers_per_node = 3;
   sim::Tick worker_poll_interval = 2 * sim::kNsPerUs;
+  // Host-memory commit-log ring size per node; small values make the
+  // back-pressure path easy to hit (chaos testing).
+  size_t log_capacity = 1 << 16;
 };
 
 class XenicCluster {
@@ -36,7 +39,11 @@ class XenicCluster {
   store::Datastore& datastore(NodeId id) { return *stores_[id]; }
   nicmodel::SmartNic& nic(NodeId id) { return fabric_->node(id); }
   const ClusterMap& map() const { return map_; }
+  // Recovery: lets a reconfiguration swap in a RemappedPartitioner after a
+  // node failure (every node routes through this shared map).
+  ClusterMap& mutable_map() { return map_; }
   uint32_t size() const { return options_.num_nodes; }
+  const XenicClusterOptions& options() const { return options_; }
 
   // Load a key into its primary and all backup replicas (tables stay in
   // sync across the replica chain, as after a quiesced run).

@@ -43,6 +43,9 @@ sim::Tick XenicNode::NicExecCost(sim::Tick host_cost) const {
 }
 
 void XenicNode::SendMsg(NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst) {
+  if (crashed_) {
+    return;  // fail-stop: nothing leaves a crashed node
+  }
   if (dst == id()) {
     // Local shard: the coordinator-side NIC handles its own primary's
     // operations directly -- no wire, no PCIe.
@@ -58,6 +61,9 @@ void XenicNode::SendMsg(NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst
 // ---------------------------------------------------------------------------
 
 void XenicNode::Submit(TxnRequest req, CommitCallback done) {
+  if (crashed_) {
+    return;  // the application died with the node; no outcome is reported
+  }
   auto st = std::make_unique<TxnState>();
   st->id = store::MakeTxnId(id(), next_txn_seq_++);
   st->req = std::move(req);
@@ -117,7 +123,9 @@ void XenicNode::LocalReadOnlyPath(StatePtr st) {
   cost += kHostKeyCost * static_cast<sim::Tick>(raw->read_keys.size());
   nic_->HostCompute(cost, [this, txn] {
     TxnState* st = FindState(txn);
-    assert(st != nullptr);
+    if (st == nullptr || crashed_) {
+      return;
+    }
     bool app_abort = false;
     int round = 0;
     while (true) {
@@ -194,7 +202,9 @@ void XenicNode::LocalWritePath(StatePtr st) {
           static_cast<sim::Tick>(raw->read_keys.size() + raw->write_keys.size());
   nic_->HostCompute(cost, [this, txn] {
     TxnState* st = FindState(txn);
-    assert(st != nullptr);
+    if (st == nullptr || crashed_) {
+      return;
+    }
     bool app_abort = false;
     int round = 0;
     while (true) {
@@ -271,10 +281,14 @@ void XenicNode::LocalWritePath(StatePtr st) {
     const TxnId id2 = st->id;
     nic_->HostToNic(bytes, [this, id2] {
       TxnState* st = FindState(id2);
-      assert(st != nullptr);
+      if (st == nullptr || crashed_) {
+        return;
+      }
       nic_->NicCompute(NicOpCost(st->write_keys.size() + st->read_keys.size()), [this, id2] {
         TxnState* st = FindState(id2);
-        assert(st != nullptr);
+        if (st == nullptr || crashed_) {
+          return;
+        }
         if (!LockAll(st->id, st->write_keys)) {
           AbortCleanup(st, TxnOutcome::kAborted);
           return;
@@ -308,7 +322,9 @@ void XenicNode::LocalWritePath(StatePtr st) {
         }
         ChargeDmaReads(agg, [this, id2, ok] {
           TxnState* st = FindState(id2);
-          assert(st != nullptr);
+          if (st == nullptr || crashed_) {
+            return;
+          }
           if (!ok) {
             AbortCleanup(st, TxnOutcome::kAborted);
             return;
@@ -326,7 +342,9 @@ void XenicNode::LocalWritePath(StatePtr st) {
 
 void XenicNode::EscalateToDistributed(TxnId txn) {
   TxnState* st = FindState(txn);
-  assert(st != nullptr);
+  if (st == nullptr || crashed_) {
+    return;
+  }
   // Reset the optimistic local progress and restart through the NIC.
   st->read_keys = st->req.reads;
   st->write_keys = st->req.writes;
@@ -345,12 +363,16 @@ void XenicNode::EscalateToDistributed(TxnId txn) {
 
 void XenicNode::CoordStartOnNic(TxnId id) {
   TxnState* st = FindState(id);
-  assert(st != nullptr);
+  if (st == nullptr || crashed_) {
+    return;
+  }
   st->coord_start = nic_->engine()->now();
   st->phase_start = st->coord_start;
   nic_->NicCompute(NicOpCost(st->read_keys.size() + st->write_keys.size()), [this, id] {
     TxnState* st = FindState(id);
-    assert(st != nullptr);
+    if (st == nullptr || crashed_) {
+      return;
+    }
     NodeId remote = 0;
     if (features_->smart_remote_ops && features_->nic_execution && features_->occ_multihop &&
         st->req.allow_ship && ShipEligible(*st, &remote)) {
@@ -456,22 +478,31 @@ void XenicNode::ExecutePhase(TxnState* st) {
     const uint32_t req_bytes = MsgSize::ExecuteReq(reads.size(), writes.size());
     XenicNode* server = (*peers_)[g.primary];
     const NodeId shard = g.primary;
+    std::vector<KeyRef> lock_keys;
+    for (const auto& [i, k] : writes) {
+      (void)i;
+      lock_keys.push_back(k);
+    }
     SendMsg(shard, req_bytes,
-            [this, server, txn, shard, reads = std::move(reads),
-             writes = std::move(writes)]() mutable {
+            [this, server, txn, shard, reads = std::move(reads), writes = std::move(writes),
+             lock_keys = std::move(lock_keys)]() mutable {
               server->ServeExecute(
                   txn, id(), std::move(reads), std::move(writes),
-                  [this, server, txn, shard](ExecReply r) {
+                  [this, server, txn, shard, lock_keys = std::move(lock_keys)](
+                      ExecReply r) mutable {
                     uint32_t bytes = MsgSize::kHeader;
                     for (const auto& [i, rr] : r.reads) {
                       (void)i;
                       bytes += MsgSize::kSeqEntry + static_cast<uint32_t>(rr.value.size());
                     }
                     bytes += static_cast<uint32_t>(r.write_seqs.size()) * MsgSize::kSeqEntry;
-                    server->SendMsg(id(), bytes, [this, txn, shard, r = std::move(r)]() mutable {
-                      OnExecuteResp(txn, shard, r.ok, std::move(r.reads),
-                                    std::move(r.write_seqs));
-                    });
+                    server->SendMsg(id(), bytes,
+                                    [this, txn, shard, r = std::move(r),
+                                     lock_keys = std::move(lock_keys)]() mutable {
+                                      OnExecuteResp(txn, shard, r.ok, std::move(r.reads),
+                                                    std::move(r.write_seqs),
+                                                    std::move(lock_keys));
+                                    });
                   });
             });
   }
@@ -479,10 +510,17 @@ void XenicNode::ExecutePhase(TxnState* st) {
 
 void XenicNode::OnExecuteResp(TxnId id, NodeId shard, bool ok,
                               std::vector<std::pair<uint32_t, ReadResult>> reads,
-                              std::vector<std::pair<uint32_t, Seq>> write_seqs) {
+                              std::vector<std::pair<uint32_t, Seq>> write_seqs,
+                              std::vector<KeyRef> locked_keys) {
   TxnState* st = FindState(id);
-  if (st == nullptr) {
-    return;  // raced with an abort
+  if (st == nullptr || crashed_) {
+    // Raced with an abort (or this coordinator failed). If the server
+    // granted locks, nobody will ever release them through the normal
+    // paths: do it here.
+    if (st == nullptr && !crashed_ && ok && !write_seqs.empty()) {
+      ReleaseOrphanedLocks(id, shard, std::move(locked_keys));
+    }
+    return;
   }
   if (ok) {
     for (auto& [i, r] : reads) {
@@ -568,18 +606,24 @@ void XenicNode::LockRound(TxnState* st) {
   for (uint32_t i = 0; i < st->write_keys.size(); ++i) {
     const NodeId shard = map_->PrimaryOf(st->write_keys[i].table, st->write_keys[i].key);
     std::vector<std::pair<uint32_t, KeyRef>> writes = {{i, st->write_keys[i]}};
+    std::vector<KeyRef> lock_keys = {st->write_keys[i]};
     const uint32_t req_bytes = MsgSize::ExecuteReq(0, 1);
     XenicNode* server = (*peers_)[shard];
-    SendMsg(shard, req_bytes, [this, server, txn, shard, writes = std::move(writes)]() mutable {
+    SendMsg(shard, req_bytes,
+            [this, server, txn, shard, writes = std::move(writes),
+             lock_keys = std::move(lock_keys)]() mutable {
       server->ServeExecute(txn, id(), {}, std::move(writes),
-                           [this, server, txn, shard](ExecReply r) {
+                           [this, server, txn, shard,
+                            lock_keys = std::move(lock_keys)](ExecReply r) mutable {
                              const uint32_t bytes =
                                  MsgSize::kHeader +
                                  static_cast<uint32_t>(r.write_seqs.size()) * MsgSize::kSeqEntry;
                              server->SendMsg(id(), bytes,
-                                             [this, txn, shard, r = std::move(r)]() mutable {
+                                             [this, txn, shard, r = std::move(r),
+                                              lock_keys = std::move(lock_keys)]() mutable {
                                                OnLockResp(txn, shard, r.ok,
-                                                          std::move(r.write_seqs));
+                                                          std::move(r.write_seqs),
+                                                          std::move(lock_keys));
                                              });
                            });
     });
@@ -587,9 +631,13 @@ void XenicNode::LockRound(TxnState* st) {
 }
 
 void XenicNode::OnLockResp(TxnId id, NodeId shard, bool ok,
-                           std::vector<std::pair<uint32_t, Seq>> write_seqs) {
+                           std::vector<std::pair<uint32_t, Seq>> write_seqs,
+                           std::vector<KeyRef> locked_keys) {
   TxnState* st = FindState(id);
-  if (st == nullptr) {
+  if (st == nullptr || crashed_) {
+    if (st == nullptr && !crashed_ && ok) {
+      ReleaseOrphanedLocks(id, shard, std::move(locked_keys));
+    }
     return;
   }
   if (ok) {
@@ -621,7 +669,9 @@ void XenicNode::RunExecuteLogic(TxnState* st, sim::Engine::Callback next) {
   const TxnId txn = st->id;
   auto run_logic = [this, txn] {
     TxnState* st = FindState(txn);
-    assert(st != nullptr);
+    if (st == nullptr || crashed_) {
+      return;
+    }
     std::vector<KeyRef> add_reads;
     std::vector<KeyRef> add_writes;
     bool abort_flag = false;
@@ -673,7 +723,9 @@ void XenicNode::RunExecuteLogic(TxnState* st, sim::Engine::Callback next) {
                                   next = std::move(next)]() mutable {
       run_logic();
       TxnState* st = FindState(txn);
-      assert(st != nullptr);
+      if (st == nullptr || crashed_) {
+        return;
+      }
       uint32_t down_bytes = MsgSize::kHeader;
       for (const auto& w : st->writes) {
         down_bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
@@ -766,7 +818,7 @@ void XenicNode::ValidatePhase(TxnState* st) {
 
 void XenicNode::OnValidateResp(TxnId id, bool ok) {
   TxnState* st = FindState(id);
-  if (st == nullptr) {
+  if (st == nullptr || crashed_) {
     return;
   }
   if (!ok) {
@@ -836,6 +888,7 @@ void XenicNode::LogPhase(TxnState* st) {
     store::LogRecord rec;
     rec.type = store::LogRecordType::kLog;
     rec.txn = txn;
+    rec.total_shards = static_cast<uint32_t>(shards.size());
     rec.writes = ShardWrites(*st, shard);
     for (NodeId backup : map_->BackupsOf(shard)) {
       to_send.emplace_back(backup, rec);
@@ -849,24 +902,39 @@ void XenicNode::LogPhase(TxnState* st) {
     return;
   }
   st->pending = pending;
+  st->logs_sent = true;
+  st->log_waiting.clear();
+  for (const auto& [backup, rec] : to_send) {
+    (void)rec;
+    st->log_waiting.push_back(backup);
+  }
   stats_.remote_rounds++;
   for (auto& [backup, rec] : to_send) {
     const uint32_t bytes = static_cast<uint32_t>(rec.ByteSize()) + MsgSize::kHeader;
     XenicNode* server = (*peers_)[backup];
     SendMsg(backup, bytes, [this, server, txn, rec = std::move(rec)]() mutable {
       server->ServeLog(std::move(rec), [this, server, txn](bool ok) {
+        const NodeId from = server->id();
         server->SendMsg(id(), MsgSize::kAck + MsgSize::kHeader,
-                        [this, txn, ok] { OnLogAck(txn, ok); });
+                        [this, txn, ok, from] { OnLogAck(txn, ok, from); });
       });
     });
   }
 }
 
-void XenicNode::OnLogAck(TxnId id, bool ok) {
+void XenicNode::OnLogAck(TxnId id, bool ok, NodeId from) {
   TxnState* st = FindState(id);
-  if (st == nullptr) {
+  if (st == nullptr || crashed_) {
     return;
   }
+  // Consume one expected ack from `from`. If none is listed, an epoch sweep
+  // already synthesized it (the sender was declared failed): ignore the
+  // late arrival instead of double-counting.
+  auto it = std::find(st->log_waiting.begin(), st->log_waiting.end(), from);
+  if (it == st->log_waiting.end()) {
+    return;
+  }
+  st->log_waiting.erase(it);
   if (!ok) {
     st->abort = true;
   }
@@ -951,6 +1019,13 @@ void XenicNode::CommitPhase(TxnState* st) {
 }
 
 void XenicNode::ReportAndFinish(TxnState* st, TxnOutcome outcome) {
+  if (crashed_) {
+    // The application died with the node: drop the callback (marking the
+    // outcome as reported so later events cannot double-finish) and skip
+    // stats -- a crashed node publishes nothing.
+    st->done = nullptr;
+    return;
+  }
   if (st->coord_start != 0 && outcome == TxnOutcome::kCommitted) {
     const sim::Tick now = nic_->engine()->now();
     phases_.log.Record(now - st->phase_start);
@@ -958,6 +1033,7 @@ void XenicNode::ReportAndFinish(TxnState* st, TxnOutcome outcome) {
   }
   if (outcome == TxnOutcome::kCommitted) {
     stats_.committed++;
+    reported_committed_.insert(st->id);
   } else if (outcome == TxnOutcome::kAppAborted) {
     stats_.app_aborted++;
   } else {
@@ -980,6 +1056,18 @@ void XenicNode::ReportAndFinish(TxnState* st, TxnOutcome outcome) {
       nic_->HostCompute(finish_cost,
                         [host_finish = std::move(host_finish)]() mutable { host_finish(); });
     }
+  });
+}
+
+void XenicNode::ReleaseOrphanedLocks(TxnId txn, NodeId shard, std::vector<KeyRef> keys) {
+  if (keys.empty()) {
+    return;
+  }
+  XenicNode* server = (*peers_)[shard];
+  const uint32_t bytes =
+      MsgSize::kHeader + static_cast<uint32_t>(keys.size()) * MsgSize::kKeyEntry;
+  SendMsg(shard, bytes, [server, txn, keys = std::move(keys)]() mutable {
+    server->ServeRelease(txn, std::move(keys));
   });
 }
 
@@ -1110,8 +1198,12 @@ void XenicNode::ShippedPath(TxnState* st, NodeId remote) {
       shards.push_back(id());
     }
     st->pending = 1;  // EXEC result
+    st->log_waiting.assign(1, kShipExecSignal);
     for (NodeId s : shards) {
-      st->pending += static_cast<uint32_t>(map_->BackupsOf(s).size());
+      for (NodeId b : map_->BackupsOf(s)) {
+        st->pending++;
+        st->log_waiting.push_back(b);
+      }
     }
 
     XenicNode* server = (*peers_)[remote];
@@ -1121,6 +1213,13 @@ void XenicNode::ShippedPath(TxnState* st, NodeId remote) {
 
 void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
   XenicNode* coordinator = (*peers_)[coord];
+  // `st` is a raw pointer into the coordinator's state table. Before any
+  // dereference, confirm this node is alive and the coordinator still owns
+  // the transaction: a delayed delivery can arrive after an epoch change
+  // aborted (and freed) the state.
+  if (crashed_ || coordinator->FindState(txn) != st) {
+    return;
+  }
   // Lock all keys homed here (reads and writes), read read-set values,
   // execute, then fan out LOG records to every backup with acks converging
   // at the coordinator NIC.
@@ -1141,6 +1240,9 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
   nic_->NicCompute(NicOpCost(my_keys.size()), [this, txn, coord, coordinator, st,
                                                my_keys = std::move(my_keys),
                                                my_reads = std::move(my_reads)]() mutable {
+    if (crashed_ || coordinator->FindState(txn) != st) {
+      return;
+    }
     if (!LockAll(txn, my_keys)) {
       SendMsg(coord, MsgSize::kHeader + MsgSize::kAck,
               [coordinator, txn] { coordinator->OnShipFailure(txn); });
@@ -1172,10 +1274,18 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
 
     ChargeDmaReads(agg, [this, txn, coord, coordinator, st,
                          my_keys = std::move(my_keys)]() mutable {
+      if (crashed_ || coordinator->FindState(txn) != st) {
+        UnlockAll(txn, my_keys);
+        return;
+      }
       // Execute on this NIC.
       nic_->NicCompute(NicExecCost(st->req.exec_cost), [this, txn, coord, coordinator, st,
                                                         my_keys =
                                                             std::move(my_keys)]() mutable {
+        if (crashed_ || coordinator->FindState(txn) != st) {
+          UnlockAll(txn, my_keys);
+          return;
+        }
         std::vector<KeyRef> add_reads;
         std::vector<KeyRef> add_writes;
         bool abort_flag = false;
@@ -1218,18 +1328,23 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
             std::find(shards.begin(), shards.end(), coord) == shards.end()) {
           shards.push_back(coord);
         }
+        st->logs_sent = true;
         for (NodeId shard : shards) {
           store::LogRecord rec;
           rec.type = store::LogRecordType::kLog;
           rec.txn = txn;
+          rec.total_shards = static_cast<uint32_t>(shards.size());
           rec.writes = coordinator->ShardWrites(*st, shard);
           for (NodeId backup : map_->BackupsOf(shard)) {
             const uint32_t bytes = static_cast<uint32_t>(rec.ByteSize()) + MsgSize::kHeader;
             XenicNode* bnode = (*peers_)[backup];
             SendMsg(backup, bytes, [coordinator, bnode, txn, rec]() mutable {
               bnode->ServeLog(std::move(rec), [coordinator, bnode, txn](bool ok) {
+                const NodeId from = bnode->id();
                 bnode->SendMsg(coordinator->id(), MsgSize::kAck + MsgSize::kHeader,
-                               [coordinator, txn, ok] { coordinator->OnLogAck(txn, ok); });
+                               [coordinator, txn, ok, from] {
+                                 coordinator->OnLogAck(txn, ok, from);
+                               });
               });
             });
           }
@@ -1241,7 +1356,9 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
         for (const auto& w : st->writes) {
           result_bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
         }
-        SendMsg(coord, result_bytes, [coordinator, txn] { coordinator->OnLogAck(txn, true); });
+        SendMsg(coord, result_bytes, [coordinator, txn] {
+          coordinator->OnLogAck(txn, true, kShipExecSignal);
+        });
       });
     });
   });
@@ -1249,7 +1366,7 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
 
 void XenicNode::OnShipFailure(TxnId txn) {
   TxnState* st = FindState(txn);
-  if (st == nullptr) {
+  if (st == nullptr || crashed_) {
     return;
   }
   const TxnOutcome outcome = st->app_abort ? TxnOutcome::kAppAborted : TxnOutcome::kAborted;
@@ -1323,10 +1440,16 @@ void XenicNode::ServeExecute(TxnId txn, NodeId coord,
                              std::vector<std::pair<uint32_t, KeyRef>> writes,
                              std::function<void(ExecReply)> reply) {
   (void)coord;
+  if (crashed_) {
+    return;  // request lost with the node; the coordinator times out
+  }
   nic_->NicCompute(
       NicOpCost(reads.size() + writes.size()),
       [this, txn, reads = std::move(reads), writes = std::move(writes),
        reply = std::move(reply)]() mutable {
+        if (crashed_) {
+          return;
+        }
         // Lock the write set first (all-or-nothing at this shard).
         std::vector<KeyRef> lock_keys;
         for (const auto& [i, k] : writes) {
@@ -1370,8 +1493,10 @@ void XenicNode::ServeExecute(TxnId txn, NodeId coord,
           ChargeDmaReads(agg, [state, reply_ptr] { (*reply_ptr)(std::move(*state)); });
         };
 
-        auto step = std::make_shared<std::function<void(size_t)>>();
-        *step = [this, txn, state, reads_ptr, finish, step](size_t idx) {
+        // Recurses on a copy of itself; a shared_ptr<function> capturing
+        // itself would be a reference cycle leaking once per EXECUTE.
+        auto step = [this, txn, state, reads_ptr, finish](auto&& self,
+                                                          size_t idx) -> void {
           if (idx >= reads_ptr->size()) {
             finish();
             return;
@@ -1379,23 +1504,29 @@ void XenicNode::ServeExecute(TxnId txn, NodeId coord,
           const auto& [i, k] = (*reads_ptr)[idx];
           const uint32_t read_idx = i;
           NicReadKey(k, /*metadata_only=*/false,
-                     [state, step, idx, read_idx, txn](ReadResult r, TxnId owner) {
+                     [state, self, idx, read_idx, txn](ReadResult r, TxnId owner) mutable {
                        if (owner != store::kNoTxn && owner != txn) {
                          state->ok = false;
                        } else {
                          state->reads.emplace_back(read_idx, std::move(r));
                        }
-                       (*step)(idx + 1);
+                       self(self, idx + 1);
                      });
         };
-        (*step)(0);
+        step(step, 0);
       });
 }
 
 void XenicNode::ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
                               std::function<void(bool)> reply) {
+  if (crashed_) {
+    return;
+  }
   nic_->NicCompute(NicOpCost(checks.size()), [this, checks = std::move(checks),
                                               reply = std::move(reply)]() mutable {
+    if (crashed_) {
+      return;
+    }
     bool ok = true;
     store::NicIndex::LookupStats agg;
     for (const auto& [k, expected] : checks) {
@@ -1414,6 +1545,9 @@ void XenicNode::ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
 }
 
 void XenicNode::AppendWhenSpace(store::LogRecord record, sim::Engine::Callback appended) {
+  if (crashed_) {
+    return;  // the DMA target is gone; retry loops die with the node
+  }
   if (ds_->log().Full()) {
     // Host has fallen behind: back-pressure by retrying until workers free
     // ring space. Commit-point decisions never observe a failed append.
@@ -1431,6 +1565,9 @@ void XenicNode::AppendWhenSpace(store::LogRecord record, sim::Engine::Callback a
   // pinning) is in place.
   nic_->DmaWrite(bytes, [this, record = std::move(record),
                          appended = std::move(appended)]() mutable {
+    if (crashed_) {
+      return;
+    }
     if (ds_->log().Full()) {
       AppendWhenSpace(std::move(record), std::move(appended));
       return;
@@ -1443,8 +1580,14 @@ void XenicNode::AppendWhenSpace(store::LogRecord record, sim::Engine::Callback a
 }
 
 void XenicNode::ServeLog(store::LogRecord record, std::function<void(bool)> reply) {
+  if (crashed_) {
+    return;
+  }
   nic_->NicCompute(NicOpCost(record.writes.size()), [this, record = std::move(record),
                                                      reply = std::move(reply)]() mutable {
+    if (crashed_) {
+      return;
+    }
     AppendWhenSpace(std::move(record),
                     [reply = std::move(reply)]() mutable { reply(true); });
   });
@@ -1452,6 +1595,9 @@ void XenicNode::ServeLog(store::LogRecord record, std::function<void(bool)> repl
 
 void XenicNode::ApplyCommitAtNic(TxnId txn, const std::vector<store::LogWrite>& writes,
                                  sim::Engine::Callback done) {
+  if (crashed_) {
+    return;
+  }
   for (const auto& w : writes) {
     if (w.table >= ds_->num_tables()) {
       continue;  // workload-managed: applied by host workers only
@@ -1470,9 +1616,15 @@ void XenicNode::ApplyCommitAtNic(TxnId txn, const std::vector<store::LogWrite>& 
 
 void XenicNode::ServeCommit(TxnId txn, std::vector<store::LogWrite> writes,
                             std::vector<KeyRef> release_keys, sim::Engine::Callback ack) {
+  if (crashed_) {
+    return;
+  }
   nic_->NicCompute(NicOpCost(writes.size()), [this, txn, writes = std::move(writes),
                                               release_keys = std::move(release_keys),
                                               ack = std::move(ack)]() mutable {
+    if (crashed_) {
+      return;
+    }
     store::LogRecord rec;
     rec.type = store::LogRecordType::kCommit;
     rec.txn = txn;
@@ -1491,8 +1643,15 @@ void XenicNode::ServeCommit(TxnId txn, std::vector<store::LogWrite> writes,
 }
 
 void XenicNode::ServeRelease(TxnId txn, std::vector<KeyRef> keys) {
-  nic_->NicCompute(NicOpCost(keys.size()),
-                   [this, txn, keys = std::move(keys)] { UnlockAll(txn, keys); });
+  if (crashed_) {
+    return;
+  }
+  nic_->NicCompute(NicOpCost(keys.size()), [this, txn, keys = std::move(keys)] {
+    if (crashed_) {
+      return;
+    }
+    UnlockAll(txn, keys);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -1500,24 +1659,38 @@ void XenicNode::ServeRelease(TxnId txn, std::vector<KeyRef> keys) {
 // ---------------------------------------------------------------------------
 
 void XenicNode::StartWorkers(uint32_t count, sim::Tick poll_interval) {
+  if (crashed_) {
+    return;  // dead nodes stay dead
+  }
   workers_running_ = true;
+  // Bump the generation so stale ticks from a previous start/stop cycle
+  // die instead of doubling the worker pool on restart.
+  worker_epoch_++;
+  const uint64_t epoch = worker_epoch_;
   workers_ = count;
   for (uint32_t w = 0; w < count; ++w) {
     // Stagger the workers across the poll interval.
-    nic_->engine()->ScheduleAfter(poll_interval * (w + 1) / count,
-                                  [this, w, poll_interval] { WorkerTick(w, poll_interval); });
+    nic_->engine()->ScheduleAfter(
+        poll_interval * (w + 1) / count,
+        [this, w, poll_interval, epoch] { WorkerTick(w, poll_interval, epoch); });
   }
 }
 
-void XenicNode::StopWorkers() { workers_running_ = false; }
+void XenicNode::StopWorkers() {
+  workers_running_ = false;
+  worker_epoch_++;
+}
 
-void XenicNode::WorkerTick(uint32_t worker, sim::Tick interval) {
-  if (!workers_running_) {
+void XenicNode::WorkerTick(uint32_t worker, sim::Tick interval, uint64_t epoch) {
+  if (!workers_running_ || crashed_ || epoch != worker_epoch_) {
     return;
   }
   // Charge the poll, then apply up to a batch of records (charging the
   // apply work before the next poll).
-  nic_->HostCompute(kWorkerPollCost, [this, worker, interval] {
+  nic_->HostCompute(kWorkerPollCost, [this, worker, interval, epoch] {
+    if (!workers_running_ || crashed_ || epoch != worker_epoch_) {
+      return;
+    }
     int applied = 0;
     sim::Tick extra = 0;
     while (applied < kWorkerBatch) {
@@ -1526,6 +1699,26 @@ void XenicNode::WorkerTick(uint32_t worker, sim::Tick interval) {
         break;
       }
       const uint64_t lsn = rec->lsn;
+      if (ds_->IsTombstoned(rec->txn)) {
+        // Epoch-aborted transaction: consume the record without applying.
+        // Any NIC-side state from the append must be torn down too -- a
+        // commit record pinned its cached objects until host apply, and
+        // the cached values were never (and will never be) applied here.
+        for (const auto& w : rec->writes) {
+          if (w.table < ds_->num_tables()) {
+            auto& t = ds_->table(w.table);
+            const size_t seg = t.SegmentOfKey(w.key);
+            ds_->index(w.table).OnHostApplied(w.key, t.SegmentMaxDisp(seg),
+                                              t.SegmentHasOverflow(seg));
+            ds_->index(w.table).Invalidate(w.key);
+          }
+        }
+        ds_->ClearPending(*rec);
+        ds_->log().PopApplied();
+        ds_->log().Reclaim(lsn + 1);
+        applied++;
+        continue;
+      }
       extra += kWorkerRecordCost;
       for (const auto& w : rec->writes) {
         extra += kWorkerWriteCost;
@@ -1551,14 +1744,15 @@ void XenicNode::WorkerTick(uint32_t worker, sim::Tick interval) {
     }
     if (extra > 0) {
       // Charge the apply work before the next poll.
-      nic_->HostCompute(extra, [this, worker, interval] {
-        nic_->engine()->ScheduleAfter(interval, [this, worker, interval] {
-          WorkerTick(worker, interval);
+      nic_->HostCompute(extra, [this, worker, interval, epoch] {
+        nic_->engine()->ScheduleAfter(interval, [this, worker, interval, epoch] {
+          WorkerTick(worker, interval, epoch);
         });
       });
     } else {
-      nic_->engine()->ScheduleAfter(interval,
-                                    [this, worker, interval] { WorkerTick(worker, interval); });
+      nic_->engine()->ScheduleAfter(interval, [this, worker, interval, epoch] {
+        WorkerTick(worker, interval, epoch);
+      });
     }
   });
 }
@@ -1583,5 +1777,106 @@ size_t XenicNode::RebuildLocksFromLog(const std::vector<store::LogRecord>& unack
 }
 
 void XenicNode::ClearNicState() { txns_.clear(); }
+
+void XenicNode::Crash() {
+  crashed_ = true;
+  workers_running_ = false;
+  worker_epoch_++;
+  // txns_ is intentionally NOT cleared: shipped executions at remote nodes
+  // hold raw pointers into it and guard against a vanished coordinator by
+  // re-looking the state up -- freeing it here would leave them dangling
+  // for the events already in flight.
+}
+
+std::vector<XenicNode::WedgedTxn> XenicNode::WedgedOn(NodeId failed) const {
+  std::vector<WedgedTxn> out;
+  if (crashed_) {
+    return out;
+  }
+  for (const auto& [tid, st] : txns_) {
+    if (st->done == nullptr) {
+      continue;  // outcome already reported; the commit phase finishes on its own
+    }
+    bool touches = false;
+    for (const auto& k : st->read_keys) {
+      touches |= map_->PrimaryOf(k.table, k.key) == failed;
+    }
+    for (const auto& k : st->write_keys) {
+      const NodeId p = map_->PrimaryOf(k.table, k.key);
+      touches |= p == failed;
+      // A written shard whose backup died can never collect all LOG acks.
+      if (!touches) {
+        for (NodeId b : map_->BackupsOf(p)) {
+          touches |= b == failed;
+        }
+      }
+    }
+    if (!touches) {
+      continue;
+    }
+    WedgedTxn w;
+    w.id = tid;
+    w.logs_sent = st->logs_sent;
+    w.keys = st->read_keys;
+    for (const auto& k : st->write_keys) {
+      if (!ContainsKey(w.keys, k)) {
+        w.keys.push_back(k);
+      }
+    }
+    if (st->logs_sent) {
+      // Reconstruct the LOG fan-out (one record per written shard) so the
+      // sweep can check which live backups already hold or applied it.
+      std::vector<NodeId> shards;
+      for (const auto& k : st->write_keys) {
+        const NodeId p = map_->PrimaryOf(k.table, k.key);
+        if (std::find(shards.begin(), shards.end(), p) == shards.end()) {
+          shards.push_back(p);
+        }
+      }
+      if (!st->req.local_log_writes.empty() &&
+          std::find(shards.begin(), shards.end(), id()) == shards.end()) {
+        shards.push_back(id());
+      }
+      for (NodeId shard : shards) {
+        store::LogRecord rec;
+        rec.type = store::LogRecordType::kLog;
+        rec.txn = tid;
+        rec.total_shards = static_cast<uint32_t>(shards.size());
+        rec.writes = ShardWrites(*st, shard);
+        w.records.emplace_back(shard, std::move(rec));
+      }
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+size_t XenicNode::ForceCommitWedged(TxnId txn, NodeId failed) {
+  TxnState* st = FindState(txn);
+  if (st == nullptr || crashed_ || st->done == nullptr) {
+    return 0;
+  }
+  size_t synthesized = 0;
+  while (FindState(txn) == st &&
+         std::find(st->log_waiting.begin(), st->log_waiting.end(), failed) !=
+             st->log_waiting.end()) {
+    OnLogAck(txn, true, failed);
+    synthesized++;
+  }
+  return synthesized;
+}
+
+void XenicNode::ForceAbortWedged(TxnId txn) {
+  TxnState* st = FindState(txn);
+  if (st == nullptr || crashed_ || st->done == nullptr) {
+    return;
+  }
+  // The sweep released every lock synchronously; suppress the release
+  // fan-out (the messages would be harmless owner-checked no-ops, but a
+  // dead shard's would be dropped anyway).
+  st->locked_shards.clear();
+  st->local_locked = false;
+  AbortCleanup(st, TxnOutcome::kAborted);
+}
 
 }  // namespace xenic::txn

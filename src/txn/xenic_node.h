@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -81,6 +82,44 @@ class XenicNode {
   // Drop all transaction state (simulates NIC lock-state loss on failure).
   void ClearNicState();
 
+  // Fail-stop this node: no submissions, no served requests, no outbound
+  // messages, workers halt. In-flight engine events targeting the node
+  // become no-ops. Coordinator state is kept (not freed) so that raw
+  // TxnState pointers held by in-flight shipped executions stay valid.
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  // Epoch-change sweep surface. A wedged transaction is an unreported
+  // in-flight transaction coordinated here that involves `failed` (as
+  // primary of a touched key or backup of a written shard) and therefore
+  // can never finish on its own. The sweep (recovery.cc) decides per
+  // transaction: if its LOG fan-out already reached every *live* backup it
+  // is committed (the dead node's acks are synthesized), otherwise it is
+  // aborted and tombstoned.
+  struct WedgedTxn {
+    TxnId id = store::kNoTxn;
+    bool logs_sent = false;            // LOG fan-out happened (write set final)
+    std::vector<KeyRef> keys;          // read ∪ write set (lock sweep surface)
+    // Per written shard, the LOG record the fan-out sent (set iff logs_sent).
+    std::vector<std::pair<NodeId, store::LogRecord>> records;
+  };
+  std::vector<WedgedTxn> WedgedOn(NodeId failed) const;
+  // Whether this coordinator reported `txn` committed to its application.
+  // Recovery consults live coordinators before discarding an in-doubt
+  // record: a reported commit must always be rolled forward, even when the
+  // log-scan evidence is incomplete (records already applied and reclaimed
+  // elsewhere leave no trace to enumerate).
+  bool HasReportedCommit(TxnId txn) const { return reported_committed_.count(txn) > 0; }
+  // Synthesize the LOG acks the failed node will never send. Returns the
+  // number synthesized; the transaction commits once (and if) the remaining
+  // live acks arrive -- for a sweep-verified-complete transaction they are
+  // already in flight.
+  size_t ForceCommitWedged(TxnId txn, NodeId failed);
+  // Abort a wedged transaction (caller has already tombstoned its records
+  // and released its locks cluster-wide, so the normal release fan-out is
+  // suppressed).
+  void ForceAbortWedged(TxnId txn);
+
  private:
   // ---- Per-transaction coordinator state (lives on the coordinator NIC).
   struct ShardGroup {
@@ -109,7 +148,17 @@ class XenicNode {
     uint32_t new_exec_write_base = 0;
     sim::Tick coord_start = 0;          // distributed path: NIC start time
     sim::Tick phase_start = 0;          // current phase start time
+    // LOG phase: which senders we are still waiting on, one entry per
+    // expected ack (a backup id, or kShipExecSignal for the shipped path's
+    // EXEC result). Kept in lockstep with `pending` so an epoch sweep can
+    // synthesize a dead backup's acks exactly once -- a late real ack whose
+    // sender is no longer listed is ignored instead of double-counted.
+    std::vector<NodeId> log_waiting;
+    bool logs_sent = false;             // LOG fan-out happened
   };
+
+  // Sentinel "sender" for the shipped path's EXEC-result completion signal.
+  static constexpr NodeId kShipExecSignal = static_cast<NodeId>(-1);
 
   using StatePtr = std::unique_ptr<TxnState>;
 
@@ -126,14 +175,20 @@ class XenicNode {
   void ExecutePhase(TxnState* st);
   void OnExecuteResp(TxnId id, NodeId shard, bool ok,
                      std::vector<std::pair<uint32_t, ReadResult>> reads,
-                     std::vector<std::pair<uint32_t, Seq>> write_seqs);
+                     std::vector<std::pair<uint32_t, Seq>> write_seqs,
+                     std::vector<KeyRef> locked_keys);
   void AfterExecuteRound(TxnState* st);
   // Separate lock round used when smart_remote_ops is disabled (the
   // one-op-per-request ablation baseline): one LOCK request per write key,
   // issued after execution completes, DrTM-style.
   void LockRound(TxnState* st);
   void OnLockResp(TxnId id, NodeId shard, bool ok,
-                  std::vector<std::pair<uint32_t, Seq>> write_seqs);
+                  std::vector<std::pair<uint32_t, Seq>> write_seqs,
+                  std::vector<KeyRef> locked_keys);
+  // A lock grant arrived for a transaction that no longer exists (the epoch
+  // sweep resolved it while the response was in flight): release the
+  // orphaned locks at their shard.
+  void ReleaseOrphanedLocks(TxnId txn, NodeId shard, std::vector<KeyRef> keys);
   // Version-gap check for keys both read and written; aborts and returns
   // false on a mismatch.
   bool CheckReadWriteGap(TxnState* st);
@@ -141,7 +196,7 @@ class XenicNode {
   void ValidatePhase(TxnState* st);
   void OnValidateResp(TxnId id, bool ok);
   void LogPhase(TxnState* st);
-  void OnLogAck(TxnId id, bool ok);
+  void OnLogAck(TxnId id, bool ok, NodeId from);
   void OnShipFailure(TxnId id);
   void CommitPhase(TxnState* st);
   void ReportAndFinish(TxnState* st, TxnOutcome outcome);
@@ -194,8 +249,9 @@ class XenicNode {
   // Messaging helper: send to peer node (or run locally when dst == self).
   void SendMsg(NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst);
 
-  // Robinhood worker iteration.
-  void WorkerTick(uint32_t worker, sim::Tick interval);
+  // Robinhood worker iteration. `epoch` guards against stale ticks after a
+  // stop/start cycle (chaos back-pressure windows restart workers).
+  void WorkerTick(uint32_t worker, sim::Tick interval, uint64_t epoch);
 
   // NIC-core cost helpers.
   sim::Tick NicOpCost(size_t n_keys) const;
@@ -207,12 +263,17 @@ class XenicNode {
   const XenicFeatures* features_;
   std::vector<XenicNode*>* peers_;
   std::unordered_map<TxnId, StatePtr> txns_;
+  // Commit outcomes this coordinator reported (recovery oracle; see
+  // HasReportedCommit). Lost with the node on a crash, like any host state.
+  std::unordered_set<TxnId> reported_committed_;
   uint64_t next_txn_seq_ = 1;
   TxnStats stats_;
   PhaseBreakdown phases_;
   WorkerApplyHook worker_apply_hook_;
   bool workers_running_ = false;
+  bool crashed_ = false;
   uint32_t workers_ = 0;
+  uint64_t worker_epoch_ = 0;
 };
 
 }  // namespace xenic::txn

@@ -1,0 +1,157 @@
+// Property tests for the Channel fault hook.
+//
+// The core contract (chaos determinism rests on it): a hook that returns
+// the default FaultDecision on every send is bit-identical to having no
+// hook at all -- same delivery ticks, same delivery order, same byte
+// accounting, same Utilization. The remaining tests pin the semantics of
+// each fault knob: drops charge the wire but never deliver, duplicates
+// charge extra occupancy but deliver nothing, extra delay shifts only the
+// faulted frame's propagation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/channel.h"
+
+namespace xenic::sim {
+namespace {
+
+struct Delivery {
+  int id;
+  Tick at;
+  bool operator==(const Delivery& o) const { return id == o.id && at == o.at; }
+};
+
+// Drive `ch` with a seeded mix of back-to-back, gapped, and extra-occupancy
+// sends; returns every delivery as (send id, tick).
+std::vector<Delivery> DriveSeededTraffic(Engine& e, Channel& ch, uint64_t seed) {
+  auto log = std::make_shared<std::vector<Delivery>>();
+  Rng rng(seed);
+  Tick at = 0;
+  for (int id = 0; id < 200; ++id) {
+    const uint64_t bytes = 8 + rng.NextBounded(1500);
+    const Tick extra = rng.NextBounded(3) == 0 ? rng.NextBounded(20) : 0;
+    at += rng.NextBounded(2) == 0 ? 0 : rng.NextBounded(300);
+    e.ScheduleAt(at, [&ch, log, &e, id, bytes, extra] {
+      ch.Send(bytes, extra, [log, &e, id] { log->push_back({id, e.now()}); });
+    });
+  }
+  e.Run();
+  return *log;
+}
+
+TEST(ChannelFaultPropertyTest, ZeroProbabilityHookIsBitIdenticalToNoHook) {
+  for (uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    Engine plain_engine;
+    Channel plain(&plain_engine, "link", 12.5, 100);
+    const auto baseline = DriveSeededTraffic(plain_engine, plain, seed);
+
+    Engine hooked_engine;
+    Channel hooked(&hooked_engine, "link", 12.5, 100);
+    uint64_t hook_calls = 0;
+    hooked.set_fault_hook([&hook_calls](uint64_t) {
+      hook_calls++;
+      return Channel::FaultDecision{};  // identity: no drop, no dup, no delay
+    });
+    const auto faulted = DriveSeededTraffic(hooked_engine, hooked, seed);
+
+    EXPECT_EQ(baseline, faulted) << "seed " << seed;
+    EXPECT_EQ(hook_calls, 200u);
+    EXPECT_EQ(plain.bytes_sent(), hooked.bytes_sent());
+    EXPECT_EQ(plain.sends(), hooked.sends());
+    EXPECT_DOUBLE_EQ(plain.Utilization(10000), hooked.Utilization(10000));
+    EXPECT_EQ(hooked.frames_dropped(), 0u);
+    EXPECT_EQ(hooked.frames_duplicated(), 0u);
+    EXPECT_EQ(hooked.frames_delayed(), 0u);
+    EXPECT_EQ(plain_engine.events_executed(), hooked_engine.events_executed());
+  }
+}
+
+TEST(ChannelFaultPropertyTest, ClearingTheHookRestoresTheFastPath) {
+  Engine e;
+  Channel ch(&e, "link", 1.0, 10);
+  ch.set_fault_hook([](uint64_t) { return Channel::FaultDecision{}; });
+  EXPECT_TRUE(ch.has_fault_hook());
+  ch.set_fault_hook(nullptr);
+  EXPECT_FALSE(ch.has_fault_hook());
+  Tick delivered = 0;
+  ch.Send(50, [&] { delivered = e.now(); });
+  e.Run();
+  EXPECT_EQ(delivered, 60u);
+}
+
+TEST(ChannelFaultPropertyTest, DropChargesTheWireButNeverDelivers) {
+  Engine e;
+  Channel ch(&e, "link", 1.0, 10);
+  ch.set_fault_hook([](uint64_t) {
+    Channel::FaultDecision d;
+    d.drop = true;
+    return d;
+  });
+  bool delivered = false;
+  ch.Send(100, [&] { delivered = true; });
+  Tick second = 0;
+  ch.set_fault_hook(nullptr);
+  ch.Send(100, [&] { second = e.now(); });
+  e.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(ch.frames_dropped(), 1u);
+  EXPECT_EQ(ch.bytes_sent(), 200u);  // the lost frame still serialized
+  // The dropped frame occupied [0,100), so the survivor occupies [100,200)
+  // and arrives at 210.
+  EXPECT_EQ(second, 210u);
+}
+
+TEST(ChannelFaultPropertyTest, DuplicateChargesOccupancyButDeliversOnce) {
+  Engine e;
+  Channel ch(&e, "link", 1.0, 10);
+  ch.set_fault_hook([](uint64_t) {
+    Channel::FaultDecision d;
+    d.duplicates = 1;
+    return d;
+  });
+  int deliveries = 0;
+  Tick first_at = 0;
+  ch.Send(100, [&] {
+    deliveries++;
+    first_at = e.now();
+  });
+  ch.set_fault_hook(nullptr);
+  Tick second_at = 0;
+  ch.Send(100, [&] { second_at = e.now(); });
+  e.Run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(first_at, 110u);  // primary copy keeps the no-fault schedule
+  EXPECT_EQ(ch.frames_duplicated(), 1u);
+  EXPECT_EQ(ch.bytes_sent(), 300u);  // primary + duplicate + follower
+  // The duplicate occupied [100,200), pushing the follower to [200,300).
+  EXPECT_EQ(second_at, 310u);
+}
+
+TEST(ChannelFaultPropertyTest, ExtraDelayShiftsOnlyTheFaultedFrame) {
+  Engine e;
+  Channel ch(&e, "link", 1.0, 10);
+  int calls = 0;
+  ch.set_fault_hook([&calls](uint64_t) {
+    Channel::FaultDecision d;
+    if (calls++ == 0) {
+      d.extra_delay = 500;
+    }
+    return d;
+  });
+  Tick first = 0;
+  Tick second = 0;
+  ch.Send(100, [&] { first = e.now(); });
+  ch.Send(100, [&] { second = e.now(); });
+  e.Run();
+  // Delay is propagation-side only: occupancy is unchanged, so the second
+  // frame still serializes right behind the first and overtakes it.
+  EXPECT_EQ(first, 610u);
+  EXPECT_EQ(second, 210u);
+  EXPECT_EQ(ch.frames_delayed(), 1u);
+}
+
+}  // namespace
+}  // namespace xenic::sim

@@ -181,20 +181,21 @@ TEST(FailureInjectionTest, ContentionStormResolves) {
   Rng rng(5);
   int committed = 0;
   constexpr int kTarget = 90;
+  // The retry closure recurses on a copy of itself; a shared_ptr<function>
+  // capturing itself would be a reference cycle that leaks per context.
   auto spawn = [&](store::NodeId n) {
-    auto attempt = std::make_shared<std::function<void()>>();
-    *attempt = [&, n, attempt] {
+    auto attempt = [&, n](auto&& self) -> void {
       const bool fwd = rng.NextBool(0.5);
-      c.node(n).Submit(MakeTransfer(fwd ? a : b, fwd ? b : a, 1), [&, attempt](TxnOutcome o2) {
+      c.node(n).Submit(MakeTransfer(fwd ? a : b, fwd ? b : a, 1), [&, self](TxnOutcome o2) {
         if (o2 == TxnOutcome::kCommitted) {
           committed++;
           return;
         }
         c.engine().ScheduleAfter(3 * sim::kNsPerUs + rng.NextBounded(9000),
-                                 [attempt] { (*attempt)(); });
+                                 [self] { self(self); });
       });
     };
-    (*attempt)();
+    attempt(attempt);
   };
   for (uint32_t n = 0; n < 3; ++n) {
     for (int i = 0; i < kTarget / 3; ++i) {

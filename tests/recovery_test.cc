@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "src/chaos/history.h"
 #include "src/txn/recovery.h"
 
 namespace xenic::txn {
@@ -184,6 +187,138 @@ TEST(RecoveryTest, EndToEndPromotionServesNewTransactions) {
   // verify the promoted replica serves consistent data.)
   RemappedPartitioner remap(&part, {{failed, promoted}});
   EXPECT_EQ(remap.PrimaryOf(kBank, a), promoted);
+
+  c.StopWorkers();
+  c.engine().Run();
+}
+
+// Submit one recorded read-modify-write (balance += delta) from `coord`
+// and wait for its outcome; committed observations land in `recorder`.
+TxnOutcome RunRecordedRmw(XenicCluster& c, chaos::HistoryRecorder& recorder,
+                          store::NodeId coord, store::Key key, int64_t delta) {
+  TxnRequest req;
+  req.reads = {{kBank, key}};
+  req.writes = {{kBank, key}};
+  req.execute = [delta](ExecRound& er) {
+    (*er.writes)[0].value = Balance(GetI64((*er.reads)[0].value, 0) + delta);
+  };
+  auto obs = recorder.Instrument(req);
+  std::optional<TxnOutcome> out;
+  c.node(coord).Submit(std::move(req), [&](TxnOutcome o) { out = o; });
+  for (int i = 0; i < 2000 && !out; ++i) {
+    c.engine().RunFor(10 * sim::kNsPerUs);
+  }
+  EXPECT_TRUE(out.has_value());
+  if (out == TxnOutcome::kCommitted) {
+    recorder.Commit(obs);
+  }
+  return out.value_or(TxnOutcome::kAborted);
+}
+
+// Crash `failed` mid-protocol and run the full recovery pipeline the chaos
+// injector uses; leaves the cluster routing through `remap`.
+RecoveryReport CrashAndRecover(XenicCluster& c, store::NodeId failed,
+                               store::NodeId promoted, RemappedPartitioner& remap) {
+  c.node(failed).Crash();
+  const EpochSweepReport sweep = SweepWedgedTxns(c, failed);
+  const RecoveryReport report = RecoverShard(c, failed, promoted, sweep.committed_txns);
+  RecoverCoordinatorLocks(c, failed);
+  c.mutable_map().partitioner = &remap;
+  c.mutable_map().MarkFailed(failed);
+  return report;
+}
+
+TEST(RecoveryTest, CrashBetweenLogAndAckRollsForwardUnderTheChecker) {
+  // The coordinator reached the commit point -- LOG records on BOTH
+  // surviving backups -- but the primary crashed before any ack came back,
+  // so the client never learned the outcome and no observation was
+  // committed to the recorder. Recovery must roll the write forward, and a
+  // post-recovery transaction must read it: the checker sees that read as a
+  // version gap (an unrecorded writer), which is tolerated, and the history
+  // must still be serializable.
+  HashPartitioner part(4);
+  XenicCluster c(Opts(), &part);
+  const store::NodeId failed = 1;
+  const store::Key key = KeyOn(c, failed);
+  c.LoadReplicated(kBank, key, Balance(100));
+  c.StartWorkers();
+
+  chaos::HistoryRecorder recorder;
+  ASSERT_EQ(RunRecordedRmw(c, recorder, 0, key, 50), TxnOutcome::kCommitted);
+  c.engine().RunFor(200 * sim::kNsPerUs);  // let the commit apply everywhere
+
+  const store::TxnId in_doubt = store::MakeTxnId(3, 7777);  // live coordinator
+  store::LogRecord staged;
+  staged.type = store::LogRecordType::kLog;
+  staged.txn = in_doubt;
+  staged.writes.push_back(store::LogWrite{kBank, key, 3, Balance(200), false});
+  for (store::NodeId b : c.map().BackupsOf(failed)) {
+    ASSERT_TRUE(c.datastore(b).log().Append(staged).ok());
+  }
+
+  const store::NodeId promoted = c.map().BackupsOf(failed)[0];
+  RemappedPartitioner remap(&part, {{failed, promoted}});
+  const RecoveryReport report = CrashAndRecover(c, failed, promoted, remap);
+  EXPECT_EQ(report.rolled_forward, 1u);
+  EXPECT_EQ(report.discarded, 0u);
+
+  ASSERT_EQ(RunRecordedRmw(c, recorder, 0, key, 25), TxnOutcome::kCommitted);
+  c.engine().RunFor(200 * sim::kNsPerUs);
+
+  const chaos::CheckResult res = recorder.Check();
+  EXPECT_TRUE(res.ok()) << (res.violations.empty() ? "" : res.violations.front());
+  EXPECT_EQ(res.txns, 2u);
+  EXPECT_EQ(res.version_gaps, 1u);  // the rolled-forward writer was never recorded
+  auto r = c.datastore(promoted).table(kBank).Lookup(key);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(GetI64(r->value, 0), 225);  // 200 rolled forward, then +25
+  EXPECT_EQ(r->seq, 4u);
+
+  c.StopWorkers();
+  c.engine().Run();
+}
+
+TEST(RecoveryTest, CrashBeforeFullReplicationDiscardsUnderTheChecker) {
+  // The LOG record reached only ONE backup before the primary crashed: the
+  // commit point was never reached, so recovery must discard the write. A
+  // post-recovery transaction then reads the last committed version -- no
+  // version gap, and the discarded value must never surface.
+  HashPartitioner part(4);
+  XenicCluster c(Opts(), &part);
+  const store::NodeId failed = 1;
+  const store::Key key = KeyOn(c, failed);
+  c.LoadReplicated(kBank, key, Balance(100));
+  c.StartWorkers();
+
+  chaos::HistoryRecorder recorder;
+  ASSERT_EQ(RunRecordedRmw(c, recorder, 0, key, 50), TxnOutcome::kCommitted);
+  c.engine().RunFor(200 * sim::kNsPerUs);
+
+  const store::TxnId in_doubt = store::MakeTxnId(3, 7778);
+  store::LogRecord staged;
+  staged.type = store::LogRecordType::kLog;
+  staged.txn = in_doubt;
+  staged.writes.push_back(store::LogWrite{kBank, key, 3, Balance(999), false});
+  const auto backups = c.map().BackupsOf(failed);
+  ASSERT_TRUE(c.datastore(backups[0]).log().Append(staged).ok());
+
+  const store::NodeId promoted = backups[0];
+  RemappedPartitioner remap(&part, {{failed, promoted}});
+  const RecoveryReport report = CrashAndRecover(c, failed, promoted, remap);
+  EXPECT_EQ(report.rolled_forward, 0u);
+  EXPECT_EQ(report.discarded, 1u);
+
+  ASSERT_EQ(RunRecordedRmw(c, recorder, 0, key, 25), TxnOutcome::kCommitted);
+  c.engine().RunFor(200 * sim::kNsPerUs);
+
+  const chaos::CheckResult res = recorder.Check();
+  EXPECT_TRUE(res.ok()) << (res.violations.empty() ? "" : res.violations.front());
+  EXPECT_EQ(res.txns, 2u);
+  EXPECT_EQ(res.version_gaps, 0u);  // the discarded write is invisible
+  auto r = c.datastore(promoted).table(kBank).Lookup(key);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(GetI64(r->value, 0), 175);  // 100 + 50, discarded 999 never seen, +25
+  EXPECT_EQ(r->seq, 3u);
 
   c.StopWorkers();
   c.engine().Run();

@@ -1,18 +1,19 @@
-// Serializability checker: run concurrent read-modify-write transactions,
-// record the version each transaction read and wrote for every key, build
-// the precedence graph (write-read, write-write, and read-write
-// anti-dependency edges derived from the per-key version chains), and
-// verify it is acyclic. A cycle would be a serializability violation.
+// Serializability of concurrent read-modify-write histories, checked with
+// the reusable checker from src/chaos/history.h: the HistoryRecorder wraps
+// each request's execute closure to capture the versions read and keys
+// written, and CheckSerializability rebuilds the per-key version chains,
+// derives the precedence graph, and verifies it is acyclic with no lost
+// updates.
 //
 // Runs against the Xenic engine (all feature combinations) and every
 // baseline engine.
 
 #include <gtest/gtest.h>
 
-#include <map>
-#include <queue>
+#include <algorithm>
 
 #include "src/baseline/baseline_cluster.h"
+#include "src/chaos/history.h"
 #include "src/common/rng.h"
 #include "src/txn/xenic_cluster.h"
 
@@ -28,97 +29,27 @@ using txn::TxnRequest;
 
 constexpr store::TableId kBank = 0;
 
-struct Observation {
-  // (key -> version read); writes produced version read+1 for every key
-  // (all transactions here are read-modify-write on their whole key set).
-  std::map<store::Key, store::Seq> reads;
-};
-
-// Kahn's algorithm over the precedence graph; true iff acyclic.
-bool Acyclic(const std::vector<std::vector<int>>& adj) {
-  const size_t n = adj.size();
-  std::vector<int> indeg(n, 0);
-  for (const auto& out : adj) {
-    for (int v : out) {
-      indeg[static_cast<size_t>(v)]++;
-    }
-  }
-  std::queue<int> q;
-  for (size_t i = 0; i < n; ++i) {
-    if (indeg[i] == 0) {
-      q.push(static_cast<int>(i));
-    }
-  }
-  size_t seen = 0;
-  while (!q.empty()) {
-    const int u = q.front();
-    q.pop();
-    seen++;
-    for (int v : adj[static_cast<size_t>(u)]) {
-      if (--indeg[static_cast<size_t>(v)] == 0) {
-        q.push(v);
-      }
-    }
-  }
-  return seen == n;
-}
-
-// Build the precedence graph from per-key version chains and check it.
-// Each committed txn i read version r(i,k) and wrote r(i,k)+1 of every key
-// k it touched. Version 1 is the initial load (virtual txn -1, ignored).
-void CheckHistory(const std::vector<Observation>& txns) {
-  // writer_of[k][v] = txn that produced version v of key k.
-  std::map<store::Key, std::map<store::Seq, int>> writer_of;
-  for (size_t i = 0; i < txns.size(); ++i) {
-    for (const auto& [k, r] : txns[i].reads) {
-      auto [it, fresh] = writer_of[k].emplace(r + 1, static_cast<int>(i));
-      ASSERT_TRUE(fresh) << "two transactions produced version " << r + 1 << " of key " << k
-                         << ": txns " << it->second << " and " << i;
-    }
-  }
-
-  std::vector<std::vector<int>> adj(txns.size());
-  for (size_t i = 0; i < txns.size(); ++i) {
-    for (const auto& [k, r] : txns[i].reads) {
-      const auto& chain = writer_of[k];
-      // wr edge: the writer of the version we read precedes us.
-      if (auto it = chain.find(r); it != chain.end() && it->second != static_cast<int>(i)) {
-        adj[static_cast<size_t>(it->second)].push_back(static_cast<int>(i));
-      }
-      // ww edge: we precede the writer of the next version (that is the
-      // writer of r+2, since we wrote r+1).
-      if (auto it = chain.find(r + 2); it != chain.end()) {
-        adj[i].push_back(it->second);
-      }
-    }
-  }
-  EXPECT_TRUE(Acyclic(adj)) << "serializability violation: precedence cycle";
-}
-
 Value Balance(int64_t v) {
   Value out(16, 0);
   PutI64(out, 0, v);
   return out;
 }
 
-// A transfer whose execute closure records the versions it observed.
-TxnRequest RecordingTransfer(std::vector<store::Key> keys,
-                             std::shared_ptr<Observation> obs) {
+// A transfer over a small key set. Rebalances the total across the keys:
+// conserves money and forces real read-write dependencies between
+// overlapping transactions.
+TxnRequest Transfer(std::vector<store::Key> keys) {
   TxnRequest req;
   for (auto k : keys) {
     req.reads.push_back({kBank, k});
     req.writes.push_back({kBank, k});
   }
-  req.execute = [obs](ExecRound& er) {
-    obs->reads.clear();
+  req.execute = [](ExecRound& er) {
     int64_t sum = 0;
     for (const auto& r : *er.reads) {
       sum += GetI64(r.value, 0);
     }
     for (size_t i = 0; i < er.reads->size(); ++i) {
-      obs->reads[(*er.read_keys)[i].key] = (*er.reads)[i].seq;
-      // Rebalance: spread the total across the keys (conserves money and
-      // forces real read-write dependencies between overlapping txns).
       const int64_t share = sum / static_cast<int64_t>(er.reads->size()) +
                             (i == 0 ? sum % static_cast<int64_t>(er.reads->size()) : 0);
       (*er.writes)[i].value = Balance(share);
@@ -136,7 +67,7 @@ void RunHistoryTest(Cluster& cluster, uint32_t nodes, int txns_per_ctx) {
   }
   cluster.StartWorkers();
 
-  std::vector<Observation> committed;
+  chaos::HistoryRecorder recorder;
   int active = 0;
   std::function<void(store::NodeId, int)> run_one = [&](store::NodeId n, int left) {
     if (left == 0) {
@@ -151,10 +82,11 @@ void RunHistoryTest(Cluster& cluster, uint32_t nodes, int txns_per_ctx) {
         keys.push_back(k);
       }
     }
-    auto obs = std::make_shared<Observation>();
-    cluster.node(n).Submit(RecordingTransfer(keys, obs), [&, n, left, obs](TxnOutcome o) {
+    TxnRequest req = Transfer(keys);
+    auto obs = recorder.Instrument(req);
+    cluster.node(n).Submit(std::move(req), [&, n, left, obs](TxnOutcome o) {
       if (o == TxnOutcome::kCommitted) {
-        committed.push_back(*obs);
+        recorder.Commit(obs);
       }
       run_one(n, left - 1);
     });
@@ -171,8 +103,20 @@ void RunHistoryTest(Cluster& cluster, uint32_t nodes, int txns_per_ctx) {
   cluster.StopWorkers();
   cluster.engine().Run();
 
-  ASSERT_GT(committed.size(), 30u);
-  CheckHistory(committed);
+  ASSERT_GT(recorder.history().size(), 30u);
+  const chaos::CheckResult result = recorder.Check();
+  EXPECT_TRUE(result.ok()) << [&] {
+    std::string all;
+    for (const auto& v : result.violations) {
+      all += v + "\n";
+    }
+    return all;
+  }();
+  // Fault-free runs never roll anything forward behind the recorder's back,
+  // so every version a txn read must have a recorded writer (or be the
+  // initial load).
+  EXPECT_EQ(result.version_gaps, 0u);
+  EXPECT_GT(result.edges, 0u);
 }
 
 class XenicSerializabilityTest : public ::testing::TestWithParam<int> {};

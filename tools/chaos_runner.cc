@@ -1,0 +1,146 @@
+// Seeded chaos runner CLI.
+//
+// Runs one deterministic chaos schedule per seed -- crashes + recovery,
+// wire faults, NIC-index eviction storms, commit-log back-pressure -- and
+// audits the surviving history (serializability, money conservation, leaked
+// locks/pins, log drain). Output is a pure function of the flags: the same
+// seed prints the same verdict and the same simulator event count on every
+// run and for every --jobs value, which tools/check_determinism.sh relies
+// on. Exit status is 0 iff every seed's verdict is PASS.
+//
+// Usage:
+//   chaos_runner [--seed N | --seeds A-B] [--system xenic|drtmh|drtmh-nc|fasst|drtmr]
+//                [--jobs N] [--nodes N] [--epoch N] [--horizon-us N]
+//                [--crashes N] [--storms N] [--stalls N]
+//                [--drop P] [--dup P] [--delay P] [--log-capacity N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/chaos/chaos_run.h"
+#include "src/harness/sweep.h"
+
+namespace {
+
+using xenic::chaos::ChaosConfig;
+using xenic::chaos::ChaosVerdict;
+using xenic::chaos::RunChaos;
+using xenic::harness::SystemConfig;
+
+uint64_t ParseU64(const char* s) { return std::strtoull(s, nullptr, 10); }
+
+bool SetSystem(ChaosConfig& config, const std::string& name) {
+  if (name == "xenic") {
+    config.system.kind = SystemConfig::Kind::kXenic;
+    return true;
+  }
+  config.system.kind = SystemConfig::Kind::kBaseline;
+  if (name == "drtmh") {
+    config.system.mode = xenic::baseline::BaselineMode::kDrtmH;
+  } else if (name == "drtmh-nc") {
+    config.system.mode = xenic::baseline::BaselineMode::kDrtmHNC;
+  } else if (name == "fasst") {
+    config.system.mode = xenic::baseline::BaselineMode::kFasst;
+  } else if (name == "drtmr") {
+    config.system.mode = xenic::baseline::BaselineMode::kDrtmR;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosConfig base;
+  base.faults.crashes = 1;
+  base.faults.eviction_storms = 2;
+  base.faults.stall_windows = 1;
+  base.faults.drop_prob = 0.01;
+  base.faults.dup_prob = 0.01;
+  base.faults.delay_prob = 0.02;
+
+  uint64_t seed_lo = 1;
+  uint64_t seed_hi = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      seed_lo = seed_hi = ParseU64(next());
+    } else if (a == "--seeds") {
+      const char* v = next();
+      const char* dash = std::strchr(v, '-');
+      if (dash == nullptr) {
+        std::fprintf(stderr, "--seeds wants A-B\n");
+        return 2;
+      }
+      seed_lo = ParseU64(v);
+      seed_hi = ParseU64(dash + 1);
+    } else if (a == "--system") {
+      if (!SetSystem(base, next())) {
+        std::fprintf(stderr, "unknown system\n");
+        return 2;
+      }
+    } else if (a == "--nodes") {
+      base.system.num_nodes = static_cast<uint32_t>(ParseU64(next()));
+    } else if (a == "--epoch") {
+      base.epoch = ParseU64(next());
+    } else if (a == "--horizon-us") {
+      base.horizon = static_cast<xenic::sim::Tick>(ParseU64(next())) * xenic::sim::kNsPerUs;
+    } else if (a == "--crashes") {
+      base.faults.crashes = static_cast<uint32_t>(ParseU64(next()));
+    } else if (a == "--storms") {
+      base.faults.eviction_storms = static_cast<uint32_t>(ParseU64(next()));
+    } else if (a == "--stalls") {
+      base.faults.stall_windows = static_cast<uint32_t>(ParseU64(next()));
+    } else if (a == "--drop") {
+      base.faults.drop_prob = std::atof(next());
+    } else if (a == "--dup") {
+      base.faults.dup_prob = std::atof(next());
+    } else if (a == "--delay") {
+      base.faults.delay_prob = std::atof(next());
+    } else if (a == "--log-capacity") {
+      base.system.log_capacity = static_cast<size_t>(ParseU64(next()));
+    } else if (a == "--jobs" || a.rfind("--jobs=", 0) == 0) {
+      if (a == "--jobs") {
+        (void)next();  // consumed below by ParseJobsFlag
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (seed_hi < seed_lo) {
+    std::fprintf(stderr, "empty seed range\n");
+    return 2;
+  }
+
+  xenic::harness::SweepExecutor ex(
+      xenic::harness::SweepExecutor::ParseJobsFlag(argc, argv));
+
+  std::vector<std::function<ChaosVerdict()>> tasks;
+  for (uint64_t s = seed_lo; s <= seed_hi; ++s) {
+    ChaosConfig config = base;
+    config.seed = s;
+    tasks.push_back([config] { return RunChaos(config); });
+  }
+  const std::vector<ChaosVerdict> verdicts = ex.Map(tasks);
+
+  bool all_ok = true;
+  for (const ChaosVerdict& v : verdicts) {
+    std::fputs(v.Summary().c_str(), stdout);
+    std::fputs("\n", stdout);
+    all_ok = all_ok && v.ok();
+  }
+  std::printf("%zu seed(s): %s\n", verdicts.size(), all_ok ? "ALL PASS" : "FAILURES");
+  return all_ok ? 0 : 1;
+}
