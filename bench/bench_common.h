@@ -4,9 +4,12 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +17,8 @@
 #include "src/common/table_printer.h"
 #include "src/harness/runner.h"
 #include "src/harness/sweep.h"
+#include "src/obs/attribution.h"
+#include "src/obs/trace_recorder.h"
 
 namespace xenic::bench {
 
@@ -40,11 +45,27 @@ struct Curve {
     }
     return best;
   }
+  // NaN when no point committed anything (rendered "--" by TablePrinter;
+  // never leaks a numeric sentinel into tables or ratios).
   double MinMedianLatencyUs() const {
-    double best = 1e18;
+    double best = std::numeric_limits<double>::quiet_NaN();
     for (const auto& p : points) {
-      if (p.result.latency.count() > 0) {
-        best = std::min(best, p.result.MedianLatencyUs());
+      if (p.result.latency.count() > 0 &&
+          (std::isnan(best) || p.result.MedianLatencyUs() < best)) {
+        best = p.result.MedianLatencyUs();
+      }
+    }
+    return best;
+  }
+
+  // Index of the highest-throughput point (the "peak" the bottleneck
+  // attribution reports against); -1 when the curve is empty.
+  int PeakIndex() const {
+    int best = -1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (best < 0 || points[i].result.tput_per_server >
+                          points[static_cast<size_t>(best)].result.tput_per_server) {
+        best = static_cast<int>(i);
       }
     }
     return best;
@@ -161,39 +182,141 @@ inline void PrintCurves(const std::string& title, const std::vector<Curve>& curv
     std::printf("\n");
   }
 
-  // Comparison summary (Xenic assumed first).
+  // Comparison summary (Xenic assumed first). Latency comparisons skip
+  // curves with no committed transactions (MinMedianLatencyUs is NaN for
+  // those) instead of comparing against a sentinel.
   if (curves.size() > 1 && curves[0].system == "Xenic") {
     double best_alt_tput = 0;
     std::string best_alt;
-    double best_alt_lat = 1e18;
+    double best_alt_lat = std::numeric_limits<double>::quiet_NaN();
     std::string best_lat_alt;
     for (size_t i = 1; i < curves.size(); ++i) {
       if (curves[i].PeakTput() > best_alt_tput) {
         best_alt_tput = curves[i].PeakTput();
         best_alt = curves[i].system;
       }
-      if (curves[i].MinMedianLatencyUs() < best_alt_lat) {
-        best_alt_lat = curves[i].MinMedianLatencyUs();
+      const double lat = curves[i].MinMedianLatencyUs();
+      if (!std::isnan(lat) && (std::isnan(best_alt_lat) || lat < best_alt_lat)) {
+        best_alt_lat = lat;
         best_lat_alt = curves[i].system;
       }
     }
+    const double xenic_lat = curves[0].MinMedianLatencyUs();
     if (best_alt_tput > 0) {
       std::printf("Peak throughput: Xenic %s/srv = %.2fx best alternative (%s, %s/srv)\n",
                   TablePrinter::FmtOps(curves[0].PeakTput()).c_str(),
                   curves[0].PeakTput() / best_alt_tput, best_alt.c_str(),
                   TablePrinter::FmtOps(best_alt_tput).c_str());
-      std::printf("Low-load median latency: Xenic %.1fus = %.0f%% below best alternative "
-                  "(%s, %.1fus)\n",
-                  curves[0].MinMedianLatencyUs(),
-                  (1.0 - curves[0].MinMedianLatencyUs() / best_alt_lat) * 100,
-                  best_lat_alt.c_str(), best_alt_lat);
+      if (!std::isnan(xenic_lat) && !std::isnan(best_alt_lat)) {
+        std::printf("Low-load median latency: Xenic %.1fus = %.0f%% below best alternative "
+                    "(%s, %.1fus)\n",
+                    xenic_lat, (1.0 - xenic_lat / best_alt_lat) * 100, best_lat_alt.c_str(),
+                    best_alt_lat);
+      }
       // The paper's reference comparison is against DrTM+H.
       for (const auto& c : curves) {
-        if (c.system == "DrTM+H") {
+        const double c_lat = c.MinMedianLatencyUs();
+        if (c.system == "DrTM+H" && c.PeakTput() > 0 && !std::isnan(xenic_lat) &&
+            !std::isnan(c_lat)) {
           std::printf("vs DrTM+H: %.2fx peak throughput, %.0f%% lower median latency\n\n",
-                      curves[0].PeakTput() / c.PeakTput(),
-                      (1.0 - curves[0].MinMedianLatencyUs() / c.MinMedianLatencyUs()) * 100);
+                      curves[0].PeakTput() / c.PeakTput(), (1.0 - xenic_lat / c_lat) * 100);
         }
+      }
+    }
+  }
+}
+
+// Observability flags shared by the benches:
+//   --attrib        rerun each system's peak-throughput point with resource
+//                   monitoring, print the bottleneck-attribution table, and
+//                   write <slug>.attrib.json
+//   --trace PATH    rerun the first system's peak point with a trace sink
+//                   and write Chrome trace-event JSON to PATH
+// Reruns reuse the sweep's exact RunConfig, so (by the determinism
+// contract) they reproduce the printed point exactly.
+struct BenchOptions {
+  bool attrib = false;
+  std::string trace_path;
+
+  static BenchOptions Parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--attrib") == 0) {
+        o.attrib = true;
+      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        o.trace_path = argv[++i];
+      } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+        o.trace_path = argv[i] + 8;
+      }
+    }
+    return o;
+  }
+};
+
+// Rerun one (system, load) point with observability attached.
+inline RunResult RerunPoint(const SystemConfig& cfg, const WorkloadFactory& make_workload,
+                            const RunConfig& rc, uint32_t contexts, bool collect_resources,
+                            sim::TraceSink* trace) {
+  auto wl = make_workload();
+  auto system = harness::BuildSystem(cfg, *wl);
+  harness::LoadWorkload(*system, *wl);
+  RunConfig r = rc;
+  r.contexts_per_node = contexts;
+  r.collect_resources = collect_resources;
+  r.trace = trace;
+  return harness::RunWorkload(*system, *wl, r);
+}
+
+// Post-sweep observability pass; no-op without --attrib/--trace.
+inline void FinishBench(const BenchOptions& opts, const std::string& slug,
+                        const std::vector<SystemConfig>& cfgs,
+                        const WorkloadFactory& make_workload, const RunConfig& rc,
+                        const std::vector<Curve>& curves) {
+  if (opts.attrib) {
+    std::string json = "{\"bench\":\"" + slug + "\",\"systems\":[";
+    bool first = true;
+    for (size_t i = 0; i < cfgs.size() && i < curves.size(); ++i) {
+      const int peak = curves[i].PeakIndex();
+      if (peak < 0) {
+        continue;
+      }
+      const uint32_t contexts = curves[i].points[static_cast<size_t>(peak)].contexts;
+      RunResult r = RerunPoint(cfgs[i], make_workload, rc, contexts,
+                               /*collect_resources=*/true, /*trace=*/nullptr);
+      const obs::BottleneckReport report = obs::Attribute(r.resources);
+      std::printf("%s", obs::RenderAttribution(
+                            report, curves[i].system + " bottleneck attribution @ contexts=" +
+                                        std::to_string(contexts))
+                            .c_str());
+      std::printf("\n");
+      if (!first) {
+        json += ',';
+      }
+      first = false;
+      json += "{\"system\":\"" + curves[i].system + "\",\"contexts\":" +
+              std::to_string(contexts) + ",\"attribution\":" + obs::AttributionJson(report) +
+              "}";
+    }
+    json += "]}";
+    const std::string path = slug + ".attrib.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+  }
+  if (!opts.trace_path.empty() && !curves.empty()) {
+    const int peak = curves[0].PeakIndex();
+    if (peak >= 0) {
+      const uint32_t contexts = curves[0].points[static_cast<size_t>(peak)].contexts;
+      obs::TraceRecorder rec;
+      RerunPoint(cfgs[0], make_workload, rc, contexts, /*collect_resources=*/false, &rec);
+      if (rec.WriteJson(opts.trace_path)) {
+        std::fprintf(stderr, "wrote %s (%zu events, %zu tracks; %s @ contexts=%u)\n",
+                     opts.trace_path.c_str(), rec.num_events(), rec.num_tracks(),
+                     curves[0].system.c_str(), contexts);
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", opts.trace_path.c_str());
       }
     }
   }

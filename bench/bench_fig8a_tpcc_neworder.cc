@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace xenic::bench;
 
   SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Tpcc::Options wo;
@@ -29,7 +30,9 @@ int main(int argc, char** argv) {
   rc.measure = 1500 * sim::kNsPerUs;
 
   const std::vector<uint32_t> loads = {1, 4, 16, 48, 96, 160};
-  std::vector<Curve> curves = RunSweeps(Figure8Systems(nodes), make_wl, loads, rc, ex);
+  const std::vector<SystemConfig> cfgs = Figure8Systems(nodes);
+  std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
   PrintCurves("Figure 8a: TPC-C New Order, throughput per server vs median latency", curves);
+  FinishBench(opts, "fig8a_tpcc_neworder", cfgs, make_wl, rc, curves);
   return 0;
 }

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace xenic::bench;
 
   SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Retwis::Options wo;
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
   rc.measure = 1200 * sim::kNsPerUs;
 
   const std::vector<uint32_t> loads = {1, 4, 16, 64, 128, 192};
-  std::vector<Curve> curves = RunSweeps(Figure8Systems(nodes), make_wl, loads, rc, ex);
+  const std::vector<SystemConfig> cfgs = Figure8Systems(nodes);
+  std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
   PrintCurves("Figure 8c: Retwis, throughput per server vs median latency", curves);
+  FinishBench(opts, "fig8c_retwis", cfgs, make_wl, rc, curves);
   return 0;
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace xenic::bench;
 
   SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Retwis::Options wo;
@@ -74,5 +75,10 @@ int main(int argc, char** argv) {
                TablePrinter::Fmt(c.PeakTput() / ref.PeakTput(), 2) + "x"});
   }
   std::printf("%s\n", tp.Render("Figure 9a: Retwis throughput, enabling Xenic features").c_str());
+
+  std::vector<Curve> all;
+  all.push_back(ref);
+  all.insert(all.end(), curves.begin(), curves.end());
+  FinishBench(opts, "fig9a_ablation_tput", cfgs, make_wl, rc, all);
   return 0;
 }

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace xenic::bench;
 
   SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Smallbank::Options wo;
@@ -70,5 +71,10 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n",
               tp.Render("Figure 9b: Smallbank median latency, enabling Xenic features").c_str());
+
+  std::vector<Curve> all;
+  all.push_back(ref);
+  all.insert(all.end(), curves.begin(), curves.end());
+  FinishBench(opts, "fig9b_ablation_latency", cfgs, make_wl, rc, all);
   return 0;
 }

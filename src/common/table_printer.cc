@@ -1,6 +1,7 @@
 #include "src/common/table_printer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace xenic {
@@ -13,6 +14,9 @@ void TablePrinter::AddRow(std::vector<std::string> cells) {
 }
 
 std::string TablePrinter::Fmt(double v, int precision) {
+  if (std::isnan(v)) {
+    return "--";  // "no data" sentinel (e.g. a latency with zero samples)
+  }
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;

@@ -85,6 +85,18 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
   const uint64_t events_before = system.engine().events_executed();
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // Observability attachments. Both are pure bookkeeping: the monitor only
+  // hangs histograms off resources, the trace sink only records spans.
+  // Simulation results are byte-identical with or without them
+  // (tools/check_determinism.sh enforces this).
+  obs::ResourceMonitor monitor;
+  if (config.collect_resources) {
+    system.ForEachResource([&monitor](const obs::ResourceRef& ref) { monitor.Track(ref); });
+  }
+  if (config.trace != nullptr) {
+    system.engine().set_trace(config.trace);
+  }
+
   system.StartWorkers();
   for (uint32_t n = 0; n < system.num_nodes(); ++n) {
     for (uint32_t c = 0; c < config.contexts_per_node; ++c) {
@@ -97,6 +109,7 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
   // Measure.
   sh->measuring = true;
   system.ResetStats();
+  monitor.ResetWindow();
   const sim::Tick t0 = system.engine().now();
   system.engine().RunFor(config.measure);
   const sim::Tick window = system.engine().now() - t0;
@@ -117,11 +130,18 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
   result.dma_bytes = system.DmaBytes();
   result.host_utilization = system.HostUtilization(window);
   result.nic_utilization = system.NicUtilization(window);
+  result.measure_window = window;
+  if (config.collect_resources) {
+    result.resources = monitor.Snapshot(window);
+  }
 
   // Tear down: let in-flight work drain without restarting contexts.
   sh->stopped = true;
   system.StopWorkers();
   system.engine().RunFor(200 * sim::kNsPerUs);
+  if (config.trace != nullptr) {
+    system.engine().set_trace(nullptr);
+  }
 
   result.sim_events = system.engine().events_executed() - events_before;
   result.wall_seconds =

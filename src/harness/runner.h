@@ -8,8 +8,12 @@
 #ifndef SRC_HARNESS_RUNNER_H_
 #define SRC_HARNESS_RUNNER_H_
 
+#include <vector>
+
 #include "src/common/histogram.h"
 #include "src/harness/system_adapter.h"
+#include "src/obs/resource_stats.h"
+#include "src/sim/trace.h"
 #include "src/workload/workload.h"
 
 namespace xenic::harness {
@@ -21,6 +25,13 @@ struct RunConfig {
   uint64_t seed = 1;
   sim::Tick retry_backoff = 4 * sim::kNsPerUs;  // randomized up to 2x
   uint32_t max_retries = 200;                   // then drop the transaction
+
+  // --- Observability (pure bookkeeping; cannot change results) ---
+  // Collect per-resource queueing snapshots into RunResult::resources.
+  bool collect_resources = false;
+  // Attach this sink to the engine for the run (spans for every resource
+  // service interval, txn phase, etc.); detached before returning.
+  sim::TraceSink* trace = nullptr;
 };
 
 struct RunResult {
@@ -42,6 +53,12 @@ struct RunResult {
   uint64_t sim_events = 0;
   double wall_seconds = 0;
   double sim_events_per_sec = 0;
+
+  // Per-resource queueing snapshots over the measurement window (empty
+  // unless RunConfig::collect_resources), plus the window length they were
+  // normalized against.
+  std::vector<obs::ResourceSnapshot> resources;
+  sim::Tick measure_window = 0;
 
   double MedianLatencyUs() const { return static_cast<double>(latency.Median()) / 1e3; }
   double P99LatencyUs() const { return static_cast<double>(latency.P99()) / 1e3; }

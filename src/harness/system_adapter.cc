@@ -97,6 +97,20 @@ class XenicAdapter : public SystemAdapter {
       }
     }
   }
+  void ForEachResource(const std::function<void(const obs::ResourceRef&)>& fn) override {
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      auto& nic = cluster_->nic(n);
+      fn(obs::ResourceRef{"nic_cores", n, &nic.nic_cores(), nullptr});
+      fn(obs::ResourceRef{"host_cores", n, &nic.host_cores(), nullptr});
+      fn(obs::ResourceRef{"dma_queues", n, &nic.dma_queues(), nullptr});
+      fn(obs::ResourceRef{"dma_submit", n, &nic.dma_submit_port(), nullptr});
+      fn(obs::ResourceRef{"pcie_up", n, nullptr, &nic.pcie_up()});
+      fn(obs::ResourceRef{"pcie_down", n, nullptr, &nic.pcie_down()});
+      for (size_t p = 0; p < nic.num_tx_ports(); ++p) {
+        fn(obs::ResourceRef{"wire_tx" + std::to_string(p), n, nullptr, &nic.tx_port(p)});
+      }
+    }
+  }
   void StopNodeWorkers(store::NodeId node) override { cluster_->node(node).StopWorkers(); }
   void StartNodeWorkers(store::NodeId node) override {
     cluster_->node(node).StartWorkers(cluster_->options().workers_per_node,
@@ -173,6 +187,13 @@ class BaselineAdapter : public SystemAdapter {
   void ForEachWireChannel(const std::function<void(sim::Channel&)>& fn) override {
     for (uint32_t n = 0; n < cluster_->size(); ++n) {
       fn(cluster_->node(n).nic().tx());
+    }
+  }
+  void ForEachResource(const std::function<void(const obs::ResourceRef&)>& fn) override {
+    for (uint32_t n = 0; n < cluster_->size(); ++n) {
+      fn(obs::ResourceRef{"host_cores", n, &cluster_->host_cores(n), nullptr});
+      fn(obs::ResourceRef{"rdma_pipeline", n, &cluster_->node(n).nic().pipeline(), nullptr});
+      fn(obs::ResourceRef{"wire_tx", n, nullptr, &cluster_->node(n).nic().tx()});
     }
   }
   void StopNodeWorkers(store::NodeId node) override { cluster_->node(node).StopWorkers(); }

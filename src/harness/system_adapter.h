@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/baseline/baseline_cluster.h"
+#include "src/obs/resource_stats.h"
 #include "src/txn/xenic_cluster.h"
 #include "src/workload/workload.h"
 
@@ -38,6 +39,11 @@ class SystemAdapter {
   // (0 for the RDMA baselines, whose PCIe work is inside the NIC model).
   virtual uint64_t DmaOps() const = 0;
   virtual uint64_t DmaBytes() const = 0;
+
+  // Visit every service center in the deployment (obs::ResourceMonitor
+  // attaches wait-time accounting through this). Refs carry canonical
+  // node-independent names so the same resource aggregates across nodes.
+  virtual void ForEachResource(const std::function<void(const obs::ResourceRef&)>& fn) = 0;
 
   // --- Chaos hooks ---
   // Visit every outbound wire channel in the deployment (fault injectors

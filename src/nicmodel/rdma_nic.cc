@@ -12,8 +12,9 @@ RdmaNic::RdmaNic(sim::Engine* engine, const net::PerfModel& model, RdmaFabric* f
       fabric_(fabric),
       id_(id),
       host_cores_(host_cores),
-      pipeline_(engine, "rdma_pipeline", 1),
-      tx_(engine, "rdma_tx", model.rdma_link_bytes_per_ns, model.wire_latency) {}
+      pipeline_(engine, "n" + std::to_string(id) + ".rdma_pipeline", 1),
+      tx_(engine, "n" + std::to_string(id) + ".rdma_tx", model.rdma_link_bytes_per_ns,
+          model.wire_latency) {}
 
 void RdmaNic::Read(NodeId dst, uint32_t bytes, sim::Engine::Callback done) {
   OneSided(dst, bytes, /*is_write=*/false, [] {}, std::move(done));

@@ -12,17 +12,21 @@ SmartNic::SmartNic(sim::Engine* engine, const net::PerfModel& model, SmartNicFab
       model_(model),
       fabric_(fabric),
       id_(id),
-      nic_cores_(engine, "nic_cores", model.nic_cores),
-      host_cores_(engine, "host_cores", model.host_threads),
-      dma_queues_(engine, "dma_queues", model.dma_queues),
-      dma_submit_port_(engine, "dma_submit", 1),
-      pcie_up_(engine, "pcie_up", model.pcie_bytes_per_ns, 0),
-      pcie_down_(engine, "pcie_down", model.pcie_bytes_per_ns, 0) {
+      nic_cores_(engine, "n" + std::to_string(id) + ".nic_cores", model.nic_cores),
+      host_cores_(engine, "n" + std::to_string(id) + ".host_cores", model.host_threads),
+      dma_queues_(engine, "n" + std::to_string(id) + ".dma_queues", model.dma_queues),
+      dma_submit_port_(engine, "n" + std::to_string(id) + ".dma_submit", 1),
+      pcie_up_(engine, "n" + std::to_string(id) + ".pcie_up", model.pcie_bytes_per_ns, 0),
+      pcie_down_(engine, "n" + std::to_string(id) + ".pcie_down", model.pcie_bytes_per_ns, 0) {
+  // Node-qualified names ("n3.tx0") keep trace tracks distinguishable when
+  // every node's resources feed one TraceRecorder.
+  const std::string prefix = "n" + std::to_string(id) + ".";
   for (uint32_t p = 0; p < model.nic_ports; ++p) {
-    tx_ports_.push_back(std::make_unique<sim::Channel>(engine, "tx", model.link_bytes_per_ns,
+    tx_ports_.push_back(std::make_unique<sim::Channel>(engine, prefix + "tx" + std::to_string(p),
+                                                       model.link_bytes_per_ns,
                                                        model.wire_latency));
-    rx_ports_.push_back(
-        std::make_unique<sim::Channel>(engine, "rx", model.link_bytes_per_ns, 0));
+    rx_ports_.push_back(std::make_unique<sim::Channel>(engine, prefix + "rx" + std::to_string(p),
+                                                       model.link_bytes_per_ns, 0));
   }
 }
 
@@ -204,7 +208,13 @@ void SmartNic::ResetStats() {
   nic_cores_.ResetStats();
   host_cores_.ResetStats();
   dma_queues_.ResetStats();
+  dma_submit_port_.ResetStats();
+  pcie_up_.ResetStats();
+  pcie_down_.ResetStats();
   for (auto& p : tx_ports_) {
+    p->ResetStats();
+  }
+  for (auto& p : rx_ports_) {
     p->ResetStats();
   }
 }

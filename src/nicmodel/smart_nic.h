@@ -71,6 +71,10 @@ class SmartNic {
   sim::Resource& nic_cores() { return nic_cores_; }
   sim::Resource& host_cores() { return host_cores_; }
   sim::Resource& dma_queues() { return dma_queues_; }
+  sim::Resource& dma_submit_port() { return dma_submit_port_; }
+  sim::Channel& pcie_up() { return pcie_up_; }
+  sim::Channel& pcie_down() { return pcie_down_; }
+  sim::Channel& rx_port(size_t i) { return *rx_ports_[i]; }
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }

@@ -1,0 +1,47 @@
+// Bottleneck attribution: rank resource snapshots and name the binding one.
+//
+// Given the per-resource rows collected by ResourceMonitor over a
+// measurement window, Attribute() orders them by how hard they are working
+// (utilization, then mean queueing delay) and names the binding resource --
+// the service center that limits throughput at this operating point. When
+// no resource is meaningfully saturated the report says so instead of
+// inventing a bottleneck: Xenic under contention is frequently
+// protocol-bound (OCC aborts, lock waits), not resource-bound, and the
+// report must be honest about that.
+
+#ifndef SRC_OBS_ATTRIBUTION_H_
+#define SRC_OBS_ATTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/resource_stats.h"
+
+namespace xenic::obs {
+
+struct BottleneckReport {
+  // Rows ordered by (utilization desc, mean wait desc, name asc).
+  std::vector<ResourceSnapshot> ranked;
+  // Index into `ranked` of the binding resource, or -1 if `ranked` is empty.
+  int binding = -1;
+  // True when the binding resource is busy enough (>= kSaturationFloor) to
+  // plausibly limit throughput; false means "nothing saturated" and the
+  // system is likely bound by protocol behaviour, not a service center.
+  bool saturated = false;
+};
+
+// Utilization below this is not called a bottleneck.
+inline constexpr double kSaturationFloor = 0.5;
+
+BottleneckReport Attribute(std::vector<ResourceSnapshot> rows);
+
+// Human-readable table (TablePrinter-aligned) plus a one-line verdict.
+std::string RenderAttribution(const BottleneckReport& report, const std::string& title);
+
+// JSON array of ranked rows plus the verdict, for embedding in bench JSON:
+// {"binding":"nic_cores","saturated":true,"resources":[{...},...]}
+std::string AttributionJson(const BottleneckReport& report);
+
+}  // namespace xenic::obs
+
+#endif  // SRC_OBS_ATTRIBUTION_H_

@@ -1,0 +1,80 @@
+#include "src/obs/resource_stats.h"
+
+#include <unordered_map>
+
+namespace xenic::obs {
+
+ResourceMonitor::~ResourceMonitor() {
+  for (const auto& e : entries_) {
+    if (e->ref.pool != nullptr) {
+      e->ref.pool->set_wait_histogram(nullptr);
+    }
+    if (e->ref.link != nullptr) {
+      e->ref.link->set_wait_histogram(nullptr);
+    }
+  }
+}
+
+void ResourceMonitor::Track(const ResourceRef& ref) {
+  entries_.push_back(std::make_unique<Entry>(Entry{ref, Histogram()}));
+  Entry* e = entries_.back().get();
+  if (e->ref.pool != nullptr) {
+    e->ref.pool->set_wait_histogram(&e->wait);
+  }
+  if (e->ref.link != nullptr) {
+    e->ref.link->set_wait_histogram(&e->wait);
+  }
+}
+
+void ResourceMonitor::ResetWindow() {
+  for (const auto& e : entries_) {
+    e->wait.Reset();
+  }
+}
+
+std::vector<ResourceSnapshot> ResourceMonitor::Snapshot(sim::Tick window) const {
+  std::vector<ResourceSnapshot> rows;
+  std::unordered_map<std::string, size_t> row_by_name;
+  for (const auto& e : entries_) {
+    auto [it, inserted] = row_by_name.try_emplace(e->ref.name, rows.size());
+    if (inserted) {
+      rows.emplace_back();
+      rows.back().name = e->ref.name;
+      rows.back().is_link = e->ref.link != nullptr;
+    }
+    ResourceSnapshot& row = rows[it->second];
+    row.instances++;
+    row.wait.Merge(e->wait);
+    if (e->ref.pool != nullptr) {
+      const sim::Resource& r = *e->ref.pool;
+      row.servers += r.servers();
+      row.utilization += r.Utilization(window);
+      row.busy_ns += r.busy_time();
+      row.completed += r.completed();
+      if (r.peak_queue_depth() > row.peak_queue) {
+        row.peak_queue = r.peak_queue_depth();
+      }
+    } else if (e->ref.link != nullptr) {
+      const sim::Channel& c = *e->ref.link;
+      row.utilization += c.BusyFraction(window);
+      row.wire_utilization += c.Utilization(window);
+      row.busy_ns += c.busy_time();
+      row.completed += c.sends();
+      if (c.peak_backlog() > row.peak_queue) {
+        row.peak_queue = c.peak_backlog();
+      }
+    }
+  }
+  for (ResourceSnapshot& row : rows) {
+    if (row.instances > 0) {
+      row.utilization /= row.instances;
+      row.wire_utilization /= row.instances;
+    }
+    row.mean_wait_ns = row.wait.Mean();
+    row.p99_wait_ns = row.wait.P99();
+    row.max_wait_ns = row.wait.max();
+  }
+  return rows;
+}
+
+}  // namespace xenic::obs

@@ -1,0 +1,86 @@
+// Per-resource queueing statistics for bottleneck attribution.
+//
+// A ResourceRef names one concrete service center in the simulated
+// deployment -- a k-server pool (sim::Resource: NIC cores, host threads,
+// DMA queues, RDMA pipeline) or a serializing link (sim::Channel: wire
+// ports, PCIe queues). SystemAdapter::ForEachResource enumerates them with
+// canonical node-independent names so the same resource on every node
+// aggregates into one row.
+//
+// ResourceMonitor attaches wait-time histograms to the referenced resources
+// for the duration of a run and snapshots everything -- utilization,
+// busy/idle breakdown, wait distribution, peak queue depth -- into
+// ResourceSnapshot rows at the end of the measurement window. Attaching a
+// monitor is pure bookkeeping: it cannot change simulation results.
+
+#ifndef SRC_OBS_RESOURCE_STATS_H_
+#define SRC_OBS_RESOURCE_STATS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/sim/channel.h"
+#include "src/sim/resource.h"
+
+namespace xenic::obs {
+
+struct ResourceRef {
+  std::string name;  // canonical, node-independent ("nic_cores", "wire_tx0")
+  uint32_t node = 0;
+  sim::Resource* pool = nullptr;  // exactly one of pool / link is set
+  sim::Channel* link = nullptr;
+};
+
+struct ResourceSnapshot {
+  std::string name;
+  bool is_link = false;
+  uint32_t instances = 0;  // resources aggregated under this name
+  uint32_t servers = 0;    // pools: total servers across instances
+  // Mean occupancy across instances. Pools: busy server-time over capacity.
+  // Links: occupied wall-time (serialization + per-frame costs).
+  double utilization = 0;
+  double wire_utilization = 0;  // links only: payload bytes over capacity
+  uint64_t busy_ns = 0;         // summed busy time
+  uint64_t completed = 0;       // jobs finished / frames sent
+  double mean_wait_ns = 0;      // queueing delay before service
+  uint64_t p99_wait_ns = 0;
+  uint64_t max_wait_ns = 0;
+  // Pools: deepest FIFO backlog (jobs). Links: longest head-of-line wait a
+  // frame would have observed (ns).
+  uint64_t peak_queue = 0;
+  Histogram wait;  // merged wait-time distribution
+};
+
+class ResourceMonitor {
+ public:
+  ResourceMonitor() = default;
+  ResourceMonitor(const ResourceMonitor&) = delete;
+  ResourceMonitor& operator=(const ResourceMonitor&) = delete;
+  ~ResourceMonitor();  // detaches all histograms
+
+  // Start observing `ref` (attaches a caller-invisible wait histogram).
+  void Track(const ResourceRef& ref);
+
+  // Clear the wait histograms; call alongside the system's ResetStats at
+  // the start of the measurement window.
+  void ResetWindow();
+
+  // Aggregate everything observed since ResetWindow into per-name rows,
+  // in first-Track order (deterministic).
+  std::vector<ResourceSnapshot> Snapshot(sim::Tick window) const;
+
+  size_t tracked() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    ResourceRef ref;
+    Histogram wait;
+  };
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace xenic::obs
+
+#endif  // SRC_OBS_RESOURCE_STATS_H_

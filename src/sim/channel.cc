@@ -13,12 +13,29 @@ Channel::Channel(Engine* engine, std::string name, double bytes_per_ns, Tick lat
 }
 
 Tick Channel::Occupy(uint64_t bytes, Tick extra_occupancy) {
-  const Tick start = std::max(engine_->now(), next_free_);
+  const Tick now = engine_->now();
+  const Tick wait = next_free_ > now ? next_free_ - now : 0;
+  wait_time_total_ += wait;
+  if (wait > peak_backlog_) {
+    peak_backlog_ = wait;
+  }
+  if (wait_hist_ != nullptr) {
+    wait_hist_->Record(wait);
+  }
+  const Tick start = std::max(now, next_free_);
   const auto tx_time =
       static_cast<Tick>(std::llround(static_cast<double>(bytes) / bytes_per_ns_));
   next_free_ = start + tx_time + extra_occupancy;
+  busy_time_ += tx_time + extra_occupancy;
   bytes_sent_ += bytes;
   sends_++;
+  if (TraceSink* t = engine_->trace()) {
+    if (t != trace_sink_) {
+      trace_sink_ = t;
+      trace_track_ = t->RegisterTrack(name_, "tx");
+    }
+    t->Span(trace_track_, name_.c_str(), start, next_free_, bytes);
+  }
   return next_free_;
 }
 

@@ -17,6 +17,7 @@
 
 #include "src/sim/calendar_queue.h"
 #include "src/sim/sbo_callback.h"
+#include "src/sim/trace.h"
 
 namespace xenic::sim {
 
@@ -58,11 +59,19 @@ class Engine {
 
   uint64_t RunFor(Tick duration) { return RunUntil(now_ + duration); }
 
+  // Observability sink (null = tracing off). The sink is write-only from
+  // the simulation's point of view: attaching one never changes event
+  // order, timing, or any simulated result (see trace.h), which
+  // check_determinism.sh enforces end-to-end.
+  TraceSink* trace() const { return trace_; }
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
  private:
   CalendarQueue queue_;
   Tick now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace xenic::sim

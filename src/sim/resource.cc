@@ -12,13 +12,22 @@ Resource::Resource(Engine* engine, std::string name, uint32_t servers)
 
 void Resource::Submit(Tick service, Engine::Callback done) {
   if (busy_ < servers_) {
-    Start(Job{service, std::move(done)});
+    Start(Job{service, engine_->now(), std::move(done)});
   } else {
-    queue_.push_back(Job{service, std::move(done)});
+    queue_.push_back(Job{service, engine_->now(), std::move(done)});
+    if (queue_.size() > peak_queue_depth_) {
+      peak_queue_depth_ = queue_.size();
+    }
   }
 }
 
 void Resource::Start(Job job) {
+  const Tick wait = engine_->now() - job.enqueued;
+  wait_time_total_ += wait;
+  jobs_started_++;
+  if (wait_hist_ != nullptr) {
+    wait_hist_->Record(wait);
+  }
   busy_++;
   const Tick service = job.service;
   engine_->ScheduleAfter(service, [this, service, done = std::move(job.done)]() mutable {
@@ -27,6 +36,13 @@ void Resource::Start(Job job) {
 }
 
 void Resource::Finish(Tick service, Engine::Callback done) {
+  if (TraceSink* t = engine_->trace()) {
+    if (t != trace_sink_) {
+      trace_sink_ = t;
+      trace_track_ = t->RegisterTrack(name_, "service");
+    }
+    t->Span(trace_track_, name_.c_str(), engine_->now() - service, engine_->now(), 0);
+  }
   busy_--;
   busy_time_ += service;
   completed_++;

@@ -5,6 +5,13 @@
 // one server for its service time; excess jobs wait in FIFO order. Busy-time
 // accounting supports utilization-law sanity checks in tests and the
 // Table 3 thread-count analysis.
+//
+// Queueing observability: every job's wait (submit -> server grant) feeds
+// cheap always-on scalars (total wait, jobs started, peak queue depth) and,
+// when a histogram is attached (obs::ResourceMonitor), a full wait-time
+// distribution. When an Engine trace sink is attached, each job's service
+// interval is emitted as a span. Neither path schedules events or alters
+// timing: accounting is invisible to the simulation.
 
 #ifndef SRC_SIM_RESOURCE_H_
 #define SRC_SIM_RESOURCE_H_
@@ -13,6 +20,7 @@
 #include <deque>
 #include <string>
 
+#include "src/common/histogram.h"
 #include "src/sim/engine.h"
 
 namespace xenic::sim {
@@ -34,7 +42,24 @@ class Resource {
   uint64_t completed() const { return completed_; }
   Tick busy_time() const { return busy_time_; }
 
-  // Fraction of server capacity used over `window` ns.
+  // --- Queueing accounting (since the last ResetStats) ---
+  Tick wait_time_total() const { return wait_time_total_; }
+  uint64_t jobs_started() const { return jobs_started_; }
+  size_t peak_queue_depth() const { return peak_queue_depth_; }
+  double MeanWaitNs() const {
+    return jobs_started_ == 0
+               ? 0.0
+               : static_cast<double>(wait_time_total_) / static_cast<double>(jobs_started_);
+  }
+  // Attach (or detach, with nullptr) a wait-time histogram. Each job's
+  // queueing delay is recorded at server-grant time. The histogram is owned
+  // by the caller and is pure bookkeeping: attaching one cannot perturb the
+  // simulation.
+  void set_wait_histogram(Histogram* hist) { wait_hist_ = hist; }
+
+  // Fraction of server capacity used over `window` ns. Guards window == 0
+  // (no elapsed time => nothing meaningful to report, not a divide-by-zero)
+  // and servers_ == 0 (possible through set_servers between runs).
   double Utilization(Tick window) const {
     if (window == 0 || servers_ == 0) {
       return 0.0;
@@ -45,11 +70,15 @@ class Resource {
   void ResetStats() {
     busy_time_ = 0;
     completed_ = 0;
+    wait_time_total_ = 0;
+    jobs_started_ = 0;
+    peak_queue_depth_ = 0;
   }
 
  private:
   struct Job {
     Tick service;
+    Tick enqueued;
     Engine::Callback done;
   };
 
@@ -63,6 +92,13 @@ class Resource {
   std::deque<Job> queue_;
   Tick busy_time_ = 0;
   uint64_t completed_ = 0;
+  Tick wait_time_total_ = 0;
+  uint64_t jobs_started_ = 0;
+  size_t peak_queue_depth_ = 0;
+  Histogram* wait_hist_ = nullptr;
+  // Cached trace registration (lazily refreshed when a new sink appears).
+  TraceSink* trace_sink_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace xenic::sim

@@ -1,0 +1,43 @@
+// TraceSink: the simulator-side half of the observability layer.
+//
+// A sink is attached to an Engine (Engine::set_trace) before a run;
+// instrumented components (Resource, Channel, the transaction engines) emit
+// spans and instants through it. The contract that keeps traced and
+// untraced runs byte-identical is structural: a sink only *records* -- it
+// never schedules events, consumes randomness, or feeds any value back into
+// the simulation. When no sink is attached the cost at every emission site
+// is a single null-pointer branch.
+//
+// Tracks are lanes in the exported trace (obs::TraceRecorder maps them to
+// Chrome trace-event pid/tid pairs). Components register lazily and cache
+// the (sink, track) pair, so attaching a fresh sink re-registers cleanly.
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/calendar_queue.h"
+
+namespace xenic::sim {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // Register a lane named `track` under the process-level group `process`
+  // (e.g. "node3" / "nic_cores"). Ids are assigned in call order.
+  virtual uint32_t RegisterTrack(const std::string& process, const std::string& track) = 0;
+
+  // A duration event on `track` covering [start, end] sim-ns. `id` is a
+  // free-form correlation id (transaction id, 0 if unused).
+  virtual void Span(uint32_t track, const char* name, Tick start, Tick end, uint64_t id) = 0;
+
+  // A zero-duration marker.
+  virtual void Instant(uint32_t track, const char* name, Tick at, uint64_t id) = 0;
+};
+
+}  // namespace xenic::sim
+
+#endif  // SRC_SIM_TRACE_H_

@@ -739,6 +739,7 @@ void XenicNode::ValidatePhase(TxnState* st) {
   if (st->coord_start != 0) {
     const sim::Tick now = nic_->engine()->now();
     phases_.execute.Record(now - st->phase_start);
+    TracePhase("EXECUTE", st->phase_start, now, st->id);
     st->phase_start = now;
   }
   // Keys to validate: read-set keys that are not written (written keys are
@@ -866,6 +867,7 @@ void XenicNode::LogPhase(TxnState* st) {
   if (st->coord_start != 0) {
     const sim::Tick now = nic_->engine()->now();
     phases_.validate.Record(now - st->phase_start);
+    TracePhase("VALIDATE", st->phase_start, now, st->id);
     st->phase_start = now;
   }
   // One LOG record per written shard, sent to each of that shard's backups.
@@ -1030,6 +1032,8 @@ void XenicNode::ReportAndFinish(TxnState* st, TxnOutcome outcome) {
     const sim::Tick now = nic_->engine()->now();
     phases_.log.Record(now - st->phase_start);
     phases_.total.Record(now - st->coord_start);
+    TracePhase("LOG", st->phase_start, now, st->id);
+    TracePhase("txn", st->coord_start, now, st->id);
   }
   if (outcome == TxnOutcome::kCommitted) {
     stats_.committed++;
@@ -1443,6 +1447,7 @@ void XenicNode::ServeExecute(TxnId txn, NodeId coord,
   if (crashed_) {
     return;  // request lost with the node; the coordinator times out
   }
+  TraceInstant("hop.execute", txn);
   nic_->NicCompute(
       NicOpCost(reads.size() + writes.size()),
       [this, txn, reads = std::move(reads), writes = std::move(writes),
@@ -1522,6 +1527,7 @@ void XenicNode::ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
   if (crashed_) {
     return;
   }
+  TraceInstant("hop.validate", 0);
   nic_->NicCompute(NicOpCost(checks.size()), [this, checks = std::move(checks),
                                               reply = std::move(reply)]() mutable {
     if (crashed_) {
@@ -1583,6 +1589,7 @@ void XenicNode::ServeLog(store::LogRecord record, std::function<void(bool)> repl
   if (crashed_) {
     return;
   }
+  TraceInstant("hop.log", record.txn);
   nic_->NicCompute(NicOpCost(record.writes.size()), [this, record = std::move(record),
                                                      reply = std::move(reply)]() mutable {
     if (crashed_) {
@@ -1681,6 +1688,30 @@ void XenicNode::StopWorkers() {
   worker_epoch_++;
 }
 
+void XenicNode::TracePhase(const char* name, sim::Tick start, sim::Tick end, TxnId txn) {
+  sim::TraceSink* t = nic_->engine()->trace();
+  if (t == nullptr) {
+    return;
+  }
+  if (t != trace_sink_) {
+    trace_sink_ = t;
+    trace_track_ = t->RegisterTrack("txn_phases", "n" + std::to_string(id()));
+  }
+  t->Span(trace_track_, name, start, end, txn);
+}
+
+void XenicNode::TraceInstant(const char* name, TxnId txn) {
+  sim::TraceSink* t = nic_->engine()->trace();
+  if (t == nullptr) {
+    return;
+  }
+  if (t != trace_sink_) {
+    trace_sink_ = t;
+    trace_track_ = t->RegisterTrack("txn_phases", "n" + std::to_string(id()));
+  }
+  t->Instant(trace_track_, name, nic_->engine()->now(), txn);
+}
+
 void XenicNode::WorkerTick(uint32_t worker, sim::Tick interval, uint64_t epoch) {
   if (!workers_running_ || crashed_ || epoch != worker_epoch_) {
     return;
@@ -1720,6 +1751,7 @@ void XenicNode::WorkerTick(uint32_t worker, sim::Tick interval, uint64_t epoch) 
         continue;
       }
       extra += kWorkerRecordCost;
+      TraceInstant("apply", rec->txn);
       for (const auto& w : rec->writes) {
         extra += kWorkerWriteCost;
         if (w.table < ds_->num_tables()) {

@@ -257,6 +257,11 @@ class XenicNode {
   sim::Tick NicOpCost(size_t n_keys) const;
   sim::Tick NicExecCost(sim::Tick host_cost) const;
 
+  // Emit a txn phase span / instant on this node's trace lane when an
+  // engine trace sink is attached (pure recording; no simulation effect).
+  void TracePhase(const char* name, sim::Tick start, sim::Tick end, TxnId id);
+  void TraceInstant(const char* name, TxnId id);
+
   nicmodel::SmartNic* nic_;
   store::Datastore* ds_;
   const ClusterMap* map_;
@@ -274,6 +279,9 @@ class XenicNode {
   bool crashed_ = false;
   uint32_t workers_ = 0;
   uint64_t worker_epoch_ = 0;
+  // Cached trace registration (lazily refreshed when a new sink appears).
+  sim::TraceSink* trace_sink_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace xenic::txn

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/common/rng.h"
 
 namespace xenic {
@@ -103,6 +105,62 @@ TEST(HistogramTest, SummaryMentionsCount) {
   const std::string s = h.Summary();
   EXPECT_NE(s.find("n=1"), std::string::npos);
   EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptySummaryIsWellFormed) {
+  Histogram h;
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("n=0"), std::string::npos);
+  // An empty histogram must not leak its internal min sentinel (UINT64_MAX).
+  EXPECT_EQ(s.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.Record(100);
+  a.Record(300);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 300u);
+
+  // ... in both directions: merging into an empty histogram must not let
+  // the empty side's min sentinel win.
+  Histogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 100u);
+  EXPECT_EQ(b.max(), 300u);
+
+  Histogram c;
+  c.Merge(empty);
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.min(), 0u);
+  EXPECT_EQ(c.max(), 0u);
+}
+
+TEST(HistogramTest, SingleValueQuantileExtremes) {
+  Histogram h;
+  h.Record(7777);
+  // Both quantile extremes of a single sample are that sample (within
+  // bucket resolution, clamped to [min, max]).
+  EXPECT_EQ(h.ValueAtQuantile(0.0), h.ValueAtQuantile(1.0));
+  EXPECT_GE(h.ValueAtQuantile(0.0), h.min());
+  EXPECT_LE(h.ValueAtQuantile(1.0), h.max());
+}
+
+TEST(HistogramTest, TopBucketSaturates) {
+  // Values beyond the top octave clamp into the last bucket instead of
+  // indexing out of bounds; quantiles stay within [min, max].
+  Histogram h;
+  h.Record(std::numeric_limits<uint64_t>::max());
+  h.Record(1ull << 50);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), std::numeric_limits<uint64_t>::max());
+  EXPECT_GE(h.Median(), h.min());
+  EXPECT_LE(h.Median(), h.max());
+  EXPECT_LE(h.ValueAtQuantile(1.0), h.max());
 }
 
 }  // namespace

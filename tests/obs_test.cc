@@ -1,0 +1,260 @@
+// Observability layer: trace recording, per-resource monitoring, bottleneck
+// attribution, and the zero-interference contract (tracing must never change
+// simulation results).
+
+#include <gtest/gtest.h>
+
+#include "src/harness/runner.h"
+#include "src/harness/system_adapter.h"
+#include "src/obs/attribution.h"
+#include "src/obs/resource_stats.h"
+#include "src/obs/trace_recorder.h"
+#include "src/sim/channel.h"
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/workload/smallbank.h"
+
+namespace xenic {
+namespace {
+
+TEST(TraceRecorderTest, EmptyRecorderEmitsValidSkeleton) {
+  obs::TraceRecorder rec;
+  EXPECT_EQ(rec.num_events(), 0u);
+  const std::string json = rec.ToJson();
+  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+}
+
+TEST(TraceRecorderTest, SpansAndInstantsSerialized) {
+  obs::TraceRecorder rec;
+  const uint32_t t0 = rec.RegisterTrack("n0", "service");
+  const uint32_t t1 = rec.RegisterTrack("n1", "service");
+  rec.Span(t0, "EXECUTE", 1000, 3500, 42);
+  rec.Instant(t1, "apply", 4000, 42);
+  EXPECT_EQ(rec.num_events(), 2u);
+  EXPECT_EQ(rec.num_tracks(), 2u);
+
+  const std::string json = rec.ToJson();
+  // Metadata names both processes and both tracks.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // The span: ph X, us timestamps with ns precision, duration 2.5us.
+  EXPECT_NE(json.find("\"name\":\"EXECUTE\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":1.000,\"dur\":2.500"), std::string::npos);
+  // The instant: ph i with scope.
+  EXPECT_NE(json.find("\"name\":\"apply\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"ts\":4.000,\"s\":\"t\""), std::string::npos);
+  // Correlation id carried in args.
+  EXPECT_NE(json.find("\"args\":{\"id\":42}"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, TracksUnderSameProcessSharePid) {
+  obs::TraceRecorder rec;
+  rec.RegisterTrack("node", "a");
+  rec.RegisterTrack("node", "b");
+  rec.RegisterTrack("other", "c");
+  const std::string json = rec.ToJson();
+  // Two process_name metadata entries, three thread_name entries.
+  size_t pn = 0;
+  for (size_t pos = 0; (pos = json.find("process_name", pos)) != std::string::npos; ++pos) {
+    pn++;
+  }
+  size_t tn = 0;
+  for (size_t pos = 0; (pos = json.find("thread_name", pos)) != std::string::npos; ++pos) {
+    tn++;
+  }
+  EXPECT_EQ(pn, 2u);
+  EXPECT_EQ(tn, 3u);
+}
+
+TEST(TraceRecorderTest, EscapesNames) {
+  obs::TraceRecorder rec;
+  const uint32_t t = rec.RegisterTrack("we\"ird", "tr\\ack");
+  rec.Span(t, "na\"me", 0, 1, 0);
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("we\\\"ird"), std::string::npos);
+  EXPECT_NE(json.find("tr\\\\ack"), std::string::npos);
+  EXPECT_NE(json.find("na\\\"me"), std::string::npos);
+}
+
+TEST(ResourceTraceTest, ResourceAndChannelEmitServiceSpans) {
+  sim::Engine e;
+  obs::TraceRecorder rec;
+  e.set_trace(&rec);
+  sim::Resource r(&e, "core", 1);
+  sim::Channel c(&e, "wire", 1.0, 5);
+  r.Submit(10, [] {});
+  c.Send(100, [] {});
+  e.Run();
+  e.set_trace(nullptr);
+  EXPECT_EQ(rec.num_events(), 2u);
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"name\":\"core\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wire\""), std::string::npos);
+}
+
+TEST(ResourceMonitorTest, AggregatesByNameAcrossNodes) {
+  sim::Engine e;
+  sim::Resource r0(&e, "n0.cores", 2);
+  sim::Resource r1(&e, "n1.cores", 2);
+  sim::Channel c0(&e, "n0.wire", 1.0, 0);
+
+  obs::ResourceMonitor mon;
+  mon.Track(obs::ResourceRef{"cores", 0, &r0, nullptr});
+  mon.Track(obs::ResourceRef{"cores", 1, &r1, nullptr});
+  mon.Track(obs::ResourceRef{"wire", 0, nullptr, &c0});
+  EXPECT_EQ(mon.tracked(), 3u);
+
+  for (int i = 0; i < 4; ++i) {
+    r0.Submit(100, [] {});  // 2 servers: 2 run, 2 wait 100
+    r1.Submit(50, [] {});
+  }
+  c0.Send(500, [] {});
+  e.Run();
+
+  auto rows = mon.Snapshot(1000);
+  ASSERT_EQ(rows.size(), 2u);
+  // First-Track order, aggregated by canonical name.
+  EXPECT_EQ(rows[0].name, "cores");
+  EXPECT_EQ(rows[0].instances, 2u);
+  EXPECT_EQ(rows[0].servers, 4u);
+  EXPECT_EQ(rows[0].completed, 8u);
+  EXPECT_EQ(rows[0].busy_ns, 4u * 100u + 4u * 50u);
+  // Mean of the two per-node utilizations: (400/2000 + 200/2000) / 2.
+  EXPECT_DOUBLE_EQ(rows[0].utilization, (0.2 + 0.1) / 2);
+  EXPECT_EQ(rows[0].wait.count(), 8u);
+  EXPECT_EQ(rows[0].max_wait_ns, 100u);
+
+  EXPECT_EQ(rows[1].name, "wire");
+  EXPECT_TRUE(rows[1].is_link);
+  EXPECT_EQ(rows[1].completed, 1u);
+  EXPECT_DOUBLE_EQ(rows[1].utilization, 0.5);  // 500 ns busy / 1000
+}
+
+TEST(ResourceMonitorTest, ResetWindowClearsWaitsAndDetachOnDestroy) {
+  sim::Engine e;
+  sim::Resource r(&e, "core", 1);
+  {
+    obs::ResourceMonitor mon;
+    mon.Track(obs::ResourceRef{"core", 0, &r, nullptr});
+    r.Submit(10, [] {});
+    r.Submit(10, [] {});
+    e.Run();
+    auto rows = mon.Snapshot(100);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].wait.count(), 2u);
+    mon.ResetWindow();
+    rows = mon.Snapshot(100);
+    EXPECT_EQ(rows[0].wait.count(), 0u);
+  }
+  // Monitor destroyed: the resource must not write into freed memory.
+  r.Submit(10, [] {});
+  e.Run();
+  EXPECT_EQ(r.completed(), 3u);
+}
+
+TEST(AttributionTest, RanksByUtilizationThenWait) {
+  std::vector<obs::ResourceSnapshot> rows(3);
+  rows[0].name = "idle";
+  rows[0].utilization = 0.1;
+  rows[1].name = "busy";
+  rows[1].utilization = 0.9;
+  rows[1].mean_wait_ns = 50;
+  rows[2].name = "busier_wait";
+  rows[2].utilization = 0.9;
+  rows[2].mean_wait_ns = 500;
+
+  const obs::BottleneckReport report = obs::Attribute(rows);
+  ASSERT_EQ(report.ranked.size(), 3u);
+  EXPECT_EQ(report.ranked[0].name, "busier_wait");  // same util, longer wait
+  EXPECT_EQ(report.ranked[1].name, "busy");
+  EXPECT_EQ(report.ranked[2].name, "idle");
+  EXPECT_EQ(report.binding, 0);
+  EXPECT_TRUE(report.saturated);
+
+  const std::string table = obs::RenderAttribution(report, "test");
+  EXPECT_NE(table.find("binding: busier_wait"), std::string::npos);
+
+  const std::string json = obs::AttributionJson(report);
+  EXPECT_NE(json.find("\"binding\":\"busier_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"saturated\":true"), std::string::npos);
+}
+
+TEST(AttributionTest, UnsaturatedSystemSaysSo) {
+  std::vector<obs::ResourceSnapshot> rows(1);
+  rows[0].name = "cores";
+  rows[0].utilization = 0.2;
+  const obs::BottleneckReport report = obs::Attribute(rows);
+  EXPECT_EQ(report.binding, 0);
+  EXPECT_FALSE(report.saturated);
+  const std::string table = obs::RenderAttribution(report, "test");
+  EXPECT_NE(table.find("none saturated"), std::string::npos);
+  EXPECT_NE(obs::AttributionJson(report).find("\"saturated\":false"), std::string::npos);
+}
+
+TEST(AttributionTest, EmptyReport) {
+  const obs::BottleneckReport report = obs::Attribute({});
+  EXPECT_EQ(report.binding, -1);
+  EXPECT_FALSE(report.saturated);
+  const std::string table = obs::RenderAttribution(report, "test");
+  EXPECT_NE(table.find("no resources tracked"), std::string::npos);
+  EXPECT_NE(obs::AttributionJson(report).find("\"binding\":null"), std::string::npos);
+}
+
+// The tentpole contract: attaching a trace sink and resource monitor must
+// not change ANY simulation-derived value.
+TEST(ObsDeterminismTest, TracingDoesNotPerturbSimulation) {
+  auto run = [](bool observe, obs::TraceRecorder* rec) {
+    workload::Smallbank::Options wo;
+    wo.num_nodes = 2;
+    wo.accounts_per_node = 2000;
+    workload::Smallbank wl(wo);
+    harness::SystemConfig cfg;
+    cfg.kind = harness::SystemConfig::Kind::kXenic;
+    cfg.num_nodes = 2;
+    cfg.replication = 2;
+    auto system = harness::BuildSystem(cfg, wl);
+    harness::LoadWorkload(*system, wl);
+    harness::RunConfig rc;
+    rc.contexts_per_node = 8;
+    rc.warmup = 50 * sim::kNsPerUs;
+    rc.measure = 200 * sim::kNsPerUs;
+    rc.collect_resources = observe;
+    rc.trace = observe ? rec : nullptr;
+    return harness::RunWorkload(*system, wl, rc);
+  };
+
+  obs::TraceRecorder rec;
+  const harness::RunResult plain = run(false, nullptr);
+  const harness::RunResult traced = run(true, &rec);
+
+  EXPECT_EQ(plain.committed, traced.committed);
+  EXPECT_EQ(plain.aborted, traced.aborted);
+  EXPECT_EQ(plain.sim_events, traced.sim_events);
+  EXPECT_EQ(plain.latency.count(), traced.latency.count());
+  EXPECT_EQ(plain.latency.Median(), traced.latency.Median());
+  EXPECT_EQ(plain.latency.max(), traced.latency.max());
+  EXPECT_EQ(plain.measure_window, traced.measure_window);
+  EXPECT_DOUBLE_EQ(plain.tput_per_server, traced.tput_per_server);
+
+  // The traced run actually produced a trace with txn phases and resource
+  // service spans...
+  EXPECT_GT(rec.num_events(), 0u);
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"EXECUTE\""), std::string::npos);
+  // ...and the monitored run collected per-resource rows while the plain
+  // one skipped the work entirely.
+  EXPECT_TRUE(plain.resources.empty());
+  EXPECT_FALSE(traced.resources.empty());
+  bool found_nic_cores = false;
+  for (const auto& row : traced.resources) {
+    if (row.name == "nic_cores") {
+      found_nic_cores = true;
+      EXPECT_EQ(row.instances, 2u);
+      EXPECT_GT(row.completed, 0u);
+    }
+  }
+  EXPECT_TRUE(found_nic_cores);
+}
+
+}  // namespace
+}  // namespace xenic

@@ -101,5 +101,84 @@ TEST(ResourceTest, ZeroServiceTimeCompletes) {
   EXPECT_TRUE(done);
 }
 
+TEST(ResourceTest, UtilizationGuardsEmptyWindow) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  r.Submit(10, [] {});
+  e.Run();
+  // window == 0 means "nothing elapsed": report 0, never divide by zero.
+  EXPECT_DOUBLE_EQ(r.Utilization(0), 0.0);
+}
+
+TEST(ResourceTest, UtilizationGuardsZeroServers) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  r.Submit(10, [] {});
+  e.Run();
+  // Table 3 sweeps lower server counts between runs; 0 must not divide.
+  r.set_servers(0);
+  EXPECT_DOUBLE_EQ(r.Utilization(1000), 0.0);
+}
+
+TEST(ResourceTest, QueueWaitAccounting) {
+  // 1 server, 3 jobs of 10 ns submitted together: waits are 0, 10, 20.
+  Engine e;
+  Resource r(&e, "core", 1);
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(10, [] {});
+  }
+  e.Run();
+  EXPECT_EQ(r.jobs_started(), 3u);
+  EXPECT_EQ(r.wait_time_total(), 30u);
+  EXPECT_DOUBLE_EQ(r.MeanWaitNs(), 10.0);
+  EXPECT_EQ(r.peak_queue_depth(), 2u);
+}
+
+TEST(ResourceTest, UtilizationLawWithWaitAccounting) {
+  // Utilization law: busy_time == completed * service; the queue-wait
+  // accounting must agree (total wait = 10 * (0 + 1 + ... + 99)).
+  Engine e;
+  Resource r(&e, "core", 1);
+  for (int i = 0; i < 100; ++i) {
+    r.Submit(10, [] {});
+  }
+  e.Run();
+  EXPECT_EQ(r.busy_time(), r.completed() * 10);
+  EXPECT_DOUBLE_EQ(r.Utilization(1000), 1.0);
+  EXPECT_EQ(r.wait_time_total(), 10u * (99u * 100u / 2u));
+  EXPECT_EQ(r.peak_queue_depth(), 99u);
+}
+
+TEST(ResourceTest, WaitHistogramRecordsEveryGrant) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  Histogram waits;
+  r.set_wait_histogram(&waits);
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(10, [] {});
+  }
+  e.Run();
+  EXPECT_EQ(waits.count(), 3u);
+  EXPECT_EQ(waits.min(), 0u);
+  EXPECT_EQ(waits.max(), 20u);
+  r.set_wait_histogram(nullptr);  // detach: further jobs must not record
+  r.Submit(10, [] {});
+  e.Run();
+  EXPECT_EQ(waits.count(), 3u);
+}
+
+TEST(ResourceTest, ResetStatsClearsWaitAccounting) {
+  Engine e;
+  Resource r(&e, "core", 1);
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(10, [] {});
+  }
+  e.Run();
+  r.ResetStats();
+  EXPECT_EQ(r.wait_time_total(), 0u);
+  EXPECT_EQ(r.jobs_started(), 0u);
+  EXPECT_EQ(r.peak_queue_depth(), 0u);
+}
+
 }  // namespace
 }  // namespace xenic::sim

@@ -8,6 +8,12 @@
 # checked for chaos schedules: a seed range is run serially, with 4 workers,
 # and a second time with 4 workers, and all three outputs (per-seed verdicts,
 # fault/recovery counters, events_executed) must be byte-identical.
+#
+# Finally, the observability zero-interference contract: one bench point is
+# run with and without --trace and the printed simulation-derived scalars
+# (commit counts, latency quantiles, event count) are diffed. Tracing must
+# never perturb the simulation. The emitted trace file must also be valid
+# JSON in Chrome trace-event shape (checked with python3 when available).
 set -euo pipefail
 
 BIN=${1:?usage: check_determinism.sh <path-to-xenic_sweep_check> [path-to-chaos_runner]}
@@ -43,3 +49,40 @@ if [[ -n "$CHAOS_BIN" ]]; then
   fi
   echo "determinism OK: chaos verdicts are byte-identical across jobs and reruns"
 fi
+
+# --- Tracing on vs off: results must be byte-identical ---
+trace_json=$(mktemp --suffix=.trace.json)
+trap 'rm -f "$serial" "$parallel" "$trace_json"' EXIT
+
+"$BIN" --point-check >"$serial" 2>/dev/null
+"$BIN" --point-check --trace "$trace_json" >"$parallel" 2>/dev/null
+
+if ! diff -u "$serial" "$parallel"; then
+  echo "FAIL: tracing perturbed the simulation (point-check output differs)" >&2
+  exit 1
+fi
+
+if [[ ! -s "$trace_json" ]]; then
+  echo "FAIL: --trace produced no trace file" >&2
+  exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$trace_json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents missing or empty"
+phases = {e["ph"] for e in events}
+assert "X" in phases, "no complete (X) spans in trace"
+assert "M" in phases, "no metadata (M) events in trace"
+for e in events:
+    assert "pid" in e and "tid" in e, "event missing pid/tid"
+print(f"trace OK: {len(events)} events, phases {sorted(phases)}")
+PY
+else
+  echo "python3 unavailable; skipped trace JSON validation" >&2
+fi
+
+echo "determinism OK: tracing on/off results are byte-identical"

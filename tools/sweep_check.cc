@@ -4,6 +4,15 @@
 // and --jobs 4 and diffs the output: any divergence means the thread pool
 // leaked state between supposedly independent simulations, which would
 // break every figure bench's reproducibility guarantee.
+//
+// --point-check mode runs ONE Xenic point and prints every
+// simulation-derived scalar (commit counts, latency quantiles, event
+// count). check_determinism.sh runs it with and without --trace and diffs:
+// any divergence means tracing perturbed the simulation, breaking the
+// observability layer's zero-interference contract. --trace PATH also
+// exercises the Chrome trace-event export end to end.
+
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "src/workload/smallbank.h"
@@ -13,6 +22,13 @@ int main(int argc, char** argv) {
   using namespace xenic::bench;
 
   SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
+  bool point_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--point-check") == 0) {
+      point_check = true;
+    }
+  }
 
   const uint32_t nodes = 3;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
@@ -37,6 +53,44 @@ int main(int argc, char** argv) {
   drtmh.mode = baseline::BaselineMode::kDrtmH;
   drtmh.num_nodes = nodes;
   cfgs.push_back(drtmh);
+
+  if (point_check) {
+    // One Xenic point, observability attached per flags. Every printed
+    // value is simulation-derived, so the output must be byte-identical
+    // with tracing on or off.
+    obs::TraceRecorder rec;
+    auto wl = make_wl();
+    auto system = harness::BuildSystem(cfgs[0], *wl);
+    harness::LoadWorkload(*system, *wl);
+    RunConfig r = rc;
+    r.contexts_per_node = 16;
+    r.collect_resources = opts.attrib;
+    r.trace = opts.trace_path.empty() ? nullptr : &rec;
+    RunResult res = harness::RunWorkload(*system, *wl, r);
+    std::printf("point-check: committed=%llu aborted=%llu counted=%llu median_ns=%llu "
+                "p99_ns=%llu max_ns=%llu sim_events=%llu window_ns=%llu\n",
+                static_cast<unsigned long long>(res.committed),
+                static_cast<unsigned long long>(res.aborted),
+                static_cast<unsigned long long>(res.latency.count()),
+                static_cast<unsigned long long>(res.latency.Median()),
+                static_cast<unsigned long long>(res.latency.P99()),
+                static_cast<unsigned long long>(res.latency.max()),
+                static_cast<unsigned long long>(res.sim_events),
+                static_cast<unsigned long long>(res.measure_window));
+    if (opts.attrib) {
+      const obs::BottleneckReport report = obs::Attribute(res.resources);
+      std::printf("%s", obs::RenderAttribution(report, "point-check attribution").c_str());
+    }
+    if (!opts.trace_path.empty()) {
+      if (!rec.WriteJson(opts.trace_path)) {
+        std::fprintf(stderr, "failed to write %s\n", opts.trace_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s (%zu events, %zu tracks)\n", opts.trace_path.c_str(),
+                   rec.num_events(), rec.num_tracks());
+    }
+    return 0;
+  }
 
   const std::vector<uint32_t> loads = {4, 16, 48};
   std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);

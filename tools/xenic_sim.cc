@@ -2,12 +2,15 @@
 //
 //   xenic_sim --system=xenic --workload=smallbank --nodes=6 --contexts=64
 //             --measure-us=1000 [--replication=3] [--seed=1] [--csv]
+//             [--attrib] [--trace=out.trace.json]
 //
 // Systems:   xenic | drtmh | drtmhnc | fasst | drtmr
 // Workloads: smallbank | retwis | tpcc | tpcc-no
 //
 // Prints a one-run summary (throughput per server, latency percentiles,
 // abort rate, resource utilization); --csv emits a machine-readable line.
+// --attrib adds the per-resource bottleneck-attribution table; --trace
+// writes the run as Chrome trace-event JSON (about:tracing / Perfetto).
 
 #include <cstdio>
 #include <cstring>
@@ -15,6 +18,8 @@
 
 #include "src/common/table_printer.h"
 #include "src/harness/runner.h"
+#include "src/obs/attribution.h"
+#include "src/obs/trace_recorder.h"
 #include "src/workload/retwis.h"
 #include "src/workload/smallbank.h"
 #include "src/workload/tpcc.h"
@@ -33,6 +38,8 @@ struct Args {
   uint64_t seed = 1;
   uint64_t scale = 0;  // per-node keys/accounts/warehouses; 0 = default
   bool csv = false;
+  bool attrib = false;
+  std::string trace_path;
   bool help = false;
 };
 
@@ -67,6 +74,10 @@ Args Parse(int argc, char** argv) {
       a.scale = std::stoull(v);
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       a.csv = true;
+    } else if (std::strcmp(argv[i], "--attrib") == 0) {
+      a.attrib = true;
+    } else if (ParseArg(argv[i], "--trace", &v)) {
+      a.trace_path = v;
     } else {
       a.help = true;
     }
@@ -133,7 +144,8 @@ int main(int argc, char** argv) {
                  "usage: %s --system=xenic|drtmh|drtmhnc|fasst|drtmr\n"
                  "          --workload=smallbank|retwis|tpcc|tpcc-no\n"
                  "          [--nodes=N] [--replication=R] [--contexts=C]\n"
-                 "          [--measure-us=T] [--seed=S] [--scale=K] [--csv]\n",
+                 "          [--measure-us=T] [--seed=S] [--scale=K] [--csv]\n"
+                 "          [--attrib] [--trace=out.trace.json]\n",
                  argv[0]);
     return a.help ? 0 : 1;
   }
@@ -147,9 +159,22 @@ int main(int argc, char** argv) {
   rc.seed = a.seed;
   rc.warmup = 150 * sim::kNsPerUs;
   rc.measure = a.measure_us * sim::kNsPerUs;
+  obs::TraceRecorder rec;
+  rc.collect_resources = a.attrib;
+  rc.trace = a.trace_path.empty() ? nullptr : &rec;
   std::fprintf(stderr, "running %s on %s (%u nodes, %u contexts/node)...\n", wl->Name().c_str(),
                system->Name().c_str(), a.nodes, a.contexts);
   harness::RunResult r = harness::RunWorkload(*system, *wl, rc);
+
+  if (!a.trace_path.empty()) {
+    if (rec.WriteJson(a.trace_path)) {
+      std::fprintf(stderr, "wrote %s (%zu events, %zu tracks)\n", a.trace_path.c_str(),
+                   rec.num_events(), rec.num_tracks());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", a.trace_path.c_str());
+      return 1;
+    }
+  }
 
   if (a.csv) {
     std::printf("system,workload,nodes,contexts,tput_per_server,median_us,p99_us,abort_rate,"
@@ -172,5 +197,9 @@ int main(int argc, char** argv) {
   tp.AddRow({"Host utilization", TablePrinter::Fmt(r.host_utilization * 100, 1) + " %"});
   tp.AddRow({"NIC utilization", TablePrinter::Fmt(r.nic_utilization * 100, 1) + " %"});
   std::printf("%s", tp.Render("xenic_sim").c_str());
+  if (a.attrib) {
+    const obs::BottleneckReport report = obs::Attribute(r.resources);
+    std::printf("\n%s", obs::RenderAttribution(report, "bottleneck attribution").c_str());
+  }
   return 0;
 }
