@@ -236,6 +236,7 @@ inline void PrintCurves(const std::string& title, const std::vector<Curve>& curv
 // contract) they reproduce the printed point exactly.
 struct BenchOptions {
   bool attrib = false;
+  bool msg_breakdown = false;  // per-MsgType traffic table after the sweep
   std::string trace_path;
 
   static BenchOptions Parse(int argc, char** argv) {
@@ -243,6 +244,8 @@ struct BenchOptions {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--attrib") == 0) {
         o.attrib = true;
+      } else if (std::strcmp(argv[i], "--msg-breakdown") == 0) {
+        o.msg_breakdown = true;
       } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
         o.trace_path = argv[++i];
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -252,6 +255,34 @@ struct BenchOptions {
     return o;
   }
 };
+
+// Per-message-type traffic table (--msg-breakdown): one row per MsgType the
+// system actually sent during the measurement window, from the transport
+// layer's counters. Per-txn columns normalize by committed transactions.
+inline void PrintMsgBreakdown(const std::string& system, const RunResult& r) {
+  const net::MsgCounters& bt = r.txn_stats.by_type;
+  if (bt.TotalMsgs() == 0) {
+    std::printf("%s: no messages in measurement window\n\n", system.c_str());
+    return;
+  }
+  const double txns =
+      r.committed > 0 ? static_cast<double>(r.committed) : 1.0;
+  TablePrinter tp({"Type", "Msgs", "Bytes", "Msgs/txn", "Bytes/txn"});
+  for (uint32_t t = 0; t < net::kNumMsgTypes; ++t) {
+    const auto type = static_cast<net::MsgType>(t);
+    if (bt.MsgCount(type) == 0) {
+      continue;
+    }
+    tp.AddRow({net::MsgTypeName(type), TablePrinter::Fmt(bt.MsgCount(type)),
+               TablePrinter::Fmt(bt.ByteCount(type)),
+               TablePrinter::Fmt(static_cast<double>(bt.MsgCount(type)) / txns, 2),
+               TablePrinter::Fmt(static_cast<double>(bt.ByteCount(type)) / txns, 1)});
+  }
+  tp.AddRow({"total", TablePrinter::Fmt(bt.TotalMsgs()), TablePrinter::Fmt(bt.TotalBytes()),
+             TablePrinter::Fmt(static_cast<double>(bt.TotalMsgs()) / txns, 2),
+             TablePrinter::Fmt(static_cast<double>(bt.TotalBytes()) / txns, 1)});
+  std::printf("%s\n", tp.Render(system + " message breakdown").c_str());
+}
 
 // Rerun one (system, load) point with observability attached.
 inline RunResult RerunPoint(const SystemConfig& cfg, const WorkloadFactory& make_workload,
@@ -272,6 +303,16 @@ inline void FinishBench(const BenchOptions& opts, const std::string& slug,
                         const std::vector<SystemConfig>& cfgs,
                         const WorkloadFactory& make_workload, const RunConfig& rc,
                         const std::vector<Curve>& curves) {
+  if (opts.msg_breakdown) {
+    for (const auto& c : curves) {
+      const int peak = c.PeakIndex();
+      if (peak < 0) {
+        continue;
+      }
+      const CurvePoint& p = c.points[static_cast<size_t>(peak)];
+      PrintMsgBreakdown(c.system + " @ contexts=" + std::to_string(p.contexts), p.result);
+    }
+  }
   if (opts.attrib) {
     std::string json = "{\"bench\":\"" + slug + "\",\"systems\":[";
     bool first = true;

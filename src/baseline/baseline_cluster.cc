@@ -57,6 +57,7 @@ txn::TxnStats BaselineCluster::TotalStats() const {
     total.app_aborted += s.app_aborted;
     total.remote_rounds += s.remote_rounds;
     total.messages += s.messages;
+    total.by_type.Merge(s.by_type);
   }
   return total;
 }

@@ -39,7 +39,13 @@ const char* BaselineModeName(BaselineMode mode) {
 BaselineNode::BaselineNode(nicmodel::RdmaNic* nic, sim::Resource* host_cores,
                            BaselineStore* store, const ClusterMap* map, BaselineMode mode,
                            std::vector<BaselineNode*>* peers)
-    : nic_(nic), host_cores_(host_cores), store_(store), map_(map), mode_(mode), peers_(peers) {}
+    : nic_(nic),
+      host_cores_(host_cores),
+      store_(store),
+      map_(map),
+      mode_(mode),
+      peers_(peers),
+      transport_(nic, &stats_.messages, &stats_.by_type) {}
 
 void BaselineNode::Submit(TxnRequest req, CommitCallback done) {
   auto st = std::make_unique<TxnState>();
@@ -225,30 +231,30 @@ void BaselineNode::ReadOneKey(TxnState* st, uint32_t read_idx, sim::Engine::Call
     done();
   };
 
-  stats_.messages++;
   if (mode_ == BaselineMode::kDrtmHNC) {
     // No address cache: traverse the chain, one roundtrip per bucket. The
-    // final read carries the object.
+    // final read carries the object. Each hop is a counted READ message
+    // (the extra roundtrips are exactly what the NC ablation measures).
     const auto plan = table.PlanLookup(k.key);
     const uint32_t hops = std::max<uint32_t>(1, plan.roundtrips);
     const uint32_t bucket_bytes = static_cast<uint32_t>(plan.bytes / hops);
     // Build the hop chain back-to-front (the roundtrip count is known up
     // front); a self-capturing shared function here would be a reference
     // cycle leaking once per remote read.
-    sim::Engine::Callback chain = [this, shard, bucket_bytes, fetch,
+    sim::Engine::Callback chain = [this, shard, bucket_bytes, txn, fetch,
                                    finish = std::move(finish)]() mutable {
-      nic_->Read(shard, bucket_bytes, fetch, std::move(finish));
+      transport_.Read(net::MsgType::kRead, shard, bucket_bytes, fetch, std::move(finish), txn);
     };
     for (uint32_t i = 1; i < hops; ++i) {
-      chain = [this, shard, bucket_bytes, next = std::move(chain)]() mutable {
-        nic_->Read(shard, bucket_bytes, std::move(next));
+      chain = [this, shard, bucket_bytes, txn, next = std::move(chain)]() mutable {
+        transport_.Read(net::MsgType::kRead, shard, bucket_bytes, std::move(next), txn);
       };
     }
     chain();
     return;
   }
   // Cached remote address: one READ of the object.
-  nic_->Read(shard, obj_bytes, fetch, std::move(finish));
+  transport_.Read(net::MsgType::kRead, shard, obj_bytes, fetch, std::move(finish), txn);
 }
 
 void BaselineNode::LockOneKey(TxnState* st, uint32_t write_idx, sim::Engine::Callback done) {
@@ -297,14 +303,13 @@ void BaselineNode::LockOneKey(TxnState* st, uint32_t write_idx, sim::Engine::Cal
 
   BaselineNode* target = (*peers_)[shard];
   ChainedStore& table = target->store_->table(k.table);
-  stats_.messages++;
 
   if (mode_ == BaselineMode::kDrtmR) {
     // One-sided ATOMIC CAS on the versioned lock word (DrTM encodes the
     // version in the word, so the CAS itself enforces the expected
     // version); bit 0 of the result = acquired.
-    nic_->Atomic(
-        shard,
+    transport_.Atomic(
+        net::MsgType::kLock, shard,
         [&table, key = k.key, txn, has_expected, expected]() -> uint64_t {
           const auto* o = table.Lookup(key);
           const store::Seq cur = o != nullptr ? o->seq : 0;
@@ -328,7 +333,8 @@ void BaselineNode::LockOneKey(TxnState* st, uint32_t write_idx, sim::Engine::Cal
             st->write_seqs[write_idx] = static_cast<store::Seq>(word >> 1);
           }
           done();
-        });
+        },
+        txn);
     return;
   }
 
@@ -338,7 +344,7 @@ void BaselineNode::LockOneKey(TxnState* st, uint32_t write_idx, sim::Engine::Cal
     store::Seq seq = 0;
   };
   auto h = std::make_shared<Holder>();
-  nic_->Rpc(shard, 32, 16, kRpcHandlerPerKey,
+  transport_.Rpc(net::MsgType::kLock, shard, 32, 16, kRpcHandlerPerKey,
             [&table, key = k.key, txn, has_expected, expected, h] {
               if (table.TryLock(key, txn)) {
                 const auto* o = table.Lookup(key);
@@ -363,7 +369,8 @@ void BaselineNode::LockOneKey(TxnState* st, uint32_t write_idx, sim::Engine::Cal
                 st->abort = true;
               }
               done();
-            });
+            },
+            txn);
 }
 
 void BaselineNode::FasstExecuteShard(TxnState* st, store::NodeId shard,
@@ -422,7 +429,6 @@ void BaselineNode::FasstExecuteShard(TxnState* st, store::NodeId shard,
   }
 
   BaselineNode* target = (*peers_)[shard];
-  stats_.messages++;
 
   struct Holder {
     bool abort = false;
@@ -431,7 +437,7 @@ void BaselineNode::FasstExecuteShard(TxnState* st, store::NodeId shard,
     std::vector<KeyRef> locked;
   };
   auto h = std::make_shared<Holder>();
-  uint32_t req_bytes = txn::MsgSize::ExecuteReq(read_idx.size(), write_idx.size());
+  uint32_t req_bytes = net::wire::ExecuteReq(read_idx.size(), write_idx.size());
   uint32_t resp_bytes = 32;
   for (uint32_t i : read_idx) {
     resp_bytes += static_cast<uint32_t>(
@@ -464,8 +470,9 @@ void BaselineNode::FasstExecuteShard(TxnState* st, store::NodeId shard,
     wkeys.push_back(w);
   }
 
-  nic_->Rpc(
-      shard, req_bytes, resp_bytes, kRpcHandlerPerKey * static_cast<sim::Tick>(n_keys),
+  transport_.Rpc(
+      net::MsgType::kExecute, shard, req_bytes, resp_bytes,
+      kRpcHandlerPerKey * static_cast<sim::Tick>(n_keys),
       [target, txn, h, rkeys = std::move(rkeys), wkeys = std::move(wkeys)] {
         for (const auto& w : wkeys) {
           const auto& k = w.key;
@@ -518,7 +525,8 @@ void BaselineNode::FasstExecuteShard(TxnState* st, store::NodeId shard,
           }
         }
         done();
-      });
+      },
+      txn);
 }
 
 void BaselineNode::AfterExecuteRound(TxnState* st) {
@@ -677,13 +685,13 @@ void BaselineNode::ValidatePhase(TxnState* st) {
         continue;
       }
       BaselineNode* target = (*peers_)[g.shard];
-      stats_.messages++;
       auto ok = std::make_shared<bool>(true);
       std::vector<std::pair<KeyRef, store::Seq>> handler_checks;
       for (const auto& [i, k] : g.checks) {
         handler_checks.emplace_back(k, st->reads[i].seq);
       }
-      nic_->Rpc(g.shard, txn::MsgSize::ValidateReq(handler_checks.size()), 16,
+      transport_.Rpc(net::MsgType::kValidate, g.shard,
+                net::wire::ValidateReq(handler_checks.size()), 16,
                 kRpcHandlerPerKey * static_cast<sim::Tick>(handler_checks.size()),
                 [target, ok, handler_checks = std::move(handler_checks)] {
                   for (const auto& [k, expected] : handler_checks) {
@@ -704,7 +712,8 @@ void BaselineNode::ValidatePhase(TxnState* st) {
                     st->abort = true;
                   }
                   one_done();
-                });
+                },
+                txn);
     }
     return;
   }
@@ -734,7 +743,6 @@ void BaselineNode::ValidatePhase(TxnState* st) {
     }
     BaselineNode* target = (*peers_)[shard];
     ChainedStore& table = target->store_->table(k.table);
-    stats_.messages++;
     struct Holder {
       store::Seq seq = 0;
       store::TxnId lock = store::kNoTxn;
@@ -742,7 +750,7 @@ void BaselineNode::ValidatePhase(TxnState* st) {
     auto h = std::make_shared<Holder>();
     const uint32_t idx = i;
     const Key key = k.key;
-    nic_->Read(shard, 16,
+    transport_.Read(net::MsgType::kValidate, shard, 16,
                [&table, key, h] {
                  if (const auto* o = table.Lookup(key)) {
                    h->seq = o->seq;
@@ -758,7 +766,8 @@ void BaselineNode::ValidatePhase(TxnState* st) {
                    st->abort = true;
                  }
                  one_done();
-               });
+               },
+               txn);
   }
 }
 
@@ -835,17 +844,17 @@ void BaselineNode::LogPhase(TxnState* st) {
   for (auto& [backup, rec] : sends) {
     const auto bytes = static_cast<uint32_t>(rec.ByteSize());
     BaselineNode* target = (*peers_)[backup];
-    stats_.messages++;
     auto append = [target, rec = std::move(rec)]() mutable {
       auto r = target->store_->log().Append(std::move(rec));
       assert(r.ok() && "baseline backup log overflow");
       (void)r;
     };
     if (mode_ == BaselineMode::kFasst) {
-      nic_->Rpc(backup, bytes, 16, kRpcHandlerPerKey, std::move(append), one_done);
+      transport_.Rpc(net::MsgType::kLog, backup, bytes, 16, kRpcHandlerPerKey,
+                     std::move(append), one_done, txn);
     } else {
       // One-sided WRITE into the backup's message log (FaRM-style).
-      nic_->Write(backup, bytes, std::move(append), one_done);
+      transport_.Write(net::MsgType::kLog, backup, bytes, std::move(append), one_done, txn);
     }
   }
 }
@@ -909,9 +918,8 @@ void BaselineNode::CommitPhase(TxnState* st) {
       // One-sided: per key, WRITE the new value then WRITE the unlock.
       for (const auto& w : writes) {
         st->pending++;
-        stats_.messages += 2;
         const auto bytes = static_cast<uint32_t>(24 + w.value.size());
-        nic_->Write(shard, bytes,
+        transport_.Write(net::MsgType::kCommit, shard, bytes,
                     [target, w] {
                       if (w.is_delete) {
                         target->store_->table(w.table).Erase(w.key);
@@ -920,24 +928,25 @@ void BaselineNode::CommitPhase(TxnState* st) {
                       }
                     },
                     [this, shard, target, w, txn, one_done]() mutable {
-                      nic_->Write(shard, 8,
+                      transport_.Write(net::MsgType::kUnlock, shard, 8,
                                   [target, w, txn] {
                                     target->store_->table(w.table).Unlock(w.key, txn);
                                   },
-                                  one_done);
-                    });
+                                  one_done, txn);
+                    },
+                    txn);
       }
       continue;
     }
 
     // DrTM+H / FaSST: one commit RPC per shard.
     st->pending++;
-    stats_.messages++;
     uint32_t bytes = 32;
     for (const auto& w : writes) {
       bytes += 24 + static_cast<uint32_t>(w.value.size());
     }
-    nic_->Rpc(shard, bytes, 16, kRpcHandlerPerKey * static_cast<sim::Tick>(writes.size()),
+    transport_.Rpc(net::MsgType::kCommit, shard, bytes, 16,
+              kRpcHandlerPerKey * static_cast<sim::Tick>(writes.size()),
               [target, writes, txn] {
                 for (const auto& w : writes) {
                   if (w.is_delete) {
@@ -948,7 +957,7 @@ void BaselineNode::CommitPhase(TxnState* st) {
                   target->store_->table(w.table).Unlock(w.key, txn);
                 }
               },
-              one_done);
+              one_done, txn);
   }
 
   if (st->pending == 0) {
@@ -988,20 +997,18 @@ void BaselineNode::AbortCleanup(TxnState* st, TxnOutcome outcome) {
     BaselineNode* target = (*peers_)[g.shard];
     if (mode_ == BaselineMode::kDrtmR) {
       for (const auto& k : g.keys) {
-        stats_.messages++;
-        nic_->Write(g.shard, 8,
+        transport_.Write(net::MsgType::kUnlock, g.shard, 8,
                     [target, k, txn] { target->store_->table(k.table).Unlock(k.key, txn); },
-                    [] {});
+                    [] {}, txn);
       }
     } else {
-      stats_.messages++;
-      nic_->Rpc(g.shard, 32, 8, kRpcHandlerPerKey,
+      transport_.Rpc(net::MsgType::kUnlock, g.shard, 32, 8, kRpcHandlerPerKey,
                 [target, keys = g.keys, txn] {
                   for (const auto& k : keys) {
                     target->store_->table(k.table).Unlock(k.key, txn);
                   }
                 },
-                [] {});
+                [] {}, txn);
     }
   }
   ReportAndFinish(st, outcome);

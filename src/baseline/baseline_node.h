@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/baseline/baseline_store.h"
+#include "src/net/transport.h"
 #include "src/nicmodel/rdma_nic.h"
 #include "src/sim/resource.h"
 #include "src/txn/types.h"
@@ -65,6 +66,7 @@ class BaselineNode {
   store::NodeId id() const { return nic_->id(); }
   BaselineStore& store() { return *store_; }
   nicmodel::RdmaNic& nic() { return *nic_; }
+  net::RdmaTransport& transport() { return transport_; }
   sim::Resource& host_cores() { return *host_cores_; }
   TxnStats& stats() { return stats_; }
   BaselineMode mode() const { return mode_; }
@@ -120,6 +122,7 @@ class BaselineNode {
   std::unordered_map<store::TxnId, StatePtr> txns_;
   uint64_t next_txn_seq_ = 1;
   TxnStats stats_;
+  net::RdmaTransport transport_;
   WorkerApplyHook worker_apply_hook_;
   bool workers_running_ = false;
 };

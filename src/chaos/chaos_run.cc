@@ -233,6 +233,8 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
 
   verdict.check = recorder.Check();
   verdict.faults = injector.stats();
+  verdict.typed_drop_armed = injector.typed_drop_armed();
+  verdict.faults.typed_drops = injector.typed_drops();
   system->ForEachWireChannel([&](sim::Channel& ch) {
     verdict.frames_dropped += ch.frames_dropped();
     verdict.frames_duplicated += ch.frames_duplicated();
@@ -256,6 +258,9 @@ std::string ChaosVerdict::Summary() const {
      << " locks_released=" << faults.locks_released << "\n";
   os << "wire: dropped=" << frames_dropped << " duplicated=" << frames_duplicated
      << " delayed=" << frames_delayed << "\n";
+  if (typed_drop_armed) {
+    os << "typed_drop: drops=" << faults.typed_drops << "\n";
+  }
   os << "checker: txns=" << check.txns << " edges=" << check.edges
      << " version_gaps=" << check.version_gaps << " violations=" << check.violations.size()
      << "\n";

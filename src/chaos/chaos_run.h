@@ -46,6 +46,9 @@ struct ChaosVerdict {
   uint32_t unfinished = 0;  // chains wedged at run end (crashed coordinators)
 
   FaultInjector::Stats faults;
+  // Typed-drop reporting is emitted only when the fault was armed, so
+  // configs without it keep their historical Summary() byte layout.
+  bool typed_drop_armed = false;
   uint64_t frames_dropped = 0;
   uint64_t frames_duplicated = 0;
   uint64_t frames_delayed = 0;

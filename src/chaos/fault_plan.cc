@@ -75,6 +75,17 @@ void FaultInjector::Arm(sim::Tick horizon) {
   for (const FaultEvent& ev : plan_.events) {
     system_.engine().ScheduleAt(ev.at, [this, ev] { Fire(ev); });
   }
+  if (spec_.typed_drop_node >= 0) {
+    if (txn::XenicCluster* cluster = system_.xenic_cluster();
+        cluster != nullptr && static_cast<uint32_t>(spec_.typed_drop_node) < cluster->size()) {
+      net::Transport::TypedFault fault;
+      fault.match = spec_.typed_drop;
+      fault.retransmit_delay = spec_.retransmit_delay;
+      typed_target_ =
+          &cluster->node(static_cast<store::NodeId>(spec_.typed_drop_node)).transport();
+      typed_target_->set_typed_fault(fault);
+    }
+  }
   if (spec_.drop_prob > 0 || spec_.dup_prob > 0 || spec_.delay_prob > 0) {
     system_.ForEachWireChannel([this](sim::Channel& ch) {
       ch.set_fault_hook([this](uint64_t bytes) {

@@ -30,6 +30,7 @@
 
 #include "src/common/rng.h"
 #include "src/harness/system_adapter.h"
+#include "src/net/transport.h"
 #include "src/txn/recovery.h"
 
 namespace xenic::chaos {
@@ -48,6 +49,13 @@ struct FaultSpec {
   uint32_t stall_windows = 0;     // commit-log back-pressure: workers stopped
   sim::Tick stall_duration = 60 * sim::kNsPerUs;
   sim::Tick detection_delay = 8 * sim::kNsPerUs;  // crash -> lease expiry
+
+  // Typed message drop (transport-layer fault): every message matching
+  // `typed_drop` sent by node `typed_drop_node` is dropped and delivered
+  // via link-layer retransmit after `retransmit_delay`. Disabled when the
+  // node is negative. Xenic systems only (the hook lives on net::Transport).
+  int typed_drop_node = -1;
+  net::MsgSelector typed_drop;
 };
 
 enum class FaultKind : uint8_t {
@@ -92,6 +100,7 @@ class FaultInjector {
     uint64_t rolled_forward = 0;  // RecoverShard + coordinator sweep
     uint64_t discarded = 0;
     uint64_t locks_released = 0;
+    uint64_t typed_drops = 0;  // messages hit by the typed-drop fault
   };
 
   FaultInjector(harness::SystemAdapter& system, const FaultSpec& spec, uint64_t seed,
@@ -103,6 +112,11 @@ class FaultInjector {
   const Stats& stats() const { return stats_; }
   const FaultPlan& plan() const { return plan_; }
   bool NodeCrashed(store::NodeId n) const;
+  // True when Arm installed the typed-drop hook (Xenic system, valid node).
+  bool typed_drop_armed() const { return typed_target_ != nullptr; }
+  uint64_t typed_drops() const {
+    return typed_target_ != nullptr ? typed_target_->typed_drops() : 0;
+  }
 
  private:
   void Fire(const FaultEvent& ev);
@@ -119,6 +133,7 @@ class FaultInjector {
   Rng wire_rng_;
   Stats stats_;
   std::unique_ptr<txn::ClusterManager> manager_;  // Xenic systems only
+  net::Transport* typed_target_ = nullptr;        // typed-drop hook location
   std::map<store::NodeId, store::NodeId> promotions_;
   std::unique_ptr<txn::RemappedPartitioner> remapped_;
   const txn::Partitioner* base_partitioner_ = nullptr;

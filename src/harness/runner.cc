@@ -116,6 +116,7 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
   sh->measuring = false;
 
   RunResult result;
+  result.txn_stats = system.TotalStats();
   result.committed = sh->commits;
   result.aborted = sh->aborts;
   result.abort_rate = sh->commits + sh->aborts == 0

@@ -46,6 +46,11 @@ struct RunResult {
   uint64_t dma_ops = 0;    // SmartNIC DMA engine operations in the window
   uint64_t dma_bytes = 0;  // ... and their payload bytes
 
+  // Cluster-wide protocol stats over the measurement window (captured right
+  // at window close, before the drain), including the per-message-type
+  // breakdown maintained by the transport layer.
+  txn::TxnStats txn_stats;
+
   // Simulator self-performance: events executed over the whole run (warmup
   // + measure + drain) and the host wall-clock rate at which the engine
   // dispatched them. Diagnostic only -- never feeds a simulated metric, so

@@ -1,0 +1,219 @@
+// The message catalogue: every RPC the protocol layers put on a wire has a
+// net::MsgType, and every wire size is computed by a wire:: formula here.
+// This is the single place that knows what a message costs in bytes; the
+// protocol code (src/txn, src/baseline), the chaos layer (typed fault
+// hooks), and the obs layer (per-type counters, trace instants) all share
+// it. DESIGN.md section 10 documents the catalogue (payload formula,
+// direction, who serves each type).
+//
+// Nothing here touches the simulator: this header is pure accounting so
+// that txn::TxnStats can embed MsgCounters without dragging in the NIC
+// models. The Transport classes that actually move messages live in
+// src/net/transport.h.
+
+#ifndef SRC_NET_MESSAGE_H_
+#define SRC_NET_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xenic::net {
+
+// One tag per protocol verb. The Xenic engine uses kExecute..kAck; the
+// RDMA baselines (DrTM+H, FaSST, DrTM+R) add the one-sided read/lock/unlock
+// verbs. kCount doubles as the "no type / match any" sentinel in the typed
+// fault hooks.
+enum class MsgType : uint8_t {
+  kExecute = 0,  // combined lock+read fan-out (Xenic) / FaSST exec RPC
+  kExecReply,    // execute results back to the coordinator
+  kValidate,     // OCC read-set version checks at the primary
+  kLog,          // commit-record replication to backups
+  kCommit,       // write-back + lock release at the primary
+  kRelease,      // lock release without install (aborts, orphan sweep)
+  kShipExec,     // Xenic execution shipping to the data's home NIC
+  kAck,          // fixed-size acknowledgements (validate/log/commit/ship)
+  kRead,         // baseline one-sided reads (DrTM+H/NC, DrTM+R validate)
+  kLock,         // baseline lock acquisition (CAS or per-key lock RPC)
+  kUnlock,       // baseline lock release / abort cleanup
+  kCount,
+};
+
+inline constexpr size_t kNumMsgTypes = static_cast<size_t>(MsgType::kCount);
+
+constexpr const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kExecute:
+      return "EXECUTE";
+    case MsgType::kExecReply:
+      return "EXEC_REPLY";
+    case MsgType::kValidate:
+      return "VALIDATE";
+    case MsgType::kLog:
+      return "LOG";
+    case MsgType::kCommit:
+      return "COMMIT";
+    case MsgType::kRelease:
+      return "RELEASE";
+    case MsgType::kShipExec:
+      return "SHIP_EXEC";
+    case MsgType::kAck:
+      return "ACK";
+    case MsgType::kRead:
+      return "READ";
+    case MsgType::kLock:
+      return "LOCK";
+    case MsgType::kUnlock:
+      return "UNLOCK";
+    case MsgType::kCount:
+      return "ANY";
+  }
+  return "?";
+}
+
+// Per-type message and byte counters. Embedded in txn::TxnStats; the
+// conservation laws (sum of msgs[] == TxnStats::messages, sum of bytes[]
+// plus frame overhead == wire channel bytes) are pinned by
+// transport_test.cc.
+struct MsgCounters {
+  uint64_t msgs[kNumMsgTypes] = {};
+  uint64_t bytes[kNumMsgTypes] = {};
+
+  void Count(MsgType t, uint64_t b) {
+    msgs[static_cast<size_t>(t)]++;
+    bytes[static_cast<size_t>(t)] += b;
+  }
+  void Merge(const MsgCounters& o) {
+    for (size_t i = 0; i < kNumMsgTypes; ++i) {
+      msgs[i] += o.msgs[i];
+      bytes[i] += o.bytes[i];
+    }
+  }
+  uint64_t TotalMsgs() const {
+    uint64_t t = 0;
+    for (uint64_t m : msgs) t += m;
+    return t;
+  }
+  uint64_t TotalBytes() const {
+    uint64_t t = 0;
+    for (uint64_t b : bytes) t += b;
+    return t;
+  }
+  uint64_t MsgCount(MsgType t) const { return msgs[static_cast<size_t>(t)]; }
+  uint64_t ByteCount(MsgType t) const { return bytes[static_cast<size_t>(t)]; }
+};
+
+// Wire-format size formulas (bytes). The simulator moves closures, but
+// every message is charged the size a real implementation would put on the
+// wire. These subsume the old txn::MsgSize constants; no size arithmetic
+// may appear outside src/net (tools/check_no_raw_sends.sh).
+namespace wire {
+
+inline constexpr uint32_t kHeader = 24;    // msg type, txn id, counts
+inline constexpr uint32_t kKeyEntry = 12;  // table + key + flags
+inline constexpr uint32_t kSeqEntry = 4;   // version/sequence number
+inline constexpr uint32_t kAckBody = 8;    // status + txn id echo
+// RoCE headers per RDMA verb on the wire (baseline CX5 NIC model).
+inline constexpr uint32_t kVerbHeader = 42;
+
+// Fixed-size acknowledgement (validate/log/commit/ship-failure replies).
+constexpr uint32_t Ack() { return kHeader + kAckBody; }
+
+// EXECUTE fan-out: key list for the whole read+write set, plus any opaque
+// application payload (`external`).
+constexpr uint32_t ExecuteReq(size_t n_reads, size_t n_writes, uint32_t external = 0) {
+  return kHeader + static_cast<uint32_t>((n_reads + n_writes) * kKeyEntry) + external;
+}
+
+// EXEC_REPLY: one versioned value per read plus one sequence per acquired
+// write lock. `read_value_bytes` is the summed value payload.
+constexpr uint32_t ExecuteReply(size_t n_reads, uint64_t read_value_bytes, size_t n_write_seqs) {
+  return kHeader + static_cast<uint32_t>(n_reads * kSeqEntry) +
+         static_cast<uint32_t>(read_value_bytes) + static_cast<uint32_t>(n_write_seqs * kSeqEntry);
+}
+
+// Lock-only round reply: the acquired sequence numbers.
+constexpr uint32_t SeqList(size_t n_seqs) {
+  return kHeader + static_cast<uint32_t>(n_seqs * kSeqEntry);
+}
+
+// VALIDATE: (key, expected version) pairs for the remote read set.
+constexpr uint32_t ValidateReq(size_t n_keys) {
+  return kHeader + static_cast<uint32_t>(n_keys * (kKeyEntry + kSeqEntry));
+}
+
+// LOG: a serialized commit record shipped to each backup.
+constexpr uint32_t LogAppend(uint64_t record_bytes) {
+  return kHeader + static_cast<uint32_t>(record_bytes);
+}
+
+// Write set with versions and values (commit install; FaSST commit RPC).
+constexpr uint32_t WriteSet(size_t n_writes, uint64_t value_bytes) {
+  return kHeader + static_cast<uint32_t>(n_writes * (kKeyEntry + kSeqEntry)) +
+         static_cast<uint32_t>(value_bytes);
+}
+
+// COMMIT: write set plus the read-set keys whose locks are released.
+constexpr uint32_t CommitMsg(size_t n_writes, uint64_t value_bytes, size_t n_release_keys) {
+  return WriteSet(n_writes, value_bytes) + static_cast<uint32_t>(n_release_keys * kKeyEntry);
+}
+
+// RELEASE / orphan sweep: bare key list.
+constexpr uint32_t KeyList(size_t n_keys) {
+  return kHeader + static_cast<uint32_t>(n_keys * kKeyEntry);
+}
+
+// SHIP_EXEC: the whole transaction context moves to the data's home NIC --
+// descriptor key list, opaque execute payload, values already read, and
+// the local-log write images the shipper installed.
+constexpr uint32_t ShipExec(size_t n_reads, size_t n_writes, uint32_t external,
+                            uint64_t read_value_bytes, size_t n_log_writes,
+                            uint64_t log_value_bytes) {
+  return kHeader + external + static_cast<uint32_t>((n_reads + n_writes) * kKeyEntry) +
+         static_cast<uint32_t>(read_value_bytes) +
+         static_cast<uint32_t>(n_log_writes * kKeyEntry) + static_cast<uint32_t>(log_value_bytes);
+}
+
+// Shipped-execution result returned to the coordinator: written keys and
+// values (the coordinator needs them for its reply to the application).
+constexpr uint32_t ExecResult(size_t n_writes, uint64_t value_bytes) {
+  return kHeader + static_cast<uint32_t>(n_writes * kKeyEntry) +
+         static_cast<uint32_t>(value_bytes);
+}
+
+// --- PCIe DMA descriptors (host <-> SmartNIC crossings) ---
+
+// Host submits a transaction to its NIC: key list + opaque payload (same
+// layout as the EXECUTE fan-out).
+constexpr uint32_t TxnDescriptor(size_t n_reads, size_t n_writes, uint32_t external) {
+  return ExecuteReq(n_reads, n_writes, external);
+}
+
+// Write images DMA'd down for install (no version column: the NIC owns
+// sequence assignment).
+constexpr uint32_t WriteImages(size_t n_writes, uint64_t value_bytes) {
+  return kHeader + static_cast<uint32_t>(n_writes * kKeyEntry) +
+         static_cast<uint32_t>(value_bytes);
+}
+
+// Read set DMA'd up to a host execute callback.
+constexpr uint32_t ReadSet(size_t n_reads, uint64_t read_value_bytes) {
+  return kHeader + static_cast<uint32_t>(n_reads * kSeqEntry) +
+         static_cast<uint32_t>(read_value_bytes);
+}
+
+// Completion descriptor (finish report, bare header).
+constexpr uint32_t Descriptor() { return kHeader; }
+
+// --- RDMA verb wire costs (request + response, as charged by RdmaNic) ---
+
+constexpr uint32_t OneSidedRead(uint32_t bytes) { return 2 * kVerbHeader + bytes; }
+constexpr uint32_t OneSidedWrite(uint32_t bytes) { return 2 * kVerbHeader + bytes; }
+constexpr uint32_t AtomicOp() { return 2 * kVerbHeader + 8; }
+constexpr uint32_t Rpc(uint32_t req_bytes, uint32_t resp_bytes) {
+  return 2 * kVerbHeader + req_bytes + resp_bytes;
+}
+
+}  // namespace wire
+}  // namespace xenic::net
+
+#endif  // SRC_NET_MESSAGE_H_

@@ -1,0 +1,153 @@
+#include "src/net/transport.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace xenic::net {
+
+bool ParseMsgSelector(const char* name, MsgSelector* out) {
+  struct Entry {
+    const char* name;
+    MsgType type;
+  };
+  static constexpr Entry kTypes[] = {
+      {"execute", MsgType::kExecute}, {"exec_reply", MsgType::kExecReply},
+      {"validate", MsgType::kValidate}, {"log", MsgType::kLog},
+      {"commit", MsgType::kCommit},   {"release", MsgType::kRelease},
+      {"ship_exec", MsgType::kShipExec}, {"ack", MsgType::kAck},
+      {"read", MsgType::kRead},       {"lock", MsgType::kLock},
+      {"unlock", MsgType::kUnlock},   {"any", MsgType::kCount},
+  };
+  const std::string s(name);
+  // "<x>_reply" (other than exec_reply, a first-class type) selects the
+  // ACK messages acknowledging <x>.
+  const std::string suffix = "_reply";
+  if (s != "exec_reply" && s.size() > suffix.size() &&
+      s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    const std::string base = s.substr(0, s.size() - suffix.size());
+    for (const Entry& e : kTypes) {
+      if (base == e.name) {
+        out->type = MsgType::kAck;
+        out->reply_to = e.type;
+        return true;
+      }
+    }
+    return false;
+  }
+  for (const Entry& e : kTypes) {
+    if (s == e.name) {
+      out->type = e.type;
+      out->reply_to = MsgType::kCount;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Transport::MaybeTraceSend(MsgType type, NodeId dst, uint64_t trace_id) {
+  sim::TraceSink* sink = nic_->engine()->trace();
+  if (sink == nullptr) {
+    return;
+  }
+  if (sink != trace_sink_) {
+    trace_sink_ = sink;
+    trace_track_ = sink->RegisterTrack("node" + std::to_string(self()), "net");
+  }
+  (void)dst;
+  sink->Instant(trace_track_, MsgTypeName(type), nic_->engine()->now(), trace_id);
+}
+
+void Transport::Transmit(MsgType type, NodeId dst, uint32_t bytes,
+                         sim::Engine::Callback at_dst) {
+  (*messages_)++;
+  counters_->Count(type, bytes);
+  nic_->NicSend(dst, bytes, std::move(at_dst));
+}
+
+void Transport::Send(MsgType type, NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst,
+                     uint64_t trace_id, MsgType reply_to) {
+  if (crashed_ != nullptr && *crashed_) {
+    return;  // fail-stop: nothing leaves a crashed node
+  }
+  if (dst == self()) {
+    // Local shard: the coordinator-side NIC handles its own primary's
+    // operations directly -- no wire, no PCIe, not a counted message.
+    nic_->engine()->ScheduleAfter(0, std::move(at_dst));
+    return;
+  }
+  MaybeTraceSend(type, dst, trace_id);
+  if (fault_armed_ && fault_.match.Matches(type, reply_to)) {
+    // Drop-as-retransmit: the dropped copy burns wire occupancy but
+    // delivers nothing; the link-layer retry carries the payload after the
+    // retransmission delay. Both copies are real sends (counted).
+    typed_drops_++;
+    Transmit(type, dst, bytes, [] {});
+    nic_->engine()->ScheduleAfter(
+        fault_.retransmit_delay,
+        [this, type, dst, bytes, at_dst = std::move(at_dst)]() mutable {
+          if (*crashed_) {
+            return;
+          }
+          Transmit(type, dst, bytes, std::move(at_dst));
+        });
+    return;
+  }
+  Transmit(type, dst, bytes, std::move(at_dst));
+}
+
+void RdmaTransport::Account(MsgType type, uint64_t wire_bytes, NodeId dst, uint64_t trace_id) {
+  (void)dst;
+  (*messages_)++;
+  counters_->Count(type, wire_bytes);
+  sim::TraceSink* sink = nic_->engine()->trace();
+  if (sink == nullptr) {
+    return;
+  }
+  if (sink != trace_sink_) {
+    trace_sink_ = sink;
+    trace_track_ = sink->RegisterTrack("node" + std::to_string(self()), "net");
+  }
+  sink->Instant(trace_track_, MsgTypeName(type), nic_->engine()->now(), trace_id);
+}
+
+void RdmaTransport::Read(MsgType type, NodeId dst, uint32_t bytes, sim::Engine::Callback done,
+                         uint64_t trace_id) {
+  Account(type, wire::OneSidedRead(bytes), dst, trace_id);
+  nic_->Read(dst, bytes, std::move(done));
+}
+
+void RdmaTransport::Read(MsgType type, NodeId dst, uint32_t bytes,
+                         sim::Engine::Callback at_target, sim::Engine::Callback done,
+                         uint64_t trace_id) {
+  Account(type, wire::OneSidedRead(bytes), dst, trace_id);
+  nic_->Read(dst, bytes, std::move(at_target), std::move(done));
+}
+
+void RdmaTransport::Write(MsgType type, NodeId dst, uint32_t bytes, sim::Engine::Callback done,
+                          uint64_t trace_id) {
+  Account(type, wire::OneSidedWrite(bytes), dst, trace_id);
+  nic_->Write(dst, bytes, std::move(done));
+}
+
+void RdmaTransport::Write(MsgType type, NodeId dst, uint32_t bytes,
+                          sim::Engine::Callback at_target, sim::Engine::Callback done,
+                          uint64_t trace_id) {
+  Account(type, wire::OneSidedWrite(bytes), dst, trace_id);
+  nic_->Write(dst, bytes, std::move(at_target), std::move(done));
+}
+
+void RdmaTransport::Atomic(MsgType type, NodeId dst, sim::SmallFunction<uint64_t()> op,
+                           sim::SmallFunction<void(uint64_t)> done, uint64_t trace_id) {
+  Account(type, wire::AtomicOp(), dst, trace_id);
+  nic_->Atomic(dst, std::move(op), std::move(done));
+}
+
+void RdmaTransport::Rpc(MsgType type, NodeId dst, uint32_t req_bytes, uint32_t resp_bytes,
+                        sim::Tick handler_cost, sim::Engine::Callback handler,
+                        sim::Engine::Callback done, uint64_t trace_id) {
+  Account(type, wire::Rpc(req_bytes, resp_bytes), dst, trace_id);
+  nic_->Rpc(dst, req_bytes, resp_bytes, handler_cost, std::move(handler), std::move(done));
+}
+
+}  // namespace xenic::net

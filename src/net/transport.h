@@ -1,0 +1,150 @@
+// Typed RPC transport: the only layer allowed to put protocol messages on
+// a wire. Transport wraps the SmartNIC message path (Xenic), RdmaTransport
+// wraps the CX5 verb set (the baselines); both tag every send with a
+// net::MsgType from the catalogue in message.h and account it into the
+// owner's MsgCounters, so the bench layer can print per-type breakdowns,
+// the chaos layer can fault individual message classes, and the obs layer
+// can name wire activity in traces.
+//
+// Simulation invariance contract: with no typed fault armed, routing a
+// send through Transport schedules exactly the events the old raw
+// XenicNode::SendMsg / RdmaNic call sites scheduled -- same ticks, same
+// order. Everything the transport adds (counters, trace instants) is pure
+// bookkeeping. tools/check_determinism.sh pins this.
+
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+
+#include "src/net/message.h"
+#include "src/nicmodel/rdma_nic.h"
+#include "src/nicmodel/smart_nic.h"
+#include "src/sim/engine.h"
+#include "src/sim/trace.h"
+#include "src/store/types.h"
+
+namespace xenic::net {
+
+using store::NodeId;
+
+// Selects a message class for a typed fault hook: an exact type, and for
+// kAck sends optionally the request kind being acknowledged (so "VALIDATE
+// replies" can be faulted without touching LOG or COMMIT acks).
+struct MsgSelector {
+  MsgType type = MsgType::kCount;      // kCount = match any type
+  MsgType reply_to = MsgType::kCount;  // kCount = any; else only matching acks
+
+  bool Matches(MsgType t, MsgType rt) const {
+    if (type != MsgType::kCount && t != type) {
+      return false;
+    }
+    return reply_to == MsgType::kCount || rt == reply_to;
+  }
+};
+
+// Parse "validate", "ack", "validate_reply", "log_reply", ... into a
+// selector ("<x>_reply" means an ACK acknowledging <x>). Returns false on
+// unknown names.
+bool ParseMsgSelector(const char* name, MsgSelector* out);
+
+// Per-node transport over the SmartNIC message path. Owns no state beyond
+// bookkeeping pointers: the node keeps its TxnStats, the NIC keeps the
+// wire. Crash semantics, the uncounted self-delivery fast path, and the
+// counted NicSend path replicate XenicNode::SendMsg byte-for-byte.
+class Transport {
+ public:
+  // Typed fault: every matching outbound message is "dropped" with the
+  // chaos layer's drop-as-retransmit semantics -- the dropped copy still
+  // burns wire occupancy, and a retransmitted copy delivers the payload
+  // after `retransmit_delay`. (The commit protocol counts acks and has no
+  // retransmission timer of its own; a true loss would wedge it.)
+  struct TypedFault {
+    MsgSelector match;
+    sim::Tick retransmit_delay = 3000;  // 3 us, matching chaos::FaultSpec
+  };
+
+  Transport(nicmodel::SmartNic* nic, const bool* crashed, uint64_t* messages,
+            MsgCounters* counters)
+      : nic_(nic), crashed_(crashed), messages_(messages), counters_(counters) {}
+
+  NodeId self() const { return nic_->id(); }
+
+  // Send `bytes` of `type` to `dst`, running `at_dst` on delivery.
+  // `trace_id` names the transaction in trace instants; `reply_to` tags
+  // what an ACK acknowledges (fault matching only -- ACK wire size is
+  // fixed).
+  void Send(MsgType type, NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst,
+            uint64_t trace_id = 0, MsgType reply_to = MsgType::kCount);
+
+  // Fixed-size acknowledgement of a `reply_to` request.
+  void SendAck(MsgType reply_to, NodeId dst, sim::Engine::Callback at_dst, uint64_t trace_id = 0) {
+    Send(MsgType::kAck, dst, wire::Ack(), std::move(at_dst), trace_id, reply_to);
+  }
+
+  void set_typed_fault(const TypedFault& f) {
+    fault_ = f;
+    fault_armed_ = true;
+  }
+  void clear_typed_fault() { fault_armed_ = false; }
+  uint64_t typed_drops() const { return typed_drops_; }
+
+ private:
+  friend class TransportTestPeer;
+
+  void Transmit(MsgType type, NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst);
+  void MaybeTraceSend(MsgType type, NodeId dst, uint64_t trace_id);
+
+  nicmodel::SmartNic* nic_;
+  const bool* crashed_;
+  uint64_t* messages_;
+  MsgCounters* counters_;
+
+  TypedFault fault_;
+  bool fault_armed_ = false;
+  uint64_t typed_drops_ = 0;
+
+  // Cached trace registration (re-registers when a fresh sink attaches).
+  sim::TraceSink* trace_sink_ = nullptr;
+  uint32_t trace_track_ = 0;
+};
+
+// Typed wrapper over the baseline RDMA verb set. Each call forwards to the
+// identically-shaped RdmaNic verb (so timing is untouched) and accounts
+// one message of `type` with the full request+response wire cost the NIC
+// model charges (wire::OneSidedRead/Write/AtomicOp/Rpc).
+class RdmaTransport {
+ public:
+  RdmaTransport(nicmodel::RdmaNic* nic, uint64_t* messages, MsgCounters* counters)
+      : nic_(nic), messages_(messages), counters_(counters) {}
+
+  NodeId self() const { return nic_->id(); }
+
+  void Read(MsgType type, NodeId dst, uint32_t bytes, sim::Engine::Callback done,
+            uint64_t trace_id = 0);
+  void Read(MsgType type, NodeId dst, uint32_t bytes, sim::Engine::Callback at_target,
+            sim::Engine::Callback done, uint64_t trace_id = 0);
+  void Write(MsgType type, NodeId dst, uint32_t bytes, sim::Engine::Callback done,
+             uint64_t trace_id = 0);
+  void Write(MsgType type, NodeId dst, uint32_t bytes, sim::Engine::Callback at_target,
+             sim::Engine::Callback done, uint64_t trace_id = 0);
+  void Atomic(MsgType type, NodeId dst, sim::SmallFunction<uint64_t()> op,
+              sim::SmallFunction<void(uint64_t)> done, uint64_t trace_id = 0);
+  void Rpc(MsgType type, NodeId dst, uint32_t req_bytes, uint32_t resp_bytes,
+           sim::Tick handler_cost, sim::Engine::Callback handler, sim::Engine::Callback done,
+           uint64_t trace_id = 0);
+
+ private:
+  void Account(MsgType type, uint64_t wire_bytes, NodeId dst, uint64_t trace_id);
+
+  nicmodel::RdmaNic* nic_;
+  uint64_t* messages_;
+  MsgCounters* counters_;
+
+  sim::TraceSink* trace_sink_ = nullptr;
+  uint32_t trace_track_ = 0;
+};
+
+}  // namespace xenic::net
+
+#endif  // SRC_NET_TRANSPORT_H_

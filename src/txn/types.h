@@ -1,7 +1,8 @@
 // Transaction protocol types shared by the Xenic engine and the RDMA
 // baselines: transaction requests, execution-logic interface, cluster
-// layout (partitioning + replication), feature flags, and message size
-// accounting.
+// layout (partitioning + replication), feature flags, and per-node
+// statistics. Message kinds and wire sizes live in src/net/message.h (the
+// transport layer's message catalogue).
 
 #ifndef SRC_TXN_TYPES_H_
 #define SRC_TXN_TYPES_H_
@@ -10,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/net/message.h"
 #include "src/sim/engine.h"
 #include "src/store/commit_log.h"
 #include "src/store/types.h"
@@ -157,39 +159,42 @@ struct ClusterMap {
   }
 };
 
-// Wire-format size accounting (bytes). The simulator moves closures, but
-// every message is charged the size a real implementation would put on the
-// wire.
-struct MsgSize {
-  static constexpr uint32_t kHeader = 24;        // msg type, txn id, counts
-  static constexpr uint32_t kKeyEntry = 12;      // table + key + flags
-  static constexpr uint32_t kSeqEntry = 4;
-  static constexpr uint32_t kAck = 8;
+// Summed value payload of a read-result set (wire:: formulas take scalar
+// byte counts; these keep the summations next to the types they walk).
+inline uint64_t ValueBytes(const std::vector<ReadResult>& reads) {
+  uint64_t b = 0;
+  for (const auto& r : reads) {
+    b += r.value.size();
+  }
+  return b;
+}
+inline uint64_t ValueBytes(const std::vector<std::pair<uint32_t, ReadResult>>& reads) {
+  uint64_t b = 0;
+  for (const auto& [i, r] : reads) {
+    (void)i;
+    b += r.value.size();
+  }
+  return b;
+}
+inline uint64_t ValueBytes(const std::vector<WriteIntent>& writes) {
+  uint64_t b = 0;
+  for (const auto& w : writes) {
+    b += w.value.size();
+  }
+  return b;
+}
+inline uint64_t ValueBytes(const std::vector<store::LogWrite>& writes) {
+  uint64_t b = 0;
+  for (const auto& w : writes) {
+    b += w.value.size();
+  }
+  return b;
+}
 
-  static uint32_t ExecuteReq(size_t n_reads, size_t n_writes, uint32_t external = 0) {
-    return kHeader + static_cast<uint32_t>((n_reads + n_writes) * kKeyEntry) + external;
-  }
-  static uint32_t ExecuteResp(const std::vector<ReadResult>& reads, size_t n_writes) {
-    uint32_t b = kHeader + static_cast<uint32_t>(n_writes * kSeqEntry);
-    for (const auto& r : reads) {
-      b += kSeqEntry + static_cast<uint32_t>(r.value.size());
-    }
-    return b;
-  }
-  static uint32_t ValidateReq(size_t n_keys) {
-    return kHeader + static_cast<uint32_t>(n_keys * (kKeyEntry + kSeqEntry));
-  }
-  static uint32_t WriteSetMsg(const std::vector<std::pair<KeyRef, WriteIntent>>& writes) {
-    uint32_t b = kHeader;
-    for (const auto& [k, w] : writes) {
-      (void)k;
-      b += kKeyEntry + kSeqEntry + static_cast<uint32_t>(w.value.size());
-    }
-    return b;
-  }
-};
-
-// Per-node protocol statistics.
+// Per-node protocol statistics. `by_type` breaks `messages` (and the
+// payload bytes behind them) down by net::MsgType; the transport layer
+// maintains both together, so sum(by_type.msgs) == messages always
+// (pinned by transport_test.cc).
 struct TxnStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;
@@ -198,6 +203,7 @@ struct TxnStats {
   uint64_t shipped_multihop = 0;
   uint64_t remote_rounds = 0;  // network roundtrip-phases executed
   uint64_t messages = 0;
+  net::MsgCounters by_type;
 
   void Reset() { *this = TxnStats{}; }
 };

@@ -56,6 +56,7 @@ TxnStats XenicCluster::TotalStats() const {
     total.shipped_multihop += s.shipped_multihop;
     total.remote_rounds += s.remote_rounds;
     total.messages += s.messages;
+    total.by_type.Merge(s.by_type);
   }
   return total;
 }

@@ -31,7 +31,12 @@ bool ContainsKey(const std::vector<KeyRef>& v, const KeyRef& k) {
 
 XenicNode::XenicNode(nicmodel::SmartNic* nic, store::Datastore* ds, const ClusterMap* map,
                      const XenicFeatures* features, std::vector<XenicNode*>* peers)
-    : nic_(nic), ds_(ds), map_(map), features_(features), peers_(peers) {}
+    : nic_(nic),
+      ds_(ds),
+      map_(map),
+      features_(features),
+      peers_(peers),
+      transport_(nic, &crashed_, &stats_.messages, &stats_.by_type) {}
 
 sim::Tick XenicNode::NicOpCost(size_t n_keys) const {
   return kNicOpBase + kNicKeyCost * static_cast<sim::Tick>(n_keys);
@@ -42,18 +47,32 @@ sim::Tick XenicNode::NicExecCost(sim::Tick host_cost) const {
                                 nic_->model().arm_multithread_ratio);
 }
 
-void XenicNode::SendMsg(NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst) {
-  if (crashed_) {
-    return;  // fail-stop: nothing leaves a crashed node
+std::optional<store::NicIndex::RemoteObject> XenicNode::LookupAccum(
+    const KeyRef& k, bool fetch_value, store::NicIndex::LookupStats* agg) {
+  store::NicIndex::LookupStats s;
+  auto r = fetch_value ? ds_->index(k.table).LookupRemote(k.key, &s)
+                       : ds_->index(k.table).ReadMetadata(k.key, &s);
+  agg->dma_reads += s.dma_reads;
+  agg->bytes_read += s.bytes_read;
+  return r;
+}
+
+void XenicNode::ReadLocalSets(TxnState* st, const std::vector<uint32_t>& read_idx,
+                              store::NicIndex::LookupStats* agg) {
+  for (uint32_t i : read_idx) {
+    auto r = LookupAccum(st->read_keys[i], /*fetch_value=*/true, agg);
+    if (r) {
+      st->reads[i] = ReadResult{true, r->seq, std::move(r->value)};
+    }
   }
-  if (dst == id()) {
-    // Local shard: the coordinator-side NIC handles its own primary's
-    // operations directly -- no wire, no PCIe.
-    nic_->engine()->ScheduleAfter(0, std::move(at_dst));
-    return;
+  for (size_t i = 0; i < st->write_keys.size(); ++i) {
+    const auto& k = st->write_keys[i];
+    if (map_->PrimaryOf(k.table, k.key) != id()) {
+      continue;
+    }
+    auto m = LookupAccum(k, /*fetch_value=*/false, agg);
+    st->write_seqs[i] = m ? m->seq : 0;
   }
-  stats_.messages++;
-  nic_->NicSend(dst, bytes, std::move(at_dst));
 }
 
 // ---------------------------------------------------------------------------
@@ -98,10 +117,8 @@ void XenicNode::SubmitOnHost(StatePtr st) {
   const TxnId txn = st->id;
   TxnState* raw = st.get();
   txns_[txn] = std::move(st);
-  const uint32_t bytes =
-      MsgSize::kHeader +
-      static_cast<uint32_t>((raw->read_keys.size() + raw->write_keys.size()) * MsgSize::kKeyEntry) +
-      raw->req.external_bytes;
+  const uint32_t bytes = net::wire::TxnDescriptor(raw->read_keys.size(), raw->write_keys.size(),
+                                                  raw->req.external_bytes);
   nic_->HostCompute(kHostInitCost, [this, txn, bytes] {
     nic_->HostToNic(bytes, [this, txn] { CoordStartOnNic(txn); });
   });
@@ -274,10 +291,8 @@ void XenicNode::LocalWritePath(StatePtr st) {
 
     // Ship the transaction state to the local NIC: acquire write locks and
     // re-validate the optimistic reads, then replicate.
-    uint32_t bytes = MsgSize::kHeader;
-    for (const auto& w : st->writes) {
-      bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
-    }
+    const uint32_t bytes =
+        net::wire::WriteImages(st->writes.size(), txn::ValueBytes(st->writes));
     const TxnId id2 = st->id;
     nic_->HostToNic(bytes, [this, id2] {
       TxnState* st = FindState(id2);
@@ -299,11 +314,7 @@ void XenicNode::LocalWritePath(StatePtr st) {
         bool ok = true;
         store::NicIndex::LookupStats agg;
         for (size_t i = 0; i < st->read_keys.size() && ok; ++i) {
-          const auto& k = st->read_keys[i];
-          store::NicIndex::LookupStats s;
-          auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
-          agg.dma_reads += s.dma_reads;
-          agg.bytes_read += s.bytes_read;
+          auto m = LookupAccum(st->read_keys[i], /*fetch_value=*/false, &agg);
           const Seq cur = m ? m->seq : 0;
           const TxnId owner = m ? m->lock_owner : store::kNoTxn;
           if (cur != st->reads[i].seq || (owner != store::kNoTxn && owner != st->id)) {
@@ -311,11 +322,7 @@ void XenicNode::LocalWritePath(StatePtr st) {
           }
         }
         for (size_t i = 0; i < st->write_keys.size() && ok; ++i) {
-          const auto& k = st->write_keys[i];
-          store::NicIndex::LookupStats s;
-          auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
-          agg.dma_reads += s.dma_reads;
-          agg.bytes_read += s.bytes_read;
+          auto m = LookupAccum(st->write_keys[i], /*fetch_value=*/false, &agg);
           if ((m ? m->seq : 0) != st->write_seqs[i]) {
             ok = false;
           }
@@ -354,10 +361,8 @@ void XenicNode::EscalateToDistributed(TxnId txn) {
   st->round = 0;
   st->new_exec_read_base = 0;
   st->new_exec_write_base = 0;
-  const uint32_t bytes =
-      MsgSize::kHeader +
-      static_cast<uint32_t>((st->read_keys.size() + st->write_keys.size()) * MsgSize::kKeyEntry) +
-      st->req.external_bytes;
+  const uint32_t bytes = net::wire::TxnDescriptor(st->read_keys.size(), st->write_keys.size(),
+                                                  st->req.external_bytes);
   nic_->HostToNic(bytes, [this, txn] { CoordStartOnNic(txn); });
 }
 
@@ -475,7 +480,7 @@ void XenicNode::ExecutePhase(TxnState* st) {
     for (uint32_t i : g.write_idx) {
       writes.emplace_back(i, st->write_keys[i]);
     }
-    const uint32_t req_bytes = MsgSize::ExecuteReq(reads.size(), writes.size());
+    const uint32_t req_bytes = net::wire::ExecuteReq(reads.size(), writes.size());
     XenicNode* server = (*peers_)[g.primary];
     const NodeId shard = g.primary;
     std::vector<KeyRef> lock_keys;
@@ -483,28 +488,26 @@ void XenicNode::ExecutePhase(TxnState* st) {
       (void)i;
       lock_keys.push_back(k);
     }
-    SendMsg(shard, req_bytes,
-            [this, server, txn, shard, reads = std::move(reads), writes = std::move(writes),
-             lock_keys = std::move(lock_keys)]() mutable {
-              server->ServeExecute(
-                  txn, id(), std::move(reads), std::move(writes),
-                  [this, server, txn, shard, lock_keys = std::move(lock_keys)](
-                      ExecReply r) mutable {
-                    uint32_t bytes = MsgSize::kHeader;
-                    for (const auto& [i, rr] : r.reads) {
-                      (void)i;
-                      bytes += MsgSize::kSeqEntry + static_cast<uint32_t>(rr.value.size());
-                    }
-                    bytes += static_cast<uint32_t>(r.write_seqs.size()) * MsgSize::kSeqEntry;
-                    server->SendMsg(id(), bytes,
-                                    [this, txn, shard, r = std::move(r),
-                                     lock_keys = std::move(lock_keys)]() mutable {
-                                      OnExecuteResp(txn, shard, r.ok, std::move(r.reads),
-                                                    std::move(r.write_seqs),
-                                                    std::move(lock_keys));
-                                    });
-                  });
-            });
+    transport_.Send(
+        net::MsgType::kExecute, shard, req_bytes,
+        [this, server, txn, shard, reads = std::move(reads), writes = std::move(writes),
+         lock_keys = std::move(lock_keys)]() mutable {
+          server->ServeExecute(
+              txn, id(), std::move(reads), std::move(writes),
+              [this, server, txn, shard, lock_keys = std::move(lock_keys)](ExecReply r) mutable {
+                const uint32_t bytes = net::wire::ExecuteReply(r.reads.size(), ValueBytes(r.reads),
+                                                               r.write_seqs.size());
+                server->transport().Send(net::MsgType::kExecReply, id(), bytes,
+                                         [this, txn, shard, r = std::move(r),
+                                          lock_keys = std::move(lock_keys)]() mutable {
+                                           OnExecuteResp(txn, shard, r.ok, std::move(r.reads),
+                                                         std::move(r.write_seqs),
+                                                         std::move(lock_keys));
+                                         },
+                                         txn);
+              });
+        },
+        txn);
   }
 }
 
@@ -607,26 +610,27 @@ void XenicNode::LockRound(TxnState* st) {
     const NodeId shard = map_->PrimaryOf(st->write_keys[i].table, st->write_keys[i].key);
     std::vector<std::pair<uint32_t, KeyRef>> writes = {{i, st->write_keys[i]}};
     std::vector<KeyRef> lock_keys = {st->write_keys[i]};
-    const uint32_t req_bytes = MsgSize::ExecuteReq(0, 1);
+    const uint32_t req_bytes = net::wire::ExecuteReq(0, 1);
     XenicNode* server = (*peers_)[shard];
-    SendMsg(shard, req_bytes,
-            [this, server, txn, shard, writes = std::move(writes),
-             lock_keys = std::move(lock_keys)]() mutable {
-      server->ServeExecute(txn, id(), {}, std::move(writes),
-                           [this, server, txn, shard,
-                            lock_keys = std::move(lock_keys)](ExecReply r) mutable {
-                             const uint32_t bytes =
-                                 MsgSize::kHeader +
-                                 static_cast<uint32_t>(r.write_seqs.size()) * MsgSize::kSeqEntry;
-                             server->SendMsg(id(), bytes,
-                                             [this, txn, shard, r = std::move(r),
-                                              lock_keys = std::move(lock_keys)]() mutable {
-                                               OnLockResp(txn, shard, r.ok,
-                                                          std::move(r.write_seqs),
-                                                          std::move(lock_keys));
-                                             });
-                           });
-    });
+    transport_.Send(
+        net::MsgType::kExecute, shard, req_bytes,
+        [this, server, txn, shard, writes = std::move(writes),
+         lock_keys = std::move(lock_keys)]() mutable {
+          server->ServeExecute(txn, id(), {}, std::move(writes),
+                               [this, server, txn, shard,
+                                lock_keys = std::move(lock_keys)](ExecReply r) mutable {
+                                 const uint32_t bytes = net::wire::SeqList(r.write_seqs.size());
+                                 server->transport().Send(
+                                     net::MsgType::kExecReply, id(), bytes,
+                                     [this, txn, shard, r = std::move(r),
+                                      lock_keys = std::move(lock_keys)]() mutable {
+                                       OnLockResp(txn, shard, r.ok, std::move(r.write_seqs),
+                                                  std::move(lock_keys));
+                                     },
+                                     txn);
+                               });
+        },
+        txn);
   }
 }
 
@@ -712,10 +716,7 @@ void XenicNode::RunExecuteLogic(TxnState* st, sim::Engine::Callback next) {
 
   // Host execution: ship read values up, compute, ship write values down
   // (two extra PCIe crossings on the critical path).
-  uint32_t up_bytes = MsgSize::kHeader;
-  for (const auto& r : st->reads) {
-    up_bytes += MsgSize::kSeqEntry + static_cast<uint32_t>(r.value.size());
-  }
+  const uint32_t up_bytes = net::wire::ReadSet(st->reads.size(), ValueBytes(st->reads));
   const sim::Tick exec_cost = st->req.exec_cost;
   nic_->NicToHost(up_bytes, [this, txn, exec_cost, run_logic = std::move(run_logic),
                              next = std::move(next)]() mutable {
@@ -726,10 +727,8 @@ void XenicNode::RunExecuteLogic(TxnState* st, sim::Engine::Callback next) {
       if (st == nullptr || crashed_) {
         return;
       }
-      uint32_t down_bytes = MsgSize::kHeader;
-      for (const auto& w : st->writes) {
-        down_bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
-      }
+      const uint32_t down_bytes =
+          net::wire::WriteImages(st->writes.size(), ValueBytes(st->writes));
       nic_->HostToNic(down_bytes, std::move(next));
     });
   });
@@ -806,14 +805,17 @@ void XenicNode::ValidatePhase(TxnState* st) {
   st->pending = static_cast<uint32_t>(shards.size());
   const TxnId txn = st->id;
   for (auto& s : shards) {
-    const uint32_t bytes = MsgSize::ValidateReq(s.checks.size());
+    const uint32_t bytes = net::wire::ValidateReq(s.checks.size());
     XenicNode* server = (*peers_)[s.primary];
-    SendMsg(s.primary, bytes, [this, server, txn, checks = std::move(s.checks)]() mutable {
-      server->ServeValidate(std::move(checks), [this, server, txn](bool ok) {
-        server->SendMsg(id(), MsgSize::kAck + MsgSize::kHeader,
-                        [this, txn, ok] { OnValidateResp(txn, ok); });
-      });
-    });
+    transport_.Send(
+        net::MsgType::kValidate, s.primary, bytes,
+        [this, server, txn, checks = std::move(s.checks)]() mutable {
+          server->ServeValidate(std::move(checks), [this, server, txn](bool ok) {
+            server->transport().SendAck(net::MsgType::kValidate, id(),
+                                        [this, txn, ok] { OnValidateResp(txn, ok); }, txn);
+          });
+        },
+        txn);
   }
 }
 
@@ -912,15 +914,18 @@ void XenicNode::LogPhase(TxnState* st) {
   }
   stats_.remote_rounds++;
   for (auto& [backup, rec] : to_send) {
-    const uint32_t bytes = static_cast<uint32_t>(rec.ByteSize()) + MsgSize::kHeader;
+    const uint32_t bytes = net::wire::LogAppend(rec.ByteSize());
     XenicNode* server = (*peers_)[backup];
-    SendMsg(backup, bytes, [this, server, txn, rec = std::move(rec)]() mutable {
-      server->ServeLog(std::move(rec), [this, server, txn](bool ok) {
-        const NodeId from = server->id();
-        server->SendMsg(id(), MsgSize::kAck + MsgSize::kHeader,
-                        [this, txn, ok, from] { OnLogAck(txn, ok, from); });
-      });
-    });
+    transport_.Send(
+        net::MsgType::kLog, backup, bytes,
+        [this, server, txn, rec = std::move(rec)]() mutable {
+          server->ServeLog(std::move(rec), [this, server, txn](bool ok) {
+            const NodeId from = server->id();
+            server->transport().SendAck(net::MsgType::kLog, id(),
+                                        [this, txn, ok, from] { OnLogAck(txn, ok, from); }, txn);
+          });
+        },
+        txn);
   }
 }
 
@@ -996,27 +1001,31 @@ void XenicNode::CommitPhase(TxnState* st) {
       }
       continue;
     }
-    uint32_t bytes = MsgSize::kHeader;
-    for (const auto& w : writes) {
-      bytes += MsgSize::kKeyEntry + MsgSize::kSeqEntry + static_cast<uint32_t>(w.value.size());
-    }
-    bytes += static_cast<uint32_t>(release_keys.size()) * MsgSize::kKeyEntry;
+    const uint32_t bytes =
+        net::wire::CommitMsg(writes.size(), ValueBytes(writes), release_keys.size());
     XenicNode* server = (*peers_)[shard];
-    SendMsg(shard, bytes, [this, server, txn, writes = std::move(writes),
-                           release_keys = std::move(release_keys)]() mutable {
-      server->ServeCommit(txn, std::move(writes), std::move(release_keys), [this, server, txn] {
-        server->SendMsg(id(), MsgSize::kAck + MsgSize::kHeader, [this, txn] {
-          TxnState* st = FindState(txn);
-          if (st == nullptr) {
-            return;
-          }
-          assert(st->pending > 0);
-          if (--st->pending == 0) {
-            EraseState(txn);
-          }
-        });
-      });
-    });
+    transport_.Send(
+        net::MsgType::kCommit, shard, bytes,
+        [this, server, txn, writes = std::move(writes),
+         release_keys = std::move(release_keys)]() mutable {
+          server->ServeCommit(
+              txn, std::move(writes), std::move(release_keys), [this, server, txn] {
+                server->transport().SendAck(
+                    net::MsgType::kCommit, id(),
+                    [this, txn] {
+                      TxnState* st = FindState(txn);
+                      if (st == nullptr) {
+                        return;
+                      }
+                      assert(st->pending > 0);
+                      if (--st->pending == 0) {
+                        EraseState(txn);
+                      }
+                    },
+                    txn);
+              });
+        },
+        txn);
   }
 }
 
@@ -1047,7 +1056,7 @@ void XenicNode::ReportAndFinish(TxnState* st, TxnOutcome outcome) {
   st->done = nullptr;
   const sim::Tick finish_cost = st->req.host_finish_cost;
   auto host_finish = st->req.host_finish;
-  nic_->NicToHost(MsgSize::kHeader, [this, finish_cost, host_finish = std::move(host_finish),
+  nic_->NicToHost(net::wire::Descriptor(), [this, finish_cost, host_finish = std::move(host_finish),
                                      done = std::move(done), outcome]() mutable {
     // The commit point was the log acks; the application learns the
     // outcome now. Post-commit local work (B+tree maintenance etc.) is
@@ -1068,11 +1077,13 @@ void XenicNode::ReleaseOrphanedLocks(TxnId txn, NodeId shard, std::vector<KeyRef
     return;
   }
   XenicNode* server = (*peers_)[shard];
-  const uint32_t bytes =
-      MsgSize::kHeader + static_cast<uint32_t>(keys.size()) * MsgSize::kKeyEntry;
-  SendMsg(shard, bytes, [server, txn, keys = std::move(keys)]() mutable {
-    server->ServeRelease(txn, std::move(keys));
-  });
+  const uint32_t bytes = net::wire::KeyList(keys.size());
+  transport_.Send(
+      net::MsgType::kRelease, shard, bytes,
+      [server, txn, keys = std::move(keys)]() mutable {
+        server->ServeRelease(txn, std::move(keys));
+      },
+      txn);
 }
 
 void XenicNode::AbortCleanup(TxnState* st, TxnOutcome outcome) {
@@ -1097,11 +1108,13 @@ void XenicNode::AbortCleanup(TxnState* st, TxnOutcome outcome) {
       continue;
     }
     XenicNode* server = (*peers_)[shard];
-    const uint32_t bytes =
-        MsgSize::kHeader + static_cast<uint32_t>(keys.size()) * MsgSize::kKeyEntry;
-    SendMsg(shard, bytes, [server, txn, keys = std::move(keys)]() mutable {
-      server->ServeRelease(txn, std::move(keys));
-    });
+    const uint32_t bytes = net::wire::KeyList(keys.size());
+    transport_.Send(
+        net::MsgType::kRelease, shard, bytes,
+        [server, txn, keys = std::move(keys)]() mutable {
+          server->ServeRelease(txn, std::move(keys));
+        },
+        txn);
   }
   ReportAndFinish(st, outcome);
   EraseState(txn);
@@ -1150,42 +1163,17 @@ void XenicNode::ShippedPath(TxnState* st, NodeId remote) {
 
   // Read local read-set values and the current seqs of local write keys.
   store::NicIndex::LookupStats agg;
-  for (uint32_t i : local_reads) {
-    const auto& k = st->read_keys[i];
-    store::NicIndex::LookupStats s;
-    auto r = ds_->index(k.table).LookupRemote(k.key, &s);
-    agg.dma_reads += s.dma_reads;
-    agg.bytes_read += s.bytes_read;
-    if (r) {
-      st->reads[i] = ReadResult{true, r->seq, std::move(r->value)};
-    }
-  }
-  for (size_t i = 0; i < st->write_keys.size(); ++i) {
-    const auto& k = st->write_keys[i];
-    if (map_->PrimaryOf(k.table, k.key) != id()) {
-      continue;
-    }
-    store::NicIndex::LookupStats s;
-    auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
-    agg.dma_reads += s.dma_reads;
-    agg.bytes_read += s.bytes_read;
-    st->write_seqs[i] = m ? m->seq : 0;
-  }
+  ReadLocalSets(st, local_reads, &agg);
 
   ChargeDmaReads(agg, [this, txn, remote] {
     TxnState* st = FindState(txn);
     if (st == nullptr) {
       return;
     }
-    uint32_t bytes = MsgSize::kHeader + st->req.external_bytes;
-    bytes += static_cast<uint32_t>((st->read_keys.size() + st->write_keys.size()) *
-                                   MsgSize::kKeyEntry);
-    for (const auto& r : st->reads) {
-      bytes += static_cast<uint32_t>(r.value.size());
-    }
-    for (const auto& w : st->req.local_log_writes) {
-      bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
-    }
+    const uint32_t bytes = net::wire::ShipExec(
+        st->read_keys.size(), st->write_keys.size(), st->req.external_bytes,
+        ValueBytes(st->reads), st->req.local_log_writes.size(),
+        ValueBytes(st->req.local_log_writes));
     // Expected completion signals: one EXEC result plus one ack per backup
     // of every written shard (counted at the remote executor, which knows
     // the final shard set -- precomputed here since shipping fixes the key
@@ -1211,7 +1199,9 @@ void XenicNode::ShippedPath(TxnState* st, NodeId remote) {
     }
 
     XenicNode* server = (*peers_)[remote];
-    SendMsg(remote, bytes, [this, server, txn, st] { server->ServeShipExec(txn, id(), st); });
+    transport_.Send(
+        net::MsgType::kShipExec, remote, bytes,
+        [this, server, txn, st] { server->ServeShipExec(txn, id(), st); }, txn);
   });
 }
 
@@ -1248,33 +1238,13 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
       return;
     }
     if (!LockAll(txn, my_keys)) {
-      SendMsg(coord, MsgSize::kHeader + MsgSize::kAck,
-              [coordinator, txn] { coordinator->OnShipFailure(txn); });
+      transport_.SendAck(net::MsgType::kShipExec, coord,
+                         [coordinator, txn] { coordinator->OnShipFailure(txn); }, txn);
       return;
     }
 
     store::NicIndex::LookupStats agg;
-    for (uint32_t i : my_reads) {
-      const auto& k = st->read_keys[i];
-      store::NicIndex::LookupStats s;
-      auto r = ds_->index(k.table).LookupRemote(k.key, &s);
-      agg.dma_reads += s.dma_reads;
-      agg.bytes_read += s.bytes_read;
-      if (r) {
-        st->reads[i] = ReadResult{true, r->seq, std::move(r->value)};
-      }
-    }
-    for (size_t i = 0; i < st->write_keys.size(); ++i) {
-      const auto& k = st->write_keys[i];
-      if (map_->PrimaryOf(k.table, k.key) != id()) {
-        continue;
-      }
-      store::NicIndex::LookupStats s;
-      auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
-      agg.dma_reads += s.dma_reads;
-      agg.bytes_read += s.bytes_read;
-      st->write_seqs[i] = m ? m->seq : 0;
-    }
+    ReadLocalSets(st, my_reads, &agg);
 
     ChargeDmaReads(agg, [this, txn, coord, coordinator, st,
                          my_keys = std::move(my_keys)]() mutable {
@@ -1309,13 +1279,16 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
                "shipped transactions must be single-round (allow_ship misuse)");
         if (abort_flag) {
           UnlockAll(txn, my_keys);
-          SendMsg(coord, MsgSize::kHeader + MsgSize::kAck, [coordinator, txn] {
-            TxnState* cst = coordinator->FindState(txn);
-            if (cst != nullptr) {
-              cst->app_abort = true;
-            }
-            coordinator->OnShipFailure(txn);
-          });
+          transport_.SendAck(
+              net::MsgType::kShipExec, coord,
+              [coordinator, txn] {
+                TxnState* cst = coordinator->FindState(txn);
+                if (cst != nullptr) {
+                  cst->app_abort = true;
+                }
+                coordinator->OnShipFailure(txn);
+              },
+              txn);
           return;
         }
 
@@ -1340,29 +1313,31 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
           rec.total_shards = static_cast<uint32_t>(shards.size());
           rec.writes = coordinator->ShardWrites(*st, shard);
           for (NodeId backup : map_->BackupsOf(shard)) {
-            const uint32_t bytes = static_cast<uint32_t>(rec.ByteSize()) + MsgSize::kHeader;
+            const uint32_t bytes = net::wire::LogAppend(rec.ByteSize());
             XenicNode* bnode = (*peers_)[backup];
-            SendMsg(backup, bytes, [coordinator, bnode, txn, rec]() mutable {
-              bnode->ServeLog(std::move(rec), [coordinator, bnode, txn](bool ok) {
-                const NodeId from = bnode->id();
-                bnode->SendMsg(coordinator->id(), MsgSize::kAck + MsgSize::kHeader,
-                               [coordinator, txn, ok, from] {
-                                 coordinator->OnLogAck(txn, ok, from);
-                               });
-              });
-            });
+            transport_.Send(
+                net::MsgType::kLog, backup, bytes,
+                [coordinator, bnode, txn, rec]() mutable {
+                  bnode->ServeLog(std::move(rec), [coordinator, bnode, txn](bool ok) {
+                    const NodeId from = bnode->id();
+                    bnode->transport().SendAck(net::MsgType::kLog, coordinator->id(),
+                                               [coordinator, txn, ok, from] {
+                                                 coordinator->OnLogAck(txn, ok, from);
+                                               },
+                                               txn);
+                  });
+                },
+                txn);
           }
         }
 
         // EXEC result back to the coordinator (write values for its local
         // commit); counts as one of the pending completion signals.
-        uint32_t result_bytes = MsgSize::kHeader;
-        for (const auto& w : st->writes) {
-          result_bytes += MsgSize::kKeyEntry + static_cast<uint32_t>(w.value.size());
-        }
-        SendMsg(coord, result_bytes, [coordinator, txn] {
-          coordinator->OnLogAck(txn, true, kShipExecSignal);
-        });
+        const uint32_t result_bytes =
+            net::wire::ExecResult(st->writes.size(), ValueBytes(st->writes));
+        transport_.Send(
+            net::MsgType::kExecReply, coord, result_bytes,
+            [coordinator, txn] { coordinator->OnLogAck(txn, true, kShipExecSignal); }, txn);
       });
     });
   });
@@ -1489,10 +1464,7 @@ void XenicNode::ServeExecute(TxnId txn, NodeId coord,
           // keys are inserts with seq 0).
           store::NicIndex::LookupStats agg;
           for (const auto& [i, k] : *writes_ptr) {
-            store::NicIndex::LookupStats s;
-            auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
-            agg.dma_reads += s.dma_reads;
-            agg.bytes_read += s.bytes_read;
+            auto m = LookupAccum(k, /*fetch_value=*/false, &agg);
             state->write_seqs.emplace_back(i, m ? m->seq : 0);
           }
           ChargeDmaReads(agg, [state, reply_ptr] { (*reply_ptr)(std::move(*state)); });
@@ -1536,10 +1508,7 @@ void XenicNode::ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
     bool ok = true;
     store::NicIndex::LookupStats agg;
     for (const auto& [k, expected] : checks) {
-      store::NicIndex::LookupStats s;
-      auto m = ds_->index(k.table).ReadMetadata(k.key, &s);
-      agg.dma_reads += s.dma_reads;
-      agg.bytes_read += s.bytes_read;
+      auto m = LookupAccum(k, /*fetch_value=*/false, &agg);
       const Seq cur = m ? m->seq : 0;
       const TxnId owner = m ? m->lock_owner : store::kNoTxn;
       if (cur != expected || owner != store::kNoTxn) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/net/transport.h"
 #include "src/nicmodel/smart_nic.h"
 #include "src/store/commit_log.h"
 #include "src/store/datastore.h"
@@ -74,6 +75,9 @@ class XenicNode {
   nicmodel::SmartNic& nic() { return *nic_; }
   TxnStats& stats() { return stats_; }
   const TxnStats& stats() const { return stats_; }
+  // Typed message transport (the only way anything leaves this node).
+  // Exposed so the chaos layer can arm typed per-MsgType fault hooks.
+  net::Transport& transport() { return transport_; }
 
   // --- Recovery support (paper 4.2.1) ---
   // Rebuild NIC lock state for in-flight transactions found in the log
@@ -237,6 +241,19 @@ class XenicNode {
   // Charge `stats` worth of DMA reads, then `done`.
   void ChargeDmaReads(const store::NicIndex::LookupStats& stats, sim::Engine::Callback done);
 
+  // One NIC-index lookup with its DMA cost folded into `agg` (for a later
+  // single ChargeDmaReads). `fetch_value` selects the full value read
+  // (LookupRemote) over the metadata probe (ReadMetadata).
+  std::optional<store::NicIndex::RemoteObject> LookupAccum(const KeyRef& k, bool fetch_value,
+                                                           store::NicIndex::LookupStats* agg);
+
+  // Shipped/local execution prologue shared by ShippedPath and
+  // ServeShipExec: fetch the values of the read-set indices in `read_idx`
+  // and refresh the current seqs of write keys homed on this node, folding
+  // all DMA costs into `agg`.
+  void ReadLocalSets(TxnState* st, const std::vector<uint32_t>& read_idx,
+                     store::NicIndex::LookupStats* agg);
+
   // Append a record to the host log via DMA write, waiting (back-pressure)
   // while the bounded ring is full; `appended` runs after the DMA lands.
   void AppendWhenSpace(store::LogRecord record, sim::Engine::Callback appended);
@@ -245,9 +262,6 @@ class XenicNode {
   // unlock); used by both ServeCommit and the local path.
   void ApplyCommitAtNic(TxnId txn, const std::vector<store::LogWrite>& writes,
                         sim::Engine::Callback done);
-
-  // Messaging helper: send to peer node (or run locally when dst == self).
-  void SendMsg(NodeId dst, uint32_t bytes, sim::Engine::Callback at_dst);
 
   // Robinhood worker iteration. `epoch` guards against stale ticks after a
   // stop/start cycle (chaos back-pressure windows restart workers).
@@ -273,6 +287,7 @@ class XenicNode {
   std::unordered_set<TxnId> reported_committed_;
   uint64_t next_txn_seq_ = 1;
   TxnStats stats_;
+  net::Transport transport_;
   PhaseBreakdown phases_;
   WorkerApplyHook worker_apply_hook_;
   bool workers_running_ = false;

@@ -1,0 +1,338 @@
+// Transport-layer contract tests.
+//
+// Conservation laws: the typed per-message counters the transport maintains
+// must agree with (a) the protocol-level TxnStats::messages counter and
+// (b) the byte counters the NIC models charge to the wire. Any send path
+// that bypasses the transport (or double-counts through it) breaks one of
+// these sums. The clusters are driven directly (no harness runner) so the
+// NIC byte counters and the TxnStats counters cover the same interval.
+//
+// Typed faults: arming a MsgSelector-matched drop on one node must actually
+// fire, must not wedge the protocol (drop-as-retransmit semantics), and
+// must leave the committed history serializable.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "src/baseline/baseline_cluster.h"
+#include "src/chaos/history.h"
+#include "src/common/rng.h"
+#include "src/net/message.h"
+#include "src/net/transport.h"
+#include "src/txn/xenic_cluster.h"
+
+namespace xenic {
+namespace {
+
+using store::GetI64;
+using store::PutI64;
+using store::Value;
+using txn::ExecRound;
+using txn::TxnOutcome;
+using txn::TxnRequest;
+
+constexpr store::TableId kBank = 0;
+
+Value Balance(int64_t v) {
+  Value out(16, 0);
+  PutI64(out, 0, v);
+  return out;
+}
+
+TEST(WireCatalogue, Formulas) {
+  using namespace net::wire;
+  EXPECT_EQ(Ack(), kHeader + kAckBody);
+  EXPECT_EQ(ExecuteReq(2, 1, 16), kHeader + 3 * kKeyEntry + 16u);
+  EXPECT_EQ(ExecuteReq(2, 1), kHeader + 3 * kKeyEntry);
+  EXPECT_EQ(SeqList(3), kHeader + 3 * kSeqEntry);
+  EXPECT_EQ(ValidateReq(2), kHeader + 2 * (kKeyEntry + kSeqEntry));
+  EXPECT_EQ(KeyList(4), kHeader + 4 * kKeyEntry);
+  // One-sided verbs charge both directions of the roundtrip.
+  EXPECT_EQ(OneSidedRead(64), 2 * kVerbHeader + 64u);
+  EXPECT_EQ(OneSidedWrite(64), 2 * kVerbHeader + 64u);
+  EXPECT_EQ(AtomicOp(), 2 * kVerbHeader + 8u);
+  EXPECT_EQ(Rpc(32, 16), 2 * kVerbHeader + 32u + 16u);
+}
+
+TEST(MsgSelector, ParseAndMatch) {
+  net::MsgSelector s;
+  ASSERT_TRUE(net::ParseMsgSelector("validate", &s));
+  EXPECT_EQ(s.type, net::MsgType::kValidate);
+  EXPECT_TRUE(s.Matches(net::MsgType::kValidate, net::MsgType::kCount));
+  EXPECT_FALSE(s.Matches(net::MsgType::kLog, net::MsgType::kCount));
+
+  // "<x>_reply" selects the ACKs acknowledging <x> -- except exec_reply,
+  // which is a first-class message type.
+  ASSERT_TRUE(net::ParseMsgSelector("validate_reply", &s));
+  EXPECT_EQ(s.type, net::MsgType::kAck);
+  EXPECT_EQ(s.reply_to, net::MsgType::kValidate);
+  EXPECT_TRUE(s.Matches(net::MsgType::kAck, net::MsgType::kValidate));
+  EXPECT_FALSE(s.Matches(net::MsgType::kAck, net::MsgType::kLog));
+  EXPECT_FALSE(s.Matches(net::MsgType::kValidate, net::MsgType::kCount));
+
+  ASSERT_TRUE(net::ParseMsgSelector("exec_reply", &s));
+  EXPECT_EQ(s.type, net::MsgType::kExecReply);
+
+  ASSERT_TRUE(net::ParseMsgSelector("any", &s));
+  EXPECT_TRUE(s.Matches(net::MsgType::kCommit, net::MsgType::kCount));
+  EXPECT_TRUE(s.Matches(net::MsgType::kAck, net::MsgType::kLog));
+
+  EXPECT_FALSE(net::ParseMsgSelector("bogus", &s));
+  EXPECT_FALSE(net::ParseMsgSelector("bogus_reply", &s));
+}
+
+// Rebalancing transfer: reads and writes the same keys (the common
+// protocol shape; exercises EXECUTE/LOG/COMMIT paths).
+TxnRequest Transfer(std::vector<store::Key> keys) {
+  TxnRequest req;
+  for (auto k : keys) {
+    req.reads.push_back({kBank, k});
+    req.writes.push_back({kBank, k});
+  }
+  req.execute = [](ExecRound& er) {
+    int64_t sum = 0;
+    for (const auto& r : *er.reads) {
+      sum += GetI64(r.value, 0);
+    }
+    for (size_t i = 0; i < er.reads->size(); ++i) {
+      const int64_t share = sum / static_cast<int64_t>(er.reads->size()) +
+                            (i == 0 ? sum % static_cast<int64_t>(er.reads->size()) : 0);
+      (*er.writes)[i].value = Balance(share);
+    }
+  };
+  return req;
+}
+
+// Transfer variant whose read set strictly contains its write set: the
+// read-only keys must be OCC-validated at commit, forcing VALIDATE traffic
+// (and VALIDATE acks) that the plain rebalance never generates.
+TxnRequest ValidatingTransfer(std::vector<store::Key> read_keys, store::Key write_key) {
+  TxnRequest req;
+  for (auto k : read_keys) {
+    req.reads.push_back({kBank, k});
+  }
+  req.reads.push_back({kBank, write_key});
+  req.writes.push_back({kBank, write_key});
+  req.execute = [](ExecRound& er) {
+    int64_t sum = 0;
+    for (const auto& r : *er.reads) {
+      sum += GetI64(r.value, 0);
+    }
+    (*er.writes)[0].value = Balance(sum / static_cast<int64_t>(er.reads->size()));
+  };
+  return req;
+}
+
+// Drives `txns_per_ctx` transactions from every node (3 contexts each) and
+// runs the engine to completion. `make_txn` builds the request from an Rng.
+template <typename Cluster>
+void Drive(Cluster& cluster, uint32_t nodes, int txns_per_ctx,
+           const std::function<TxnRequest(Rng&)>& make_txn, chaos::HistoryRecorder* recorder,
+           uint64_t* committed, uint64_t* aborted) {
+  Rng rng(4242);
+  constexpr int kKeys = 24;
+  for (store::Key k = 1; k <= kKeys; ++k) {
+    cluster.LoadReplicated(kBank, k, Balance(120));
+  }
+  cluster.StartWorkers();
+  int active = 0;
+  std::function<void(store::NodeId, int)> run_one = [&](store::NodeId n, int left) {
+    if (left == 0) {
+      active--;
+      return;
+    }
+    TxnRequest req = make_txn(rng);
+    std::shared_ptr<chaos::TxnObservation> obs;
+    if (recorder != nullptr) {
+      obs = recorder->Instrument(req);
+    }
+    cluster.node(n).Submit(std::move(req), [&, n, left, obs](TxnOutcome o) {
+      if (o == TxnOutcome::kCommitted) {
+        (*committed)++;
+        if (obs) {
+          recorder->Commit(obs);
+        }
+      } else {
+        (*aborted)++;
+      }
+      run_one(n, left - 1);
+    });
+  };
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (int c = 0; c < 3; ++c) {
+      active++;
+      run_one(n, txns_per_ctx);
+    }
+  }
+  while (active > 0 && !cluster.engine().idle()) {
+    cluster.engine().RunFor(50 * sim::kNsPerUs);
+  }
+  cluster.StopWorkers();
+  cluster.engine().Run();
+  EXPECT_EQ(active, 0);
+}
+
+std::function<TxnRequest(Rng&)> RandomTransfer() {
+  return [](Rng& rng) {
+    constexpr int kKeys = 24;
+    const size_t n_keys = 2 + rng.NextBounded(2);
+    std::vector<store::Key> keys;
+    while (keys.size() < n_keys) {
+      const store::Key k = 1 + rng.NextBounded(kKeys);
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    }
+    return Transfer(keys);
+  };
+}
+
+TEST(TransportConservation, XenicMessagesAndBytes) {
+  txn::XenicClusterOptions o;
+  o.num_nodes = 3;
+  o.replication = 2;
+  o.tables = {store::TableSpec{kBank, "bank", 10, 16, 8, 8}};
+  txn::HashPartitioner part(3);
+  txn::XenicCluster cluster(o, &part);
+
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  Drive(cluster, 3, 25, RandomTransfer(), nullptr, &committed, &aborted);
+  ASSERT_GT(committed, 50u);
+
+  uint64_t msgs = 0;
+  uint64_t typed_msgs = 0;
+  uint64_t typed_bytes = 0;
+  uint64_t nic_msgs = 0;
+  uint64_t frames = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t port_bytes = 0;
+  for (store::NodeId n = 0; n < 3; ++n) {
+    const txn::TxnStats& s = cluster.node(n).stats();
+    // Per-node: every counted message carries exactly one type.
+    EXPECT_EQ(s.by_type.TotalMsgs(), s.messages) << "node " << n;
+    msgs += s.messages;
+    typed_msgs += s.by_type.TotalMsgs();
+    typed_bytes += s.by_type.TotalBytes();
+    nicmodel::SmartNic& nic = cluster.nic(n);
+    nic_msgs += nic.messages_sent();
+    frames += nic.frames_sent();
+    wire_bytes += nic.wire_bytes_sent();
+    for (size_t p = 0; p < nic.num_tx_ports(); ++p) {
+      port_bytes += nic.tx_port(p).bytes_sent();
+    }
+  }
+  ASSERT_GT(msgs, 0u);
+  // Law 1: the typed counters partition TxnStats::messages...
+  EXPECT_EQ(typed_msgs, msgs);
+  // ...and every counted message reached the NIC (self-sends are neither
+  // counted nor transmitted).
+  EXPECT_EQ(nic_msgs, msgs);
+  // Law 2: typed payload bytes + per-frame eth overhead account for every
+  // byte the NIC charged to its tx ports.
+  const uint64_t overhead = frames * cluster.nic(0).model().frame_overhead;
+  EXPECT_EQ(typed_bytes + overhead, wire_bytes);
+  EXPECT_EQ(wire_bytes, port_bytes);
+}
+
+class BaselineConservationTest : public ::testing::TestWithParam<baseline::BaselineMode> {};
+
+TEST_P(BaselineConservationTest, MessagesAndBytes) {
+  baseline::BaselineClusterOptions o;
+  o.num_nodes = 3;
+  o.replication = 2;
+  o.mode = GetParam();
+  o.tables = {baseline::BaselineStore::TableSpec{kBank, 10, 16}};
+  txn::HashPartitioner part(3);
+  baseline::BaselineCluster cluster(o, &part);
+
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  Drive(cluster, 3, 25, RandomTransfer(), nullptr, &committed, &aborted);
+  ASSERT_GT(committed, 30u);
+
+  uint64_t msgs = 0;
+  uint64_t typed_msgs = 0;
+  uint64_t typed_bytes = 0;
+  uint64_t wire_bytes = 0;
+  for (store::NodeId n = 0; n < 3; ++n) {
+    const txn::TxnStats& s = cluster.node(n).stats();
+    EXPECT_EQ(s.by_type.TotalMsgs(), s.messages) << "node " << n;
+    msgs += s.messages;
+    typed_msgs += s.by_type.TotalMsgs();
+    typed_bytes += s.by_type.TotalBytes();
+    wire_bytes += cluster.node(n).nic().wire_bytes_sent();
+  }
+  ASSERT_GT(msgs, 0u);
+  EXPECT_EQ(typed_msgs, msgs);
+  // RDMA verbs charge both roundtrip directions to the initiator-side
+  // accounting the transport mirrors, so typed bytes cover all wire bytes.
+  EXPECT_EQ(typed_bytes, wire_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BaselineConservationTest,
+                         ::testing::Values(baseline::BaselineMode::kDrtmH,
+                                           baseline::BaselineMode::kDrtmHNC,
+                                           baseline::BaselineMode::kFasst,
+                                           baseline::BaselineMode::kDrtmR));
+
+TEST(TypedDrop, ValidateReplyDropResolvesAndStaysSerializable) {
+  txn::XenicClusterOptions o;
+  o.num_nodes = 3;
+  o.replication = 2;
+  o.tables = {store::TableSpec{kBank, "bank", 10, 16, 8, 8}};
+  txn::HashPartitioner part(3);
+  txn::XenicCluster cluster(o, &part);
+
+  // Drop every VALIDATE ack node 1 sends (delivered by link-layer
+  // retransmit after the default 3us).
+  net::Transport::TypedFault fault;
+  ASSERT_TRUE(net::ParseMsgSelector("validate_reply", &fault.match));
+  cluster.node(1).transport().set_typed_fault(fault);
+
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  chaos::HistoryRecorder recorder;
+  // Read-only keys in every read set force VALIDATE rounds against each
+  // remote primary -- including node 1, whose acks are being dropped.
+  auto make_txn = [](Rng& rng) {
+    constexpr int kKeys = 24;
+    std::vector<store::Key> reads;
+    while (reads.size() < 2) {
+      const store::Key k = 1 + rng.NextBounded(kKeys);
+      if (std::find(reads.begin(), reads.end(), k) == reads.end()) {
+        reads.push_back(k);
+      }
+    }
+    store::Key w = 1 + rng.NextBounded(kKeys);
+    while (std::find(reads.begin(), reads.end(), w) != reads.end()) {
+      w = 1 + rng.NextBounded(kKeys);
+    }
+    return ValidatingTransfer(reads, w);
+  };
+  Drive(cluster, 3, 25, make_txn, &recorder, &committed, &aborted);
+
+  // The fault must have fired, and every chain must have resolved (the
+  // retransmit delivers the payload, so nothing wedges).
+  EXPECT_GT(cluster.node(1).transport().typed_drops(), 0u);
+  EXPECT_EQ(committed + aborted, 3u * 3u * 25u);
+  // Validation-heavy transactions abort often under this contention (the
+  // dropped acks stretch the OCC window further); progress, not the commit
+  // rate, is what must survive the fault.
+  EXPECT_GT(committed, 10u);
+
+  const chaos::CheckResult result = recorder.Check();
+  EXPECT_TRUE(result.ok()) << [&] {
+    std::string all;
+    for (const auto& v : result.violations) {
+      all += v + "\n";
+    }
+    return all;
+  }();
+  EXPECT_EQ(result.version_gaps, 0u);
+}
+
+}  // namespace
+}  // namespace xenic

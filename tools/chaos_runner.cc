@@ -13,6 +13,12 @@
 //                [--jobs N] [--nodes N] [--epoch N] [--horizon-us N]
 //                [--crashes N] [--storms N] [--stalls N]
 //                [--drop P] [--dup P] [--delay P] [--log-capacity N]
+//                [--drop-type NAME] [--drop-node N]
+//
+// --drop-type arms the transport-layer typed drop: every message matching
+// NAME (a net::MsgType name such as "validate", or "<x>_reply" for the ACKs
+// acknowledging <x>, e.g. "validate_reply") sent by --drop-node (default 0)
+// is dropped and redelivered by link-layer retransmit. Xenic systems only.
 
 #include <cstdio>
 #include <cstdlib>
@@ -110,6 +116,17 @@ int main(int argc, char** argv) {
       base.faults.delay_prob = std::atof(next());
     } else if (a == "--log-capacity") {
       base.system.log_capacity = static_cast<size_t>(ParseU64(next()));
+    } else if (a == "--drop-type") {
+      const char* name = next();
+      if (!xenic::net::ParseMsgSelector(name, &base.faults.typed_drop)) {
+        std::fprintf(stderr, "unknown message type %s\n", name);
+        return 2;
+      }
+      if (base.faults.typed_drop_node < 0) {
+        base.faults.typed_drop_node = 0;
+      }
+    } else if (a == "--drop-node") {
+      base.faults.typed_drop_node = static_cast<int>(ParseU64(next()));
     } else if (a == "--jobs" || a.rfind("--jobs=", 0) == 0) {
       if (a == "--jobs") {
         (void)next();  // consumed below by ParseJobsFlag

@@ -48,6 +48,23 @@ if [[ -n "$CHAOS_BIN" ]]; then
     exit 1
   fi
   echo "determinism OK: chaos verdicts are byte-identical across jobs and reruns"
+
+  # Typed-drop faults (transport-layer MsgType targeting) must obey the same
+  # contract: same seeds + same selector => byte-identical verdicts, for any
+  # --jobs value. Also require the fault to actually fire (drops > 0) so a
+  # silently dead hook can't pass.
+  typed_flags=(--seeds 1-4 --drop-type validate_reply --drop-node 1)
+  "$CHAOS_BIN" "${typed_flags[@]}" --jobs 1 >"$serial" || true
+  "$CHAOS_BIN" "${typed_flags[@]}" --jobs 4 >"$parallel" || true
+  if ! diff -u "$serial" "$parallel"; then
+    echo "FAIL: typed-drop chaos --jobs 1 and --jobs 4 produced different results" >&2
+    exit 1
+  fi
+  if ! grep -q "typed_drop: drops=" "$serial"; then
+    echo "FAIL: typed-drop chaos run did not report the typed_drop counter" >&2
+    exit 1
+  fi
+  echo "determinism OK: typed-drop chaos verdicts are byte-identical across jobs"
 fi
 
 # --- Tracing on vs off: results must be byte-identical ---

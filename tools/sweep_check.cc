@@ -55,31 +55,38 @@ int main(int argc, char** argv) {
   cfgs.push_back(drtmh);
 
   if (point_check) {
-    // One Xenic point, observability attached per flags. Every printed
-    // value is simulation-derived, so the output must be byte-identical
-    // with tracing on or off.
+    // One point per system (all five), observability attached per flags for
+    // the first (Xenic). Every printed value is simulation-derived, so the
+    // output must be byte-identical with tracing on or off -- and across
+    // any refactor of the message send paths (transport-layer invariance).
+    std::vector<SystemConfig> all = Figure8Systems(nodes);
     obs::TraceRecorder rec;
-    auto wl = make_wl();
-    auto system = harness::BuildSystem(cfgs[0], *wl);
-    harness::LoadWorkload(*system, *wl);
-    RunConfig r = rc;
-    r.contexts_per_node = 16;
-    r.collect_resources = opts.attrib;
-    r.trace = opts.trace_path.empty() ? nullptr : &rec;
-    RunResult res = harness::RunWorkload(*system, *wl, r);
-    std::printf("point-check: committed=%llu aborted=%llu counted=%llu median_ns=%llu "
-                "p99_ns=%llu max_ns=%llu sim_events=%llu window_ns=%llu\n",
-                static_cast<unsigned long long>(res.committed),
-                static_cast<unsigned long long>(res.aborted),
-                static_cast<unsigned long long>(res.latency.count()),
-                static_cast<unsigned long long>(res.latency.Median()),
-                static_cast<unsigned long long>(res.latency.P99()),
-                static_cast<unsigned long long>(res.latency.max()),
-                static_cast<unsigned long long>(res.sim_events),
-                static_cast<unsigned long long>(res.measure_window));
-    if (opts.attrib) {
-      const obs::BottleneckReport report = obs::Attribute(res.resources);
-      std::printf("%s", obs::RenderAttribution(report, "point-check attribution").c_str());
+    for (size_t ci = 0; ci < all.size(); ++ci) {
+      auto wl = make_wl();
+      auto system = harness::BuildSystem(all[ci], *wl);
+      harness::LoadWorkload(*system, *wl);
+      RunConfig r = rc;
+      r.contexts_per_node = 16;
+      r.collect_resources = ci == 0 && opts.attrib;
+      r.trace = (ci == 0 && !opts.trace_path.empty()) ? &rec : nullptr;
+      RunResult res = harness::RunWorkload(*system, *wl, r);
+      std::printf("point-check[%s]: committed=%llu aborted=%llu counted=%llu median_ns=%llu "
+                  "p99_ns=%llu max_ns=%llu sim_events=%llu window_ns=%llu\n",
+                  system->Name().c_str(), static_cast<unsigned long long>(res.committed),
+                  static_cast<unsigned long long>(res.aborted),
+                  static_cast<unsigned long long>(res.latency.count()),
+                  static_cast<unsigned long long>(res.latency.Median()),
+                  static_cast<unsigned long long>(res.latency.P99()),
+                  static_cast<unsigned long long>(res.latency.max()),
+                  static_cast<unsigned long long>(res.sim_events),
+                  static_cast<unsigned long long>(res.measure_window));
+      if (opts.msg_breakdown) {
+        PrintMsgBreakdown(system->Name(), res);
+      }
+      if (ci == 0 && opts.attrib) {
+        const obs::BottleneckReport report = obs::Attribute(res.resources);
+        std::printf("%s", obs::RenderAttribution(report, "point-check attribution").c_str());
+      }
     }
     if (!opts.trace_path.empty()) {
       if (!rec.WriteJson(opts.trace_path)) {
