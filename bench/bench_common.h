@@ -18,7 +18,9 @@
 #include "src/harness/runner.h"
 #include "src/harness/sweep.h"
 #include "src/obs/attribution.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/trace_recorder.h"
+#include "src/obs/txn_trace.h"
 
 namespace xenic::bench {
 
@@ -153,14 +155,16 @@ inline Curve RunSweep(const SystemConfig& cfg,
 // throughput factor and median latency reduction vs the best alternative).
 // Set XENIC_BENCH_CSV=1 to also emit plot-ready CSV.
 inline void PrintCurves(const std::string& title, const std::vector<Curve>& curves) {
-  TablePrinter tp({"System", "Contexts", "Tput/server", "Median(us)", "P99(us)", "Abort%",
-                   "Wire%", "Host%", "NIC%"});
+  TablePrinter tp({"System", "Contexts", "Tput/server", "Median(us)", "P99(us)", "P999(us)",
+                   "Abort%", "Wire%", "Host%", "NIC%"});
   for (const auto& c : curves) {
     for (const auto& p : c.points) {
       tp.AddRow({c.system, TablePrinter::Fmt(static_cast<uint64_t>(p.contexts)),
                  TablePrinter::FmtOps(p.result.tput_per_server),
                  TablePrinter::Fmt(p.result.MedianLatencyUs(), 1),
                  TablePrinter::Fmt(p.result.P99LatencyUs(), 1),
+                 // NaN (nothing committed) renders as "--".
+                 TablePrinter::Fmt(p.result.P999LatencyUs(), 1),
                  TablePrinter::Fmt(p.result.abort_rate * 100, 1),
                  TablePrinter::Fmt(p.result.wire_utilization * 100, 0),
                  TablePrinter::Fmt(p.result.host_utilization * 100, 0),
@@ -170,13 +174,13 @@ inline void PrintCurves(const std::string& title, const std::vector<Curve>& curv
   std::printf("%s\n", tp.Render(title).c_str());
 
   if (const char* csv = std::getenv("XENIC_BENCH_CSV"); csv != nullptr && csv[0] == '1') {
-    std::printf("# CSV: %s\nsystem,contexts,tput_per_server,median_us,p99_us,abort_rate\n",
+    std::printf("# CSV: %s\nsystem,contexts,tput_per_server,median_us,p99_us,p999_us,abort_rate\n",
                 title.c_str());
     for (const auto& c : curves) {
       for (const auto& p : c.points) {
-        std::printf("%s,%u,%.0f,%.2f,%.2f,%.4f\n", c.system.c_str(), p.contexts,
+        std::printf("%s,%u,%.0f,%.2f,%.2f,%.2f,%.4f\n", c.system.c_str(), p.contexts,
                     p.result.tput_per_server, p.result.MedianLatencyUs(),
-                    p.result.P99LatencyUs(), p.result.abort_rate);
+                    p.result.P99LatencyUs(), p.result.P999LatencyUs(), p.result.abort_rate);
       }
     }
     std::printf("\n");
@@ -237,6 +241,13 @@ inline void PrintCurves(const std::string& title, const std::vector<Curve>& curv
 struct BenchOptions {
   bool attrib = false;
   bool msg_breakdown = false;  // per-MsgType traffic table after the sweep
+  // --txn-attrib: rerun each system's peak point with a TxnTraceSink,
+  // print the p50-vs-tail critical-path waterfall, write
+  // <slug>.txnattrib.json.
+  bool txn_attrib = false;
+  // --latency-hist: dump the latency histogram buckets of every sweep
+  // point ("latency-hist [...]" lines; midpoint_ns:count pairs).
+  bool latency_hist = false;
   std::string trace_path;
 
   static BenchOptions Parse(int argc, char** argv) {
@@ -246,6 +257,10 @@ struct BenchOptions {
         o.attrib = true;
       } else if (std::strcmp(argv[i], "--msg-breakdown") == 0) {
         o.msg_breakdown = true;
+      } else if (std::strcmp(argv[i], "--txn-attrib") == 0) {
+        o.txn_attrib = true;
+      } else if (std::strcmp(argv[i], "--latency-hist") == 0) {
+        o.latency_hist = true;
       } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
         o.trace_path = argv[++i];
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -287,7 +302,7 @@ inline void PrintMsgBreakdown(const std::string& system, const RunResult& r) {
 // Rerun one (system, load) point with observability attached.
 inline RunResult RerunPoint(const SystemConfig& cfg, const WorkloadFactory& make_workload,
                             const RunConfig& rc, uint32_t contexts, bool collect_resources,
-                            sim::TraceSink* trace) {
+                            sim::TraceSink* trace, obs::TxnTraceSink* txn_trace = nullptr) {
   auto wl = make_workload();
   auto system = harness::BuildSystem(cfg, *wl);
   harness::LoadWorkload(*system, *wl);
@@ -295,6 +310,7 @@ inline RunResult RerunPoint(const SystemConfig& cfg, const WorkloadFactory& make
   r.contexts_per_node = contexts;
   r.collect_resources = collect_resources;
   r.trace = trace;
+  r.txn_trace = txn_trace;
   return harness::RunWorkload(*system, *wl, r);
 }
 
@@ -340,6 +356,56 @@ inline void FinishBench(const BenchOptions& opts, const std::string& slug,
     }
     json += "]}";
     const std::string path = slug + ".attrib.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+  }
+  if (opts.latency_hist) {
+    for (const auto& c : curves) {
+      for (const auto& p : c.points) {
+        std::printf("latency-hist [%s] contexts=%u n=%llu:", c.system.c_str(), p.contexts,
+                    static_cast<unsigned long long>(p.result.latency.count()));
+        p.result.latency.VisitBuckets([](uint64_t midpoint, uint64_t count) {
+          std::printf(" %llu:%llu", static_cast<unsigned long long>(midpoint),
+                      static_cast<unsigned long long>(count));
+        });
+        std::printf("\n");
+      }
+    }
+    std::printf("\n");
+  }
+  if (opts.txn_attrib) {
+    std::string json = "{\"bench\":\"" + slug + "\",\"systems\":[";
+    bool first = true;
+    for (size_t i = 0; i < cfgs.size() && i < curves.size(); ++i) {
+      const int peak = curves[i].PeakIndex();
+      if (peak < 0) {
+        continue;
+      }
+      const uint32_t contexts = curves[i].points[static_cast<size_t>(peak)].contexts;
+      obs::TxnTraceSink sink;
+      RunResult r = RerunPoint(cfgs[i], make_workload, rc, contexts,
+                               /*collect_resources=*/false, /*trace=*/nullptr, &sink);
+      const obs::TailAttribution attrib = obs::AggregateTailAttribution(std::move(r.txn_paths));
+      std::printf("%s", obs::RenderTxnWaterfall(
+                            attrib, curves[i].system + " critical-path waterfall @ contexts=" +
+                                        std::to_string(contexts))
+                            .c_str());
+      std::printf("txn-trace audit: zero_id_spans=%llu orphan_instants=%llu late_spans=%llu\n\n",
+                  static_cast<unsigned long long>(sink.zero_id_spans()),
+                  static_cast<unsigned long long>(sink.orphan_instants()),
+                  static_cast<unsigned long long>(sink.late_spans()));
+      if (!first) {
+        json += ',';
+      }
+      first = false;
+      json += "{\"system\":\"" + curves[i].system + "\",\"contexts\":" +
+              std::to_string(contexts) + ",\"txn_attrib\":" + obs::TxnAttribJson(attrib) + "}";
+    }
+    json += "]}";
+    const std::string path = slug + ".txnattrib.json";
     if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
       std::fwrite(json.data(), 1, json.size(), f);
       std::fclose(f);

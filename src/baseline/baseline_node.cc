@@ -47,7 +47,7 @@ BaselineNode::BaselineNode(nicmodel::RdmaNic* nic, sim::Resource* host_cores,
       peers_(peers),
       transport_(nic, &stats_.messages, &stats_.by_type) {}
 
-void BaselineNode::Submit(TxnRequest req, CommitCallback done) {
+store::TxnId BaselineNode::Submit(TxnRequest req, CommitCallback done) {
   auto st = std::make_unique<TxnState>();
   st->id = store::MakeTxnId(id(), next_txn_seq_++);
   st->req = std::move(req);
@@ -61,11 +61,16 @@ void BaselineNode::Submit(TxnRequest req, CommitCallback done) {
   TxnState* raw = st.get();
   txns_[raw->id] = std::move(st);
   const store::TxnId txn = raw->id;
+  // Everything downstream (host work, RDMA verbs, replies) inherits this
+  // causal context through the engine's event wrapper, so every span the
+  // transaction touches carries its id.
+  nic_->engine()->set_trace_ctx(txn);
   host_cores_->Submit(kHostInitCost, [this, txn] {
     TxnState* st = FindState(txn);
     assert(st != nullptr);
     ExecutePhase(st);
   });
+  return txn;
 }
 
 void BaselineNode::ExecutePhase(TxnState* st) {

@@ -56,7 +56,9 @@ class BaselineNode {
   BaselineNode(nicmodel::RdmaNic* nic, sim::Resource* host_cores, BaselineStore* store,
                const ClusterMap* map, BaselineMode mode, std::vector<BaselineNode*>* peers);
 
-  void Submit(TxnRequest req, CommitCallback done);
+  // Returns the transaction id assigned to this submission so harnesses
+  // can link retries of the same logical transaction in traces.
+  store::TxnId Submit(TxnRequest req, CommitCallback done);
 
   void StartWorkers(uint32_t count, sim::Tick poll_interval);
   void StopWorkers();

@@ -109,6 +109,35 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
   // shared stream keeps the whole run a function of (seed, epoch).
   Rng rng(ScrambleKey(config.seed ^ ScrambleKey(config.epoch + 0x243f6a88u)) | 1u);
   HistoryRecorder recorder;
+
+  // Timeline bins (pure bookkeeping on the completion callbacks already in
+  // place; never schedules anything, so the verdict is unaffected).
+  std::vector<ChaosVerdict::TimelineBin> bins;
+  if (config.timeline && config.timeline_window > 0) {
+    const size_t n_bins =
+        static_cast<size_t>((config.horizon + config.drain) / config.timeline_window) + 1;
+    bins.resize(n_bins);
+    for (size_t i = 0; i < n_bins; ++i) {
+      bins[i].start = static_cast<sim::Tick>(i) * config.timeline_window;
+      bins[i].width = config.timeline_window;
+    }
+  }
+  auto record_completion = [&](sim::Tick submitted, bool committed) {
+    if (bins.empty()) {
+      return;
+    }
+    const sim::Tick now = engine.now();
+    const size_t bi = std::min(bins.size() - 1,
+                               static_cast<size_t>(now / config.timeline_window));
+    ChaosVerdict::TimelineBin& b = bins[bi];
+    (committed ? b.committed : b.aborted)++;
+    const uint64_t lat = now - submitted;
+    b.lat_sum_ns += lat;
+    if (lat > b.lat_max_ns) {
+      b.lat_max_ns = lat;
+    }
+  };
+
   uint32_t active = 0;
   std::function<void(store::NodeId)> run_one = [&](store::NodeId n) {
     if (engine.now() >= config.horizon) {
@@ -117,15 +146,17 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
     }
     TxnRequest req = workload.NextTxn(n, rng);
     auto obs = recorder.Instrument(req);
+    const sim::Tick submitted = engine.now();
     // A submit to a crashed coordinator is silently dropped: the chain
     // wedges, which is exactly what a client talking to a dead node sees.
-    system->Submit(n, std::move(req), [&, n, obs](TxnOutcome o) {
+    system->Submit(n, std::move(req), [&, n, obs, submitted](TxnOutcome o) {
       if (o == TxnOutcome::kCommitted) {
         recorder.Commit(obs);
         verdict.committed++;
       } else {
         verdict.aborted++;
       }
+      record_completion(submitted, o == TxnOutcome::kCommitted);
       run_one(n);
     });
   };
@@ -241,6 +272,10 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
     verdict.frames_delayed += ch.frames_delayed();
   });
   verdict.events_executed = engine.events_executed();
+  if (config.timeline) {
+    verdict.timeline = std::move(bins);
+    verdict.timeline_faults = injector.plan().events;
+  }
   return verdict;
 }
 
@@ -273,6 +308,32 @@ std::string ChaosVerdict::Summary() const {
   }
   os << "events_executed=" << events_executed << "\n";
   os << "verdict=" << (ok() ? "PASS" : "FAIL") << "\n";
+  return os.str();
+}
+
+std::string ChaosVerdict::Timeline() const {
+  std::ostringstream os;
+  for (const auto& f : timeline_faults) {
+    const char* kind = f.kind == FaultKind::kCrash          ? "crash"
+                       : f.kind == FaultKind::kEvictionStorm ? "storm"
+                                                              : "stall";
+    os << "timeline fault at_us=" << f.at / sim::kNsPerUs << " kind=" << kind
+       << " node=" << f.node;
+    if (f.duration > 0) {
+      os << " duration_us=" << f.duration / sim::kNsPerUs;
+    }
+    os << "\n";
+  }
+  for (const auto& b : timeline) {
+    const uint64_t n = b.committed + b.aborted;
+    os << "timeline win_us=" << b.start / sim::kNsPerUs << " committed=" << b.committed
+       << " aborted=" << b.aborted;
+    if (n > 0) {
+      // Integer ns keep the line free of float-formatting concerns.
+      os << " mean_lat_ns=" << b.lat_sum_ns / n << " max_lat_ns=" << b.lat_max_ns;
+    }
+    os << "\n";
+  }
   return os.str();
 }
 

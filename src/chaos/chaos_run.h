@@ -34,6 +34,12 @@ struct ChaosConfig {
   uint32_t keys = 48;                       // bank accounts
   uint32_t contexts_per_node = 3;           // closed-loop submitters
   int64_t initial_balance = 100;
+
+  // Windowed time series of throughput/aborts/latency around the fault
+  // windows (ChaosVerdict::Timeline()). Pure bookkeeping on existing
+  // callbacks: enabling it cannot change the verdict.
+  bool timeline = false;
+  sim::Tick timeline_window = 50 * sim::kNsPerUs;
 };
 
 struct ChaosVerdict {
@@ -60,9 +66,25 @@ struct ChaosVerdict {
 
   uint64_t events_executed = 0;  // total sim events; the determinism probe
 
+  // Windowed completion series (empty unless ChaosConfig::timeline).
+  struct TimelineBin {
+    sim::Tick start = 0;
+    sim::Tick width = 0;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t lat_sum_ns = 0;  // over all completions in the bin
+    uint64_t lat_max_ns = 0;
+  };
+  std::vector<TimelineBin> timeline;
+  std::vector<FaultEvent> timeline_faults;  // planned fault markers
+
   bool ok() const { return check.ok() && failures.empty(); }
   // Deterministic multi-line report (identical across runs of one config).
   std::string Summary() const;
+  // Deterministic time-series report; every line starts with "timeline "
+  // so callers (and check_determinism.sh) can strip it, keeping the
+  // default output byte-identical with the feature off.
+  std::string Timeline() const;
 };
 
 ChaosVerdict RunChaos(const ChaosConfig& config);

@@ -31,6 +31,18 @@ class Histogram {
 
   uint64_t Median() const { return ValueAtQuantile(0.5); }
   uint64_t P99() const { return ValueAtQuantile(0.99); }
+  uint64_t P999() const { return ValueAtQuantile(0.999); }
+
+  // Invoke fn(bucket_midpoint, count) for each non-empty bucket in
+  // ascending value order. Used by --latency-hist dumps.
+  template <typename Fn>
+  void VisitBuckets(Fn&& fn) const {
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] != 0) {
+        fn(BucketMidpoint(i), buckets_[i]);
+      }
+    }
+  }
 
   // One-line summary, e.g. "n=1000 mean=12.3us p50=11us p99=40us max=80us".
   std::string Summary() const;

@@ -18,6 +18,9 @@ struct Shared {
   uint64_t commits = 0;
   uint64_t aborts = 0;
   Histogram latency;
+  // Non-null only while RunConfig::txn_trace is the attached engine sink.
+  obs::TxnTraceSink* txn_sink = nullptr;
+  std::vector<obs::BucketBreakdown> txn_paths;
 };
 
 // One closed-loop application context.
@@ -35,39 +38,65 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
   auto attempt = [sh, node, tag, start](auto&& self, txn::TxnRequest r,
                                         uint32_t tries) -> void {
     txn::TxnRequest copy = r;
-    sh->system->Submit(node, std::move(copy),
-                       [sh, node, tag, start, self, r = std::move(r),
-                        tries](txn::TxnOutcome outcome) mutable {
-                         if (sh->stopped) {
-                           return;
-                         }
-                         sim::Engine& eng = sh->system->engine();
-                         if (outcome == txn::TxnOutcome::kAborted &&
-                             tries < sh->config->max_retries) {
-                           if (tries == 0 && sh->measuring) {
-                             sh->aborts++;
-                           }
-                           const sim::Tick backoff =
-                               sh->config->retry_backoff +
-                               sh->rng.NextBounded(sh->config->retry_backoff + 1);
-                           eng.ScheduleAfter(
-                               backoff, [sh, self = std::move(self), r = std::move(r),
-                                         tries]() mutable {
-                                 if (!sh->stopped) {
-                                   self(self, std::move(r), tries + 1);
-                                 }
-                               });
-                           return;
-                         }
-                         if (outcome == txn::TxnOutcome::kCommitted && sh->measuring) {
-                           sh->commits++;
-                           if (sh->workload->CountsForThroughput(tag)) {
-                             sh->counted_commits++;
-                             sh->latency.Record(eng.now() - start);
-                           }
-                         }
-                         RunContext(sh, node);
-                       });
+    // The system assigns the attempt's txn id only when Submit returns,
+    // but the commit callback must be constructed first -- so the id
+    // travels through a box filled in below. The callback can never fire
+    // before Submit returns (all completion paths go through engine
+    // events), so the box is always populated by the time it is read.
+    auto id_box = std::make_shared<uint64_t>(0);
+    const sim::Tick attempt_start = sh->system->engine().now();
+    const uint64_t id = sh->system->Submit(
+        node, std::move(copy),
+        [sh, node, tag, start, attempt_start, id_box, self, r = std::move(r),
+         tries](txn::TxnOutcome outcome) mutable {
+          if (sh->stopped) {
+            return;
+          }
+          sim::Engine& eng = sh->system->engine();
+          if (outcome == txn::TxnOutcome::kAborted &&
+              tries < sh->config->max_retries) {
+            if (tries == 0 && sh->measuring) {
+              sh->aborts++;
+            }
+            if (sh->txn_sink != nullptr && *id_box != 0) {
+              // Aborted attempt: its spans are not replayed into the
+              // retry's tree; the lost time shows up as the redo bucket.
+              sh->txn_sink->Discard(*id_box);
+            }
+            const sim::Tick backoff =
+                sh->config->retry_backoff +
+                sh->rng.NextBounded(sh->config->retry_backoff + 1);
+            eng.ScheduleAfter(
+                backoff, [sh, self = std::move(self), r = std::move(r),
+                          tries]() mutable {
+                  if (!sh->stopped) {
+                    self(self, std::move(r), tries + 1);
+                  }
+                });
+            return;
+          }
+          bool counted = false;
+          if (outcome == txn::TxnOutcome::kCommitted && sh->measuring) {
+            sh->commits++;
+            if (sh->workload->CountsForThroughput(tag)) {
+              counted = true;
+              sh->counted_commits++;
+              sh->latency.Record(eng.now() - start);
+            }
+          }
+          if (sh->txn_sink != nullptr && *id_box != 0) {
+            if (counted) {
+              obs::TxnTree tree;
+              sh->txn_sink->Extract(*id_box, &tree);
+              sh->txn_paths.push_back(obs::ExtractCriticalPath(
+                  tree, attempt_start, eng.now(), attempt_start - start));
+            } else {
+              sh->txn_sink->Discard(*id_box);
+            }
+          }
+          RunContext(sh, node);
+        });
+    *id_box = id;
   };
   attempt(attempt, std::move(req), 0);
 }
@@ -93,8 +122,14 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
   if (config.collect_resources) {
     system.ForEachResource([&monitor](const obs::ResourceRef& ref) { monitor.Track(ref); });
   }
-  if (config.trace != nullptr) {
-    system.engine().set_trace(config.trace);
+  sim::TraceSink* sink = config.trace != nullptr
+                             ? config.trace
+                             : static_cast<sim::TraceSink*>(config.txn_trace);
+  if (sink != nullptr) {
+    system.engine().set_trace(sink);
+    if (config.trace == nullptr) {
+      sh->txn_sink = config.txn_trace;
+    }
   }
 
   system.StartWorkers();
@@ -140,9 +175,10 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
   sh->stopped = true;
   system.StopWorkers();
   system.engine().RunFor(200 * sim::kNsPerUs);
-  if (config.trace != nullptr) {
+  if (sink != nullptr) {
     system.engine().set_trace(nullptr);
   }
+  result.txn_paths = std::move(sh->txn_paths);
 
   result.sim_events = system.engine().events_executed() - events_before;
   result.wall_seconds =

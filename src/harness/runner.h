@@ -8,11 +8,15 @@
 #ifndef SRC_HARNESS_RUNNER_H_
 #define SRC_HARNESS_RUNNER_H_
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "src/common/histogram.h"
 #include "src/harness/system_adapter.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/resource_stats.h"
+#include "src/obs/txn_trace.h"
 #include "src/sim/trace.h"
 #include "src/workload/workload.h"
 
@@ -32,6 +36,11 @@ struct RunConfig {
   // Attach this sink to the engine for the run (spans for every resource
   // service interval, txn phase, etc.); detached before returning.
   sim::TraceSink* trace = nullptr;
+  // Per-transaction critical-path collection: when set (and `trace` is
+  // not), this sink is attached instead and the runner extracts a
+  // BucketBreakdown for every counted committed transaction into
+  // RunResult::txn_paths, linking retries via the redo bucket.
+  obs::TxnTraceSink* txn_trace = nullptr;
 };
 
 struct RunResult {
@@ -65,8 +74,19 @@ struct RunResult {
   std::vector<obs::ResourceSnapshot> resources;
   sim::Tick measure_window = 0;
 
+  // One critical-path breakdown per counted committed transaction (empty
+  // unless RunConfig::txn_trace). Feed to obs::AggregateTailAttribution.
+  std::vector<obs::BucketBreakdown> txn_paths;
+
   double MedianLatencyUs() const { return static_cast<double>(latency.Median()) / 1e3; }
   double P99LatencyUs() const { return static_cast<double>(latency.P99()) / 1e3; }
+  // NaN when nothing committed, so tables render "--" instead of a fake 0.
+  double P999LatencyUs() const {
+    if (latency.count() == 0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return static_cast<double>(latency.P999()) / 1e3;
+  }
 };
 
 RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,

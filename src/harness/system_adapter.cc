@@ -34,8 +34,8 @@ class XenicAdapter : public SystemAdapter {
   std::string Name() const override { return "Xenic"; }
   sim::Engine& engine() override { return cluster_->engine(); }
   uint32_t num_nodes() const override { return cluster_->size(); }
-  void Submit(store::NodeId node, txn::TxnRequest req, txn::CommitCallback done) override {
-    cluster_->node(node).Submit(std::move(req), std::move(done));
+  uint64_t Submit(store::NodeId node, txn::TxnRequest req, txn::CommitCallback done) override {
+    return cluster_->node(node).Submit(std::move(req), std::move(done));
   }
   void LoadReplicated(store::TableId t, store::Key k, const store::Value& v) override {
     cluster_->LoadReplicated(t, k, v);
@@ -145,8 +145,8 @@ class BaselineAdapter : public SystemAdapter {
   std::string Name() const override { return baseline::BaselineModeName(cluster_->mode()); }
   sim::Engine& engine() override { return cluster_->engine(); }
   uint32_t num_nodes() const override { return cluster_->size(); }
-  void Submit(store::NodeId node, txn::TxnRequest req, txn::CommitCallback done) override {
-    cluster_->node(node).Submit(std::move(req), std::move(done));
+  uint64_t Submit(store::NodeId node, txn::TxnRequest req, txn::CommitCallback done) override {
+    return cluster_->node(node).Submit(std::move(req), std::move(done));
   }
   void LoadReplicated(store::TableId t, store::Key k, const store::Value& v) override {
     cluster_->LoadReplicated(t, k, v);

@@ -22,7 +22,9 @@ class SystemAdapter {
   virtual std::string Name() const = 0;
   virtual sim::Engine& engine() = 0;
   virtual uint32_t num_nodes() const = 0;
-  virtual void Submit(store::NodeId node, txn::TxnRequest req, txn::CommitCallback done) = 0;
+  // Returns the node-assigned txn id (0 if the node refused, e.g. crashed)
+  // so callers can tie traces from retries back to one logical transaction.
+  virtual uint64_t Submit(store::NodeId node, txn::TxnRequest req, txn::CommitCallback done) = 0;
   virtual void LoadReplicated(store::TableId t, store::Key k, const store::Value& v) = 0;
   virtual void SetWorkerHook(store::NodeId node,
                              std::function<sim::Tick(const store::LogWrite&)> hook) = 0;

@@ -55,6 +55,12 @@ void Transport::MaybeTraceSend(MsgType type, NodeId dst, uint64_t trace_id) {
     trace_track_ = sink->RegisterTrack("node" + std::to_string(self()), "net");
   }
   (void)dst;
+  if (trace_id == 0) {
+    // Call sites without the txn id in hand (recovery sweeps, ack paths)
+    // fall back to the causal context of the sending event, so no send is
+    // orphaned from its transaction tree.
+    trace_id = nic_->engine()->trace_ctx();
+  }
   sink->Instant(trace_track_, MsgTypeName(type), nic_->engine()->now(), trace_id);
 }
 
@@ -107,6 +113,9 @@ void RdmaTransport::Account(MsgType type, uint64_t wire_bytes, NodeId dst, uint6
   if (sink != trace_sink_) {
     trace_sink_ = sink;
     trace_track_ = sink->RegisterTrack("node" + std::to_string(self()), "net");
+  }
+  if (trace_id == 0) {
+    trace_id = nic_->engine()->trace_ctx();  // same fallback as Transport
   }
   sink->Instant(trace_track_, MsgTypeName(type), nic_->engine()->now(), trace_id);
 }

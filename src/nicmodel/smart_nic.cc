@@ -44,7 +44,7 @@ void SmartNic::NicSend(NodeId dst, uint32_t bytes, sim::Engine::Callback deliver
   }
   messages_sent_++;
   DstQueue& q = eth_queues_[dst];
-  q.msgs.push_back(PendingMsg{bytes, std::move(deliver_at_dst)});
+  q.msgs.push_back(PendingMsg{bytes, engine_->trace_ctx(), std::move(deliver_at_dst)});
   q.bytes += bytes;
   if (!features_.eth_aggregation) {
     FlushEth(dst);
@@ -114,10 +114,15 @@ void SmartNic::DeliverFrame(std::vector<PendingMsg> msgs) {
   port->Send(frame_bytes, model_.port_frame_cost, [this, msgs = std::move(msgs)]() mutable {
     const sim::Tick rx_cost =
         model_.nic_frame_rx_cost + model_.nic_msg_cost * static_cast<sim::Tick>(msgs.size());
-    nic_cores_.Submit(rx_cost, [msgs = std::move(msgs)]() mutable {
+    nic_cores_.Submit(rx_cost, [this, msgs = std::move(msgs)]() mutable {
       for (auto& m : msgs) {
+        // Each handler (and everything it schedules) runs under its own
+        // message's transaction context, not the frame's: aggregation must
+        // not smear one transaction's work onto its frame-mates.
+        engine_->set_trace_ctx(m.ctx);
         m.deliver();
       }
+      engine_->set_trace_ctx(0);
     });
   });
 }

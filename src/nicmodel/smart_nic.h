@@ -93,6 +93,7 @@ class SmartNic {
 
   struct PendingMsg {
     uint32_t bytes;
+    uint64_t ctx;  // sender's transaction trace context (0 = none)
     sim::Engine::Callback deliver;
   };
   struct DstQueue {

@@ -1,0 +1,202 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/table_printer.h"
+
+namespace xenic::obs {
+
+namespace {
+
+std::string FmtDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+// Sweep-line event: a cost span's edge, +1 at start, -1 at end.
+struct Edge {
+  sim::Tick at;
+  int delta;
+  int bucket;
+};
+
+// Higher value wins when spans overlap: charge blocked-core time to the
+// device actually doing the work.
+int Priority(CostBucket b) {
+  switch (b) {
+    case CostBucket::kDma:
+      return 4;
+    case CostBucket::kWire:
+      return 3;
+    case CostBucket::kNicArm:
+      return 2;
+    case CostBucket::kHostCpu:
+      return 1;
+    case CostBucket::kQueueing:  // explicit wait spans; gaps are queueing anyway
+      return 0;
+    case CostBucket::kRedo:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+BucketBreakdown ExtractCriticalPath(const TxnTree& tree, sim::Tick attempt_start, sim::Tick end,
+                                    sim::Tick redo_ns) {
+  BucketBreakdown out;
+  if (end < attempt_start) {
+    end = attempt_start;
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(tree.cost.size() * 2);
+  for (const TxnSpan& s : tree.cost) {
+    // Clip to the attempt interval; spans wholly outside it (e.g. from an
+    // earlier attempt that the harness chose not to discard) contribute
+    // nothing here -- their time is the redo bucket.
+    const sim::Tick lo = std::max(s.start, attempt_start);
+    const sim::Tick hi = std::min(s.end, end);
+    if (hi <= lo) {
+      continue;
+    }
+    edges.push_back(Edge{lo, +1, static_cast<int>(s.bucket)});
+    edges.push_back(Edge{hi, -1, static_cast<int>(s.bucket)});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) { return a.at < b.at; });
+
+  int active[kNumBuckets] = {};
+  sim::Tick prev = attempt_start;
+  size_t i = 0;
+  auto charge = [&](sim::Tick upto) {
+    if (upto <= prev) {
+      return;
+    }
+    int best = static_cast<int>(CostBucket::kQueueing);
+    int best_prio = -1;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      if (active[b] > 0) {
+        const int p = Priority(static_cast<CostBucket>(b));
+        if (p > best_prio) {
+          best_prio = p;
+          best = b;
+        }
+      }
+    }
+    out.ns[best] += static_cast<double>(upto - prev);
+    prev = upto;
+  };
+  while (i < edges.size()) {
+    const sim::Tick t = edges[i].at;
+    charge(t);
+    while (i < edges.size() && edges[i].at == t) {
+      active[edges[i].bucket] += edges[i].delta;
+      ++i;
+    }
+  }
+  charge(end);
+
+  out.ns[static_cast<int>(CostBucket::kRedo)] += static_cast<double>(redo_ns);
+  out.total_ns = static_cast<double>(end - attempt_start) + static_cast<double>(redo_ns);
+  return out;
+}
+
+TailAttribution AggregateTailAttribution(std::vector<BucketBreakdown> paths) {
+  TailAttribution a;
+  a.count = paths.size();
+  for (int b = 0; b < kNumBuckets; ++b) {
+    a.ranked[b] = b;
+  }
+  if (paths.empty()) {
+    return a;
+  }
+  std::sort(paths.begin(), paths.end(),
+            [](const BucketBreakdown& x, const BucketBreakdown& y) {
+              return x.total_ns < y.total_ns;
+            });
+
+  const size_t n = paths.size();
+  auto cohort_mean = [&](size_t lo, size_t hi, double* means, double* total) {
+    // [lo, hi] inclusive; callers guarantee lo <= hi < n.
+    const double cnt = static_cast<double>(hi - lo + 1);
+    for (size_t i = lo; i <= hi; ++i) {
+      for (int b = 0; b < kNumBuckets; ++b) {
+        means[b] += paths[i].ns[b];
+      }
+      *total += paths[i].total_ns;
+    }
+    for (int b = 0; b < kNumBuckets; ++b) {
+      means[b] /= cnt;
+    }
+    *total /= cnt;
+  };
+  const size_t p50_lo = n * 40 / 100;
+  const size_t p50_hi = std::max(p50_lo, std::min(n - 1, n * 60 / 100));
+  cohort_mean(p50_lo, p50_hi, a.p50_mean, &a.p50_total);
+  cohort_mean(std::min(n - 1, n * 95 / 100), n - 1, a.tail_mean, &a.tail_total);
+
+  for (int b = 0; b < kNumBuckets; ++b) {
+    a.gap[b] = a.tail_mean[b] - a.p50_mean[b];
+  }
+  std::stable_sort(a.ranked, a.ranked + kNumBuckets,
+                   [&](int x, int y) { return a.gap[x] > a.gap[y]; });
+  a.fastest = a.ranked[0];
+  return a;
+}
+
+std::string RenderTxnWaterfall(const TailAttribution& a, const std::string& title) {
+  TablePrinter table({"bucket", "p50_us", "tail_us", "gap_us", "gap_share%"});
+  const double total_gap = a.tail_total - a.p50_total;
+  for (int r = 0; r < kNumBuckets; ++r) {
+    const int b = a.ranked[r];
+    const double share = total_gap > 0 ? 100.0 * a.gap[b] / total_gap : 0.0;
+    table.AddRow({
+        BucketName(static_cast<CostBucket>(b)),
+        FmtDouble(a.p50_mean[b] / 1000.0, 2),
+        FmtDouble(a.tail_mean[b] / 1000.0, 2),
+        FmtDouble(a.gap[b] / 1000.0, 2),
+        FmtDouble(share, 1),
+    });
+  }
+  std::string out = table.Render(title);
+  if (a.count == 0) {
+    out += "tail gap: (no committed transactions traced)\n";
+  } else {
+    const int f = a.fastest;
+    out += "txns=" + std::to_string(a.count) + " p50 total " +
+           FmtDouble(a.p50_total / 1000.0, 2) + "us -> tail total " +
+           FmtDouble(a.tail_total / 1000.0, 2) + "us; fastest-growing: " +
+           BucketName(static_cast<CostBucket>(f)) + " (+" + FmtDouble(a.gap[f] / 1000.0, 2) +
+           "us)\n";
+  }
+  return out;
+}
+
+std::string TxnAttribJson(const TailAttribution& a) {
+  std::string out = "{\"count\":" + std::to_string(a.count);
+  out += ",\"p50_total_us\":" + FmtDouble(a.p50_total / 1000.0, 3);
+  out += ",\"tail_total_us\":" + FmtDouble(a.tail_total / 1000.0, 3);
+  out += ",\"fastest\":";
+  if (a.count == 0) {
+    out += "null";
+  } else {
+    out += std::string("\"") + BucketName(static_cast<CostBucket>(a.fastest)) + "\"";
+  }
+  out += ",\"buckets\":[";
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (b != 0) {
+      out += ',';
+    }
+    out += std::string("{\"bucket\":\"") + BucketName(static_cast<CostBucket>(b)) + "\"";
+    out += ",\"p50_us\":" + FmtDouble(a.p50_mean[b] / 1000.0, 3);
+    out += ",\"tail_us\":" + FmtDouble(a.tail_mean[b] / 1000.0, 3);
+    out += ",\"gap_us\":" + FmtDouble(a.gap[b] / 1000.0, 3);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace xenic::obs

@@ -1,0 +1,70 @@
+// Critical-path extraction and tail-latency attribution.
+//
+// ExtractCriticalPath projects a transaction's span tree onto its attempt
+// interval [attempt_start, end] and splits the wall time into cost
+// buckets. The projection is a boundary sweep: at every instant the time
+// is charged to the highest-priority bucket with an active span --
+//
+//     dma > wire > nic_arm > host_cpu > queueing
+//
+// -- so when a core blocks on a device the time is attributed to the
+// device actually working, not to the blocked core. Instants with no
+// active span at all (nothing in the system was working on the
+// transaction) are queueing. Time burned by earlier aborted attempts of
+// the same logical transaction (redo) is passed in by the harness, which
+// is the only layer that can link retries.
+//
+// AggregateTailAttribution then compares where the median and the tail
+// spend their time: per-bucket means over a p50 cohort (totals in the
+// [p40, p60] band) and a tail cohort ([p95, max]), plus the per-bucket
+// tail gap ranked so the report can name the component that grows fastest
+// between median and tail.
+
+#ifndef SRC_OBS_CRITICAL_PATH_H_
+#define SRC_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/txn_trace.h"
+
+namespace xenic::obs {
+
+// Per-transaction result: ns in each bucket; total_ns is the attempt wall
+// time plus redo, and equals the sum of the buckets by construction.
+struct BucketBreakdown {
+  double ns[kNumBuckets] = {};
+  double total_ns = 0;
+};
+
+BucketBreakdown ExtractCriticalPath(const TxnTree& tree, sim::Tick attempt_start, sim::Tick end,
+                                    sim::Tick redo_ns);
+
+struct TailAttribution {
+  uint64_t count = 0;           // transactions aggregated
+  double p50_mean[kNumBuckets] = {};
+  double tail_mean[kNumBuckets] = {};
+  double p50_total = 0;
+  double tail_total = 0;
+  double gap[kNumBuckets] = {};  // tail_mean - p50_mean
+  int ranked[kNumBuckets] = {};  // bucket indices by gap, descending
+  int fastest = -1;              // ranked[0], or -1 when count == 0
+};
+
+// Sorts the breakdowns by total and aggregates cohort means. Empty input
+// yields a zero report with fastest == -1.
+TailAttribution AggregateTailAttribution(std::vector<BucketBreakdown> paths);
+
+// Waterfall table: one row per bucket with p50/tail cohort means, the tail
+// gap, and the gap share; followed by a one-line verdict naming the
+// fastest-growing bucket.
+std::string RenderTxnWaterfall(const TailAttribution& a, const std::string& title);
+
+// {"count":N,"p50_total_us":..,"tail_total_us":..,"fastest":"wire",
+//  "buckets":[{"bucket":"host_cpu","p50_us":..,"tail_us":..,"gap_us":..},..]}
+std::string TxnAttribJson(const TailAttribution& a);
+
+}  // namespace xenic::obs
+
+#endif  // SRC_OBS_CRITICAL_PATH_H_

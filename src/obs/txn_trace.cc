@@ -1,0 +1,151 @@
+#include "src/obs/txn_trace.h"
+
+#include <cctype>
+#include <utility>
+
+namespace xenic::obs {
+
+const char* BucketName(CostBucket b) {
+  switch (b) {
+    case CostBucket::kHostCpu:
+      return "host_cpu";
+    case CostBucket::kNicArm:
+      return "nic_arm";
+    case CostBucket::kDma:
+      return "dma";
+    case CostBucket::kWire:
+      return "wire";
+    case CostBucket::kQueueing:
+      return "queueing";
+    case CostBucket::kRedo:
+      return "redo";
+  }
+  return "?";
+}
+
+namespace {
+
+// Strip the per-node qualifier ("n3.host_cores" -> "host_cores"); baseline
+// shared resources register without one.
+std::string StripNodePrefix(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'n' || !std::isdigit(static_cast<unsigned char>(name[1]))) {
+    return name;
+  }
+  size_t i = 1;
+  while (i < name.size() && std::isdigit(static_cast<unsigned char>(name[i]))) {
+    ++i;
+  }
+  if (i < name.size() && name[i] == '.') {
+    return name.substr(i + 1);
+  }
+  return name;
+}
+
+bool HasPrefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Maps a resource/channel name (node prefix stripped) to the cost bucket
+// its service time belongs to. Returns false for unrecognized names.
+bool ClassifyResource(const std::string& bare, CostBucket* out) {
+  if (bare == "host_cores") {
+    *out = CostBucket::kHostCpu;
+    return true;
+  }
+  if (bare == "nic_cores" || bare == "rdma_pipeline") {
+    *out = CostBucket::kNicArm;
+    return true;
+  }
+  if (bare == "dma_queues" || bare == "dma_submit" || bare == "pcie_up" || bare == "pcie_down") {
+    *out = CostBucket::kDma;
+    return true;
+  }
+  if (bare == "rdma_tx" || HasPrefix(bare, "tx") || HasPrefix(bare, "rx")) {
+    *out = CostBucket::kWire;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint32_t TxnTraceSink::RegisterTrack(const std::string& process, const std::string& track) {
+  TrackInfo info;
+  if (process == "txn_phases") {
+    info.kind = TrackKind::kPhase;
+  } else if (track == "net") {
+    info.kind = TrackKind::kNet;
+  } else {
+    CostBucket bucket;
+    if (ClassifyResource(StripNodePrefix(process), &bucket)) {
+      info.kind = TrackKind::kCost;
+      // Queue-wait lanes are queueing regardless of which resource the
+      // transaction was waiting for; service lanes get the resource's
+      // bucket.
+      info.bucket = track == "wait" ? CostBucket::kQueueing : bucket;
+    }
+  }
+  tracks_.push_back(info);
+  return static_cast<uint32_t>(tracks_.size() - 1);
+}
+
+void TxnTraceSink::Span(uint32_t track, const char* name, sim::Tick start, sim::Tick end,
+                        uint64_t id) {
+  if (track >= tracks_.size()) {
+    return;
+  }
+  const TrackInfo& info = tracks_[track];
+  if (info.kind == TrackKind::kIgnore || info.kind == TrackKind::kNet) {
+    return;
+  }
+  if (id == 0) {
+    zero_id_spans_++;
+    return;
+  }
+  if (finalized_.count(id) != 0) {
+    late_spans_++;
+    return;
+  }
+  TxnTree& tree = pending_[id];
+  tree.id = id;
+  if (info.kind == TrackKind::kPhase) {
+    tree.phases.push_back(TxnPhase{name, start, end});
+  } else {
+    tree.cost.push_back(TxnSpan{info.bucket, name, start, end});
+  }
+}
+
+void TxnTraceSink::Instant(uint32_t track, const char* name, sim::Tick at, uint64_t id) {
+  if (track >= tracks_.size() || tracks_[track].kind != TrackKind::kNet) {
+    return;
+  }
+  if (id == 0) {
+    orphan_instants_++;
+    return;
+  }
+  if (finalized_.count(id) != 0) {
+    late_spans_++;
+    return;
+  }
+  TxnTree& tree = pending_[id];
+  tree.id = id;
+  tree.instants.push_back(TxnInstant{name, at});
+}
+
+bool TxnTraceSink::Extract(uint64_t id, TxnTree* out) {
+  auto it = pending_.find(id);
+  finalized_.insert(id);
+  if (it == pending_.end()) {
+    return false;
+  }
+  *out = std::move(it->second);
+  pending_.erase(it);
+  return true;
+}
+
+void TxnTraceSink::Discard(uint64_t id) {
+  pending_.erase(id);
+  finalized_.insert(id);
+}
+
+}  // namespace xenic::obs

@@ -1,0 +1,117 @@
+// Per-transaction span collection for critical-path analysis.
+//
+// TxnTraceSink is a sim::TraceSink that, instead of exporting events to a
+// file, groups them by correlation id (the transaction id every
+// instrumented component stamps on its spans) into per-transaction span
+// trees. The harness extracts a finished transaction's tree and feeds it
+// to the critical-path extractor (critical_path.h), which splits the
+// attempt's wall time into cost buckets.
+//
+// Classification happens once per track at registration time: resource
+// names follow the repo-wide convention "n<id>.<resource>" (baselines use
+// a bare "host_cores"), and the track name distinguishes service spans
+// ("service"/"tx") from queue-wait spans ("wait"), protocol phases
+// (process "txn_phases") and transport instants (track "net").
+//
+// Like every TraceSink, this is an observer: it records and never feeds
+// anything back into the simulation. Traced and untraced runs are
+// byte-identical in simulation results.
+
+#ifndef SRC_OBS_TXN_TRACE_H_
+#define SRC_OBS_TXN_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/trace.h"
+
+namespace xenic::obs {
+
+// Where a slice of a transaction's wall time went. kQueueing covers both
+// explicit resource-wait spans and uncovered gaps (nothing was working on
+// the transaction); kRedo is time lost to aborted attempts, computed by
+// the harness across retries rather than from spans.
+enum class CostBucket : int {
+  kHostCpu = 0,
+  kNicArm,
+  kDma,
+  kWire,
+  kQueueing,
+  kRedo,
+};
+inline constexpr int kNumBuckets = 6;
+
+const char* BucketName(CostBucket b);
+
+struct TxnSpan {
+  CostBucket bucket;
+  std::string name;
+  sim::Tick start;
+  sim::Tick end;
+};
+
+struct TxnPhase {
+  std::string name;  // "EXECUTE", "VALIDATE", "LOG", "txn"
+  sim::Tick start;
+  sim::Tick end;
+};
+
+struct TxnInstant {
+  std::string name;  // transport message type
+  sim::Tick at;
+};
+
+// Everything recorded for one transaction id: resource/channel cost spans
+// (service + wait), protocol phase spans, and transport send markers.
+struct TxnTree {
+  uint64_t id = 0;
+  std::vector<TxnSpan> cost;
+  std::vector<TxnPhase> phases;
+  std::vector<TxnInstant> instants;
+};
+
+class TxnTraceSink : public sim::TraceSink {
+ public:
+  uint32_t RegisterTrack(const std::string& process, const std::string& track) override;
+  void Span(uint32_t track, const char* name, sim::Tick start, sim::Tick end,
+            uint64_t id) override;
+  void Instant(uint32_t track, const char* name, sim::Tick at, uint64_t id) override;
+
+  // Move the tree for `id` into *out and mark the id finalized (late
+  // stragglers -- e.g. worker log-apply spans landing after commit -- are
+  // dropped and counted). Returns false if nothing was recorded for `id`
+  // or it was already finalized.
+  bool Extract(uint64_t id, TxnTree* out);
+
+  // Drop everything recorded for `id` (aborted attempt, warmup txn) and
+  // mark it finalized.
+  void Discard(uint64_t id);
+
+  // Diagnostics for the id-plumbing audit: spans/instants that arrived
+  // with id 0 could not be attributed to any transaction.
+  uint64_t zero_id_spans() const { return zero_id_spans_; }
+  uint64_t orphan_instants() const { return orphan_instants_; }
+  uint64_t late_spans() const { return late_spans_; }
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  enum class TrackKind { kIgnore, kCost, kPhase, kNet };
+  struct TrackInfo {
+    TrackKind kind = TrackKind::kIgnore;
+    CostBucket bucket = CostBucket::kQueueing;
+  };
+
+  std::vector<TrackInfo> tracks_;
+  std::unordered_map<uint64_t, TxnTree> pending_;
+  std::unordered_set<uint64_t> finalized_;
+  uint64_t zero_id_spans_ = 0;
+  uint64_t orphan_instants_ = 0;
+  uint64_t late_spans_ = 0;
+};
+
+}  // namespace xenic::obs
+
+#endif  // SRC_OBS_TXN_TRACE_H_

@@ -33,8 +33,19 @@ Tick Channel::Occupy(uint64_t bytes, Tick extra_occupancy) {
     if (t != trace_sink_) {
       trace_sink_ = t;
       trace_track_ = t->RegisterTrack(name_, "tx");
+      trace_wait_track_ = t->RegisterTrack(name_, "wait");
     }
-    t->Span(trace_track_, name_.c_str(), start, next_free_, bytes);
+    // Spans carry the sending event's transaction context (aggregated
+    // frames attribute to the transaction whose message triggered the
+    // flush -- see DESIGN.md on the batching caveat). The service span
+    // runs through propagation (`latency_`), not just serialization, so
+    // critical-path extraction books time-of-flight as wire, not as an
+    // unattributed gap.
+    const uint64_t ctx = engine_->trace_ctx();
+    if (wait > 0) {
+      t->Span(trace_wait_track_, name_.c_str(), now, start, ctx);
+    }
+    t->Span(trace_track_, name_.c_str(), start, next_free_ + latency_, ctx);
   }
   return next_free_;
 }

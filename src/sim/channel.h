@@ -129,6 +129,7 @@ class Channel {
   Histogram* wait_hist_ = nullptr;
   TraceSink* trace_sink_ = nullptr;
   uint32_t trace_track_ = 0;
+  uint32_t trace_wait_track_ = 0;
   FaultHook fault_hook_;
 };
 

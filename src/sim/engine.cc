@@ -6,6 +6,16 @@ namespace xenic::sim {
 
 void Engine::ScheduleAt(Tick t, Callback cb) {
   assert(t >= now_ && "cannot schedule in the past");
+  if (trace_ != nullptr && trace_ctx_ != 0) {
+    // Capture the current transaction context into the event and restore it
+    // at dispatch. Only done while a sink is attached: the wrapper changes
+    // neither the callback's effect nor the event's (time, seq) slot, so
+    // traced runs execute the exact untraced schedule.
+    cb = Callback([this, ctx = trace_ctx_, inner = std::move(cb)]() mutable {
+      trace_ctx_ = ctx;
+      inner();
+    });
+  }
   queue_.Push(t, next_seq_++, std::move(cb));
 }
 
@@ -17,6 +27,7 @@ bool Engine::Step() {
   Callback cb = queue_.PopNext(&t);
   now_ = t;
   events_executed_++;
+  trace_ctx_ = 0;  // events scheduled without a context run without one
   cb();
   return true;
 }

@@ -66,12 +66,25 @@ class Engine {
   TraceSink* trace() const { return trace_; }
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
+  // Trace context: the transaction id the currently executing event is
+  // working on behalf of (0 = none). With a sink attached, ScheduleAt
+  // captures the current context into each scheduled event and restores it
+  // at dispatch, so identity propagates causally through resource grants,
+  // channel deliveries, and remote message handlers without any component
+  // re-plumbing ids by hand. Pure bookkeeping: the context feeds only span
+  // ids, never a simulated decision, so traced and untraced runs stay
+  // byte-identical (the wrapping itself is skipped when no sink is
+  // attached).
+  uint64_t trace_ctx() const { return trace_ctx_; }
+  void set_trace_ctx(uint64_t ctx) { trace_ctx_ = ctx; }
+
  private:
   CalendarQueue queue_;
   Tick now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
   TraceSink* trace_ = nullptr;
+  uint64_t trace_ctx_ = 0;
 };
 
 }  // namespace xenic::sim

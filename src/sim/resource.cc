@@ -11,13 +11,25 @@ Resource::Resource(Engine* engine, std::string name, uint32_t servers)
 }
 
 void Resource::Submit(Tick service, Engine::Callback done) {
+  // The submitting event's transaction context rides along with the job so
+  // both the wait and the service span name the right transaction even when
+  // the grant happens inside another job's completion event.
+  const uint64_t ctx = engine_->trace_ctx();
   if (busy_ < servers_) {
-    Start(Job{service, engine_->now(), std::move(done)});
+    Start(Job{service, engine_->now(), ctx, std::move(done)});
   } else {
-    queue_.push_back(Job{service, engine_->now(), std::move(done)});
+    queue_.push_back(Job{service, engine_->now(), ctx, std::move(done)});
     if (queue_.size() > peak_queue_depth_) {
       peak_queue_depth_ = queue_.size();
     }
+  }
+}
+
+void Resource::EnsureTracks(TraceSink* t) {
+  if (t != trace_sink_) {
+    trace_sink_ = t;
+    trace_track_ = t->RegisterTrack(name_, "service");
+    trace_wait_track_ = t->RegisterTrack(name_, "wait");
   }
 }
 
@@ -28,20 +40,27 @@ void Resource::Start(Job job) {
   if (wait_hist_ != nullptr) {
     wait_hist_->Record(wait);
   }
+  if (wait > 0) {
+    if (TraceSink* t = engine_->trace()) {
+      EnsureTracks(t);
+      t->Span(trace_wait_track_, name_.c_str(), job.enqueued, engine_->now(), job.ctx);
+    }
+  }
   busy_++;
   const Tick service = job.service;
-  engine_->ScheduleAfter(service, [this, service, done = std::move(job.done)]() mutable {
-    Finish(service, std::move(done));
+  engine_->ScheduleAfter(service, [this, service, ctx = job.ctx,
+                                   done = std::move(job.done)]() mutable {
+    // Restore the job's own context: the engine-level capture would carry
+    // the context of whichever event performed the grant.
+    engine_->set_trace_ctx(ctx);
+    Finish(service, ctx, std::move(done));
   });
 }
 
-void Resource::Finish(Tick service, Engine::Callback done) {
+void Resource::Finish(Tick service, uint64_t ctx, Engine::Callback done) {
   if (TraceSink* t = engine_->trace()) {
-    if (t != trace_sink_) {
-      trace_sink_ = t;
-      trace_track_ = t->RegisterTrack(name_, "service");
-    }
-    t->Span(trace_track_, name_.c_str(), engine_->now() - service, engine_->now(), 0);
+    EnsureTracks(t);
+    t->Span(trace_track_, name_.c_str(), engine_->now() - service, engine_->now(), ctx);
   }
   busy_--;
   busy_time_ += service;

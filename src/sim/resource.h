@@ -79,11 +79,13 @@ class Resource {
   struct Job {
     Tick service;
     Tick enqueued;
+    uint64_t ctx;  // transaction context at submit time (0 = none)
     Engine::Callback done;
   };
 
   void Start(Job job);
-  void Finish(Tick service, Engine::Callback done);
+  void Finish(Tick service, uint64_t ctx, Engine::Callback done);
+  void EnsureTracks(TraceSink* t);
 
   Engine* engine_;
   std::string name_;
@@ -97,8 +99,11 @@ class Resource {
   size_t peak_queue_depth_ = 0;
   Histogram* wait_hist_ = nullptr;
   // Cached trace registration (lazily refreshed when a new sink appears).
+  // Service intervals and queue waits go to separate lanes so a consumer
+  // can tell busy time from head-of-line blocking per transaction.
   TraceSink* trace_sink_ = nullptr;
   uint32_t trace_track_ = 0;
+  uint32_t trace_wait_track_ = 0;
 };
 
 }  // namespace xenic::sim

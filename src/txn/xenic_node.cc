@@ -79,9 +79,9 @@ void XenicNode::ReadLocalSets(TxnState* st, const std::vector<uint32_t>& read_id
 // Submission and path selection.
 // ---------------------------------------------------------------------------
 
-void XenicNode::Submit(TxnRequest req, CommitCallback done) {
+TxnId XenicNode::Submit(TxnRequest req, CommitCallback done) {
   if (crashed_) {
-    return;  // the application died with the node; no outcome is reported
+    return 0;  // the application died with the node; no outcome is reported
   }
   auto st = std::make_unique<TxnState>();
   st->id = store::MakeTxnId(id(), next_txn_seq_++);
@@ -92,7 +92,12 @@ void XenicNode::Submit(TxnRequest req, CommitCallback done) {
   st->reads.resize(st->read_keys.size());
   st->write_seqs.assign(st->write_keys.size(), 0);
   st->writes.resize(st->write_keys.size());
+  const TxnId id = st->id;
+  // Root of this transaction's causal event chain: everything scheduled
+  // from here on (host compute, NIC hops, DMA, wire) inherits the id.
+  nic_->engine()->set_trace_ctx(id);
   SubmitOnHost(std::move(st));
+  return id;
 }
 
 void XenicNode::SubmitOnHost(StatePtr st) {
@@ -1499,7 +1504,9 @@ void XenicNode::ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
   if (crashed_) {
     return;
   }
-  TraceInstant("hop.validate", 0);
+  // The VALIDATE wire message doesn't carry the txn id in-band; the causal
+  // trace context delivered with the message names it for the span tree.
+  TraceInstant("hop.validate", nic_->engine()->trace_ctx());
   nic_->NicCompute(NicOpCost(checks.size()), [this, checks = std::move(checks),
                                               reply = std::move(reply)]() mutable {
     if (crashed_) {

@@ -46,7 +46,10 @@ class XenicNode {
             const XenicFeatures* features, std::vector<XenicNode*>* peers);
 
   // Application entry point (called in host context): run one transaction.
-  void Submit(TxnRequest req, CommitCallback done);
+  // Returns the transaction's id (0 if the node is crashed and the request
+  // was silently dropped) so callers can correlate trace spans -- the
+  // closed-loop runner links retry attempts through it.
+  TxnId Submit(TxnRequest req, CommitCallback done);
 
   // Start `count` Robinhood worker threads polling the commit log every
   // `poll_interval` ns (paper step 7).

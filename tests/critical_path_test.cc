@@ -1,0 +1,273 @@
+// Critical-path extraction and per-transaction tracing tests.
+//
+// The first half drives TxnTraceSink with hand-built span sets whose
+// correct waterfall is known by construction: bucket classification by
+// track name, priority resolution for overlapping spans, gap -> queueing,
+// retry redo accounting, and the finalized-set handling of late spans.
+// The second half is the observer-only contract: attaching a TxnTraceSink
+// through the runner must leave every simulation-derived scalar identical,
+// for Xenic and for a baseline system.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/harness/runner.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/txn_trace.h"
+#include "src/workload/smallbank.h"
+
+namespace xenic {
+namespace {
+
+using obs::AggregateTailAttribution;
+using obs::BucketBreakdown;
+using obs::CostBucket;
+using obs::ExtractCriticalPath;
+using obs::TailAttribution;
+using obs::TxnTraceSink;
+using obs::TxnTree;
+
+int B(CostBucket b) { return static_cast<int>(b); }
+
+TEST(TxnTraceSinkTest, ClassifiesTracksByNameConvention) {
+  TxnTraceSink sink;
+  const uint32_t host = sink.RegisterTrack("n0.host_cores", "service");
+  const uint32_t nic = sink.RegisterTrack("n3.nic_cores", "service");
+  const uint32_t dma = sink.RegisterTrack("n0.dma_queues", "service");
+  const uint32_t wire = sink.RegisterTrack("n0.tx1", "tx");
+  const uint32_t wait = sink.RegisterTrack("n0.nic_cores", "wait");
+  // Baseline conventions: bare host_cores (shared pool), rdma resources.
+  const uint32_t bhost = sink.RegisterTrack("host_cores", "service");
+  const uint32_t pipe = sink.RegisterTrack("n1.rdma_pipeline", "service");
+  const uint32_t rtx = sink.RegisterTrack("n1.rdma_tx", "tx");
+
+  sink.Span(host, "h", 0, 10, 1);
+  sink.Span(nic, "n", 10, 20, 1);
+  sink.Span(dma, "d", 20, 30, 1);
+  sink.Span(wire, "w", 30, 40, 1);
+  sink.Span(wait, "q", 40, 50, 1);
+  sink.Span(bhost, "bh", 50, 60, 1);
+  sink.Span(pipe, "p", 60, 70, 1);
+  sink.Span(rtx, "rt", 70, 80, 1);
+
+  TxnTree tree;
+  ASSERT_TRUE(sink.Extract(1, &tree));
+  ASSERT_EQ(tree.cost.size(), 8u);
+  EXPECT_EQ(tree.cost[0].bucket, CostBucket::kHostCpu);
+  EXPECT_EQ(tree.cost[1].bucket, CostBucket::kNicArm);
+  EXPECT_EQ(tree.cost[2].bucket, CostBucket::kDma);
+  EXPECT_EQ(tree.cost[3].bucket, CostBucket::kWire);
+  EXPECT_EQ(tree.cost[4].bucket, CostBucket::kQueueing);
+  EXPECT_EQ(tree.cost[5].bucket, CostBucket::kHostCpu);
+  EXPECT_EQ(tree.cost[6].bucket, CostBucket::kNicArm);
+  EXPECT_EQ(tree.cost[7].bucket, CostBucket::kWire);
+}
+
+TEST(TxnTraceSinkTest, PhaseAndNetTracksAndAuditCounters) {
+  TxnTraceSink sink;
+  const uint32_t phase = sink.RegisterTrack("txn_phases", "n0");
+  const uint32_t net = sink.RegisterTrack("node0", "net");
+  const uint32_t host = sink.RegisterTrack("n0.host_cores", "service");
+  const uint32_t junk = sink.RegisterTrack("mystery_resource", "service");
+
+  sink.Span(phase, "EXECUTE", 0, 100, 7);
+  sink.Instant(net, "execute", 5, 7);
+  sink.Instant(net, "ack", 6, 0);   // orphan: no txn id
+  sink.Span(host, "h", 0, 10, 0);   // zero-id span
+  sink.Span(junk, "x", 0, 10, 7);   // unclassified track: ignored
+
+  TxnTree tree;
+  ASSERT_TRUE(sink.Extract(7, &tree));
+  ASSERT_EQ(tree.phases.size(), 1u);
+  EXPECT_EQ(tree.phases[0].name, "EXECUTE");
+  ASSERT_EQ(tree.instants.size(), 1u);
+  EXPECT_EQ(tree.instants[0].name, "execute");
+  EXPECT_TRUE(tree.cost.empty());
+  EXPECT_EQ(sink.orphan_instants(), 1u);
+  EXPECT_EQ(sink.zero_id_spans(), 1u);
+
+  // Finalized ids drop stragglers (post-commit cleanup spans).
+  sink.Span(host, "late", 200, 210, 7);
+  EXPECT_EQ(sink.late_spans(), 1u);
+  EXPECT_EQ(sink.pending(), 0u);
+
+  // Discard drops and finalizes too.
+  sink.Span(host, "h", 0, 10, 9);
+  EXPECT_EQ(sink.pending(), 1u);
+  sink.Discard(9);
+  EXPECT_EQ(sink.pending(), 0u);
+  TxnTree none;
+  EXPECT_FALSE(sink.Extract(9, &none));
+}
+
+TEST(CriticalPathTest, KnownWaterfall) {
+  // [0,10) host, [10,30) wire, [30,35) gap, [35,50) dma. Total 50.
+  TxnTree tree;
+  tree.id = 1;
+  tree.cost.push_back({CostBucket::kHostCpu, "h", 0, 10});
+  tree.cost.push_back({CostBucket::kWire, "w", 10, 30});
+  tree.cost.push_back({CostBucket::kDma, "d", 35, 50});
+  const BucketBreakdown bd = ExtractCriticalPath(tree, 0, 50, 0);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kHostCpu)], 10);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kWire)], 20);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kQueueing)], 5);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kDma)], 15);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kRedo)], 0);
+  EXPECT_DOUBLE_EQ(bd.total_ns, 50);
+}
+
+TEST(CriticalPathTest, OverlapResolvedByDevicePriority) {
+  // A host span covers the whole attempt; a dma span overlaps the middle.
+  // The overlap charges to dma (the device doing the work), the rest to
+  // the host; nothing is double-counted.
+  TxnTree tree;
+  tree.cost.push_back({CostBucket::kHostCpu, "h", 0, 100});
+  tree.cost.push_back({CostBucket::kDma, "d", 40, 60});
+  const BucketBreakdown bd = ExtractCriticalPath(tree, 0, 100, 0);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kHostCpu)], 80);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kDma)], 20);
+  EXPECT_DOUBLE_EQ(bd.total_ns, 100);
+
+  // Explicit wait spans rank below everything: overlapped wait time goes
+  // to the working bucket, uncovered wait time is queueing either way.
+  TxnTree tree2;
+  tree2.cost.push_back({CostBucket::kQueueing, "q", 0, 50});
+  tree2.cost.push_back({CostBucket::kNicArm, "n", 20, 30});
+  const BucketBreakdown bd2 = ExtractCriticalPath(tree2, 0, 50, 0);
+  EXPECT_DOUBLE_EQ(bd2.ns[B(CostBucket::kNicArm)], 10);
+  EXPECT_DOUBLE_EQ(bd2.ns[B(CostBucket::kQueueing)], 40);
+}
+
+TEST(CriticalPathTest, ClipsToAttemptAndBooksRedo) {
+  // Spans from before the final attempt are clipped away; the time lost to
+  // earlier aborted attempts arrives as redo_ns (attempt_start - logical
+  // submit), keeping total = attempt wall + redo.
+  TxnTree tree;
+  tree.cost.push_back({CostBucket::kHostCpu, "old", 0, 80});    // earlier attempt
+  tree.cost.push_back({CostBucket::kHostCpu, "h", 100, 120});
+  tree.cost.push_back({CostBucket::kWire, "w", 120, 150});
+  const BucketBreakdown bd = ExtractCriticalPath(tree, 100, 150, 100);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kHostCpu)], 20);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kWire)], 30);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kRedo)], 100);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kQueueing)], 0);
+  EXPECT_DOUBLE_EQ(bd.total_ns, 150);
+
+  const double sum = bd.ns[0] + bd.ns[1] + bd.ns[2] + bd.ns[3] + bd.ns[4] + bd.ns[5];
+  EXPECT_DOUBLE_EQ(sum, bd.total_ns);
+}
+
+TEST(CriticalPathTest, EmptyTreeIsAllQueueing) {
+  TxnTree tree;
+  const BucketBreakdown bd = ExtractCriticalPath(tree, 10, 60, 0);
+  EXPECT_DOUBLE_EQ(bd.ns[B(CostBucket::kQueueing)], 50);
+  EXPECT_DOUBLE_EQ(bd.total_ns, 50);
+}
+
+TEST(TailAttributionTest, NamesFastestGrowingBucket) {
+  // 100 txns: everyone pays 1000ns host; the slowest 5 also pay a large
+  // wire cost, so the tail gap must be attributed to wire.
+  std::vector<BucketBreakdown> paths;
+  for (int i = 0; i < 100; ++i) {
+    BucketBreakdown bd;
+    bd.ns[B(CostBucket::kHostCpu)] = 1000;
+    bd.total_ns = 1000;
+    if (i >= 95) {
+      bd.ns[B(CostBucket::kWire)] = 5000;
+      bd.total_ns += 5000;
+    }
+    paths.push_back(bd);
+  }
+  const TailAttribution a = AggregateTailAttribution(std::move(paths));
+  EXPECT_EQ(a.count, 100u);
+  EXPECT_EQ(a.fastest, B(CostBucket::kWire));
+  EXPECT_DOUBLE_EQ(a.p50_mean[B(CostBucket::kHostCpu)], 1000);
+  EXPECT_DOUBLE_EQ(a.p50_mean[B(CostBucket::kWire)], 0);
+  EXPECT_DOUBLE_EQ(a.tail_mean[B(CostBucket::kWire)], 5000);
+  EXPECT_DOUBLE_EQ(a.gap[B(CostBucket::kWire)], 5000);
+  EXPECT_DOUBLE_EQ(a.p50_total, 1000);
+  EXPECT_DOUBLE_EQ(a.tail_total, 6000);
+  // Report renders without crashing and names the bucket.
+  const std::string table = obs::RenderTxnWaterfall(a, "test");
+  EXPECT_NE(table.find("fastest-growing: wire"), std::string::npos);
+  const std::string json = obs::TxnAttribJson(a);
+  EXPECT_NE(json.find("\"fastest\":\"wire\""), std::string::npos);
+}
+
+TEST(TailAttributionTest, EmptyInputIsSafe) {
+  const TailAttribution a = AggregateTailAttribution({});
+  EXPECT_EQ(a.count, 0u);
+  EXPECT_EQ(a.fastest, -1);
+  const std::string table = obs::RenderTxnWaterfall(a, "empty");
+  EXPECT_NE(table.find("no committed transactions"), std::string::npos);
+  const std::string json = obs::TxnAttribJson(a);
+  EXPECT_NE(json.find("\"fastest\":null"), std::string::npos);
+}
+
+// Observer-only contract: txn tracing through the runner cannot perturb
+// the simulation, and it actually yields a breakdown per counted commit.
+harness::RunResult RunPoint(harness::SystemConfig cfg, obs::TxnTraceSink* sink) {
+  workload::Smallbank::Options wo;
+  wo.num_nodes = cfg.num_nodes;
+  wo.accounts_per_node = 2000;
+  workload::Smallbank wl(wo);
+  auto system = harness::BuildSystem(cfg, wl);
+  harness::LoadWorkload(*system, wl);
+  harness::RunConfig rc;
+  rc.contexts_per_node = 8;
+  rc.warmup = 50 * sim::kNsPerUs;
+  rc.measure = 200 * sim::kNsPerUs;
+  rc.txn_trace = sink;
+  return harness::RunWorkload(*system, wl, rc);
+}
+
+void CheckObserverOnly(harness::SystemConfig cfg) {
+  obs::TxnTraceSink sink;
+  const harness::RunResult plain = RunPoint(cfg, nullptr);
+  const harness::RunResult traced = RunPoint(cfg, &sink);
+
+  EXPECT_EQ(plain.committed, traced.committed);
+  EXPECT_EQ(plain.aborted, traced.aborted);
+  EXPECT_EQ(plain.sim_events, traced.sim_events);
+  EXPECT_EQ(plain.latency.count(), traced.latency.count());
+  EXPECT_EQ(plain.latency.Median(), traced.latency.Median());
+  EXPECT_EQ(plain.latency.max(), traced.latency.max());
+  EXPECT_DOUBLE_EQ(plain.tput_per_server, traced.tput_per_server);
+
+  EXPECT_TRUE(plain.txn_paths.empty());
+  ASSERT_EQ(traced.txn_paths.size(), traced.latency.count());
+  // Every breakdown is internally consistent and attributes real work.
+  double worked = 0;
+  for (const auto& bd : traced.txn_paths) {
+    double sum = 0;
+    for (int b = 0; b < obs::kNumBuckets; ++b) {
+      ASSERT_GE(bd.ns[b], 0.0);
+      sum += bd.ns[b];
+    }
+    EXPECT_NEAR(sum, bd.total_ns, 1e-6);
+    worked += bd.total_ns - bd.ns[B(CostBucket::kQueueing)] - bd.ns[B(CostBucket::kRedo)];
+  }
+  EXPECT_GT(worked, 0.0);
+  // Transport instants all carried a txn id on this path.
+  EXPECT_EQ(sink.orphan_instants(), 0u);
+}
+
+TEST(TxnAttribDeterminismTest, XenicObserverOnly) {
+  harness::SystemConfig cfg;
+  cfg.kind = harness::SystemConfig::Kind::kXenic;
+  cfg.num_nodes = 2;
+  cfg.replication = 2;
+  CheckObserverOnly(cfg);
+}
+
+TEST(TxnAttribDeterminismTest, BaselineObserverOnly) {
+  harness::SystemConfig cfg;
+  cfg.kind = harness::SystemConfig::Kind::kBaseline;
+  cfg.mode = baseline::BaselineMode::kDrtmH;
+  cfg.num_nodes = 2;
+  cfg.replication = 2;
+  CheckObserverOnly(cfg);
+}
+
+}  // namespace
+}  // namespace xenic

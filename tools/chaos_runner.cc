@@ -14,11 +14,17 @@
 //                [--crashes N] [--storms N] [--stalls N]
 //                [--drop P] [--dup P] [--delay P] [--log-capacity N]
 //                [--drop-type NAME] [--drop-node N]
+//                [--timeline] [--timeline-window-us N]
 //
 // --drop-type arms the transport-layer typed drop: every message matching
 // NAME (a net::MsgType name such as "validate", or "<x>_reply" for the ACKs
 // acknowledging <x>, e.g. "validate_reply") sent by --drop-node (default 0)
 // is dropped and redelivered by link-layer retransmit. Xenic systems only.
+//
+// --timeline appends a windowed throughput/abort/latency time series (with
+// planned-fault markers) after each seed's summary. Every extra line starts
+// with "timeline ", and the summaries themselves are byte-identical with
+// the flag on or off (check_determinism.sh enforces it).
 
 #include <cstdio>
 #include <cstdlib>
@@ -127,6 +133,11 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--drop-node") {
       base.faults.typed_drop_node = static_cast<int>(ParseU64(next()));
+    } else if (a == "--timeline") {
+      base.timeline = true;
+    } else if (a == "--timeline-window-us") {
+      base.timeline_window =
+          static_cast<xenic::sim::Tick>(ParseU64(next())) * xenic::sim::kNsPerUs;
     } else if (a == "--jobs" || a.rfind("--jobs=", 0) == 0) {
       if (a == "--jobs") {
         (void)next();  // consumed below by ParseJobsFlag
@@ -155,6 +166,9 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   for (const ChaosVerdict& v : verdicts) {
     std::fputs(v.Summary().c_str(), stdout);
+    if (base.timeline) {
+      std::fputs(v.Timeline().c_str(), stdout);
+    }
     std::fputs("\n", stdout);
     all_ok = all_ok && v.ok();
   }

@@ -65,6 +65,22 @@ if [[ -n "$CHAOS_BIN" ]]; then
     exit 1
   fi
   echo "determinism OK: typed-drop chaos verdicts are byte-identical across jobs"
+
+  # --timeline must be pure bookkeeping: stripping its "timeline " lines
+  # from a --timeline run must reproduce the plain run byte-for-byte, and
+  # the timeline lines must actually be there (a silently dead flag can't
+  # pass).
+  "$CHAOS_BIN" --seeds 1-4 --jobs 1 >"$serial" || true
+  "$CHAOS_BIN" --seeds 1-4 --jobs 1 --timeline >"$parallel" || true
+  if ! grep -q "^timeline win_us=" "$parallel"; then
+    echo "FAIL: chaos --timeline produced no timeline lines" >&2
+    exit 1
+  fi
+  if ! diff -u "$serial" <(grep -v "^timeline " "$parallel"); then
+    echo "FAIL: chaos --timeline perturbed the verdict output" >&2
+    exit 1
+  fi
+  echo "determinism OK: chaos --timeline is observer-only (verdicts unchanged)"
 fi
 
 # --- Tracing on vs off: results must be byte-identical ---
@@ -103,3 +119,23 @@ else
 fi
 
 echo "determinism OK: tracing on/off results are byte-identical"
+
+# --- Per-txn critical-path attribution on vs off: same contract ---
+# The point-check scalar lines must be byte-identical with --txn-attrib
+# attached, and the run must actually print a waterfall per system.
+"$BIN" --point-check --txn-attrib >"$parallel" 2>/dev/null
+
+if ! diff -u <(grep "^point-check" "$serial") <(grep "^point-check" "$parallel"); then
+  echo "FAIL: --txn-attrib perturbed the simulation (point-check scalars differ)" >&2
+  exit 1
+fi
+waterfalls=$(grep -c "critical-path waterfall" "$parallel" || true)
+if [[ "$waterfalls" -lt 2 ]]; then
+  echo "FAIL: --txn-attrib printed $waterfalls waterfalls (expected one per system)" >&2
+  exit 1
+fi
+if grep -q "orphan_instants=[1-9]" "$parallel"; then
+  echo "FAIL: --txn-attrib found transport instants with no txn id (orphans)" >&2
+  exit 1
+fi
+echo "determinism OK: --txn-attrib is observer-only ($waterfalls waterfalls emitted)"

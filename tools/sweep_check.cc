@@ -69,6 +69,11 @@ int main(int argc, char** argv) {
       r.contexts_per_node = 16;
       r.collect_resources = ci == 0 && opts.attrib;
       r.trace = (ci == 0 && !opts.trace_path.empty()) ? &rec : nullptr;
+      // --txn-attrib: per-system critical-path collection. The point-check
+      // line must stay byte-identical with this attached (enforced by
+      // check_determinism.sh); the waterfall prints after it.
+      obs::TxnTraceSink txn_sink;
+      r.txn_trace = (opts.txn_attrib && r.trace == nullptr) ? &txn_sink : nullptr;
       RunResult res = harness::RunWorkload(*system, *wl, r);
       std::printf("point-check[%s]: committed=%llu aborted=%llu counted=%llu median_ns=%llu "
                   "p99_ns=%llu max_ns=%llu sim_events=%llu window_ns=%llu\n",
@@ -86,6 +91,17 @@ int main(int argc, char** argv) {
       if (ci == 0 && opts.attrib) {
         const obs::BottleneckReport report = obs::Attribute(res.resources);
         std::printf("%s", obs::RenderAttribution(report, "point-check attribution").c_str());
+      }
+      if (r.txn_trace != nullptr) {
+        const obs::TailAttribution attrib =
+            obs::AggregateTailAttribution(std::move(res.txn_paths));
+        std::printf("%s", obs::RenderTxnWaterfall(
+                              attrib, system->Name() + " critical-path waterfall")
+                              .c_str());
+        std::printf("txn-trace audit: zero_id_spans=%llu orphan_instants=%llu late_spans=%llu\n",
+                    static_cast<unsigned long long>(txn_sink.zero_id_spans()),
+                    static_cast<unsigned long long>(txn_sink.orphan_instants()),
+                    static_cast<unsigned long long>(txn_sink.late_spans()));
       }
     }
     if (!opts.trace_path.empty()) {

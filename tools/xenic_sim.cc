@@ -19,7 +19,9 @@
 #include "src/common/table_printer.h"
 #include "src/harness/runner.h"
 #include "src/obs/attribution.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/trace_recorder.h"
+#include "src/obs/txn_trace.h"
 #include "src/workload/retwis.h"
 #include "src/workload/smallbank.h"
 #include "src/workload/tpcc.h"
@@ -39,6 +41,7 @@ struct Args {
   uint64_t scale = 0;  // per-node keys/accounts/warehouses; 0 = default
   bool csv = false;
   bool attrib = false;
+  bool txn_attrib = false;
   std::string trace_path;
   bool help = false;
 };
@@ -76,6 +79,8 @@ Args Parse(int argc, char** argv) {
       a.csv = true;
     } else if (std::strcmp(argv[i], "--attrib") == 0) {
       a.attrib = true;
+    } else if (std::strcmp(argv[i], "--txn-attrib") == 0) {
+      a.txn_attrib = true;
     } else if (ParseArg(argv[i], "--trace", &v)) {
       a.trace_path = v;
     } else {
@@ -145,7 +150,7 @@ int main(int argc, char** argv) {
                  "          --workload=smallbank|retwis|tpcc|tpcc-no\n"
                  "          [--nodes=N] [--replication=R] [--contexts=C]\n"
                  "          [--measure-us=T] [--seed=S] [--scale=K] [--csv]\n"
-                 "          [--attrib] [--trace=out.trace.json]\n",
+                 "          [--attrib] [--txn-attrib] [--trace=out.trace.json]\n",
                  argv[0]);
     return a.help ? 0 : 1;
   }
@@ -160,8 +165,12 @@ int main(int argc, char** argv) {
   rc.warmup = 150 * sim::kNsPerUs;
   rc.measure = a.measure_us * sim::kNsPerUs;
   obs::TraceRecorder rec;
+  obs::TxnTraceSink txn_sink;
   rc.collect_resources = a.attrib;
   rc.trace = a.trace_path.empty() ? nullptr : &rec;
+  // --txn-attrib and --trace both need the engine's single trace slot;
+  // --trace wins (RunWorkload prefers rc.trace when both are set).
+  rc.txn_trace = a.txn_attrib ? &txn_sink : nullptr;
   std::fprintf(stderr, "running %s on %s (%u nodes, %u contexts/node)...\n", wl->Name().c_str(),
                system->Name().c_str(), a.nodes, a.contexts);
   harness::RunResult r = harness::RunWorkload(*system, *wl, rc);
@@ -200,6 +209,21 @@ int main(int argc, char** argv) {
   if (a.attrib) {
     const obs::BottleneckReport report = obs::Attribute(r.resources);
     std::printf("\n%s", obs::RenderAttribution(report, "bottleneck attribution").c_str());
+  }
+  if (a.txn_attrib) {
+    const obs::TailAttribution attrib = obs::AggregateTailAttribution(std::move(r.txn_paths));
+    std::printf("\n%s", obs::RenderTxnWaterfall(attrib, "critical-path waterfall").c_str());
+    std::printf("txn-trace audit: zero_id_spans=%llu orphan_instants=%llu late_spans=%llu\n",
+                static_cast<unsigned long long>(txn_sink.zero_id_spans()),
+                static_cast<unsigned long long>(txn_sink.orphan_instants()),
+                static_cast<unsigned long long>(txn_sink.late_spans()));
+    const std::string json = obs::TxnAttribJson(attrib);
+    const std::string path = "xenicsim.txnattrib.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
   }
   return 0;
 }
