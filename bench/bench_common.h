@@ -238,6 +238,10 @@ inline void PrintCurves(const std::string& title, const std::vector<Curve>& curv
 //                   and write Chrome trace-event JSON to PATH
 // Reruns reuse the sweep's exact RunConfig, so (by the determinism
 // contract) they reproduce the printed point exactly.
+//
+// Contention-control flags (ISSUE 6): retry policy selection and the
+// hot-key / adaptive-DMA feature toggles. All default to the historical
+// behavior; benches opt in by calling ApplyContentionOptions.
 struct BenchOptions {
   bool attrib = false;
   bool msg_breakdown = false;  // per-MsgType traffic table after the sweep
@@ -248,10 +252,57 @@ struct BenchOptions {
   // --latency-hist: dump the latency histogram buckets of every sweep
   // point ("latency-hist [...]" lines; midpoint_ns:count pairs).
   bool latency_hist = false;
+  // --abort-breakdown: abort-reason table at each system's peak point.
+  bool abort_breakdown = false;
   std::string trace_path;
+
+  // --retry-policy uniform|expjitter|cwnd (validated; unknown -> exit 2).
+  txn::RetryPolicyKind retry_policy = txn::RetryPolicyKind::kUniform;
+  uint64_t backoff_base_us = 0;  // --backoff-base US; 0 = keep default (4)
+  uint64_t retry_cap_us = 0;     // --retry-cap US; 0 = keep default (256)
+  bool hot_key_path = false;     // --hot-key-path (Xenic systems only)
+  bool adaptive_dma = false;     // --adaptive-dma (Xenic systems only)
+  uint64_t seed = 0;             // --seed N; 0 = keep the bench's default
+
+  static void PrintHelp(const char* prog) {
+    std::printf(
+        "usage: %s [flags]\n"
+        "  --jobs N            parallel sweep workers (0 = hardware threads)\n"
+        "  --attrib            bottleneck attribution at each system's peak\n"
+        "  --msg-breakdown     per-message-type traffic table at peaks\n"
+        "  --txn-attrib        p50-vs-tail critical-path waterfall at peaks\n"
+        "  --latency-hist      latency histogram buckets for every point\n"
+        "  --abort-breakdown   abort-reason table at each system's peak\n"
+        "  --trace PATH        Chrome trace of the first system's peak point\n"
+        "  --seed N            override the run seed (default: bench-specific)\n"
+        "  --retry-policy P    abort backoff policy: uniform | expjitter | cwnd\n"
+        "                      (default uniform: the historical fixed backoff)\n"
+        "  --backoff-base US   backoff base in microseconds (default 4)\n"
+        "  --retry-cap US      backoff window cap in microseconds (default 256)\n"
+        "  --hot-key-path      serialize sketch-flagged hot keys on the NIC\n"
+        "  --adaptive-dma      occupancy-aware DMA vector sizing\n",
+        prog);
+  }
+
+  // Parse a mandatory positive integer value for `flag`, exiting 2 on junk.
+  static uint64_t ParseCount(const char* flag, const char* value) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0' || v == 0) {
+      std::fprintf(stderr, "%s requires a positive integer, got '%s'\n", flag, value);
+      std::exit(2);
+    }
+    return v;
+  }
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions o;
+    auto policy = [&o](const char* name) {
+      if (!txn::ParseRetryPolicy(name, &o.retry_policy)) {
+        std::fprintf(stderr, "unknown --retry-policy '%s' (uniform|expjitter|cwnd)\n", name);
+        std::exit(2);
+      }
+    };
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--attrib") == 0) {
         o.attrib = true;
@@ -261,15 +312,112 @@ struct BenchOptions {
         o.txn_attrib = true;
       } else if (std::strcmp(argv[i], "--latency-hist") == 0) {
         o.latency_hist = true;
+      } else if (std::strcmp(argv[i], "--abort-breakdown") == 0) {
+        o.abort_breakdown = true;
+      } else if (std::strcmp(argv[i], "--hot-key-path") == 0) {
+        o.hot_key_path = true;
+      } else if (std::strcmp(argv[i], "--adaptive-dma") == 0) {
+        o.adaptive_dma = true;
+      } else if (std::strcmp(argv[i], "--retry-policy") == 0 && i + 1 < argc) {
+        policy(argv[++i]);
+      } else if (std::strncmp(argv[i], "--retry-policy=", 15) == 0) {
+        policy(argv[i] + 15);
+      } else if (std::strcmp(argv[i], "--backoff-base") == 0 && i + 1 < argc) {
+        o.backoff_base_us = ParseCount("--backoff-base", argv[++i]);
+      } else if (std::strncmp(argv[i], "--backoff-base=", 15) == 0) {
+        o.backoff_base_us = ParseCount("--backoff-base", argv[i] + 15);
+      } else if (std::strcmp(argv[i], "--retry-cap") == 0 && i + 1 < argc) {
+        o.retry_cap_us = ParseCount("--retry-cap", argv[++i]);
+      } else if (std::strncmp(argv[i], "--retry-cap=", 12) == 0) {
+        o.retry_cap_us = ParseCount("--retry-cap", argv[i] + 12);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        o.seed = ParseCount("--seed", argv[++i]);
+      } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        o.seed = ParseCount("--seed", argv[i] + 7);
       } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
         o.trace_path = argv[++i];
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
         o.trace_path = argv[i] + 8;
+      } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+        PrintHelp(argv[0]);
+        std::exit(0);
       }
     }
     return o;
   }
 };
+
+// Apply the contention-control flags to a run: the retry policy shapes the
+// harness's abort backoff, the feature toggles flip the Xenic systems'
+// hot-key fast path and adaptive DMA batching. Defaults leave everything
+// byte-identical to the historical behavior.
+inline void ApplyContentionOptions(const BenchOptions& o, RunConfig* rc,
+                                   SystemConfig* cfg = nullptr) {
+  if (rc != nullptr) {
+    rc->retry.kind = o.retry_policy;
+    if (o.backoff_base_us > 0) {
+      rc->retry.backoff_base = o.backoff_base_us * sim::kNsPerUs;
+    }
+    if (o.retry_cap_us > 0) {
+      rc->retry.backoff_cap = o.retry_cap_us * sim::kNsPerUs;
+    }
+    if (o.seed > 0) {
+      rc->seed = o.seed;
+    }
+  }
+  if (cfg != nullptr && cfg->kind == SystemConfig::Kind::kXenic) {
+    if (o.hot_key_path) {
+      cfg->features.hot_key_fastpath = true;
+    }
+    if (o.adaptive_dma) {
+      cfg->nic_features.adaptive_dma_batching = true;
+    }
+  }
+}
+
+inline void ApplyContentionOptions(const BenchOptions& o, RunConfig* rc,
+                                   std::vector<SystemConfig>* cfgs) {
+  ApplyContentionOptions(o, rc);
+  for (auto& c : *cfgs) {
+    ApplyContentionOptions(o, nullptr, &c);
+  }
+}
+
+// Abort-reason table (--abort-breakdown) from the protocol-level counters.
+// "unattributed" covers nodes that do not classify aborts (the baselines).
+inline void PrintAbortBreakdown(const std::string& title, const RunResult& r) {
+  const txn::TxnStats& s = r.txn_stats;
+  if (s.aborted == 0 && s.app_aborted == 0) {
+    std::printf("%s: no aborts in measurement window\n\n", title.c_str());
+    return;
+  }
+  const double denom = s.aborted > 0 ? static_cast<double>(s.aborted) : 1.0;
+  const uint64_t attributed = s.abort_lock_execute + s.abort_lock_local + s.abort_lock_ship +
+                              s.abort_validate + s.abort_gap + s.abort_other;
+  TablePrinter tp({"Reason", "Aborts", "Share%"});
+  auto row = [&](const char* name, uint64_t n) {
+    if (n == 0) {
+      return;
+    }
+    tp.AddRow({name, TablePrinter::Fmt(n),
+               TablePrinter::Fmt(static_cast<double>(n) / denom * 100, 1)});
+  };
+  row("lock-conflict (execute)", s.abort_lock_execute);
+  row("lock-conflict (local)", s.abort_lock_local);
+  row("lock-conflict (shipped)", s.abort_lock_ship);
+  row("validation-failure", s.abort_validate);
+  row("read-write-gap", s.abort_gap);
+  row("other", s.abort_other);
+  row("unattributed", s.aborted - attributed);
+  tp.AddRow({"total retryable", TablePrinter::Fmt(s.aborted), TablePrinter::Fmt(100.0, 1)});
+  std::printf("%s", tp.Render(title).c_str());
+  std::printf("app-aborts (non-retryable): %llu; hot-path txns: %llu (parked %llu times); "
+              "remote lock parks: %llu\n\n",
+              static_cast<unsigned long long>(s.app_aborted),
+              static_cast<unsigned long long>(s.hot_path),
+              static_cast<unsigned long long>(s.hot_waits),
+              static_cast<unsigned long long>(s.hot_remote_parks));
+}
 
 // Per-message-type traffic table (--msg-breakdown): one row per MsgType the
 // system actually sent during the measurement window, from the transport
@@ -327,6 +475,17 @@ inline void FinishBench(const BenchOptions& opts, const std::string& slug,
       }
       const CurvePoint& p = c.points[static_cast<size_t>(peak)];
       PrintMsgBreakdown(c.system + " @ contexts=" + std::to_string(p.contexts), p.result);
+    }
+  }
+  if (opts.abort_breakdown) {
+    for (const auto& c : curves) {
+      const int peak = c.PeakIndex();
+      if (peak < 0) {
+        continue;
+      }
+      const CurvePoint& p = c.points[static_cast<size_t>(peak)];
+      PrintAbortBreakdown(c.system + " abort breakdown @ contexts=" + std::to_string(p.contexts),
+                          p.result);
     }
   }
   if (opts.attrib) {

@@ -9,10 +9,11 @@
 #include "bench/bench_common.h"
 #include "src/workload/smallbank.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xenic;
   using namespace xenic::bench;
 
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
   const uint32_t nodes = 6;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
     workload::Smallbank::Options wo;
@@ -25,12 +26,14 @@ int main() {
   rc.warmup = 150 * sim::kNsPerUs;
   rc.measure = 1000 * sim::kNsPerUs;
   const std::vector<uint32_t> loads = {2, 16, 64, 128};
+  ApplyContentionOptions(opts, &rc);
 
   std::vector<Curve> curves;
   {
     SystemConfig on_path;
     on_path.kind = SystemConfig::Kind::kXenic;
     on_path.num_nodes = nodes;
+    ApplyContentionOptions(opts, nullptr, &on_path);
     curves.push_back(RunSweep(on_path, make_wl, loads, rc));
     curves.back().system = "Xenic (on-path NIC)";
   }
@@ -39,6 +42,7 @@ int main() {
     off_path.kind = SystemConfig::Kind::kXenic;
     off_path.num_nodes = nodes;
     off_path.perf = net::OffPathPerfModel();
+    ApplyContentionOptions(opts, nullptr, &off_path);
     curves.push_back(RunSweep(off_path, make_wl, loads, rc));
     curves.back().system = "Xenic (off-path NIC)";
   }

@@ -14,11 +14,13 @@ int main(int argc, char** argv) {
   using namespace xenic::bench;
 
   SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
 
   RunConfig rc;
   rc.contexts_per_node = 64;
   rc.warmup = 150 * sim::kNsPerUs;
   rc.measure = 800 * sim::kNsPerUs;
+  ApplyContentionOptions(opts, &rc);
 
   // Every (cluster size, system) cell is an independent simulation; run the
   // whole grid through the sweep executor.
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
         }
         cfg.num_nodes = nodes;
         cfg.replication = 3;
+        ApplyContentionOptions(opts, nullptr, &cfg);
         auto sys = harness::BuildSystem(cfg, *wl);
         harness::LoadWorkload(*sys, *wl);
         harness::RunResult r = harness::RunWorkload(*sys, *wl, rc);

@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
   rc.measure = 1500 * sim::kNsPerUs;
 
   const std::vector<uint32_t> loads = {1, 4, 16, 48, 96, 160};
-  const std::vector<SystemConfig> cfgs = Figure8Systems(nodes);
+  std::vector<SystemConfig> cfgs = Figure8Systems(nodes);
+  ApplyContentionOptions(opts, &rc, &cfgs);
   std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
   PrintCurves("Figure 8a: TPC-C New Order, throughput per server vs median latency", curves);
   FinishBench(opts, "fig8a_tpcc_neworder", cfgs, make_wl, rc, curves);

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   // DrTM+R's PUBLISHED result. We still run our (idealized) baseline
   // emulations for context, clearly labeled as such.
   const std::vector<uint32_t> loads = {1, 4, 16, 48, 96, 160};
-  const std::vector<SystemConfig> cfgs = Figure8Systems(nodes);
+  std::vector<SystemConfig> cfgs = Figure8Systems(nodes);
+  ApplyContentionOptions(opts, &rc, &cfgs);
   std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
   for (size_t i = 1; i < curves.size(); ++i) {
     curves[i].system += " (emulated, not in paper)";

@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   rc.measure = 1200 * sim::kNsPerUs;
 
   const std::vector<uint32_t> loads = {1, 4, 16, 64, 128, 192};
-  const std::vector<SystemConfig> cfgs = Figure8Systems(nodes);
+  std::vector<SystemConfig> cfgs = Figure8Systems(nodes);
+  ApplyContentionOptions(opts, &rc, &cfgs);
   std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
   PrintCurves("Figure 8c: Retwis, throughput per server vs median latency", curves);
   FinishBench(opts, "fig8c_retwis", cfgs, make_wl, rc, curves);

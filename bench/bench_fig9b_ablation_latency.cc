@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
     cfgs.push_back(cfg);
   }
 
+  ApplyContentionOptions(opts, &rc, &cfgs);
   std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
   Curve ref = std::move(curves.front());
   curves.erase(curves.begin());

@@ -1,0 +1,207 @@
+// Contention-relief comparison: how much of the p95+ redo and DMA tail the
+// retry-policy / hot-key / adaptive-DMA stack removes, on the workload that
+// motivated it (skewed Smallbank near saturation, where --txn-attrib showed
+// redo dominating the p50->p95 gap).
+//
+// Five cumulative configurations share one seed and one load sweep:
+//
+//   uniform            the historical fixed backoff (baseline)
+//   expjitter          capped exponential backoff with full jitter
+//   cwnd               contention-window backoff (abort hints only)
+//   cwnd+hot           ... plus the NIC-serialized hot-key fast path
+//   cwnd+hot+adma      ... plus occupancy-aware DMA vector sizing
+//
+// For each: sweep to find the peak-throughput point, rerun that point with
+// a TxnTraceSink, and report the tail cohort's redo/DMA bucket means next
+// to peak throughput. The wins table quantifies each configuration against
+// the uniform baseline (redo reduction % at equal-or-better context count,
+// throughput delta %), and BENCH_redo.json carries the same numbers for
+// EXPERIMENTS.md and regression tracking.
+
+#include "bench/bench_common.h"
+#include "src/workload/smallbank.h"
+
+namespace {
+
+using namespace xenic;
+using namespace xenic::bench;
+
+struct Variant {
+  const char* name;
+  txn::RetryPolicyKind kind;
+  bool hot_key_path;
+  bool adaptive_dma;
+};
+
+constexpr Variant kVariants[] = {
+    {"uniform", txn::RetryPolicyKind::kUniform, false, false},
+    {"expjitter", txn::RetryPolicyKind::kExpJitter, false, false},
+    {"cwnd", txn::RetryPolicyKind::kContentionWindow, false, false},
+    {"cwnd+hot", txn::RetryPolicyKind::kContentionWindow, true, false},
+    {"cwnd+hot+adma", txn::RetryPolicyKind::kContentionWindow, true, true},
+};
+constexpr size_t kNumVariants = sizeof(kVariants) / sizeof(kVariants[0]);
+
+double BucketUs(const obs::TailAttribution& a, obs::CostBucket b, bool tail) {
+  const double ns = tail ? a.tail_mean[static_cast<int>(b)] : a.p50_mean[static_cast<int>(b)];
+  return ns / 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
+
+  // Small account pool -> a real hot set that fits the per-shard sketch;
+  // loads straddle the saturation knee so PeakIndex finds a true peak.
+  const uint32_t nodes = 6;
+  auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
+    workload::Smallbank::Options wo;
+    wo.num_nodes = nodes;
+    wo.accounts_per_node = 400;
+    return std::make_unique<workload::Smallbank>(wo);
+  };
+
+  RunConfig base_rc;
+  base_rc.warmup = 150 * sim::kNsPerUs;
+  base_rc.measure = 1200 * sim::kNsPerUs;
+  ApplyContentionOptions(opts, &base_rc);  // --seed/--backoff-base/--retry-cap
+  if (opts.retry_cap_us == 0) {
+    // Tuned default for this comparison: the cap bounds the widest window
+    // the adaptive policies may draw from, and every tick of backoff is
+    // charged to the retry's redo bucket -- so the useful cap is on the
+    // order of the lock-hold time (a few us here), not the library-wide
+    // 256us ceiling. Override with --retry-cap to study other settings.
+    base_rc.retry.backoff_cap = 6 * sim::kNsPerUs;
+  }
+  const std::vector<uint32_t> loads = {8, 16, 32, 48};
+
+  auto variant_system = [&](const Variant& v) {
+    SystemConfig cfg;
+    cfg.kind = SystemConfig::Kind::kXenic;
+    cfg.num_nodes = nodes;
+    cfg.replication = 3;
+    cfg.features.hot_key_fastpath = v.hot_key_path;
+    cfg.nic_features.adaptive_dma_batching = v.adaptive_dma;
+    return cfg;
+  };
+  auto variant_rc = [&](const Variant& v) {
+    RunConfig rc = base_rc;
+    rc.retry.kind = v.kind;
+    return rc;
+  };
+
+  // Sweep every (variant, load) point as an independent deterministic job.
+  std::vector<Curve> curves(kNumVariants);
+  {
+    std::vector<std::function<void()>> tasks;
+    for (size_t vi = 0; vi < kNumVariants; ++vi) {
+      curves[vi].system = kVariants[vi].name;
+      curves[vi].points.resize(loads.size());
+      for (size_t li = 0; li < loads.size(); ++li) {
+        tasks.push_back([&, vi, li] {
+          auto wl = make_wl();
+          auto system = harness::BuildSystem(variant_system(kVariants[vi]), *wl);
+          harness::LoadWorkload(*system, *wl);
+          RunConfig rc = variant_rc(kVariants[vi]);
+          rc.contexts_per_node = loads[li];
+          curves[vi].points[li].contexts = loads[li];
+          curves[vi].points[li].result = harness::RunWorkload(*system, *wl, rc);
+        });
+      }
+    }
+    ex.RunAll(tasks);
+  }
+  for (size_t vi = 0; vi < kNumVariants; ++vi) {
+    for (const auto& p : curves[vi].points) {
+      std::fprintf(stderr, "  [%s] contexts=%u tput=%s/srv abort=%.1f%%\n",
+                   kVariants[vi].name, p.contexts,
+                   TablePrinter::FmtOps(p.result.tput_per_server).c_str(),
+                   p.result.abort_rate * 100);
+    }
+  }
+
+  // Tail attribution at each variant's peak (traced reruns, in parallel;
+  // tracing cannot change the results by the determinism contract).
+  std::vector<obs::TailAttribution> attribs(kNumVariants);
+  std::vector<uint32_t> peak_contexts(kNumVariants, 0);
+  {
+    std::vector<std::function<void()>> tasks;
+    for (size_t vi = 0; vi < kNumVariants; ++vi) {
+      const int peak = curves[vi].PeakIndex();
+      if (peak < 0) {
+        continue;
+      }
+      peak_contexts[vi] = curves[vi].points[static_cast<size_t>(peak)].contexts;
+      tasks.push_back([&, vi] {
+        obs::TxnTraceSink sink;
+        RunResult r = RerunPoint(variant_system(kVariants[vi]), make_wl,
+                                 variant_rc(kVariants[vi]), peak_contexts[vi],
+                                 /*collect_resources=*/false, /*trace=*/nullptr, &sink);
+        attribs[vi] = obs::AggregateTailAttribution(std::move(r.txn_paths));
+      });
+    }
+    ex.RunAll(tasks);
+  }
+
+  const double base_tput = curves[0].PeakTput();
+  const double base_redo = BucketUs(attribs[0], obs::CostBucket::kRedo, /*tail=*/true);
+  const double base_dma = BucketUs(attribs[0], obs::CostBucket::kDma, /*tail=*/true);
+
+  TablePrinter tp({"Config", "Contexts", "Peak tput/srv", "Abort%", "Tail redo(us)",
+                   "Tail dma(us)", "Redo cut%", "Tput delta%"});
+  std::string json = "{\"bench\":\"redo_relief\",\"workload\":\"smallbank-skewed\","
+                     "\"configs\":[";
+  for (size_t vi = 0; vi < kNumVariants; ++vi) {
+    const int peak = curves[vi].PeakIndex();
+    if (peak < 0) {
+      continue;
+    }
+    const RunResult& r = curves[vi].points[static_cast<size_t>(peak)].result;
+    const double redo = BucketUs(attribs[vi], obs::CostBucket::kRedo, /*tail=*/true);
+    const double dma = BucketUs(attribs[vi], obs::CostBucket::kDma, /*tail=*/true);
+    const double redo_cut = base_redo > 0 ? (1.0 - redo / base_redo) * 100 : 0;
+    const double tput_delta =
+        base_tput > 0 ? (curves[vi].PeakTput() / base_tput - 1.0) * 100 : 0;
+    tp.AddRow({kVariants[vi].name, TablePrinter::Fmt(static_cast<uint64_t>(peak_contexts[vi])),
+               TablePrinter::FmtOps(curves[vi].PeakTput()),
+               TablePrinter::Fmt(r.abort_rate * 100, 1), TablePrinter::Fmt(redo, 1),
+               TablePrinter::Fmt(dma, 2), TablePrinter::Fmt(redo_cut, 1),
+               TablePrinter::Fmt(tput_delta, 2)});
+    if (vi > 0) {
+      json += ',';
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"config\":\"%s\",\"contexts\":%u,\"peak_tput_per_server\":%.0f,"
+                  "\"abort_rate\":%.4f,\"tail_redo_us\":%.2f,\"tail_dma_us\":%.3f,"
+                  "\"p50_redo_us\":%.2f,\"redo_reduction_pct\":%.1f,"
+                  "\"tput_delta_pct\":%.2f,\"hot_path_txns\":%llu}",
+                  kVariants[vi].name, peak_contexts[vi], curves[vi].PeakTput(), r.abort_rate,
+                  redo, dma, BucketUs(attribs[vi], obs::CostBucket::kRedo, /*tail=*/false),
+                  redo_cut, tput_delta,
+                  static_cast<unsigned long long>(r.txn_stats.hot_path));
+    json += buf;
+  }
+  json += "],\"baseline\":\"uniform\",\"tail_cohort\":\"p95_to_max\"";
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), ",\"baseline_tail_dma_us\":%.3f}", base_dma);
+    json += buf;
+  }
+  std::printf("%s\n", tp.Render("Redo+DMA tail relief: skewed Smallbank @ peak").c_str());
+
+  const std::string path = "BENCH_redo.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+  // The satellite observability flags work here too (applied per variant
+  // would be ambiguous, so they run against the uniform baseline config).
+  FinishBench(opts, "redo_relief", {variant_system(kVariants[0])}, make_wl,
+              variant_rc(kVariants[0]), {curves[0]});
+  return 0;
+}

@@ -139,7 +139,8 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
   };
 
   uint32_t active = 0;
-  std::function<void(store::NodeId)> run_one = [&](store::NodeId n) {
+  std::function<void(store::NodeId, uint32_t)> run_one = [&](store::NodeId n,
+                                                             uint32_t tries) {
     if (engine.now() >= config.horizon) {
       active--;
       return;
@@ -149,21 +150,31 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
     const sim::Tick submitted = engine.now();
     // A submit to a crashed coordinator is silently dropped: the chain
     // wedges, which is exactly what a client talking to a dead node sees.
-    system->Submit(n, std::move(req), [&, n, obs, submitted](TxnOutcome o) {
-      if (o == TxnOutcome::kCommitted) {
+    system->Submit(n, std::move(req), [&, n, obs, submitted, tries](txn::TxnResult res) {
+      const bool committed = res.outcome == TxnOutcome::kCommitted;
+      if (committed) {
         recorder.Commit(obs);
         verdict.committed++;
       } else {
         verdict.aborted++;
       }
-      record_completion(submitted, o == TxnOutcome::kCommitted);
-      run_one(n);
+      record_completion(submitted, committed);
+      // Armed retry backoff (contention-scaled); with it off the submitter
+      // loops back-to-back exactly as it always has (no extra Rng draws).
+      if (!committed && config.retry_aborts &&
+          res.outcome == TxnOutcome::kAborted) {
+        const sim::Tick backoff =
+            txn::RetryBackoff(config.retry, tries, res.contention, rng);
+        engine.ScheduleAfter(backoff, [&, n, tries] { run_one(n, tries + 1); });
+        return;
+      }
+      run_one(n, 0);
     });
   };
   for (store::NodeId n = 0; n < config.system.num_nodes; ++n) {
     for (uint32_t c = 0; c < config.contexts_per_node; ++c) {
       active++;
-      run_one(n);
+      run_one(n, 0);
     }
   }
 

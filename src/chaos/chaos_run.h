@@ -20,6 +20,7 @@
 #include "src/chaos/fault_plan.h"
 #include "src/chaos/history.h"
 #include "src/harness/system_adapter.h"
+#include "src/txn/retry_policy.h"
 
 namespace xenic::chaos {
 
@@ -34,6 +35,12 @@ struct ChaosConfig {
   uint32_t keys = 48;                       // bank accounts
   uint32_t contexts_per_node = 3;           // closed-loop submitters
   int64_t initial_balance = 100;
+
+  // Abort backoff between a submitter's transactions (chaos_runner
+  // --retry-policy). Off by default: arming it draws extra Rng values, so
+  // the historical per-seed transcripts stay byte-identical without it.
+  bool retry_aborts = false;
+  txn::RetryPolicyConfig retry;
 
   // Windowed time series of throughput/aborts/latency around the fault
   // windows (ChaosVerdict::Timeline()). Pure bookkeeping on existing

@@ -48,13 +48,13 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
     const uint64_t id = sh->system->Submit(
         node, std::move(copy),
         [sh, node, tag, start, attempt_start, id_box, self, r = std::move(r),
-         tries](txn::TxnOutcome outcome) mutable {
+         tries](txn::TxnResult res) mutable {
           if (sh->stopped) {
             return;
           }
           sim::Engine& eng = sh->system->engine();
-          if (outcome == txn::TxnOutcome::kAborted &&
-              tries < sh->config->max_retries) {
+          if (res.outcome == txn::TxnOutcome::kAborted &&
+              tries < sh->config->retry.max_retries) {
             if (tries == 0 && sh->measuring) {
               sh->aborts++;
             }
@@ -63,9 +63,10 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
               // retry's tree; the lost time shows up as the redo bucket.
               sh->txn_sink->Discard(*id_box);
             }
+            // Backoff per the configured policy, scaled by the contention
+            // hint the coordinator returned with the abort.
             const sim::Tick backoff =
-                sh->config->retry_backoff +
-                sh->rng.NextBounded(sh->config->retry_backoff + 1);
+                txn::RetryBackoff(sh->config->retry, tries, res.contention, sh->rng);
             eng.ScheduleAfter(
                 backoff, [sh, self = std::move(self), r = std::move(r),
                           tries]() mutable {
@@ -76,7 +77,7 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
             return;
           }
           bool counted = false;
-          if (outcome == txn::TxnOutcome::kCommitted && sh->measuring) {
+          if (res.outcome == txn::TxnOutcome::kCommitted && sh->measuring) {
             sh->commits++;
             if (sh->workload->CountsForThroughput(tag)) {
               counted = true;

@@ -18,6 +18,7 @@
 #include "src/obs/resource_stats.h"
 #include "src/obs/txn_trace.h"
 #include "src/sim/trace.h"
+#include "src/txn/retry_policy.h"
 #include "src/workload/workload.h"
 
 namespace xenic::harness {
@@ -27,8 +28,10 @@ struct RunConfig {
   sim::Tick warmup = 200 * sim::kNsPerUs;
   sim::Tick measure = 1500 * sim::kNsPerUs;
   uint64_t seed = 1;
-  sim::Tick retry_backoff = 4 * sim::kNsPerUs;  // randomized up to 2x
-  uint32_t max_retries = 200;                   // then drop the transaction
+  // Abort-retry policy (kind, backoff base/cap, retry cap). The default --
+  // uniform with a 4us base -- reproduces the historical fixed backoff
+  // byte-for-byte (same single Rng draw per retry).
+  txn::RetryPolicyConfig retry;
 
   // --- Observability (pure bookkeeping; cannot change results) ---
   // Collect per-resource queueing snapshots into RunResult::resources.

@@ -1,0 +1,64 @@
+#include "src/txn/retry_policy.h"
+
+#include <algorithm>
+
+namespace xenic::txn {
+
+sim::Tick RetryBackoff(const RetryPolicyConfig& cfg, uint32_t tries, uint8_t contention,
+                       Rng& rng) {
+  const sim::Tick base = std::max<sim::Tick>(1, cfg.backoff_base);
+  const sim::Tick cap = std::max<sim::Tick>(base, cfg.backoff_cap);
+  switch (cfg.kind) {
+    case RetryPolicyKind::kUniform:
+      // Byte-exact reproduction of the historical harness formula,
+      // including its single NextBounded draw.
+      return cfg.backoff_base + rng.NextBounded(cfg.backoff_base + 1);
+    case RetryPolicyKind::kExpJitter: {
+      // Full jitter: U[1, window], window doubling per retry up to the cap.
+      // The shift is clamped so `base << tries` cannot overflow.
+      const uint32_t shift = std::min<uint32_t>(tries, 20);
+      const sim::Tick window = std::min<sim::Tick>(cap, base << shift);
+      return 1 + rng.NextBounded(window);
+    }
+    case RetryPolicyKind::kContentionWindow: {
+      // Window grows with the product of the contention hint (0..255; 128
+      // is the sketch's promotion level) and the retry count: uncontended
+      // aborts retry faster than the uniform baseline, hot-key aborts
+      // spread out instead of re-colliding. Full jitter over the window --
+      // a low mean wait matters more for the redo tail than a high floor,
+      // since every tick of backoff is charged to the retry's redo bucket.
+      const sim::Tick pressure =
+          static_cast<sim::Tick>(contention) * static_cast<sim::Tick>(tries + 1);
+      const sim::Tick window = std::min<sim::Tick>(cap, base + base * pressure / 64);
+      return 1 + rng.NextBounded(window);
+    }
+  }
+  return base;  // unreachable
+}
+
+bool ParseRetryPolicy(const std::string& name, RetryPolicyKind* out) {
+  if (name == "uniform") {
+    *out = RetryPolicyKind::kUniform;
+  } else if (name == "expjitter") {
+    *out = RetryPolicyKind::kExpJitter;
+  } else if (name == "cwnd") {
+    *out = RetryPolicyKind::kContentionWindow;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* RetryPolicyName(RetryPolicyKind kind) {
+  switch (kind) {
+    case RetryPolicyKind::kUniform:
+      return "uniform";
+    case RetryPolicyKind::kExpJitter:
+      return "expjitter";
+    case RetryPolicyKind::kContentionWindow:
+      return "cwnd";
+  }
+  return "?";
+}
+
+}  // namespace xenic::txn

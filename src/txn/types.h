@@ -31,6 +31,12 @@ struct KeyRef {
   bool operator==(const KeyRef& o) const { return table == o.table && key == o.key; }
 };
 
+struct KeyRefHash {
+  size_t operator()(const KeyRef& k) const {
+    return static_cast<size_t>(xenic::ScrambleKey(k.key * 0x9e3779b97f4a7c15ull + k.table));
+  }
+};
+
 struct ReadResult {
   bool found = false;
   Seq seq = 0;
@@ -85,7 +91,33 @@ enum class TxnOutcome : uint8_t {
   kAborted,       // lock conflict or validation failure: retry
   kAppAborted,    // execution logic chose to abort: do not retry
 };
-using CommitCallback = std::function<void(TxnOutcome)>;
+
+// Where an abort was detected in the pipeline (for --abort-breakdown).
+enum class AbortReason : uint8_t {
+  kNone = 0,
+  kLockExecute,  // lock denied during a remote EXECUTE/LOCK round
+  kLockLocal,    // lock denied on the local-write fast path
+  kLockShip,     // lock denied on a shipped-execution hop
+  kValidate,     // read-set validation failed
+  kGap,          // read/write-gap check failed (key read after lock window)
+  kOther,        // anything else (log rejection, forced abort, ...)
+};
+
+// Outcome plus the coordinator's contention hint: the hot-key sketch level
+// (0..255) of the most contended key the transaction conflicted on, 0 when
+// no signal. Implicitly converts to/from TxnOutcome so callbacks that only
+// care about the outcome keep working unchanged.
+struct TxnResult {
+  TxnOutcome outcome = TxnOutcome::kCommitted;
+  uint8_t contention = 0;
+
+  TxnResult() = default;
+  TxnResult(TxnOutcome o) : outcome(o) {}  // NOLINT(google-explicit-constructor)
+  TxnResult(TxnOutcome o, uint8_t c) : outcome(o), contention(c) {}
+  operator TxnOutcome() const { return outcome; }  // NOLINT
+};
+
+using CommitCallback = std::function<void(TxnResult)>;
 
 // Xenic protocol feature flags (Figure 9 ablations). All on by default.
 struct XenicFeatures {
@@ -97,6 +129,11 @@ struct XenicFeatures {
   // Multi-hop OCC: ship eligible transactions to the remote primary NIC
   // and let backups acknowledge directly to the coordinator NIC.
   bool occ_multihop = true;
+  // Route single-shard transactions on sketch-flagged hot keys through a
+  // serialized per-key queue on the NIC instead of the optimistic race.
+  // Off by default: changes event schedules, so the golden chaos
+  // transcript and all existing seeds stay byte-identical.
+  bool hot_key_fastpath = false;
 };
 
 // Key -> primary node placement. Workloads provide an implementation
@@ -204,6 +241,20 @@ struct TxnStats {
   uint64_t remote_rounds = 0;  // network roundtrip-phases executed
   uint64_t messages = 0;
   net::MsgCounters by_type;
+
+  // Abort-reason breakdown (--abort-breakdown). Sums to `aborted`; app
+  // aborts are counted separately above.
+  uint64_t abort_lock_execute = 0;
+  uint64_t abort_lock_local = 0;
+  uint64_t abort_lock_ship = 0;
+  uint64_t abort_validate = 0;
+  uint64_t abort_gap = 0;
+  uint64_t abort_other = 0;
+
+  // Hot-key fast path accounting.
+  uint64_t hot_path = 0;   // committed/aborted txns routed via the hot path
+  uint64_t hot_waits = 0;  // times a hot-path txn parked behind the holder
+  uint64_t hot_remote_parks = 0;  // remote lock denials parked at the primary
 
   void Reset() { *this = TxnStats{}; }
 };

@@ -57,6 +57,15 @@ TxnStats XenicCluster::TotalStats() const {
     total.remote_rounds += s.remote_rounds;
     total.messages += s.messages;
     total.by_type.Merge(s.by_type);
+    total.abort_lock_execute += s.abort_lock_execute;
+    total.abort_lock_local += s.abort_lock_local;
+    total.abort_lock_ship += s.abort_lock_ship;
+    total.abort_validate += s.abort_validate;
+    total.abort_gap += s.abort_gap;
+    total.abort_other += s.abort_other;
+    total.hot_path += s.hot_path;
+    total.hot_waits += s.hot_waits;
+    total.hot_remote_parks += s.hot_remote_parks;
   }
   return total;
 }

@@ -17,6 +17,22 @@ constexpr sim::Tick kHostFinishBase = 80;
 constexpr sim::Tick kNicOpBase = 150;
 constexpr sim::Tick kNicKeyCost = 60;
 
+// Hot-key fast path: fallback wakeup for parked waiters (covers lock
+// releases that bypass the node's release paths, e.g. recovery sweeps) and
+// the cap on how often one transaction may re-park before falling back to
+// a normal abort-and-retry.
+constexpr sim::Tick kHotParkTimeout = 30 * sim::kNsPerUs;
+constexpr uint32_t kHotMaxWaits = 8;
+// Remote lock requests park far more conservatively than local hot-path
+// txns: every park delays a coordinator that may hold locks at OTHER
+// shards. One park per request bounds the cross-shard blocking chain to a
+// single timeout (then the deny resolves any distributed cycle), and a
+// shallow per-key queue cap keeps hot keys from building convoys -- a
+// deep FIFO serializes waiters across several lock generations, which
+// costs more in idle coordinator contexts than the saved retry work.
+constexpr uint32_t kRemoteMaxParks = 1;
+constexpr size_t kRemoteQueueCap = 2;
+
 // Robinhood worker costs.
 constexpr sim::Tick kWorkerPollCost = 80;
 constexpr sim::Tick kWorkerRecordCost = 150;
@@ -114,6 +130,9 @@ void XenicNode::SubmitOnHost(StatePtr st) {
     return;
   }
   if (all_local) {
+    if (features_->hot_key_fastpath && !st->write_keys.empty() && TryHotKeyRoute(st)) {
+      return;
+    }
     LocalWritePath(std::move(st));
     return;
   }
@@ -309,7 +328,10 @@ void XenicNode::LocalWritePath(StatePtr st) {
         if (st == nullptr || crashed_) {
           return;
         }
-        if (!LockAll(st->id, st->write_keys)) {
+        uint8_t contention = 0;
+        if (!LockAll(st->id, st->write_keys, &contention)) {
+          st->contention_hint = std::max(st->contention_hint, contention);
+          st->abort_reason = AbortReason::kLockLocal;
           AbortCleanup(st, TxnOutcome::kAborted);
           return;
         }
@@ -318,18 +340,25 @@ void XenicNode::LocalWritePath(StatePtr st) {
         // what the host saw (writes are now locked, reads are not).
         bool ok = true;
         store::NicIndex::LookupStats agg;
+        const sim::Tick now = nic_->engine()->now();
         for (size_t i = 0; i < st->read_keys.size() && ok; ++i) {
           auto m = LookupAccum(st->read_keys[i], /*fetch_value=*/false, &agg);
           const Seq cur = m ? m->seq : 0;
           const TxnId owner = m ? m->lock_owner : store::kNoTxn;
           if (cur != st->reads[i].seq || (owner != store::kNoTxn && owner != st->id)) {
             ok = false;
+            sketch_.RecordConflict(st->read_keys[i], now);
+            st->contention_hint =
+                std::max(st->contention_hint, sketch_.Level(st->read_keys[i], now));
           }
         }
         for (size_t i = 0; i < st->write_keys.size() && ok; ++i) {
           auto m = LookupAccum(st->write_keys[i], /*fetch_value=*/false, &agg);
           if ((m ? m->seq : 0) != st->write_seqs[i]) {
             ok = false;
+            sketch_.RecordConflict(st->write_keys[i], now);
+            st->contention_hint =
+                std::max(st->contention_hint, sketch_.Level(st->write_keys[i], now));
           }
         }
         ChargeDmaReads(agg, [this, id2, ok] {
@@ -338,6 +367,7 @@ void XenicNode::LocalWritePath(StatePtr st) {
             return;
           }
           if (!ok) {
+            st->abort_reason = AbortReason::kValidate;
             AbortCleanup(st, TxnOutcome::kAborted);
             return;
           }
@@ -346,6 +376,254 @@ void XenicNode::LocalWritePath(StatePtr st) {
       });
     });
   });
+}
+
+// ---------------------------------------------------------------------------
+// Hot-key fast path (XenicFeatures::hot_key_fastpath, p4db-style is_hot
+// routing). All-local write transactions whose write set hits a
+// sketch-flagged hot key skip the optimistic host execution: the NIC locks
+// the full read+write set up front, executes under locks, and goes
+// straight to LOG/COMMIT -- no validation race, hence no redo. If the hot
+// key is held, the transaction parks in a per-key FIFO *holding zero
+// locks* (no hold-and-wait, so no deadlock) until the holder's release
+// wakes it.
+// ---------------------------------------------------------------------------
+
+bool XenicNode::TryHotKeyRoute(StatePtr& st) {
+  const sim::Tick now = nic_->engine()->now();
+  const KeyRef* hot = nullptr;
+  for (const auto& k : st->write_keys) {
+    if (sketch_.IsHot(k, now)) {
+      hot = &k;
+      break;
+    }
+  }
+  if (hot == nullptr) {
+    return false;
+  }
+  st->hot_path = true;
+  st->hot_key = *hot;
+  stats_.hot_path++;
+  TxnState* raw = st.get();
+  const TxnId txn = raw->id;
+  txns_[txn] = std::move(st);
+  // Same host->NIC handoff as the local write path, minus the optimistic
+  // host execution: the work happens on the NIC under locks.
+  const uint32_t bytes = net::wire::TxnDescriptor(raw->read_keys.size(), raw->write_keys.size(),
+                                                  raw->req.external_bytes);
+  nic_->HostCompute(kHostInitCost, [this, txn, bytes] {
+    nic_->HostToNic(bytes, [this, txn] { HotKeyStart(txn); });
+  });
+  return true;
+}
+
+void XenicNode::HotKeyStart(TxnId txn) {
+  TxnState* st = FindState(txn);
+  if (st == nullptr || crashed_) {
+    return;
+  }
+  nic_->NicCompute(NicOpCost(st->read_keys.size() + st->write_keys.size()),
+                   [this, txn] { HotKeyAcquire(txn); });
+}
+
+void XenicNode::HotKeyAcquire(TxnId txn) {
+  TxnState* st = FindState(txn);
+  if (st == nullptr || crashed_) {
+    return;
+  }
+  // Lock reads and writes together (like the shipped path: everything is
+  // read under locks, so there is no separate validation phase).
+  std::vector<KeyRef> keys;
+  for (const auto& k : st->read_keys) {
+    if (!ContainsKey(keys, k)) {
+      keys.push_back(k);
+    }
+  }
+  for (const auto& k : st->write_keys) {
+    if (!ContainsKey(keys, k)) {
+      keys.push_back(k);
+    }
+  }
+  uint8_t contention = 0;
+  KeyRef conflict;
+  if (!LockAll(txn, keys, &contention, &conflict)) {
+    st->contention_hint = std::max(st->contention_hint, contention);
+    if (conflict == st->hot_key && st->hot_waits < kHotMaxWaits) {
+      HotKeyPark(st);
+      return;
+    }
+    // Conflict on a cold key, or the queue is not making progress: fall
+    // back to a normal abort and let the submitter's retry policy decide.
+    if (st->abort_reason == AbortReason::kNone) {
+      st->abort_reason = AbortReason::kLockLocal;
+    }
+    AbortCleanup(st, TxnOutcome::kAborted);
+    return;
+  }
+  st->lock_all = true;
+  st->local_locked = true;
+  st->locked_shards.push_back(id());
+  // Read the full read set and current write seqs under the locks.
+  std::vector<uint32_t> read_idx(st->read_keys.size());
+  for (uint32_t i = 0; i < read_idx.size(); ++i) {
+    read_idx[i] = i;
+  }
+  store::NicIndex::LookupStats agg;
+  ReadLocalSets(st, read_idx, &agg);
+  ChargeDmaReads(agg, [this, txn] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr || crashed_) {
+      return;
+    }
+    HotKeyExecute(st);
+  });
+}
+
+void XenicNode::HotKeyExecute(TxnState* st) {
+  const TxnId txn = st->id;
+  nic_->NicCompute(NicExecCost(st->req.exec_cost), [this, txn] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr || crashed_) {
+      return;
+    }
+    std::vector<KeyRef> add_reads;
+    std::vector<KeyRef> add_writes;
+    bool abort_flag = false;
+    ExecRound er;
+    er.round = st->round++;
+    er.read_keys = &st->read_keys;
+    er.reads = &st->reads;
+    er.write_keys = &st->write_keys;
+    er.writes = &st->writes;
+    er.add_reads = &add_reads;
+    er.add_writes = &add_writes;
+    er.abort = &abort_flag;
+    if (st->req.execute) {
+      st->req.execute(er);
+    }
+    if (abort_flag) {
+      AbortCleanup(st, TxnOutcome::kAppAborted);
+      return;
+    }
+    if (add_reads.empty() && add_writes.empty()) {
+      LogPhase(st);
+      return;
+    }
+    bool all_local = true;
+    for (const auto& k : add_reads) {
+      all_local &= map_->PrimaryOf(k.table, k.key) == id();
+    }
+    for (const auto& k : add_writes) {
+      all_local &= map_->PrimaryOf(k.table, k.key) == id();
+    }
+    if (!all_local) {
+      // Execution discovered remote keys: drop every lock and restart
+      // through the distributed path (nothing is held while distributed
+      // EXECUTE rounds run, so no cross-path deadlock is possible).
+      std::vector<KeyRef> held;
+      for (const auto& k : st->read_keys) {
+        if (!ContainsKey(held, k)) {
+          held.push_back(k);
+        }
+      }
+      for (const auto& k : st->write_keys) {
+        if (!ContainsKey(held, k)) {
+          held.push_back(k);
+        }
+      }
+      UnlockAll(txn, held);
+      st->locked_shards.clear();
+      st->local_locked = false;
+      st->lock_all = false;
+      EscalateToDistributed(txn);
+      return;
+    }
+    // Lock the newly added local keys in place (no parking mid-execution:
+    // a conflict aborts and the submitter retries).
+    std::vector<KeyRef> new_keys;
+    auto held_already = [&](const KeyRef& k) {
+      return ContainsKey(st->read_keys, k) || ContainsKey(st->write_keys, k);
+    };
+    for (const auto& k : add_reads) {
+      if (!held_already(k) && !ContainsKey(new_keys, k)) {
+        new_keys.push_back(k);
+      }
+    }
+    for (const auto& k : add_writes) {
+      if (!held_already(k) && !ContainsKey(new_keys, k)) {
+        new_keys.push_back(k);
+      }
+    }
+    const auto read_base = static_cast<uint32_t>(st->read_keys.size());
+    for (const auto& k : add_reads) {
+      st->read_keys.push_back(k);
+      st->reads.emplace_back();
+    }
+    for (const auto& k : add_writes) {
+      st->write_keys.push_back(k);
+      st->write_seqs.push_back(0);
+      st->writes.emplace_back();
+    }
+    uint8_t contention = 0;
+    if (!new_keys.empty() && !LockAll(txn, new_keys, &contention)) {
+      st->contention_hint = std::max(st->contention_hint, contention);
+      if (st->abort_reason == AbortReason::kNone) {
+        st->abort_reason = AbortReason::kLockLocal;
+      }
+      AbortCleanup(st, TxnOutcome::kAborted);
+      return;
+    }
+    std::vector<uint32_t> new_read_idx;
+    for (uint32_t i = read_base; i < st->read_keys.size(); ++i) {
+      new_read_idx.push_back(i);
+    }
+    store::NicIndex::LookupStats agg;
+    ReadLocalSets(st, new_read_idx, &agg);
+    ChargeDmaReads(agg, [this, txn] {
+      TxnState* st = FindState(txn);
+      if (st == nullptr || crashed_) {
+        return;
+      }
+      HotKeyExecute(st);
+    });
+  });
+}
+
+void XenicNode::HotKeyPark(TxnState* st) {
+  const TxnId txn = st->id;
+  st->hot_parked = true;
+  st->hot_waits++;
+  stats_.hot_waits++;
+  hot_waiters_[st->hot_key].push_back(txn);
+  // Fallback wakeup: a release that bypasses this node's release paths
+  // (recovery sweeps drop locks directly in the index) would otherwise
+  // strand the queue. `hot_waits` doubles as a generation counter so a
+  // stale timer from an earlier park cannot double-wake.
+  const uint32_t gen = st->hot_waits;
+  nic_->engine()->ScheduleAfter(kHotParkTimeout, [this, txn, gen] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr || crashed_ || !st->hot_parked || st->hot_waits != gen) {
+      return;
+    }
+    st->hot_parked = false;
+    RemoveHotWaiter(st);
+    HotKeyAcquire(txn);
+  });
+}
+
+void XenicNode::RemoveHotWaiter(TxnState* st) {
+  auto it = hot_waiters_.find(st->hot_key);
+  if (it == hot_waiters_.end()) {
+    return;
+  }
+  auto& q = it->second;
+  auto pos = std::find(q.begin(), q.end(), st->id);
+  if (pos != q.end()) {
+    q.erase(pos);
+  }
+  if (q.empty()) {
+    hot_waiters_.erase(it);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -507,7 +785,7 @@ void XenicNode::ExecutePhase(TxnState* st) {
                                           lock_keys = std::move(lock_keys)]() mutable {
                                            OnExecuteResp(txn, shard, r.ok, std::move(r.reads),
                                                          std::move(r.write_seqs),
-                                                         std::move(lock_keys));
+                                                         std::move(lock_keys), r.contention);
                                          },
                                          txn);
               });
@@ -519,7 +797,7 @@ void XenicNode::ExecutePhase(TxnState* st) {
 void XenicNode::OnExecuteResp(TxnId id, NodeId shard, bool ok,
                               std::vector<std::pair<uint32_t, ReadResult>> reads,
                               std::vector<std::pair<uint32_t, Seq>> write_seqs,
-                              std::vector<KeyRef> locked_keys) {
+                              std::vector<KeyRef> locked_keys, uint8_t contention) {
   TxnState* st = FindState(id);
   if (st == nullptr || crashed_) {
     // Raced with an abort (or this coordinator failed). If the server
@@ -544,6 +822,10 @@ void XenicNode::OnExecuteResp(TxnId id, NodeId shard, bool ok,
     }
   } else {
     st->abort = true;
+    st->contention_hint = std::max(st->contention_hint, contention);
+    if (st->abort_reason == AbortReason::kNone) {
+      st->abort_reason = AbortReason::kLockExecute;
+    }
   }
   assert(st->pending > 0);
   if (--st->pending > 0) {
@@ -566,6 +848,9 @@ bool XenicNode::CheckReadWriteGap(TxnState* st) {
     for (size_t i = 0; i < st->read_keys.size(); ++i) {
       if (st->read_keys[i] == st->write_keys[j] && st->reads[i].found &&
           st->reads[i].seq != st->write_seqs[j]) {
+        if (st->abort_reason == AbortReason::kNone) {
+          st->abort_reason = AbortReason::kGap;
+        }
         AbortCleanup(st, TxnOutcome::kAborted);
         return false;
       }
@@ -630,7 +915,7 @@ void XenicNode::LockRound(TxnState* st) {
                                      [this, txn, shard, r = std::move(r),
                                       lock_keys = std::move(lock_keys)]() mutable {
                                        OnLockResp(txn, shard, r.ok, std::move(r.write_seqs),
-                                                  std::move(lock_keys));
+                                                  std::move(lock_keys), r.contention);
                                      },
                                      txn);
                                });
@@ -641,7 +926,7 @@ void XenicNode::LockRound(TxnState* st) {
 
 void XenicNode::OnLockResp(TxnId id, NodeId shard, bool ok,
                            std::vector<std::pair<uint32_t, Seq>> write_seqs,
-                           std::vector<KeyRef> locked_keys) {
+                           std::vector<KeyRef> locked_keys, uint8_t contention) {
   TxnState* st = FindState(id);
   if (st == nullptr || crashed_) {
     if (st == nullptr && !crashed_ && ok) {
@@ -659,6 +944,10 @@ void XenicNode::OnLockResp(TxnId id, NodeId shard, bool ok,
     }
   } else {
     st->abort = true;
+    st->contention_hint = std::max(st->contention_hint, contention);
+    if (st->abort_reason == AbortReason::kNone) {
+      st->abort_reason = AbortReason::kLockExecute;
+    }
   }
   assert(st->pending > 0);
   if (--st->pending > 0) {
@@ -815,22 +1104,26 @@ void XenicNode::ValidatePhase(TxnState* st) {
     transport_.Send(
         net::MsgType::kValidate, s.primary, bytes,
         [this, server, txn, checks = std::move(s.checks)]() mutable {
-          server->ServeValidate(std::move(checks), [this, server, txn](bool ok) {
+          server->ServeValidate(std::move(checks), [this, server, txn](bool ok, uint8_t c) {
             server->transport().SendAck(net::MsgType::kValidate, id(),
-                                        [this, txn, ok] { OnValidateResp(txn, ok); }, txn);
+                                        [this, txn, ok, c] { OnValidateResp(txn, ok, c); }, txn);
           });
         },
         txn);
   }
 }
 
-void XenicNode::OnValidateResp(TxnId id, bool ok) {
+void XenicNode::OnValidateResp(TxnId id, bool ok, uint8_t contention) {
   TxnState* st = FindState(id);
   if (st == nullptr || crashed_) {
     return;
   }
   if (!ok) {
     st->abort = true;
+    st->contention_hint = std::max(st->contention_hint, contention);
+    if (st->abort_reason == AbortReason::kNone) {
+      st->abort_reason = AbortReason::kValidate;
+    }
   }
   assert(st->pending > 0);
   if (--st->pending > 0) {
@@ -949,6 +1242,9 @@ void XenicNode::OnLogAck(TxnId id, bool ok, NodeId from) {
   st->log_waiting.erase(it);
   if (!ok) {
     st->abort = true;
+    if (st->abort_reason == AbortReason::kNone) {
+      st->abort_reason = AbortReason::kOther;
+    }
   }
   assert(st->pending > 0);
   if (--st->pending > 0) {
@@ -1056,21 +1352,42 @@ void XenicNode::ReportAndFinish(TxnState* st, TxnOutcome outcome) {
     stats_.app_aborted++;
   } else {
     stats_.aborted++;
+    switch (st->abort_reason) {
+      case AbortReason::kLockExecute:
+        stats_.abort_lock_execute++;
+        break;
+      case AbortReason::kLockLocal:
+        stats_.abort_lock_local++;
+        break;
+      case AbortReason::kLockShip:
+        stats_.abort_lock_ship++;
+        break;
+      case AbortReason::kValidate:
+        stats_.abort_validate++;
+        break;
+      case AbortReason::kGap:
+        stats_.abort_gap++;
+        break;
+      default:
+        stats_.abort_other++;
+        break;
+    }
   }
   auto done = std::move(st->done);
   st->done = nullptr;
+  const TxnResult result(outcome, st->contention_hint);
   const sim::Tick finish_cost = st->req.host_finish_cost;
   auto host_finish = st->req.host_finish;
   nic_->NicToHost(net::wire::Descriptor(), [this, finish_cost, host_finish = std::move(host_finish),
-                                     done = std::move(done), outcome]() mutable {
+                                     done = std::move(done), result]() mutable {
     // The commit point was the log acks; the application learns the
     // outcome now. Post-commit local work (B+tree maintenance etc.) is
     // deferred host work off the latency path, serialized behind this
     // completion on the host thread pool.
-    nic_->HostCompute(kHostFinishBase, [done = std::move(done), outcome]() mutable {
-      done(outcome);
+    nic_->HostCompute(kHostFinishBase, [done = std::move(done), result]() mutable {
+      done(result);
     });
-    if (host_finish && outcome == TxnOutcome::kCommitted) {
+    if (host_finish && result.outcome == TxnOutcome::kCommitted) {
       nic_->HostCompute(finish_cost,
                         [host_finish = std::move(host_finish)]() mutable { host_finish(); });
     }
@@ -1093,6 +1410,10 @@ void XenicNode::ReleaseOrphanedLocks(TxnId txn, NodeId shard, std::vector<KeyRef
 
 void XenicNode::AbortCleanup(TxnState* st, TxnOutcome outcome) {
   const TxnId txn = st->id;
+  if (st->hot_parked) {
+    st->hot_parked = false;
+    RemoveHotWaiter(st);
+  }
   // Release locks at every shard that acknowledged EXECUTE (or the local
   // lock set for local/shipped paths).
   for (NodeId shard : st->locked_shards) {
@@ -1157,7 +1478,10 @@ void XenicNode::ShippedPath(TxnState* st, NodeId remote) {
   }
 
   st->lock_all = true;
-  if (!LockAll(txn, local_keys)) {
+  uint8_t contention = 0;
+  if (!LockAll(txn, local_keys, &contention)) {
+    st->contention_hint = std::max(st->contention_hint, contention);
+    st->abort_reason = AbortReason::kLockShip;
     AbortCleanup(st, TxnOutcome::kAborted);
     return;
   }
@@ -1236,35 +1560,63 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
     }
   }
 
-  nic_->NicCompute(NicOpCost(my_keys.size()), [this, txn, coord, coordinator, st,
-                                               my_keys = std::move(my_keys),
-                                               my_reads = std::move(my_reads)]() mutable {
-    if (crashed_ || coordinator->FindState(txn) != st) {
-      return;
-    }
-    if (!LockAll(txn, my_keys)) {
-      transport_.SendAck(net::MsgType::kShipExec, coord,
-                         [coordinator, txn] { coordinator->OnShipFailure(txn); }, txn);
-      return;
-    }
-
-    store::NicIndex::LookupStats agg;
-    ReadLocalSets(st, my_reads, &agg);
-
-    ChargeDmaReads(agg, [this, txn, coord, coordinator, st,
-                         my_keys = std::move(my_keys)]() mutable {
+  auto my_keys_ptr = std::make_shared<std::vector<KeyRef>>(std::move(my_keys));
+  auto my_reads_ptr = std::make_shared<std::vector<uint32_t>>(std::move(my_reads));
+  // NicOpCost(0), not NicOpCost(my_keys_ptr->size()): the historical code
+  // passed `NicOpCost(my_keys.size())` alongside a lambda whose init-capture
+  // moved `my_keys` in the same call, and argument evaluation order ran the
+  // move first -- so shipped executions have always been charged the base op
+  // cost only. Golden transcripts (and the documented seed-3 verdict) encode
+  // that timing; keep it explicit rather than re-derive it by accident.
+  nic_->NicCompute(NicOpCost(0), [this, txn, coord, coordinator, st,
+                                  my_keys_ptr, my_reads_ptr]() {
+    // Lock attempt, re-entered after each remote hot-key park (recursion
+    // on a copy of itself, like the EXECUTE handler's read loop).
+    auto attempt = [this, txn, coord, coordinator, st, my_keys_ptr, my_reads_ptr](
+                       auto&& self, uint32_t parks) -> void {
       if (crashed_ || coordinator->FindState(txn) != st) {
-        UnlockAll(txn, my_keys);
         return;
       }
-      // Execute on this NIC.
-      nic_->NicCompute(NicExecCost(st->req.exec_cost), [this, txn, coord, coordinator, st,
-                                                        my_keys =
-                                                            std::move(my_keys)]() mutable {
-        if (crashed_ || coordinator->FindState(txn) != st) {
-          UnlockAll(txn, my_keys);
+      // After a park, a crashed coordinator still has the state in its
+      // table (crash keeps txns_ for exactly these in-flight pointers), so
+      // the FindState guard alone can't see the crash: check it directly
+      // rather than lock and execute for a node that will never commit.
+      if (parks > 0 && coordinator->crashed()) {
+        return;
+      }
+      uint8_t contention = 0;
+      KeyRef conflict{};
+      if (!LockAll(txn, *my_keys_ptr, &contention, &conflict)) {
+        const sim::Tick now = nic_->engine()->now();
+        if (features_->hot_key_fastpath && parks < kRemoteMaxParks &&
+            sketch_.IsHot(conflict, now) &&
+            ParkRemote(conflict, txn, [self, parks] { self(self, parks + 1); })) {
+          // Hot key: the shipped execution is parked behind the holder
+          // (zero locks held) instead of failing back to the coordinator.
           return;
         }
+        transport_.SendAck(
+            net::MsgType::kShipExec, coord,
+            [coordinator, txn, contention] { coordinator->OnShipFailure(txn, contention); },
+            txn);
+        return;
+      }
+
+      store::NicIndex::LookupStats agg;
+      ReadLocalSets(st, *my_reads_ptr, &agg);
+
+      ChargeDmaReads(agg, [this, txn, coord, coordinator, st, my_keys_ptr]() mutable {
+        if (crashed_ || coordinator->FindState(txn) != st) {
+          UnlockAll(txn, *my_keys_ptr);
+          return;
+        }
+        // Execute on this NIC.
+        nic_->NicCompute(NicExecCost(st->req.exec_cost), [this, txn, coord, coordinator,
+                                                          st, my_keys_ptr]() mutable {
+          if (crashed_ || coordinator->FindState(txn) != st) {
+            UnlockAll(txn, *my_keys_ptr);
+            return;
+          }
         std::vector<KeyRef> add_reads;
         std::vector<KeyRef> add_writes;
         bool abort_flag = false;
@@ -1283,7 +1635,7 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
         assert(add_reads.empty() && add_writes.empty() &&
                "shipped transactions must be single-round (allow_ship misuse)");
         if (abort_flag) {
-          UnlockAll(txn, my_keys);
+          UnlockAll(txn, *my_keys_ptr);
           transport_.SendAck(
               net::MsgType::kShipExec, coord,
               [coordinator, txn] {
@@ -1343,17 +1695,23 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
         transport_.Send(
             net::MsgType::kExecReply, coord, result_bytes,
             [coordinator, txn] { coordinator->OnLogAck(txn, true, kShipExecSignal); }, txn);
+        });
       });
-    });
+    };
+    attempt(attempt, 0);
   });
 }
 
-void XenicNode::OnShipFailure(TxnId txn) {
+void XenicNode::OnShipFailure(TxnId txn, uint8_t contention) {
   TxnState* st = FindState(txn);
   if (st == nullptr || crashed_) {
     return;
   }
+  st->contention_hint = std::max(st->contention_hint, contention);
   const TxnOutcome outcome = st->app_abort ? TxnOutcome::kAppAborted : TxnOutcome::kAborted;
+  if (outcome == TxnOutcome::kAborted && st->abort_reason == AbortReason::kNone) {
+    st->abort_reason = AbortReason::kLockShip;
+  }
   AbortCleanup(st, outcome);
 }
 
@@ -1361,11 +1719,20 @@ void XenicNode::OnShipFailure(TxnId txn) {
 // Server-side handlers.
 // ---------------------------------------------------------------------------
 
-bool XenicNode::LockAll(TxnId txn, const std::vector<KeyRef>& keys) {
+bool XenicNode::LockAll(TxnId txn, const std::vector<KeyRef>& keys, uint8_t* contention,
+                        KeyRef* conflict) {
   for (size_t i = 0; i < keys.size(); ++i) {
     if (!ds_->index(keys[i].table).AcquireLock(keys[i].key, txn).ok()) {
+      const sim::Tick now = nic_->engine()->now();
+      sketch_.RecordConflict(keys[i], now);
+      if (contention != nullptr) {
+        *contention = std::max(*contention, sketch_.Level(keys[i], now));
+      }
+      if (conflict != nullptr) {
+        *conflict = keys[i];
+      }
       for (size_t j = 0; j < i; ++j) {
-        ds_->index(keys[j].table).ReleaseLock(keys[j].key, txn);
+        ReleaseOne(txn, keys[j]);
       }
       return false;
     }
@@ -1375,8 +1742,99 @@ bool XenicNode::LockAll(TxnId txn, const std::vector<KeyRef>& keys) {
 
 void XenicNode::UnlockAll(TxnId txn, const std::vector<KeyRef>& keys) {
   for (const auto& k : keys) {
-    ds_->index(k.table).ReleaseLock(k.key, txn);
+    ReleaseOne(txn, k);
   }
+}
+
+void XenicNode::ReleaseOne(TxnId txn, const KeyRef& key) {
+  ds_->index(key.table).ReleaseLock(key.key, txn);
+  WakeHotWaiters(key);
+}
+
+void XenicNode::WakeHotWaiters(const KeyRef& key) {
+  if (hot_waiters_.empty() && remote_waiters_.empty()) {
+    return;
+  }
+  auto it = hot_waiters_.find(key);
+  if (it == hot_waiters_.end() || it->second.empty()) {
+    // No local hot-path waiter: hand the release to a parked remote lock
+    // request instead (one release, one wake, whoever is queued).
+    WakeOneRemote(key);
+    return;
+  }
+  const TxnId next = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) {
+    hot_waiters_.erase(it);
+  }
+  // Re-attempt the acquire in a fresh event: the release may happen inside
+  // another transaction's lock rollback, mid-iteration over its key list.
+  nic_->engine()->ScheduleAfter(0, [this, next] {
+    TxnState* st = FindState(next);
+    if (st == nullptr || crashed_ || !st->hot_parked) {
+      return;
+    }
+    st->hot_parked = false;
+    nic_->engine()->set_trace_ctx(next);
+    HotKeyAcquire(next);
+  });
+}
+
+bool XenicNode::ParkRemote(const KeyRef& key, TxnId txn, std::function<void()> resume) {
+  auto& queue = remote_waiters_[key];
+  if (queue.size() >= kRemoteQueueCap) {
+    return false;  // convoy forming: deny instead of queueing behind it
+  }
+  stats_.hot_remote_parks++;
+  const uint64_t id = ++remote_waiter_seq_;
+  queue.push_back(RemoteWaiter{id, txn, std::move(resume)});
+  // Fallback wakeup, mirroring HotKeyPark: a release that bypasses this
+  // node's release paths (recovery drops locks directly in the index) must
+  // not strand the coordinator's pending reply. The entry id keeps a
+  // fired timer from double-waking a request a release already resumed.
+  nic_->engine()->ScheduleAfter(kHotParkTimeout, [this, key, id] {
+    if (crashed_) {
+      return;
+    }
+    auto it = remote_waiters_.find(key);
+    if (it == remote_waiters_.end()) {
+      return;
+    }
+    auto pos = std::find_if(it->second.begin(), it->second.end(),
+                            [id](const RemoteWaiter& w) { return w.id == id; });
+    if (pos == it->second.end()) {
+      return;
+    }
+    RemoteWaiter w = std::move(*pos);
+    it->second.erase(pos);
+    if (it->second.empty()) {
+      remote_waiters_.erase(it);
+    }
+    nic_->engine()->set_trace_ctx(w.txn);
+    w.resume();
+  });
+  return true;
+}
+
+void XenicNode::WakeOneRemote(const KeyRef& key) {
+  auto it = remote_waiters_.find(key);
+  if (it == remote_waiters_.end() || it->second.empty()) {
+    return;
+  }
+  RemoteWaiter w = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) {
+    remote_waiters_.erase(it);
+  }
+  // Fresh event, same reason as the local wake: the release may happen
+  // mid-rollback over another transaction's key list.
+  nic_->engine()->ScheduleAfter(0, [this, w = std::move(w)] {
+    if (crashed_) {
+      return;
+    }
+    nic_->engine()->set_trace_ctx(w.txn);
+    w.resume();
+  });
 }
 
 void XenicNode::ChargeDmaReads(const store::NicIndex::LookupStats& stats,
@@ -1423,14 +1881,17 @@ void XenicNode::ServeExecute(TxnId txn, NodeId coord,
                              std::vector<std::pair<uint32_t, KeyRef>> reads,
                              std::vector<std::pair<uint32_t, KeyRef>> writes,
                              std::function<void(ExecReply)> reply) {
-  (void)coord;
   if (crashed_) {
     return;  // request lost with the node; the coordinator times out
   }
   TraceInstant("hop.execute", txn);
+  // NOTE: the lambda's init-captures move `reads`/`writes` before the cost
+  // argument is evaluated (right-to-left argument order), so this has always
+  // charged NicOpCost(0). Golden transcripts encode that timing -- do not
+  // "fix" the expression without regenerating every golden.
   nic_->NicCompute(
       NicOpCost(reads.size() + writes.size()),
-      [this, txn, reads = std::move(reads), writes = std::move(writes),
+      [this, txn, coord, reads = std::move(reads), writes = std::move(writes),
        reply = std::move(reply)]() mutable {
         if (crashed_) {
           return;
@@ -1441,15 +1902,6 @@ void XenicNode::ServeExecute(TxnId txn, NodeId coord,
           (void)i;
           lock_keys.push_back(k);
         }
-        if (!LockAll(txn, lock_keys)) {
-          reply(ExecReply{false, {}, {}});
-          return;
-        }
-
-        // Abort when a read-set key is locked by another transaction
-        // (paper 4.2 step 2).
-        auto state = std::make_shared<ExecReply>();
-        state->ok = true;
         auto reads_ptr = std::make_shared<std::vector<std::pair<uint32_t, KeyRef>>>(
             std::move(reads));
         auto writes_ptr = std::make_shared<std::vector<std::pair<uint32_t, KeyRef>>>(
@@ -1457,50 +1909,97 @@ void XenicNode::ServeExecute(TxnId txn, NodeId coord,
         auto lock_keys_ptr = std::make_shared<std::vector<KeyRef>>(std::move(lock_keys));
         auto reply_ptr = std::make_shared<std::function<void(ExecReply)>>(std::move(reply));
 
-        // Sequentially read each read-set key (charging DMA costs), then
-        // fetch current versions for the write set, then reply.
-        auto finish = [this, txn, state, writes_ptr, lock_keys_ptr, reply_ptr]() {
-          if (!state->ok) {
-            UnlockAll(txn, *lock_keys_ptr);
-            (*reply_ptr)(ExecReply{false, {}, {}});
+        // Lock attempt, re-entered after each remote hot-key park (the
+        // recursion-on-a-copy idiom `step` below also uses).
+        auto attempt = [this, txn, coord, reads_ptr, writes_ptr, lock_keys_ptr, reply_ptr](
+                           auto&& self, uint32_t parks) -> void {
+          if (crashed_) {
+            return;  // the node died while this request was parked
+          }
+          // A wake after a park must re-check the coordinator: if it
+          // crashed, or recovery swept the transaction while we waited,
+          // granting locks now would strand them (nobody will release).
+          // Dropping the reply is what a lost request looks like, which
+          // both of those paths already handle.
+          if (parks > 0 && ((*peers_)[coord]->crashed() ||
+                            (*peers_)[coord]->FindState(txn) == nullptr)) {
             return;
           }
-          // Current versions for the write set (from NIC metadata; absent
-          // keys are inserts with seq 0).
-          store::NicIndex::LookupStats agg;
-          for (const auto& [i, k] : *writes_ptr) {
-            auto m = LookupAccum(k, /*fetch_value=*/false, &agg);
-            state->write_seqs.emplace_back(i, m ? m->seq : 0);
+          uint8_t lock_contention = 0;
+          KeyRef conflict{};
+          if (!LockAll(txn, *lock_keys_ptr, &lock_contention, &conflict)) {
+            const sim::Tick now = nic_->engine()->now();
+            if (features_->hot_key_fastpath && parks < kRemoteMaxParks &&
+                sketch_.IsHot(conflict, now) &&
+                ParkRemote(conflict, txn, [self, parks] { self(self, parks + 1); })) {
+              // Hot key: the pending reply is parked behind the holder
+              // (zero locks held) instead of bouncing an abort-retry cycle
+              // through the coordinator; timeout, a full queue, or an
+              // exhausted park budget denies exactly as the unparked path
+              // would.
+              return;
+            }
+            (*reply_ptr)(ExecReply{false, {}, {}, lock_contention});
+            return;
           }
-          ChargeDmaReads(agg, [state, reply_ptr] { (*reply_ptr)(std::move(*state)); });
-        };
 
-        // Recurses on a copy of itself; a shared_ptr<function> capturing
-        // itself would be a reference cycle leaking once per EXECUTE.
-        auto step = [this, txn, state, reads_ptr, finish](auto&& self,
-                                                          size_t idx) -> void {
-          if (idx >= reads_ptr->size()) {
-            finish();
-            return;
-          }
-          const auto& [i, k] = (*reads_ptr)[idx];
-          const uint32_t read_idx = i;
-          NicReadKey(k, /*metadata_only=*/false,
-                     [state, self, idx, read_idx, txn](ReadResult r, TxnId owner) mutable {
-                       if (owner != store::kNoTxn && owner != txn) {
-                         state->ok = false;
-                       } else {
-                         state->reads.emplace_back(read_idx, std::move(r));
-                       }
-                       self(self, idx + 1);
-                     });
+          // Abort when a read-set key is locked by another transaction
+          // (paper 4.2 step 2).
+          auto state = std::make_shared<ExecReply>();
+          state->ok = true;
+
+          // Sequentially read each read-set key (charging DMA costs), then
+          // fetch current versions for the write set, then reply.
+          auto finish = [this, txn, state, writes_ptr, lock_keys_ptr, reply_ptr]() {
+            if (!state->ok) {
+              UnlockAll(txn, *lock_keys_ptr);
+              (*reply_ptr)(ExecReply{false, {}, {}, state->contention});
+              return;
+            }
+            // Current versions for the write set (from NIC metadata; absent
+            // keys are inserts with seq 0).
+            store::NicIndex::LookupStats agg;
+            for (const auto& [i, k] : *writes_ptr) {
+              auto m = LookupAccum(k, /*fetch_value=*/false, &agg);
+              state->write_seqs.emplace_back(i, m ? m->seq : 0);
+            }
+            ChargeDmaReads(agg, [state, reply_ptr] { (*reply_ptr)(std::move(*state)); });
+          };
+
+          // Recurses on a copy of itself; a shared_ptr<function> capturing
+          // itself would be a reference cycle leaking once per EXECUTE.
+          auto step = [this, txn, state, reads_ptr, finish](auto&& self,
+                                                            size_t idx) -> void {
+            if (idx >= reads_ptr->size()) {
+              finish();
+              return;
+            }
+            const auto& [i, k] = (*reads_ptr)[idx];
+            const uint32_t read_idx = i;
+            const KeyRef key = k;
+            NicReadKey(k, /*metadata_only=*/false,
+                       [this, state, self, idx, read_idx, txn, key](ReadResult r,
+                                                                   TxnId owner) mutable {
+                         if (owner != store::kNoTxn && owner != txn) {
+                           state->ok = false;
+                           const sim::Tick now = nic_->engine()->now();
+                           sketch_.RecordConflict(key, now);
+                           state->contention =
+                               std::max(state->contention, sketch_.Level(key, now));
+                         } else {
+                           state->reads.emplace_back(read_idx, std::move(r));
+                         }
+                         self(self, idx + 1);
+                       });
+          };
+          step(step, 0);
         };
-        step(step, 0);
+        attempt(attempt, 0);
       });
 }
 
 void XenicNode::ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
-                              std::function<void(bool)> reply) {
+                              std::function<void(bool, uint8_t)> reply) {
   if (crashed_) {
     return;
   }
@@ -1513,16 +2012,22 @@ void XenicNode::ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
       return;
     }
     bool ok = true;
+    uint8_t contention = 0;
     store::NicIndex::LookupStats agg;
+    const sim::Tick now = nic_->engine()->now();
     for (const auto& [k, expected] : checks) {
       auto m = LookupAccum(k, /*fetch_value=*/false, &agg);
       const Seq cur = m ? m->seq : 0;
       const TxnId owner = m ? m->lock_owner : store::kNoTxn;
       if (cur != expected || owner != store::kNoTxn) {
         ok = false;
+        sketch_.RecordConflict(k, now);
+        contention = std::max(contention, sketch_.Level(k, now));
       }
     }
-    ChargeDmaReads(agg, [ok, reply = std::move(reply)]() mutable { reply(ok); });
+    ChargeDmaReads(agg, [ok, contention, reply = std::move(reply)]() mutable {
+      reply(ok, contention);
+    });
   });
 }
 
@@ -1592,7 +2097,7 @@ void XenicNode::ApplyCommitAtNic(TxnId txn, const std::vector<store::LogWrite>& 
     } else {
       ds_->index(w.table).ApplyCommit(w.key, w.value, w.seq);
     }
-    ds_->index(w.table).ReleaseLock(w.key, txn);
+    ReleaseOne(txn, KeyRef{w.table, w.key});
   }
   done();
 }
@@ -1618,7 +2123,7 @@ void XenicNode::ServeCommit(TxnId txn, std::vector<store::LogWrite> writes,
                                      release_keys = std::move(release_keys),
                                      ack = std::move(ack)]() mutable {
       for (const auto& k : release_keys) {
-        ds_->index(k.table).ReleaseLock(k.key, txn);
+        ReleaseOne(txn, k);
       }
       ApplyCommitAtNic(txn, writes, std::move(ack));
     });
@@ -1784,12 +2289,21 @@ size_t XenicNode::RebuildLocksFromLog(const std::vector<store::LogRecord>& unack
   return locked;
 }
 
-void XenicNode::ClearNicState() { txns_.clear(); }
+void XenicNode::ClearNicState() {
+  txns_.clear();
+  hot_waiters_.clear();
+  remote_waiters_.clear();
+}
 
 void XenicNode::Crash() {
   crashed_ = true;
   workers_running_ = false;
   worker_epoch_++;
+  hot_waiters_.clear();  // parked submissions die with the node
+  // Parked remote lock requests die too: their replies are never sent,
+  // which is exactly what a request lost with the node looks like to the
+  // coordinator (recovery's wedged-txn sweep resolves it).
+  remote_waiters_.clear();
   // txns_ is intentionally NOT cleared: shipped executions at remote nodes
   // hold raw pointers into it and guard against a vanished coordinator by
   // re-looking the state up -- freeing it here would leave them dangling

@@ -24,6 +24,7 @@
 #define SRC_TXN_XENIC_NODE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -35,6 +36,7 @@
 #include "src/nicmodel/smart_nic.h"
 #include "src/store/commit_log.h"
 #include "src/store/datastore.h"
+#include "src/txn/hot_key_sketch.h"
 #include "src/txn/types.h"
 
 namespace xenic::txn {
@@ -162,6 +164,13 @@ class XenicNode {
     // sender is no longer listed is ignored instead of double-counted.
     std::vector<NodeId> log_waiting;
     bool logs_sent = false;             // LOG fan-out happened
+    uint8_t contention_hint = 0;        // max sketch level across conflicts
+    AbortReason abort_reason = AbortReason::kNone;  // first abort cause wins
+    // Hot-key fast path bookkeeping.
+    bool hot_path = false;    // routed through the serialized NIC path
+    bool hot_parked = false;  // waiting in a per-hot-key queue (zero locks!)
+    uint32_t hot_waits = 0;   // parks so far (requeue cap + timer generation)
+    KeyRef hot_key;           // the serialization key when hot_path
   };
 
   // Sentinel "sender" for the shipped path's EXEC-result completion signal.
@@ -183,7 +192,7 @@ class XenicNode {
   void OnExecuteResp(TxnId id, NodeId shard, bool ok,
                      std::vector<std::pair<uint32_t, ReadResult>> reads,
                      std::vector<std::pair<uint32_t, Seq>> write_seqs,
-                     std::vector<KeyRef> locked_keys);
+                     std::vector<KeyRef> locked_keys, uint8_t contention);
   void AfterExecuteRound(TxnState* st);
   // Separate lock round used when smart_remote_ops is disabled (the
   // one-op-per-request ablation baseline): one LOCK request per write key,
@@ -191,7 +200,7 @@ class XenicNode {
   void LockRound(TxnState* st);
   void OnLockResp(TxnId id, NodeId shard, bool ok,
                   std::vector<std::pair<uint32_t, Seq>> write_seqs,
-                  std::vector<KeyRef> locked_keys);
+                  std::vector<KeyRef> locked_keys, uint8_t contention);
   // A lock grant arrived for a transaction that no longer exists (the epoch
   // sweep resolved it while the response was in flight): release the
   // orphaned locks at their shard.
@@ -201,10 +210,10 @@ class XenicNode {
   bool CheckReadWriteGap(TxnState* st);
   void RunExecuteLogic(TxnState* st, sim::Engine::Callback next);
   void ValidatePhase(TxnState* st);
-  void OnValidateResp(TxnId id, bool ok);
+  void OnValidateResp(TxnId id, bool ok, uint8_t contention);
   void LogPhase(TxnState* st);
   void OnLogAck(TxnId id, bool ok, NodeId from);
-  void OnShipFailure(TxnId id);
+  void OnShipFailure(TxnId id, uint8_t contention = 0);
   void CommitPhase(TxnState* st);
   void ReportAndFinish(TxnState* st, TxnOutcome outcome);
   void AbortCleanup(TxnState* st, TxnOutcome outcome);
@@ -221,11 +230,13 @@ class XenicNode {
     bool ok = false;
     std::vector<std::pair<uint32_t, ReadResult>> reads;
     std::vector<std::pair<uint32_t, Seq>> write_seqs;
+    uint8_t contention = 0;  // sketch level of the conflicting key on !ok
   };
   void ServeExecute(TxnId txn, NodeId coord, std::vector<std::pair<uint32_t, KeyRef>> reads,
                     std::vector<std::pair<uint32_t, KeyRef>> writes,
                     std::function<void(ExecReply)> reply);
-  void ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks, std::function<void(bool)> reply);
+  void ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
+                     std::function<void(bool, uint8_t)> reply);
   void ServeLog(store::LogRecord record, std::function<void(bool)> reply);
   void ServeCommit(TxnId txn, std::vector<store::LogWrite> writes,
                    std::vector<KeyRef> release_keys, sim::Engine::Callback ack);
@@ -233,9 +244,39 @@ class XenicNode {
   void ServeShipExec(TxnId txn, NodeId coord, TxnState* coord_state);
 
   // Lock all given keys in the NIC index; on conflict release those taken
-  // and return false.
-  bool LockAll(TxnId txn, const std::vector<KeyRef>& keys);
+  // and return false. A conflict is recorded in the hot-key sketch; when
+  // `contention`/`conflict` are given they receive the sketch level and the
+  // identity of the first key that was denied.
+  bool LockAll(TxnId txn, const std::vector<KeyRef>& keys, uint8_t* contention = nullptr,
+               KeyRef* conflict = nullptr);
   void UnlockAll(TxnId txn, const std::vector<KeyRef>& keys);
+  // Single release point for every node-path unlock: drops the lock, then
+  // wakes the head of the key's hot-waiter queue (if any).
+  void ReleaseOne(TxnId txn, const KeyRef& key);
+  void WakeHotWaiters(const KeyRef& key);
+
+  // ---- Hot-key fast path (XenicFeatures::hot_key_fastpath). All-local
+  // write transactions whose write set hits a sketch-flagged hot key skip
+  // the optimistic race: they lock read+write sets up front on the NIC
+  // (parking in a per-key FIFO while holding zero locks if the hot key is
+  // taken), execute under locks, and reuse LogPhase/CommitPhase.
+  bool TryHotKeyRoute(StatePtr& st);  // true = routed (state consumed)
+  void HotKeyStart(TxnId txn);
+  void HotKeyAcquire(TxnId txn);
+  void HotKeyExecute(TxnState* st);
+  void HotKeyPark(TxnState* st);
+  void RemoveHotWaiter(TxnState* st);
+
+  // ---- Remote hot-key parking (also hot_key_fastpath). A lock request a
+  // coordinator sent here (EXECUTE or shipped execution) that is denied on
+  // a sketch-flagged hot key parks its pending reply in a per-key FIFO
+  // (zero locks held) and re-attempts when the holder releases, instead of
+  // bouncing an abort-retry cycle through the coordinator. The timeout /
+  // park-budget fallback denies exactly as before, so the wait is bounded
+  // and distributed deadlocks still resolve by abort.
+  // Returns false (caller denies as usual) when the key's queue is full.
+  bool ParkRemote(const KeyRef& key, TxnId txn, std::function<void()> resume);
+  void WakeOneRemote(const KeyRef& key);
 
   // Read one key at the server-side NIC, charging DMA costs; calls `done`
   // with the result.
@@ -290,6 +331,20 @@ class XenicNode {
   std::unordered_set<TxnId> reported_committed_;
   uint64_t next_txn_seq_ = 1;
   TxnStats stats_;
+  // Per-shard conflict sketch feeding contention hints and hot-key routing.
+  HotKeySketch sketch_;
+  // Per-hot-key FIFO of parked transactions (ids only; zero locks held).
+  std::unordered_map<KeyRef, std::deque<TxnId>, KeyRefHash> hot_waiters_;
+  // Per-hot-key FIFO of parked remote lock requests (EXECUTE / shipped
+  // execution); `resume` re-attempts the full lock set. The id lets the
+  // timeout fallback find its own entry after wakes reordered the queue.
+  struct RemoteWaiter {
+    uint64_t id;
+    TxnId txn;
+    std::function<void()> resume;
+  };
+  std::unordered_map<KeyRef, std::deque<RemoteWaiter>, KeyRefHash> remote_waiters_;
+  uint64_t remote_waiter_seq_ = 0;
   net::Transport transport_;
   PhaseBreakdown phases_;
   WorkerApplyHook worker_apply_hook_;

@@ -1,0 +1,100 @@
+// Adaptive DMA vector sizing: starts wide (static-model equivalence under
+// load and for the first idle submissions), shrinks to 1 on sustained idle,
+// doubles back up under backlog, and never leaves [1, vector_max]. The
+// equivalence window is what lets NicFeatures::adaptive_dma_batching default
+// off with zero behavior change -- and what bench_redo_relief measures when
+// it is on.
+
+#include <gtest/gtest.h>
+
+#include "src/nicmodel/dma_batcher.h"
+
+namespace xenic::nicmodel {
+namespace {
+
+TEST(DmaBatcherTest, StartsAtVectorMax) {
+  DmaVectorBatcher b(15);
+  EXPECT_EQ(b.vector(), 15u);
+  EXPECT_EQ(b.vector_max(), 15u);
+}
+
+TEST(DmaBatcherTest, StaticEquivalenceUnderSustainedLoad) {
+  DmaVectorBatcher b(15);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(b.OnSubmit(/*queue_depth=*/20), 15u)
+        << "backed-up queues must amortize over the full vector, like the "
+           "static model";
+  }
+}
+
+TEST(DmaBatcherTest, StaticEquivalenceForEarlyIdleSubmissions) {
+  DmaVectorBatcher b(15);
+  // The first kIdleShrinkAfter idle submissions are still charged the full
+  // vector's share; only then does the size drop.
+  for (uint32_t i = 0; i < DmaVectorBatcher::kIdleShrinkAfter; ++i) {
+    EXPECT_EQ(b.OnSubmit(0), 15u);
+  }
+  EXPECT_EQ(b.vector(), 7u);
+}
+
+TEST(DmaBatcherTest, SustainedIdleShrinksToOne) {
+  DmaVectorBatcher b(16);
+  for (int i = 0; i < 200; ++i) {
+    b.OnSubmit(0);
+  }
+  EXPECT_EQ(b.vector(), 1u);
+  EXPECT_EQ(b.OnSubmit(0), 1u);  // floor holds
+}
+
+TEST(DmaBatcherTest, BacklogDoublesUpToMax) {
+  DmaVectorBatcher b(16);
+  for (int i = 0; i < 200; ++i) {
+    b.OnSubmit(0);
+  }
+  ASSERT_EQ(b.vector(), 1u);
+  uint64_t expect = 1;
+  while (expect < 16) {
+    b.OnSubmit(/*queue_depth=*/b.vector());  // depth >= vector -> double
+    expect = std::min<uint64_t>(16, expect * 2);
+    EXPECT_EQ(b.vector(), expect);
+  }
+  b.OnSubmit(100);
+  EXPECT_EQ(b.vector(), 16u);  // capped at vector_max
+}
+
+TEST(DmaBatcherTest, IntermediateDepthHoldsAndResetsIdleStreak) {
+  DmaVectorBatcher b(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(b.OnSubmit(3), 8u);  // 0 < depth < vector: hold
+  }
+  // Idle streaks broken by a busy submission never accumulate to a shrink.
+  for (int round = 0; round < 50; ++round) {
+    for (uint32_t i = 0; i < DmaVectorBatcher::kIdleShrinkAfter - 1; ++i) {
+      b.OnSubmit(0);
+    }
+    b.OnSubmit(3);
+  }
+  EXPECT_EQ(b.vector(), 8u);
+}
+
+TEST(DmaBatcherTest, DeterministicFromDepthSequence) {
+  DmaVectorBatcher a(15), b(15);
+  const uint64_t depths[] = {0, 0, 20, 0, 0, 0, 0, 0, 3, 17, 0, 1, 0, 0, 0, 0, 9};
+  for (int round = 0; round < 30; ++round) {
+    for (uint64_t d : depths) {
+      EXPECT_EQ(a.OnSubmit(d), b.OnSubmit(d));
+    }
+  }
+  EXPECT_EQ(a.vector(), b.vector());
+}
+
+TEST(DmaBatcherTest, DegenerateVectorMaxClampsToOne) {
+  DmaVectorBatcher b(0);
+  EXPECT_EQ(b.vector_max(), 1u);
+  EXPECT_EQ(b.OnSubmit(50), 1u);
+  EXPECT_EQ(b.OnSubmit(0), 1u);
+  EXPECT_EQ(b.vector(), 1u);
+}
+
+}  // namespace
+}  // namespace xenic::nicmodel

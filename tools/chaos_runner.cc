@@ -15,6 +15,13 @@
 //                [--drop P] [--dup P] [--delay P] [--log-capacity N]
 //                [--drop-type NAME] [--drop-node N]
 //                [--timeline] [--timeline-window-us N]
+//                [--retry-policy uniform|expjitter|cwnd] [--backoff-base US]
+//                [--retry-cap US] [--hot-key-path] [--adaptive-dma]
+//
+// --retry-policy arms contention-scaled backoff between a submitter's
+// transactions (off by default -- arming draws extra Rng values, so the
+// historical per-seed transcripts require it off). --hot-key-path /
+// --adaptive-dma flip the corresponding Xenic features under chaos.
 //
 // --drop-type arms the transport-layer typed drop: every message matching
 // NAME (a net::MsgType name such as "validate", or "<x>_reply" for the ACKs
@@ -133,6 +140,23 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--drop-node") {
       base.faults.typed_drop_node = static_cast<int>(ParseU64(next()));
+    } else if (a == "--retry-policy") {
+      const char* name = next();
+      if (!xenic::txn::ParseRetryPolicy(name, &base.retry.kind)) {
+        std::fprintf(stderr, "unknown --retry-policy %s (uniform|expjitter|cwnd)\n", name);
+        return 2;
+      }
+      base.retry_aborts = true;
+    } else if (a == "--backoff-base") {
+      base.retry.backoff_base =
+          static_cast<xenic::sim::Tick>(ParseU64(next())) * xenic::sim::kNsPerUs;
+    } else if (a == "--retry-cap") {
+      base.retry.backoff_cap =
+          static_cast<xenic::sim::Tick>(ParseU64(next())) * xenic::sim::kNsPerUs;
+    } else if (a == "--hot-key-path") {
+      base.system.features.hot_key_fastpath = true;
+    } else if (a == "--adaptive-dma") {
+      base.system.nic_features.adaptive_dma_batching = true;
     } else if (a == "--timeline") {
       base.timeline = true;
     } else if (a == "--timeline-window-us") {

@@ -139,3 +139,36 @@ if grep -q "orphan_instants=[1-9]" "$parallel"; then
   exit 1
 fi
 echo "determinism OK: --txn-attrib is observer-only ($waterfalls waterfalls emitted)"
+
+# --- Retry-policy matrix: every policy obeys the full contract ---
+# For each backoff policy: (a) two identical point-check runs must be
+# byte-identical (run-to-run determinism), (b) attaching --txn-attrib must
+# not move a single point-check scalar (observer-only tracing under
+# retries), and (c) the full sweep with every contention feature armed
+# (hot-key fast path + remote parking + adaptive DMA) must be byte-identical
+# for --jobs 1 vs --jobs 4.
+for policy in uniform expjitter cwnd; do
+  policy_flags=(--retry-policy "$policy" --retry-cap 6)
+
+  "$BIN" --point-check "${policy_flags[@]}" >"$serial" 2>/dev/null
+  "$BIN" --point-check "${policy_flags[@]}" >"$parallel" 2>/dev/null
+  if ! diff -u "$serial" "$parallel"; then
+    echo "FAIL: repeated --retry-policy $policy point-checks differ" >&2
+    exit 1
+  fi
+
+  "$BIN" --point-check "${policy_flags[@]}" --txn-attrib >"$parallel" 2>/dev/null
+  if ! diff -u <(grep "^point-check" "$serial") <(grep "^point-check" "$parallel"); then
+    echo "FAIL: --txn-attrib perturbed the simulation under --retry-policy $policy" >&2
+    exit 1
+  fi
+
+  armed_flags=("${policy_flags[@]}" --hot-key-path --adaptive-dma)
+  "$BIN" "${armed_flags[@]}" --jobs 1 >"$serial" 2>/dev/null
+  "$BIN" "${armed_flags[@]}" --jobs 4 >"$parallel" 2>/dev/null
+  if ! diff -u "$serial" "$parallel"; then
+    echo "FAIL: armed --retry-policy $policy sweep differs between --jobs 1 and 4" >&2
+    exit 1
+  fi
+done
+echo "determinism OK: retry-policy matrix (3 policies, plain/attrib/armed) is byte-identical"

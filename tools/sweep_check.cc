@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
     // output must be byte-identical with tracing on or off -- and across
     // any refactor of the message send paths (transport-layer invariance).
     std::vector<SystemConfig> all = Figure8Systems(nodes);
+    ApplyContentionOptions(opts, &rc, &all);
     obs::TraceRecorder rec;
     for (size_t ci = 0; ci < all.size(); ++ci) {
       auto wl = make_wl();
@@ -87,6 +88,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(res.measure_window));
       if (opts.msg_breakdown) {
         PrintMsgBreakdown(system->Name(), res);
+      }
+      if (opts.abort_breakdown) {
+        PrintAbortBreakdown(system->Name() + " abort breakdown", res);
       }
       if (ci == 0 && opts.attrib) {
         const obs::BottleneckReport report = obs::Attribute(res.resources);
@@ -116,6 +120,7 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<uint32_t> loads = {4, 16, 48};
+  ApplyContentionOptions(opts, &rc, &cfgs);
   std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
   // PrintCurves emits only simulation-derived values (no wall-clock), so
   // the output is byte-comparable across --jobs settings.

@@ -42,8 +42,16 @@ struct Args {
   bool csv = false;
   bool attrib = false;
   bool txn_attrib = false;
+  bool abort_breakdown = false;
   std::string trace_path;
+  // Contention controls (defaults reproduce the historical behavior).
+  std::string retry_policy = "uniform";
+  uint64_t backoff_base_us = 0;  // 0 = keep RetryPolicyConfig default
+  uint64_t retry_cap_us = 0;
+  bool hot_key_path = false;
+  bool adaptive_dma = false;
   bool help = false;
+  bool bad_flag = false;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -81,10 +89,25 @@ Args Parse(int argc, char** argv) {
       a.attrib = true;
     } else if (std::strcmp(argv[i], "--txn-attrib") == 0) {
       a.txn_attrib = true;
+    } else if (std::strcmp(argv[i], "--abort-breakdown") == 0) {
+      a.abort_breakdown = true;
+    } else if (ParseArg(argv[i], "--retry-policy", &v)) {
+      a.retry_policy = v;
+    } else if (ParseArg(argv[i], "--backoff-base", &v)) {
+      a.backoff_base_us = std::stoull(v);
+    } else if (ParseArg(argv[i], "--retry-cap", &v)) {
+      a.retry_cap_us = std::stoull(v);
+    } else if (std::strcmp(argv[i], "--hot-key-path") == 0) {
+      a.hot_key_path = true;
+    } else if (std::strcmp(argv[i], "--adaptive-dma") == 0) {
+      a.adaptive_dma = true;
     } else if (ParseArg(argv[i], "--trace", &v)) {
       a.trace_path = v;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      a.help = true;
     } else {
       a.help = true;
+      a.bad_flag = true;
     }
   }
   return a;
@@ -144,15 +167,34 @@ int main(int argc, char** argv) {
   Args a = Parse(argc, argv);
   harness::SystemConfig cfg;
   auto wl = MakeWorkload(a);
+  txn::RetryPolicyKind retry_kind = txn::RetryPolicyKind::kUniform;
+  if (!txn::ParseRetryPolicy(a.retry_policy, &retry_kind)) {
+    std::fprintf(stderr, "unknown --retry-policy '%s' (uniform|expjitter|cwnd)\n",
+                 a.retry_policy.c_str());
+    return 2;
+  }
   if (a.help || wl == nullptr || !MakeSystemConfig(a, &cfg)) {
     std::fprintf(stderr,
                  "usage: %s --system=xenic|drtmh|drtmhnc|fasst|drtmr\n"
                  "          --workload=smallbank|retwis|tpcc|tpcc-no\n"
                  "          [--nodes=N] [--replication=R] [--contexts=C]\n"
                  "          [--measure-us=T] [--seed=S] [--scale=K] [--csv]\n"
-                 "          [--attrib] [--txn-attrib] [--trace=out.trace.json]\n",
+                 "          [--attrib] [--txn-attrib] [--abort-breakdown]\n"
+                 "          [--trace=out.trace.json]\n"
+                 "          [--retry-policy=uniform|expjitter|cwnd]\n"
+                 "          [--backoff-base=US] [--retry-cap=US]\n"
+                 "          [--hot-key-path] [--adaptive-dma]\n",
                  argv[0]);
+    if (a.bad_flag) {
+      return 2;
+    }
     return a.help ? 0 : 1;
+  }
+  if (a.hot_key_path) {
+    cfg.features.hot_key_fastpath = true;
+  }
+  if (a.adaptive_dma) {
+    cfg.nic_features.adaptive_dma_batching = true;
   }
 
   auto system = harness::BuildSystem(cfg, *wl);
@@ -164,6 +206,13 @@ int main(int argc, char** argv) {
   rc.seed = a.seed;
   rc.warmup = 150 * sim::kNsPerUs;
   rc.measure = a.measure_us * sim::kNsPerUs;
+  rc.retry.kind = retry_kind;
+  if (a.backoff_base_us > 0) {
+    rc.retry.backoff_base = a.backoff_base_us * sim::kNsPerUs;
+  }
+  if (a.retry_cap_us > 0) {
+    rc.retry.backoff_cap = a.retry_cap_us * sim::kNsPerUs;
+  }
   obs::TraceRecorder rec;
   obs::TxnTraceSink txn_sink;
   rc.collect_resources = a.attrib;
@@ -206,6 +255,32 @@ int main(int argc, char** argv) {
   tp.AddRow({"Host utilization", TablePrinter::Fmt(r.host_utilization * 100, 1) + " %"});
   tp.AddRow({"NIC utilization", TablePrinter::Fmt(r.nic_utilization * 100, 1) + " %"});
   std::printf("%s", tp.Render("xenic_sim").c_str());
+  if (a.abort_breakdown) {
+    const txn::TxnStats& s = r.txn_stats;
+    const double denom = s.aborted > 0 ? static_cast<double>(s.aborted) : 1.0;
+    const uint64_t attributed = s.abort_lock_execute + s.abort_lock_local + s.abort_lock_ship +
+                                s.abort_validate + s.abort_gap + s.abort_other;
+    TablePrinter ab({"Reason", "Aborts", "Share%"});
+    auto row = [&](const char* name, uint64_t n) {
+      if (n > 0) {
+        ab.AddRow({name, TablePrinter::Fmt(n),
+                   TablePrinter::Fmt(static_cast<double>(n) / denom * 100, 1)});
+      }
+    };
+    row("lock-conflict (execute)", s.abort_lock_execute);
+    row("lock-conflict (local)", s.abort_lock_local);
+    row("lock-conflict (shipped)", s.abort_lock_ship);
+    row("validation-failure", s.abort_validate);
+    row("read-write-gap", s.abort_gap);
+    row("other", s.abort_other);
+    row("unattributed", s.aborted - attributed);
+    ab.AddRow({"total retryable", TablePrinter::Fmt(s.aborted), TablePrinter::Fmt(100.0, 1)});
+    std::printf("\n%s", ab.Render("abort breakdown").c_str());
+    std::printf("app-aborts: %llu; hot-path txns: %llu (parked %llu times)\n",
+                static_cast<unsigned long long>(s.app_aborted),
+                static_cast<unsigned long long>(s.hot_path),
+                static_cast<unsigned long long>(s.hot_waits));
+  }
   if (a.attrib) {
     const obs::BottleneckReport report = obs::Attribute(r.resources);
     std::printf("\n%s", obs::RenderAttribution(report, "bottleneck attribution").c_str());
