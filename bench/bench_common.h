@@ -16,6 +16,7 @@
 
 #include "src/common/table_printer.h"
 #include "src/harness/runner.h"
+#include "src/txn/cc_policy.h"
 #include "src/harness/sweep.h"
 #include "src/obs/attribution.h"
 #include "src/obs/critical_path.h"
@@ -263,6 +264,8 @@ struct BenchOptions {
   bool hot_key_path = false;     // --hot-key-path (Xenic systems only)
   bool adaptive_dma = false;     // --adaptive-dma (Xenic systems only)
   uint64_t seed = 0;             // --seed N; 0 = keep the bench's default
+  // --cc occ|nowait|waitdie|woundwait (Xenic systems only; default occ).
+  txn::CcPolicyKind cc = txn::CcPolicyKind::kOcc;
 
   static void PrintHelp(const char* prog) {
     std::printf(
@@ -280,7 +283,9 @@ struct BenchOptions {
         "  --backoff-base US   backoff base in microseconds (default 4)\n"
         "  --retry-cap US      backoff window cap in microseconds (default 256)\n"
         "  --hot-key-path      serialize sketch-flagged hot keys on the NIC\n"
-        "  --adaptive-dma      occupancy-aware DMA vector sizing\n",
+        "  --adaptive-dma      occupancy-aware DMA vector sizing\n"
+        "  --cc P              concurrency control (Xenic systems only):\n"
+        "                      occ | nowait | waitdie | woundwait (default occ)\n",
         prog);
   }
 
@@ -303,6 +308,12 @@ struct BenchOptions {
         std::exit(2);
       }
     };
+    auto cc = [&o](const char* name) {
+      if (!txn::ParseCcPolicy(name, &o.cc)) {
+        std::fprintf(stderr, "unknown --cc '%s' (occ|nowait|waitdie|woundwait)\n", name);
+        std::exit(2);
+      }
+    };
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--attrib") == 0) {
         o.attrib = true;
@@ -322,6 +333,10 @@ struct BenchOptions {
         policy(argv[++i]);
       } else if (std::strncmp(argv[i], "--retry-policy=", 15) == 0) {
         policy(argv[i] + 15);
+      } else if (std::strcmp(argv[i], "--cc") == 0 && i + 1 < argc) {
+        cc(argv[++i]);
+      } else if (std::strncmp(argv[i], "--cc=", 5) == 0) {
+        cc(argv[i] + 5);
       } else if (std::strcmp(argv[i], "--backoff-base") == 0 && i + 1 < argc) {
         o.backoff_base_us = ParseCount("--backoff-base", argv[++i]);
       } else if (std::strncmp(argv[i], "--backoff-base=", 15) == 0) {
@@ -372,6 +387,7 @@ inline void ApplyContentionOptions(const BenchOptions& o, RunConfig* rc,
     if (o.adaptive_dma) {
       cfg->nic_features.adaptive_dma_batching = true;
     }
+    cfg->features.cc = o.cc;  // default kOcc: the historical pipeline
   }
 }
 
@@ -393,7 +409,8 @@ inline void PrintAbortBreakdown(const std::string& title, const RunResult& r) {
   }
   const double denom = s.aborted > 0 ? static_cast<double>(s.aborted) : 1.0;
   const uint64_t attributed = s.abort_lock_execute + s.abort_lock_local + s.abort_lock_ship +
-                              s.abort_validate + s.abort_gap + s.abort_other;
+                              s.abort_validate + s.abort_gap + s.abort_wounded +
+                              s.abort_epoch_fence + s.abort_other;
   TablePrinter tp({"Reason", "Aborts", "Share%"});
   auto row = [&](const char* name, uint64_t n) {
     if (n == 0) {
@@ -407,16 +424,24 @@ inline void PrintAbortBreakdown(const std::string& title, const RunResult& r) {
   row("lock-conflict (shipped)", s.abort_lock_ship);
   row("validation-failure", s.abort_validate);
   row("read-write-gap", s.abort_gap);
+  row("wounded (WOUND_WAIT)", s.abort_wounded);
+  row("epoch-fence (2PL recovery)", s.abort_epoch_fence);
   row("other", s.abort_other);
   row("unattributed", s.aborted - attributed);
   tp.AddRow({"total retryable", TablePrinter::Fmt(s.aborted), TablePrinter::Fmt(100.0, 1)});
   std::printf("%s", tp.Render(title).c_str());
   std::printf("app-aborts (non-retryable): %llu; hot-path txns: %llu (parked %llu times); "
-              "remote lock parks: %llu\n\n",
+              "remote lock parks: %llu\n",
               static_cast<unsigned long long>(s.app_aborted),
               static_cast<unsigned long long>(s.hot_path),
               static_cast<unsigned long long>(s.hot_waits),
               static_cast<unsigned long long>(s.hot_remote_parks));
+  if (s.cc_waits > 0 || s.cc_wounds > 0) {
+    std::printf("cc: lock waits %llu; wounds sent %llu\n",
+                static_cast<unsigned long long>(s.cc_waits),
+                static_cast<unsigned long long>(s.cc_wounds));
+  }
+  std::printf("\n");
 }
 
 // Per-message-type traffic table (--msg-breakdown): one row per MsgType the

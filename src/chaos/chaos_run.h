@@ -24,6 +24,12 @@
 
 namespace xenic::chaos {
 
+// Which closed-loop workload drives the run. kBank (default) is the
+// money-conserving transfer mix every historical transcript uses; kYcsb is
+// a small skewed YCSB instance (RMW updates, so the history checker still
+// applies) without a money invariant -- its Summary omits the money line.
+enum class ChaosWorkload : uint8_t { kBank = 0, kYcsb };
+
 struct ChaosConfig {
   uint64_t seed = 1;
   uint64_t epoch = 1;
@@ -32,9 +38,12 @@ struct ChaosConfig {
 
   sim::Tick horizon = 600 * sim::kNsPerUs;  // submission window
   sim::Tick drain = 200 * sim::kNsPerUs;    // post-horizon settle time
-  uint32_t keys = 48;                       // bank accounts
+  uint32_t keys = 48;                       // bank accounts / ycsb keyspace
   uint32_t contexts_per_node = 3;           // closed-loop submitters
   int64_t initial_balance = 100;
+
+  ChaosWorkload workload = ChaosWorkload::kBank;
+  double ycsb_theta = 0.9;  // zipf skew of the kYcsb keyspace
 
   // Abort backoff between a submitter's transactions (chaos_runner
   // --retry-policy). Off by default: arming it draws extra Rng values, so
@@ -67,6 +76,7 @@ struct ChaosVerdict {
   uint64_t frames_delayed = 0;
 
   CheckResult check;                  // serializability verdict
+  bool money_audited = true;          // false for workloads with no invariant
   int64_t expected_total = 0;         // keys * initial_balance
   int64_t actual_total = 0;           // final audit-read sum
   std::vector<std::string> failures;  // non-checker audit failures

@@ -35,6 +35,7 @@ enum class MsgType : uint8_t {
   kRead,         // baseline one-sided reads (DrTM+H/NC, DrTM+R validate)
   kLock,         // baseline lock acquisition (CAS or per-key lock RPC)
   kUnlock,       // baseline lock release / abort cleanup
+  kWound,        // WOUND_WAIT: abort demand sent to a younger lock holder
   kCount,
 };
 
@@ -64,6 +65,8 @@ constexpr const char* MsgTypeName(MsgType t) {
       return "LOCK";
     case MsgType::kUnlock:
       return "UNLOCK";
+    case MsgType::kWound:
+      return "WOUND";
     case MsgType::kCount:
       return "ANY";
   }
@@ -117,6 +120,10 @@ inline constexpr uint32_t kVerbHeader = 42;
 
 // Fixed-size acknowledgement (validate/log/commit/ship-failure replies).
 constexpr uint32_t Ack() { return kHeader + kAckBody; }
+
+// WOUND: victim txn id demand sent to a lock holder's coordinator
+// (WOUND_WAIT conflict resolution; fire-and-forget, no reply).
+constexpr uint32_t Wound() { return kHeader + kAckBody; }
 
 // EXECUTE fan-out: key list for the whole read+write set, plus any opaque
 // application payload (`external`).

@@ -17,7 +17,8 @@ bool ParseMsgSelector(const char* name, MsgSelector* out) {
       {"commit", MsgType::kCommit},   {"release", MsgType::kRelease},
       {"ship_exec", MsgType::kShipExec}, {"ack", MsgType::kAck},
       {"read", MsgType::kRead},       {"lock", MsgType::kLock},
-      {"unlock", MsgType::kUnlock},   {"any", MsgType::kCount},
+      {"unlock", MsgType::kUnlock},   {"wound", MsgType::kWound},
+      {"any", MsgType::kCount},
   };
   const std::string s(name);
   // "<x>_reply" (other than exec_reply, a first-class type) selects the

@@ -43,6 +43,11 @@ struct LogRecord {
   // records for all `total_shards` shards reached every surviving backup.
   // Fits in the 24-byte record header, so ByteSize() is unchanged.
   uint32_t total_shards = 1;
+  // Which shard (primary, under the map the coordinator used) this record
+  // replicates. Recovery keys its applied-record index by (txn, shard) so
+  // an applied-and-reclaimed record still counts as replication evidence.
+  // Also header-resident: ByteSize() unchanged.
+  NodeId shard = 0;
   std::vector<LogWrite> writes;
 
   // Serialized size, used for DMA-write cost accounting.

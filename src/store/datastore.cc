@@ -135,6 +135,9 @@ std::vector<ApplyAck> Datastore::ApplyRecord(const LogRecord& record) {
     const size_t seg = t.SegmentOfKey(w.key);
     acks.push_back(ApplyAck{w.table, w.key, t.SegmentMaxDisp(seg), t.SegmentHasOverflow(seg)});
   }
+  if (record.type == LogRecordType::kLog) {
+    NoteLogApplied(record.txn, record.shard);
+  }
   records_applied_++;
   return acks;
 }

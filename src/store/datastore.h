@@ -12,7 +12,9 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <set>
 #include <unordered_set>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -91,6 +93,28 @@ class Datastore {
   void TombstoneTxn(TxnId txn);
   bool IsTombstoned(TxnId txn) const { return tombstoned_.count(txn) > 0; }
 
+  // Durable applied-record index. A worker noting (txn, shard) here records
+  // that this node received, acked, and applied that shard's LOG record --
+  // evidence that survives ring reclamation (a real log persists an
+  // applied-id watermark as checkpoint metadata). Recovery reads it to tell
+  // "applied and reclaimed" apart from "never arrived": without it, a
+  // committed transaction whose record was reclaimed on every replica of
+  // one shard looks incomplete and gets discarded, resurrecting the old
+  // version of its writes on the promoted primary (a lost update).
+  void NoteLogApplied(TxnId txn, NodeId shard) { applied_log_.emplace(txn, shard); }
+  bool HasAppliedLog(TxnId txn, NodeId shard) const {
+    return applied_log_.count({txn, shard}) > 0;
+  }
+  // Shards of `txn` whose records this node applied, in shard order.
+  std::vector<NodeId> AppliedShardsOf(TxnId txn) const {
+    std::vector<NodeId> out;
+    for (auto it = applied_log_.lower_bound({txn, 0});
+         it != applied_log_.end() && it->first == txn; ++it) {
+      out.push_back(it->second);
+    }
+    return out;
+  }
+
   uint64_t records_applied() const { return records_applied_; }
 
  private:
@@ -114,6 +138,9 @@ class Datastore {
   // aborts). Only ever holds txns aborted across an epoch change, so it
   // stays small.
   std::unordered_set<TxnId> tombstoned_;
+  // Applied LOG records, keyed (txn, shard); see NoteLogApplied. Ordered so
+  // AppliedShardsOf can range-scan one transaction deterministically.
+  std::set<std::pair<TxnId, NodeId>> applied_log_;
 };
 
 }  // namespace xenic::store

@@ -1,0 +1,82 @@
+#include "src/txn/cc_policy.h"
+
+namespace xenic::txn {
+
+namespace {
+
+class OccPolicy final : public CcPolicy {
+ public:
+  CcPolicyKind kind() const override { return CcPolicyKind::kOcc; }
+  const char* name() const override { return "occ"; }
+  bool lock_reads() const override { return false; }
+  bool validates() const override { return true; }
+  CcAction OnConflict(TxnId, TxnId) const override { return CcAction::kAbort; }
+};
+
+class NoWaitPolicy final : public CcPolicy {
+ public:
+  CcPolicyKind kind() const override { return CcPolicyKind::kNoWait; }
+  const char* name() const override { return "nowait"; }
+  bool lock_reads() const override { return true; }
+  bool validates() const override { return false; }
+  CcAction OnConflict(TxnId, TxnId) const override { return CcAction::kAbort; }
+};
+
+class WaitDiePolicy final : public CcPolicy {
+ public:
+  CcPolicyKind kind() const override { return CcPolicyKind::kWaitDie; }
+  const char* name() const override { return "waitdie"; }
+  bool lock_reads() const override { return true; }
+  bool validates() const override { return false; }
+  CcAction OnConflict(TxnId requester, TxnId holder) const override {
+    // Older (smaller priority) waits for younger; younger dies. Waits-for
+    // edges therefore always point old -> young: acyclic.
+    return CcPriority(requester) < CcPriority(holder) ? CcAction::kWait : CcAction::kAbort;
+  }
+};
+
+class WoundWaitPolicy final : public CcPolicy {
+ public:
+  CcPolicyKind kind() const override { return CcPolicyKind::kWoundWait; }
+  const char* name() const override { return "woundwait"; }
+  bool lock_reads() const override { return true; }
+  bool validates() const override { return false; }
+  CcAction OnConflict(TxnId requester, TxnId holder) const override {
+    // Older wounds the younger holder (then waits for the lock to free);
+    // younger waits. Waits-for edges always point young -> old: acyclic.
+    return CcPriority(requester) < CcPriority(holder) ? CcAction::kWound : CcAction::kWait;
+  }
+};
+
+}  // namespace
+
+const CcPolicy& CcPolicy::Get(CcPolicyKind kind) {
+  static const OccPolicy occ;
+  static const NoWaitPolicy nowait;
+  static const WaitDiePolicy waitdie;
+  static const WoundWaitPolicy woundwait;
+  switch (kind) {
+    case CcPolicyKind::kNoWait:
+      return nowait;
+    case CcPolicyKind::kWaitDie:
+      return waitdie;
+    case CcPolicyKind::kWoundWait:
+      return woundwait;
+    case CcPolicyKind::kOcc:
+      break;
+  }
+  return occ;
+}
+
+bool ParseCcPolicy(const std::string& name, CcPolicyKind* out) {
+  for (CcPolicyKind k : {CcPolicyKind::kOcc, CcPolicyKind::kNoWait, CcPolicyKind::kWaitDie,
+                         CcPolicyKind::kWoundWait}) {
+    if (name == CcPolicyName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace xenic::txn

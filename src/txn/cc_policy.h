@@ -1,0 +1,100 @@
+// Pluggable concurrency control for the Xenic engine (ROADMAP item 3).
+//
+// The EXECUTE/VALIDATE/LOG pipeline in xenic_node.cc consults a CcPolicy at
+// its decision points instead of hard-wiring OCC:
+//
+//  * kOcc (default): the paper's protocol, unchanged. Write locks are taken
+//    inside the combined EXECUTE, reads are optimistic, and the VALIDATE
+//    phase re-checks read versions. A lock conflict always denies.
+//  * The 2PL trio (kNoWait / kWaitDie / kWoundWait): the EXECUTE handler
+//    locks the READ set as well as the write set, every value is read under
+//    its lock, and the VALIDATE phase is skipped entirely -- two-phase
+//    locking makes the read versions stable by construction. The policies
+//    differ only in what a lock conflict does:
+//      NO_WAIT    -- deny immediately (the requester aborts and retries).
+//      WAIT_DIE   -- an OLDER requester parks in the key's wait queue until
+//                    the holder releases; a younger one dies (deny).
+//      WOUND_WAIT -- an OLDER requester wounds the holder (a WOUND message
+//                    aborts it at its coordinator unless it already passed
+//                    its commit point) and parks until the lock frees; a
+//                    younger one parks behind the holder.
+//
+// Deadlock freedom: age is a total order, so WAIT_DIE only ever creates
+// waits-for edges from older to younger transactions and WOUND_WAIT only
+// from younger to older -- either way the waits-for graph is acyclic and
+// NO_WAIT never waits at all. Parked waiters additionally carry a timeout
+// (locks released behind the engine's back by recovery sweeps would
+// otherwise strand them), after which the request denies like NO_WAIT.
+//
+// Timestamps: a transaction's age is derived from its TxnId alone.
+// MakeTxnId puts the node in the HIGH bits, so ids from different nodes do
+// not compare by submission order; CcPriority re-keys as (seq, node) --
+// sequence-major approximates global submission age (every node's
+// closed-loop contexts advance their sequence at commit rate) and the node
+// id breaks ties into a total order. Smaller priority == older. A retried
+// transaction draws a fresh (younger) id, which is exactly the restart
+// behavior WAIT_DIE/WOUND_WAIT assume for liveness of old transactions.
+
+#ifndef SRC_TXN_CC_POLICY_H_
+#define SRC_TXN_CC_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/store/types.h"
+#include "src/txn/types.h"
+
+namespace xenic::txn {
+
+// What a denied lock request does next (OnConflict result).
+enum class CcAction : uint8_t {
+  kAbort = 0,  // deny the request; the coordinator aborts and retries
+  kWait,       // park in the key's wait queue until release (or timeout)
+  kWound,      // abort the holder via its coordinator, then wait
+};
+
+// Total-order age key for wound/wait decisions; smaller == older.
+inline uint64_t CcPriority(TxnId id) {
+  const uint64_t seq = id & ((1ull << 40) - 1);
+  const auto node = static_cast<uint64_t>(store::TxnNode(id));
+  return (seq << 16) | (node & 0xffff);
+}
+
+class CcPolicy {
+ public:
+  virtual ~CcPolicy() = default;
+
+  virtual CcPolicyKind kind() const = 0;
+  virtual const char* name() const = 0;
+  // 2PL: the EXECUTE handler locks read-set keys too (and the coordinator
+  // must release them at commit/abort on every shard, not just locally).
+  virtual bool lock_reads() const = 0;
+  // OCC only: run the VALIDATE phase (2PL reads are stable under locks).
+  virtual bool validates() const = 0;
+  // Conflict resolution: `requester` hit a lock held by `holder`.
+  virtual CcAction OnConflict(TxnId requester, TxnId holder) const = 0;
+
+  // Stateless singleton per kind.
+  static const CcPolicy& Get(CcPolicyKind kind);
+};
+
+constexpr const char* CcPolicyName(CcPolicyKind kind) {
+  switch (kind) {
+    case CcPolicyKind::kOcc:
+      return "occ";
+    case CcPolicyKind::kNoWait:
+      return "nowait";
+    case CcPolicyKind::kWaitDie:
+      return "waitdie";
+    case CcPolicyKind::kWoundWait:
+      return "woundwait";
+  }
+  return "?";
+}
+
+// Parses the --cc flag spelling; returns false on an unknown name.
+bool ParseCcPolicy(const std::string& name, CcPolicyKind* out);
+
+}  // namespace xenic::txn
+
+#endif  // SRC_TXN_CC_POLICY_H_

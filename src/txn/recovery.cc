@@ -47,6 +47,11 @@ namespace {
 struct ShardRecord {
   store::LogRecord record;
   std::vector<NodeId> holders;
+  // Live nodes whose applied-record index shows they applied (and possibly
+  // reclaimed) this shard's record -- receipt evidence with no log copy
+  // left. An entry created from this evidence alone has an empty `record`:
+  // nothing to re-apply (the evidence is that it already was).
+  std::vector<NodeId> appliers;
 };
 struct TxnLogState {
   uint32_t total_shards = 1;
@@ -90,6 +95,22 @@ std::map<store::TxnId, TxnLogState> CollectInFlight(XenicCluster& cluster, const
         it->second.record = rec;
       }
       it->second.holders.push_back(n);
+    }
+  }
+  // Second evidence pass: a record applied and reclaimed leaves no log copy
+  // but the datastore's applied-record index still names its (txn, shard).
+  // Without this a committed transaction whose records were consumed on
+  // every replica of one shard looks incomplete ("t.shards.size() <
+  // total_shards") and gets discarded -- resurrecting pre-transaction
+  // versions on the promoted primary.
+  for (auto& [txn, t] : out) {
+    for (NodeId n : live) {
+      const auto& ds = cluster.datastore(n);
+      for (NodeId shard : ds.AppliedShardsOf(txn)) {
+        auto [it, inserted] = t.shards.try_emplace(shard);
+        (void)inserted;
+        it->second.appliers.push_back(n);
+      }
     }
   }
   return out;
@@ -136,6 +157,7 @@ bool IsComplete(XenicCluster& cluster, const TxnLogState& t, const ClusterMap& m
       }
       const bool holds =
           std::find(sr.holders.begin(), sr.holders.end(), b) != sr.holders.end() ||
+          std::find(sr.appliers.begin(), sr.appliers.end(), b) != sr.appliers.end() ||
           AppliedAt(cluster.datastore(b), sr.record);
       if (!holds) {
         return false;

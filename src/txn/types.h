@@ -100,7 +100,21 @@ enum class AbortReason : uint8_t {
   kLockShip,     // lock denied on a shipped-execution hop
   kValidate,     // read-set validation failed
   kGap,          // read/write-gap check failed (key read after lock window)
+  kWounded,      // aborted by an older transaction's wound (WOUND_WAIT)
+  kEpochFence,   // 2PL txn outlived a membership change; its locks may be gone
   kOther,        // anything else (log rejection, forced abort, ...)
+};
+
+// Concurrency-control policy for the Xenic engine (src/txn/cc_policy.h has
+// the behavior contract). kOcc is the paper's protocol and the default; the
+// 2PL trio locks reads at EXECUTE time and skips validation. Anything other
+// than kOcc changes event schedules, so -- like hot_key_fastpath -- the
+// non-default values are opt-in to keep goldens byte-identical.
+enum class CcPolicyKind : uint8_t {
+  kOcc = 0,
+  kNoWait,     // 2PL, abort on conflict (never parks)
+  kWaitDie,    // 2PL, older requester waits / younger dies
+  kWoundWait,  // 2PL, older requester wounds the holder / younger waits
 };
 
 // Outcome plus the coordinator's contention hint: the hot-key sketch level
@@ -134,6 +148,10 @@ struct XenicFeatures {
   // Off by default: changes event schedules, so the golden chaos
   // transcript and all existing seeds stay byte-identical.
   bool hot_key_fastpath = false;
+  // Concurrency-control policy. kOcc (default) is the unmodified paper
+  // pipeline; any 2PL kind disables the shipped/hot-key routes, locks the
+  // read set at EXECUTE time, and skips VALIDATE (see cc_policy.h).
+  CcPolicyKind cc = CcPolicyKind::kOcc;
 };
 
 // Key -> primary node placement. Workloads provide an implementation
@@ -166,6 +184,13 @@ struct ClusterMap {
   uint32_t replication = 1;  // total copies including the primary
   const Partitioner* partitioner = nullptr;
   std::vector<bool> failed;  // sized lazily by MarkFailed; empty = all live
+  // Bumped once per membership change, after recovery rolls the failed
+  // node's shards forward. 2PL transactions fence on it at commit time: a
+  // lock granted by a node that has since been evicted no longer exists
+  // anywhere (the promoted primary rebuilt only swept state), so a txn that
+  // started under an older version must abort rather than write unlocked.
+  // OCC needs no fence -- VALIDATE re-checks read versions.
+  uint64_t version = 0;
 
   bool IsFailed(NodeId node) const { return node < failed.size() && failed[node]; }
   void MarkFailed(NodeId node) {
@@ -173,6 +198,7 @@ struct ClusterMap {
       failed.resize(num_nodes, false);
     }
     failed[node] = true;
+    version++;
   }
 
   NodeId PrimaryOf(TableId table, Key key) const { return partitioner->PrimaryOf(table, key); }
@@ -249,7 +275,13 @@ struct TxnStats {
   uint64_t abort_lock_ship = 0;
   uint64_t abort_validate = 0;
   uint64_t abort_gap = 0;
+  uint64_t abort_wounded = 0;
+  uint64_t abort_epoch_fence = 0;
   uint64_t abort_other = 0;
+
+  // 2PL concurrency-control accounting (zero under OCC).
+  uint64_t cc_waits = 0;   // lock requests parked in a wait queue
+  uint64_t cc_wounds = 0;  // WOUND messages sent to younger lock holders
 
   // Hot-key fast path accounting.
   uint64_t hot_path = 0;   // committed/aborted txns routed via the hot path

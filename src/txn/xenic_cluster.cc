@@ -62,10 +62,14 @@ TxnStats XenicCluster::TotalStats() const {
     total.abort_lock_ship += s.abort_lock_ship;
     total.abort_validate += s.abort_validate;
     total.abort_gap += s.abort_gap;
+    total.abort_wounded += s.abort_wounded;
+    total.abort_epoch_fence += s.abort_epoch_fence;
     total.abort_other += s.abort_other;
     total.hot_path += s.hot_path;
     total.hot_waits += s.hot_waits;
     total.hot_remote_parks += s.hot_remote_parks;
+    total.cc_waits += s.cc_waits;
+    total.cc_wounds += s.cc_wounds;
   }
   return total;
 }

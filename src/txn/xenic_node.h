@@ -36,6 +36,7 @@
 #include "src/nicmodel/smart_nic.h"
 #include "src/store/commit_log.h"
 #include "src/store/datastore.h"
+#include "src/txn/cc_policy.h"
 #include "src/txn/hot_key_sketch.h"
 #include "src/txn/types.h"
 
@@ -166,6 +167,14 @@ class XenicNode {
     bool logs_sent = false;             // LOG fan-out happened
     uint8_t contention_hint = 0;        // max sketch level across conflicts
     AbortReason abort_reason = AbortReason::kNone;  // first abort cause wins
+    // 2PL (CcPolicyKind != kOcc): read-set keys are locked at EVERY shard
+    // that acknowledged EXECUTE, so commit/abort must release them there
+    // (under OCC only the local/shipped paths lock reads -- see lock_all).
+    bool cc_read_locks = false;
+    // ClusterMap::version at submit time. 2PL commits fence on it: if the
+    // membership changed while we ran, a lock granted by the evicted node
+    // is gone and our "stable by construction" reads are not.
+    uint64_t map_version = 0;
     // Hot-key fast path bookkeeping.
     bool hot_path = false;    // routed through the serialized NIC path
     bool hot_parked = false;  // waiting in a per-hot-key queue (zero locks!)
@@ -278,6 +287,33 @@ class XenicNode {
   bool ParkRemote(const KeyRef& key, TxnId txn, std::function<void()> resume);
   void WakeOneRemote(const KeyRef& key);
 
+  // ---- Pluggable concurrency control (XenicFeatures::cc; cc_policy.h).
+  // True when a 2PL policy is active: read sets lock at EXECUTE time, the
+  // VALIDATE phase is skipped, and the shipped/hot-key routes are disabled.
+  bool Cc2pl() const { return features_->cc != CcPolicyKind::kOcc; }
+  const CcPolicy& cc_policy() const { return CcPolicy::Get(features_->cc); }
+  // Policy decision for a denied lock at this shard: park `resume` in the
+  // key's wait queue (optionally wounding the holder first) and return
+  // true, or return false when the policy (or an exhausted park budget)
+  // says the requester must abort.
+  bool CcHandleConflict(TxnId txn, const KeyRef& conflict, uint32_t parks,
+                        std::function<void()> resume);
+  // Timestamp-ordered wait queue (one per key, oldest woken first). Parked
+  // entries hold the timeout fallback of the hot-key queues: a lock
+  // released behind the engine's back (recovery sweeps) must not strand a
+  // waiter forever.
+  void CcPark(const KeyRef& key, TxnId txn, std::function<void()> resume);
+  void WakeCcWaiters(const KeyRef& key);
+  // Coordinator-side WOUND handler: abort `victim` unless it already
+  // passed its commit point (logs sent / outcome reported) or is gone.
+  void ServeWound(TxnId victim);
+  // All-local write transactions under 2PL: lock the read+write set up
+  // front on the NIC (policy-directed parking on conflict), execute under
+  // locks, then LOG/COMMIT -- no optimistic race, no validation.
+  void CcLocalPath(StatePtr st);
+  void CcLocalStart(TxnId txn);
+  void CcLocalAcquire(TxnId txn, uint32_t parks);
+
   // Read one key at the server-side NIC, charging DMA costs; calls `done`
   // with the result.
   void NicReadKey(const KeyRef& ref, bool metadata_only,
@@ -345,6 +381,16 @@ class XenicNode {
   };
   std::unordered_map<KeyRef, std::deque<RemoteWaiter>, KeyRefHash> remote_waiters_;
   uint64_t remote_waiter_seq_ = 0;
+  // Per-key 2PL wait queues (WAIT_DIE / WOUND_WAIT). Entries hold zero or
+  // more locks at OTHER shards (hold-and-wait is safe: timestamp ordering
+  // keeps the global waits-for graph acyclic); wakes go oldest-first.
+  struct CcWaiter {
+    uint64_t id;
+    TxnId txn;
+    std::function<void()> resume;
+  };
+  std::unordered_map<KeyRef, std::vector<CcWaiter>, KeyRefHash> cc_waiters_;
+  uint64_t cc_waiter_seq_ = 0;
   net::Transport transport_;
   PhaseBreakdown phases_;
   WorkerApplyHook worker_apply_hook_;

@@ -41,8 +41,7 @@ void Retwis::Load(const LoadFn& load) {
 
 TxnRequest Retwis::NextTxn(NodeId coordinator, Rng& rng) {
   (void)coordinator;
-  static const std::vector<uint32_t> kMix = {5, 15, 30, 50};
-  const auto type = static_cast<TxnType>(rng.NextWeighted(kMix));
+  const auto type = static_cast<TxnType>(rng.NextWeighted(options_.mix));
 
   TxnRequest req;
   req.tag = type;

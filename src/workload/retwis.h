@@ -20,6 +20,10 @@ class Retwis : public Workload {
     uint32_t num_nodes = 6;
     uint64_t keys_per_node = 100000;  // paper: 1M
     double zipf_alpha = 0.5;
+    // Transaction mix weights, indexed by TxnType (Meerkat defaults).
+    // Tests override, e.g. to RMW-only types for the history checker
+    // (AddUser and PostTweet write keys they never read).
+    std::vector<uint32_t> mix = {5, 15, 30, 50};
   };
 
   enum TxnType : uint8_t {

@@ -1,0 +1,376 @@
+// Concurrency-control policy unit and property tests (DESIGN.md §13): flag
+// parsing and naming, the OnConflict decision matrices of the 2PL trio,
+// CcPriority's total age order, and the deadlock-freedom argument — WAIT_DIE
+// only ever creates older→younger waits-for edges, WOUND_WAIT only
+// younger→older, so randomized seeded acquire orders can never close a
+// cycle, and NO_WAIT never parks at all. The last group drives a real
+// contended cluster per policy and checks the engine-level counters agree
+// (NO_WAIT's cc_waits stays zero; WOUND_WAIT actually wounds).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/store/types.h"
+#include "src/txn/cc_policy.h"
+#include "src/txn/xenic_cluster.h"
+
+namespace xenic::txn {
+namespace {
+
+using store::MakeTxnId;
+using store::TxnId;
+
+constexpr CcPolicyKind kAllKinds[] = {CcPolicyKind::kOcc, CcPolicyKind::kNoWait,
+                                      CcPolicyKind::kWaitDie, CcPolicyKind::kWoundWait};
+
+TEST(CcPolicyTest, ParseRoundTripsEveryName) {
+  for (CcPolicyKind kind : kAllKinds) {
+    CcPolicyKind parsed = CcPolicyKind::kOcc;
+    ASSERT_TRUE(ParseCcPolicy(CcPolicyName(kind), &parsed)) << CcPolicyName(kind);
+    EXPECT_EQ(parsed, kind);
+    EXPECT_STREQ(CcPolicy::Get(kind).name(), CcPolicyName(kind));
+    EXPECT_EQ(CcPolicy::Get(kind).kind(), kind);
+  }
+}
+
+TEST(CcPolicyTest, ParseRejectsUnknownNames) {
+  CcPolicyKind parsed = CcPolicyKind::kOcc;
+  EXPECT_FALSE(ParseCcPolicy("2pl", &parsed));
+  EXPECT_FALSE(ParseCcPolicy("", &parsed));
+  EXPECT_FALSE(ParseCcPolicy("OCC", &parsed));  // spellings are lowercase
+  EXPECT_FALSE(ParseCcPolicy("wait-die", &parsed));
+}
+
+TEST(CcPolicyTest, GetReturnsOneSingletonPerKind) {
+  for (CcPolicyKind kind : kAllKinds) {
+    EXPECT_EQ(&CcPolicy::Get(kind), &CcPolicy::Get(kind));
+  }
+  EXPECT_NE(&CcPolicy::Get(CcPolicyKind::kOcc), &CcPolicy::Get(CcPolicyKind::kNoWait));
+}
+
+TEST(CcPolicyTest, OccValidatesAndNeverLocksReads) {
+  const CcPolicy& occ = CcPolicy::Get(CcPolicyKind::kOcc);
+  EXPECT_TRUE(occ.validates());
+  EXPECT_FALSE(occ.lock_reads());
+  // OCC conflicts always deny: the requester aborts and retries.
+  EXPECT_EQ(occ.OnConflict(MakeTxnId(0, 1), MakeTxnId(1, 9)), CcAction::kAbort);
+  EXPECT_EQ(occ.OnConflict(MakeTxnId(1, 9), MakeTxnId(0, 1)), CcAction::kAbort);
+}
+
+TEST(CcPolicyTest, TwoPlTrioLocksReadsAndSkipsValidation) {
+  for (CcPolicyKind kind :
+       {CcPolicyKind::kNoWait, CcPolicyKind::kWaitDie, CcPolicyKind::kWoundWait}) {
+    const CcPolicy& p = CcPolicy::Get(kind);
+    EXPECT_TRUE(p.lock_reads()) << p.name();
+    EXPECT_FALSE(p.validates()) << p.name();
+  }
+}
+
+TEST(CcPolicyTest, PriorityIsSequenceMajor) {
+  // Sequence dominates: an earlier sequence is older regardless of node id.
+  EXPECT_LT(CcPriority(MakeTxnId(5, 10)), CcPriority(MakeTxnId(0, 11)));
+  EXPECT_LT(CcPriority(MakeTxnId(3, 1)), CcPriority(MakeTxnId(2, 2)));
+}
+
+TEST(CcPolicyTest, PriorityBreaksSequenceTiesByNode) {
+  EXPECT_LT(CcPriority(MakeTxnId(0, 7)), CcPriority(MakeTxnId(1, 7)));
+  EXPECT_LT(CcPriority(MakeTxnId(1, 7)), CcPriority(MakeTxnId(2, 7)));
+}
+
+TEST(CcPolicyTest, PriorityIsATotalOrderOverDistinctIds) {
+  Rng rng(101);
+  std::set<TxnId> ids;
+  while (ids.size() < 200) {
+    ids.insert(MakeTxnId(rng.NextBounded(6), 1 + rng.NextBounded(1000)));
+  }
+  std::set<uint64_t> priorities;
+  for (TxnId id : ids) {
+    priorities.insert(CcPriority(id));
+  }
+  EXPECT_EQ(priorities.size(), ids.size());  // injective => total order
+}
+
+TEST(CcPolicyTest, NoWaitAlwaysAborts) {
+  const CcPolicy& p = CcPolicy::Get(CcPolicyKind::kNoWait);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const TxnId a = MakeTxnId(rng.NextBounded(6), 1 + rng.NextBounded(500));
+    const TxnId b = MakeTxnId(rng.NextBounded(6), 1 + rng.NextBounded(500));
+    EXPECT_EQ(p.OnConflict(a, b), CcAction::kAbort);
+  }
+}
+
+TEST(CcPolicyTest, WaitDieOlderRequesterWaits) {
+  const CcPolicy& p = CcPolicy::Get(CcPolicyKind::kWaitDie);
+  const TxnId older = MakeTxnId(1, 5);
+  const TxnId younger = MakeTxnId(0, 6);
+  ASSERT_LT(CcPriority(older), CcPriority(younger));
+  EXPECT_EQ(p.OnConflict(older, younger), CcAction::kWait);
+}
+
+TEST(CcPolicyTest, WaitDieYoungerRequesterDies) {
+  const CcPolicy& p = CcPolicy::Get(CcPolicyKind::kWaitDie);
+  const TxnId older = MakeTxnId(1, 5);
+  const TxnId younger = MakeTxnId(0, 6);
+  EXPECT_EQ(p.OnConflict(younger, older), CcAction::kAbort);
+}
+
+TEST(CcPolicyTest, WoundWaitOlderRequesterWounds) {
+  const CcPolicy& p = CcPolicy::Get(CcPolicyKind::kWoundWait);
+  const TxnId older = MakeTxnId(2, 3);
+  const TxnId younger = MakeTxnId(2, 4);
+  EXPECT_EQ(p.OnConflict(older, younger), CcAction::kWound);
+}
+
+TEST(CcPolicyTest, WoundWaitYoungerRequesterWaits) {
+  const CcPolicy& p = CcPolicy::Get(CcPolicyKind::kWoundWait);
+  const TxnId older = MakeTxnId(2, 3);
+  const TxnId younger = MakeTxnId(2, 4);
+  EXPECT_EQ(p.OnConflict(younger, older), CcAction::kWait);
+}
+
+// The deadlock-freedom invariant, stated on the decision matrix itself:
+// under WAIT_DIE every wait edge (requester waits for holder) points from an
+// older transaction to a younger one; under WOUND_WAIT from a younger to an
+// older. Any cycle would need at least one edge of the opposite direction.
+TEST(CcPolicyTest, WaitDieWaitEdgesPointOldToYoungOnly) {
+  const CcPolicy& p = CcPolicy::Get(CcPolicyKind::kWaitDie);
+  Rng rng(11);
+  int waits = 0;
+  for (int i = 0; i < 500; ++i) {
+    const TxnId a = MakeTxnId(rng.NextBounded(6), 1 + rng.NextBounded(300));
+    const TxnId b = MakeTxnId(rng.NextBounded(6), 1 + rng.NextBounded(300));
+    if (a == b) {
+      continue;
+    }
+    if (p.OnConflict(a, b) == CcAction::kWait) {
+      EXPECT_LT(CcPriority(a), CcPriority(b));
+      waits++;
+    } else {
+      EXPECT_GT(CcPriority(a), CcPriority(b));
+    }
+  }
+  EXPECT_GT(waits, 0);
+}
+
+TEST(CcPolicyTest, WoundWaitWaitEdgesPointYoungToOldOnly) {
+  const CcPolicy& p = CcPolicy::Get(CcPolicyKind::kWoundWait);
+  Rng rng(12);
+  int waits = 0;
+  int wounds = 0;
+  for (int i = 0; i < 500; ++i) {
+    const TxnId a = MakeTxnId(rng.NextBounded(6), 1 + rng.NextBounded(300));
+    const TxnId b = MakeTxnId(rng.NextBounded(6), 1 + rng.NextBounded(300));
+    if (a == b) {
+      continue;
+    }
+    const CcAction act = p.OnConflict(a, b);
+    if (act == CcAction::kWait) {
+      EXPECT_GT(CcPriority(a), CcPriority(b));
+      waits++;
+    } else {
+      ASSERT_EQ(act, CcAction::kWound);  // never a plain abort of the requester
+      EXPECT_LT(CcPriority(a), CcPriority(b));
+      wounds++;
+    }
+  }
+  EXPECT_GT(waits, 0);
+  EXPECT_GT(wounds, 0);
+}
+
+// Randomized acquire orders over a simulated lock table: replay every
+// conflict through the policy's OnConflict and record the waits-for edges it
+// creates. Whatever the interleaving, the graph must stay acyclic (WAIT_DIE,
+// WOUND_WAIT) and NO_WAIT must produce no edges at all.
+bool HasCycle(const std::map<TxnId, std::set<TxnId>>& waits_for) {
+  std::set<TxnId> done;
+  for (const auto& [start, _] : waits_for) {
+    if (done.count(start) > 0) {
+      continue;
+    }
+    std::set<TxnId> path;
+    std::vector<TxnId> stack = {start};
+    std::function<bool(TxnId)> dfs = [&](TxnId t) {
+      if (path.count(t) > 0) {
+        return true;
+      }
+      if (done.count(t) > 0) {
+        return false;
+      }
+      path.insert(t);
+      auto it = waits_for.find(t);
+      if (it != waits_for.end()) {
+        for (TxnId next : it->second) {
+          if (dfs(next)) {
+            return true;
+          }
+        }
+      }
+      path.erase(t);
+      done.insert(t);
+      return false;
+    };
+    if (dfs(start)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RandomAcquireOrdersStayAcyclic(CcPolicyKind kind, uint64_t seed) {
+  const CcPolicy& p = CcPolicy::Get(kind);
+  Rng rng(seed);
+  constexpr int kTxns = 24;
+  constexpr int kKeys = 8;
+  std::vector<TxnId> txns;
+  for (int i = 0; i < kTxns; ++i) {
+    txns.push_back(MakeTxnId(rng.NextBounded(6), 1 + rng.NextBounded(400)));
+  }
+  std::map<int, TxnId> holder;                // key -> current lock holder
+  std::map<TxnId, std::set<TxnId>> waits_for; // requester -> holders waited on
+  int parked = 0;
+  for (int step = 0; step < 400; ++step) {
+    const TxnId t = txns[rng.NextBounded(kTxns)];
+    const int key = static_cast<int>(rng.NextBounded(kKeys));
+    auto it = holder.find(key);
+    if (it == holder.end()) {
+      holder[key] = t;       // free: acquire
+      waits_for.erase(t);    // no longer blocked on anything
+      continue;
+    }
+    if (it->second == t) {
+      holder.erase(it);      // re-touch by the holder: model a release
+      continue;
+    }
+    switch (p.OnConflict(t, it->second)) {
+      case CcAction::kAbort:
+        waits_for.erase(t);  // requester dies, edges vanish
+        break;
+      case CcAction::kWound:
+        // The holder aborts: its lock frees and its own edges vanish; the
+        // requester takes the lock.
+        waits_for.erase(it->second);
+        holder[key] = t;
+        break;
+      case CcAction::kWait:
+        waits_for[t].insert(it->second);
+        parked++;
+        break;
+    }
+    ASSERT_FALSE(HasCycle(waits_for)) << p.name() << " seed " << seed;
+  }
+  if (kind == CcPolicyKind::kNoWait) {
+    EXPECT_EQ(parked, 0);
+  } else {
+    EXPECT_GT(parked, 0) << p.name() << " seed " << seed;
+  }
+}
+
+TEST(CcPolicyTest, WaitDieRandomAcquireOrdersNeverCycle) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomAcquireOrdersStayAcyclic(CcPolicyKind::kWaitDie, seed);
+  }
+}
+
+TEST(CcPolicyTest, WoundWaitRandomAcquireOrdersNeverCycle) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomAcquireOrdersStayAcyclic(CcPolicyKind::kWoundWait, seed);
+  }
+}
+
+TEST(CcPolicyTest, NoWaitRandomAcquireOrdersNeverPark) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomAcquireOrdersStayAcyclic(CcPolicyKind::kNoWait, seed);
+  }
+}
+
+// Engine-level counter agreement: drive a deliberately contended RMW mix
+// (few keys, many contexts) through a real cluster under each policy and
+// check the TxnStats the policies are supposed to produce.
+TxnStats RunContended(CcPolicyKind cc, uint64_t seed) {
+  XenicClusterOptions o;
+  o.num_nodes = 3;
+  o.replication = 2;
+  o.features.cc = cc;
+  o.tables = {store::TableSpec{0, "t", 8, 16, 8, 8}};
+  HashPartitioner part(3);
+  XenicCluster cluster(o, &part);
+  constexpr int kKeys = 6;  // tiny keyspace: conflicts guaranteed
+  for (store::Key k = 0; k < kKeys; ++k) {
+    store::Value v(16, 0);
+    store::PutI64(v, 0, 100);
+    cluster.LoadReplicated(0, k, v);
+  }
+  cluster.StartWorkers();
+  Rng rng(seed);
+  int active = 0;
+  std::function<void(store::NodeId, int)> run_one = [&](store::NodeId n, int left) {
+    if (left == 0) {
+      active--;
+      return;
+    }
+    TxnRequest req;
+    store::Key a = rng.NextBounded(kKeys);
+    store::Key b = (a + 1 + rng.NextBounded(kKeys - 1)) % kKeys;
+    req.reads = {{0, a}, {0, b}};
+    req.writes = {{0, a}, {0, b}};
+    req.execute = [](ExecRound& er) {
+      for (size_t i = 0; i < er.writes->size(); ++i) {
+        store::Value v = (*er.reads)[i].value;
+        store::PutI64(v, 0, store::GetI64(v, 0) + 1);
+        (*er.writes)[i].value = v;
+      }
+    };
+    cluster.node(n).Submit(std::move(req), [&, n, left](TxnOutcome) { run_one(n, left - 1); });
+  };
+  for (store::NodeId n = 0; n < 3; ++n) {
+    for (int c = 0; c < 4; ++c) {
+      active++;
+      run_one(n, 30);
+    }
+  }
+  while (active > 0 && !cluster.engine().idle()) {
+    cluster.engine().RunFor(100 * sim::kNsPerUs);
+  }
+  cluster.StopWorkers();
+  cluster.engine().Run();
+  return cluster.TotalStats();
+}
+
+TEST(CcPolicyTest, NoWaitEngineNeverParksOrWounds) {
+  const TxnStats s = RunContended(CcPolicyKind::kNoWait, 31);
+  EXPECT_GT(s.committed, 0u);
+  EXPECT_EQ(s.cc_waits, 0u);
+  EXPECT_EQ(s.cc_wounds, 0u);
+  EXPECT_EQ(s.abort_wounded, 0u);
+}
+
+TEST(CcPolicyTest, WaitDieEngineParksButNeverWounds) {
+  const TxnStats s = RunContended(CcPolicyKind::kWaitDie, 32);
+  EXPECT_GT(s.committed, 0u);
+  EXPECT_GT(s.cc_waits, 0u);
+  EXPECT_EQ(s.cc_wounds, 0u);
+  EXPECT_EQ(s.abort_wounded, 0u);
+}
+
+TEST(CcPolicyTest, WoundWaitEngineWounds) {
+  const TxnStats s = RunContended(CcPolicyKind::kWoundWait, 33);
+  EXPECT_GT(s.committed, 0u);
+  EXPECT_GT(s.cc_waits + s.cc_wounds, 0u);
+}
+
+TEST(CcPolicyTest, OccEngineUsesNoCcMachinery) {
+  const TxnStats s = RunContended(CcPolicyKind::kOcc, 34);
+  EXPECT_GT(s.committed, 0u);
+  EXPECT_EQ(s.cc_waits, 0u);
+  EXPECT_EQ(s.cc_wounds, 0u);
+  EXPECT_EQ(s.abort_wounded, 0u);
+}
+
+}  // namespace
+}  // namespace xenic::txn

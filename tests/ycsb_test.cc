@@ -1,0 +1,190 @@
+// YCSB generator tests (DESIGN.md §13): the three properties the
+// concurrency-control comparisons lean on. Key popularity follows the
+// zipfian pmf (checked with a chi-square bound; theta 0 degenerates to
+// uniform), the read ratio is exact over any window (error diffusion, not
+// Bernoulli), and the generated stream is a pure function of the Rng state,
+// so per-context streams are byte-identical across --jobs splits.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/ycsb.h"
+
+namespace xenic::workload {
+namespace {
+
+Ycsb::Options SmallOptions(double theta, double read_ratio) {
+  Ycsb::Options o;
+  o.num_nodes = 6;
+  o.keys_per_node = 8;  // 48 keys: every bin well-populated
+  o.zipf_theta = theta;
+  o.read_ratio = read_ratio;
+  o.ops_per_txn = 3;
+  o.value_size = 16;
+  return o;
+}
+
+// Chi-square statistic of observed key draws against the zipf pmf
+// p(rank) = rank^-theta / H(n). Keys ARE ranks (0-based) by construction.
+double ChiSquare(const std::vector<uint64_t>& counts, double theta, uint64_t samples) {
+  double h = 0.0;
+  for (size_t r = 0; r < counts.size(); ++r) {
+    h += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+  }
+  double chi = 0.0;
+  for (size_t r = 0; r < counts.size(); ++r) {
+    const double expected =
+        static_cast<double>(samples) / (std::pow(static_cast<double>(r + 1), theta) * h);
+    const double d = static_cast<double>(counts[r]) - expected;
+    chi += d * d / expected;
+  }
+  return chi;
+}
+
+TEST(YcsbTest, ZipfFrequenciesWithinChiSquareBound) {
+  Ycsb wl(SmallOptions(0.99, 0.5));
+  Rng rng(42);
+  constexpr uint64_t kSamples = 200000;
+  std::vector<uint64_t> counts(wl.total_keys(), 0);
+  for (uint64_t i = 0; i < kSamples; ++i) {
+    const Key k = wl.PickKey(rng);
+    ASSERT_LT(k, wl.total_keys());
+    counts[k]++;
+  }
+  // 47 degrees of freedom: the p=0.001 critical value is ~84.0. A bound of
+  // 90 fails reliably if the pmf is off by even one rank (0- vs 1-based
+  // shifts chi-square into the thousands at this sample size).
+  EXPECT_LT(ChiSquare(counts, 0.99, kSamples), 90.0);
+  // Sanity on the shape itself: rank 0 is the hottest key and the head
+  // dominates a same-size slice of the tail.
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(), 0);
+  uint64_t head = 0;
+  uint64_t tail = 0;
+  for (size_t r = 0; r < 8; ++r) {
+    head += counts[r];
+    tail += counts[counts.size() - 1 - r];
+  }
+  EXPECT_GT(head, 4 * tail);
+}
+
+TEST(YcsbTest, ThetaZeroIsUniform) {
+  Ycsb wl(SmallOptions(0.0, 0.5));
+  Rng rng(43);
+  constexpr uint64_t kSamples = 200000;
+  std::vector<uint64_t> counts(wl.total_keys(), 0);
+  for (uint64_t i = 0; i < kSamples; ++i) {
+    counts[wl.PickKey(rng)]++;
+  }
+  EXPECT_LT(ChiSquare(counts, 0.0, kSamples), 90.0);
+}
+
+TEST(YcsbTest, ReadRatioIsExactOverTenThousandOps) {
+  for (const double ratio : {0.0, 0.5, 0.95, 1.0}) {
+    Ycsb wl(SmallOptions(0.99, ratio));
+    uint64_t reads = 0;
+    constexpr uint64_t kOps = 10000;
+    for (uint64_t i = 0; i < kOps; ++i) {
+      if (wl.NextOpIsRead()) {
+        reads++;
+      }
+    }
+    const auto expected = static_cast<uint64_t>(ratio * static_cast<double>(kOps));
+    EXPECT_NEAR(static_cast<double>(reads), static_cast<double>(expected), 1.0)
+        << "ratio " << ratio;
+  }
+}
+
+TEST(YcsbTest, EveryWindowHoldsTheRatioWithinOne) {
+  Ycsb wl(SmallOptions(0.99, 0.7));
+  int window_reads = 0;
+  for (int i = 1; i <= 5000; ++i) {
+    if (wl.NextOpIsRead()) {
+      window_reads++;
+    }
+    if (i % 100 == 0) {
+      EXPECT_GE(window_reads, 69);
+      EXPECT_LE(window_reads, 71);
+      window_reads = 0;
+    }
+  }
+}
+
+TEST(YcsbTest, StreamsAreByteIdenticalAcrossInstances) {
+  // Two independently constructed workloads fed identically seeded Rngs
+  // must produce identical transactions: this is what makes sweep output
+  // independent of how contexts are divided among --jobs workers.
+  Ycsb a(SmallOptions(0.9, 0.5));
+  Ycsb b(SmallOptions(0.9, 0.5));
+  Rng ra(7);
+  Rng rb(7);
+  for (int i = 0; i < 200; ++i) {
+    const txn::TxnRequest ta = a.NextTxn(2, ra);
+    const txn::TxnRequest tb = b.NextTxn(2, rb);
+    ASSERT_EQ(ta.reads.size(), tb.reads.size());
+    ASSERT_EQ(ta.writes.size(), tb.writes.size());
+    for (size_t j = 0; j < ta.reads.size(); ++j) {
+      EXPECT_EQ(ta.reads[j].key, tb.reads[j].key);
+    }
+    for (size_t j = 0; j < ta.writes.size(); ++j) {
+      EXPECT_EQ(ta.writes[j].key, tb.writes[j].key);
+    }
+  }
+}
+
+TEST(YcsbTest, TxnsDrawDistinctKeysAndUpdatesAreRmw) {
+  Ycsb wl(SmallOptions(0.99, 0.5));
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const txn::TxnRequest req = wl.NextTxn(0, rng);
+    EXPECT_EQ(req.reads.size(), 3u);  // ops_per_txn distinct keys, all read
+    std::set<Key> keys;
+    for (const auto& r : req.reads) {
+      EXPECT_EQ(r.table, Ycsb::kMain);
+      keys.insert(r.key);
+    }
+    EXPECT_EQ(keys.size(), req.reads.size());
+    for (const auto& w : req.writes) {
+      // Every write key appears in the read set: the history checker's
+      // lost-update contract (and 2PL's lock-upgrade-free locking) need RMW.
+      EXPECT_TRUE(keys.count(w.key) > 0);
+    }
+  }
+}
+
+TEST(YcsbTest, TablesAndPlacementSpreadAcrossNodes) {
+  Ycsb wl(SmallOptions(0.99, 0.5));
+  const auto tables = wl.Tables();
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].id, Ycsb::kMain);
+  EXPECT_EQ(tables[0].value_size, 16u);
+  // Hash placement: the hot head of the zipf distribution must not all land
+  // on one node, or a skewed run measures one server.
+  std::set<store::NodeId> nodes;
+  for (Key k = 0; k < 8; ++k) {
+    nodes.insert(wl.partitioner().PrimaryOf(Ycsb::kMain, k));
+  }
+  EXPECT_GE(nodes.size(), 3u);
+}
+
+TEST(YcsbTest, LoadPopulatesEveryKeyOnce) {
+  Ycsb wl(SmallOptions(0.5, 0.5));
+  std::set<Key> seen;
+  uint64_t dup = 0;
+  wl.Load([&](TableId t, Key k, const store::Value& v) {
+    EXPECT_EQ(t, Ycsb::kMain);
+    EXPECT_EQ(v.size(), 16u);
+    if (!seen.insert(k).second) {
+      dup++;
+    }
+  });
+  EXPECT_EQ(seen.size(), wl.total_keys());
+  EXPECT_EQ(dup, 0u);
+}
+
+}  // namespace
+}  // namespace xenic::workload

@@ -17,6 +17,13 @@
 //                [--timeline] [--timeline-window-us N]
 //                [--retry-policy uniform|expjitter|cwnd] [--backoff-base US]
 //                [--retry-cap US] [--hot-key-path] [--adaptive-dma]
+//                [--cc occ|nowait|waitdie|woundwait] [--workload bank|ycsb]
+//
+// --cc selects the concurrency-control policy of Xenic systems (default
+// occ, the historical pipeline; the 2PL policies change event schedules, so
+// their transcripts are separate from the per-seed goldens). --workload
+// ycsb swaps the bank-transfer mix for a skewed YCSB keyspace; it has no
+// money invariant, so the summary omits the money line.
 //
 // --retry-policy arms contention-scaled backoff between a submitter's
 // transactions (off by default -- arming draws extra Rng values, so the
@@ -41,6 +48,7 @@
 
 #include "src/chaos/chaos_run.h"
 #include "src/harness/sweep.h"
+#include "src/txn/cc_policy.h"
 
 namespace {
 
@@ -157,6 +165,22 @@ int main(int argc, char** argv) {
       base.system.features.hot_key_fastpath = true;
     } else if (a == "--adaptive-dma") {
       base.system.nic_features.adaptive_dma_batching = true;
+    } else if (a == "--cc") {
+      const char* name = next();
+      if (!xenic::txn::ParseCcPolicy(name, &base.system.features.cc)) {
+        std::fprintf(stderr, "unknown --cc %s (occ|nowait|waitdie|woundwait)\n", name);
+        return 2;
+      }
+    } else if (a == "--workload") {
+      const std::string name = next();
+      if (name == "bank") {
+        base.workload = xenic::chaos::ChaosWorkload::kBank;
+      } else if (name == "ycsb") {
+        base.workload = xenic::chaos::ChaosWorkload::kYcsb;
+      } else {
+        std::fprintf(stderr, "unknown --workload %s (bank|ycsb)\n", name.c_str());
+        return 2;
+      }
     } else if (a == "--timeline") {
       base.timeline = true;
     } else if (a == "--timeline-window-us") {

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Pins the documented failing chaos schedule: `chaos_runner --seed 3` at the
-# default epoch must still FAIL (exit 1) with *exactly* the recorded
-# lost-update verdict -- same violations, same counters, same event count.
-# The golden transcript lives in tools/golden/chaos_seed3.txt; EXPERIMENTS.md
-# documents why this schedule fails. If a legitimate protocol change shifts
-# the schedule, regenerate the golden (and re-verify the new verdict is
-# still the *same class* of failure) rather than deleting this check.
+# Pins the historically failing chaos schedule: `chaos_runner --seed 3` at the
+# default epoch. Before the durable applied-record index (Datastore::
+# NoteLogApplied) this schedule FAILED with four lost updates -- a crashed
+# coordinator's commits whose LOG records had been applied and reclaimed on
+# every replica of a shard left no evidence, so recovery discarded them. The
+# index closes that gap, and the schedule must now PASS (exit 0) with the
+# recorded transcript byte-exactly -- same counters, same roll-forward/discard
+# split, same event count. The golden lives in tools/golden/chaos_seed3.txt;
+# EXPERIMENTS.md documents the history. If a legitimate protocol change shifts
+# the schedule, regenerate the golden (and re-verify the verdict is still
+# PASS) rather than deleting this check.
 set -uo pipefail
 
 BIN=${1:?usage: check_seed3_regression.sh <path-to-chaos_runner> <golden-file>}
@@ -17,14 +21,14 @@ trap 'rm -f "$out"' EXIT
 "$BIN" --seed 3 >"$out" 2>&1
 status=$?
 
-if [[ $status -ne 1 ]]; then
-  echo "FAIL: chaos_runner --seed 3 exited $status, expected 1 (documented FAIL verdict)" >&2
+if [[ $status -ne 0 ]]; then
+  echo "FAIL: chaos_runner --seed 3 exited $status, expected 0 (recovered verdict)" >&2
   exit 1
 fi
 
 if ! diff -u "$GOLDEN" "$out"; then
-  echo "FAIL: seed-3 output diverged from the documented lost-update verdict" >&2
+  echo "FAIL: seed-3 output diverged from the recorded recovery transcript" >&2
   exit 1
 fi
 
-echo "seed-3 regression OK: documented lost-update verdict reproduced byte-exactly"
+echo "seed-3 regression OK: recovered verdict reproduced byte-exactly"

@@ -13,9 +13,11 @@
 // exercises the Chrome trace-event export end to end.
 
 #include <cstring>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/workload/smallbank.h"
+#include "src/workload/ycsb.h"
 
 int main(int argc, char** argv) {
   using namespace xenic;
@@ -24,14 +26,30 @@ int main(int argc, char** argv) {
   SweepExecutor ex(SweepExecutor::ParseJobsFlag(argc, argv));
   const BenchOptions opts = BenchOptions::Parse(argc, argv);
   bool point_check = false;
+  std::string workload_name = "smallbank";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--point-check") == 0) {
       point_check = true;
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      workload_name = argv[++i];
+    } else if (std::strncmp(argv[i], "--workload=", 11) == 0) {
+      workload_name = argv[i] + 11;
     }
+  }
+  if (workload_name != "smallbank" && workload_name != "ycsb") {
+    std::fprintf(stderr, "unknown --workload '%s' (smallbank|ycsb)\n", workload_name.c_str());
+    return 2;
   }
 
   const uint32_t nodes = 3;
   auto make_wl = [&]() -> std::unique_ptr<workload::Workload> {
+    if (workload_name == "ycsb") {
+      workload::Ycsb::Options wo;
+      wo.num_nodes = nodes;
+      wo.keys_per_node = 20000;
+      wo.zipf_theta = 0.9;
+      return std::make_unique<workload::Ycsb>(wo);
+    }
     workload::Smallbank::Options wo;
     wo.num_nodes = nodes;
     wo.accounts_per_node = 20000;
@@ -124,6 +142,6 @@ int main(int argc, char** argv) {
   std::vector<Curve> curves = RunSweeps(cfgs, make_wl, loads, rc, ex);
   // PrintCurves emits only simulation-derived values (no wall-clock), so
   // the output is byte-comparable across --jobs settings.
-  PrintCurves("Determinism check: Smallbank, fixed seed", curves);
+  PrintCurves("Determinism check: " + workload_name + ", fixed seed", curves);
   return 0;
 }
