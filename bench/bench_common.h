@@ -266,6 +266,10 @@ struct BenchOptions {
   uint64_t seed = 0;             // --seed N; 0 = keep the bench's default
   // --cc occ|nowait|waitdie|woundwait (Xenic systems only; default occ).
   txn::CcPolicyKind cc = txn::CcPolicyKind::kOcc;
+  // --engine-jobs N: engine worker threads per run. Cluster runs are a
+  // single LP (shared harness Rng), so any value is byte-identical by
+  // construction -- tools/check_engine_jobs.sh enforces exactly that.
+  uint64_t engine_jobs = 1;
 
   static void PrintHelp(const char* prog) {
     std::printf(
@@ -278,6 +282,7 @@ struct BenchOptions {
         "  --abort-breakdown   abort-reason table at each system's peak\n"
         "  --trace PATH        Chrome trace of the first system's peak point\n"
         "  --seed N            override the run seed (default: bench-specific)\n"
+        "  --engine-jobs N     engine worker threads (results byte-identical)\n"
         "  --retry-policy P    abort backoff policy: uniform | expjitter | cwnd\n"
         "                      (default uniform: the historical fixed backoff)\n"
         "  --backoff-base US   backoff base in microseconds (default 4)\n"
@@ -349,6 +354,10 @@ struct BenchOptions {
         o.seed = ParseCount("--seed", argv[++i]);
       } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
         o.seed = ParseCount("--seed", argv[i] + 7);
+      } else if (std::strcmp(argv[i], "--engine-jobs") == 0 && i + 1 < argc) {
+        o.engine_jobs = ParseCount("--engine-jobs", argv[++i]);
+      } else if (std::strncmp(argv[i], "--engine-jobs=", 14) == 0) {
+        o.engine_jobs = ParseCount("--engine-jobs", argv[i] + 14);
       } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
         o.trace_path = argv[++i];
       } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -379,6 +388,7 @@ inline void ApplyContentionOptions(const BenchOptions& o, RunConfig* rc,
     if (o.seed > 0) {
       rc->seed = o.seed;
     }
+    rc->engine_jobs = static_cast<uint32_t>(o.engine_jobs);
   }
   if (cfg != nullptr && cfg->kind == SystemConfig::Kind::kXenic) {
     if (o.hot_key_path) {

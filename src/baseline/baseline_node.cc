@@ -1063,6 +1063,9 @@ void BaselineNode::WorkerTick(uint32_t worker, sim::Tick interval) {
   if (!workers_running_) {
     return;
   }
+  // Ambient poll: see XenicNode::WorkerTick -- keeps attribution sinks'
+  // zero-id counters measuring lost context, not infrastructure ticks.
+  nic_->engine()->set_trace_ctx(sim::kAmbientTraceCtx);
   host_cores_->Submit(kWorkerPollCost, [this, worker, interval] {
     int applied = 0;
     sim::Tick extra = 0;

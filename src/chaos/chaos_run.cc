@@ -116,6 +116,7 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
   system->StartWorkers();
 
   sim::Engine& engine = system->engine();
+  engine.set_engine_jobs(config.engine_jobs);
   FaultInjector injector(*system, config.faults, config.seed, config.epoch);
   injector.Arm(config.horizon);
 
@@ -128,13 +129,20 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
   // Timeline bins (pure bookkeeping on the completion callbacks already in
   // place; never schedules anything, so the verdict is unaffected).
   std::vector<ChaosVerdict::TimelineBin> bins;
+  const sim::Tick run_end = config.horizon + config.drain;
   if (config.timeline && config.timeline_window > 0) {
-    const size_t n_bins =
-        static_cast<size_t>((config.horizon + config.drain) / config.timeline_window) + 1;
+    // ceil(run_end / window) bins tile exactly [0, run_end]: the final bin
+    // is partial when the window does not divide the run, and its width
+    // says so (consumers normalizing to rates would otherwise inflate the
+    // tail window). The old layout (floor + 1 full-width bins) overhung the
+    // run end and, for divisible horizons, appended a bin whose only
+    // honest content was the single instant t == run_end.
+    const size_t n_bins = std::max<size_t>(
+        1, static_cast<size_t>((run_end + config.timeline_window - 1) / config.timeline_window));
     bins.resize(n_bins);
     for (size_t i = 0; i < n_bins; ++i) {
       bins[i].start = static_cast<sim::Tick>(i) * config.timeline_window;
-      bins[i].width = config.timeline_window;
+      bins[i].width = std::min(config.timeline_window, run_end - bins[i].start);
     }
   }
   auto record_completion = [&](sim::Tick submitted, bool committed) {
@@ -142,6 +150,14 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
       return;
     }
     const sim::Tick now = engine.now();
+    if (now > run_end) {
+      // Post-run completion: the money-audit phase keeps the engine moving
+      // after the drain, and wedged chains can complete there. Those land
+      // outside the timeline's domain; clamping them into the final bin
+      // (the old behavior) inflated its counts and latency tail.
+      return;
+    }
+    // Completions at exactly run_end fold into the final (closed) bin.
     const size_t bi = std::min(bins.size() - 1,
                                static_cast<size_t>(now / config.timeline_window));
     ChaosVerdict::TimelineBin& b = bins[bi];

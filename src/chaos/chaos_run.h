@@ -53,9 +53,19 @@ struct ChaosConfig {
 
   // Windowed time series of throughput/aborts/latency around the fault
   // windows (ChaosVerdict::Timeline()). Pure bookkeeping on existing
-  // callbacks: enabling it cannot change the verdict.
+  // callbacks: enabling it cannot change the verdict. Bins tile exactly
+  // [0, horizon + drain]; the final bin is partial (smaller width) when
+  // the window does not divide the run, and completions after the drain
+  // (the audit phase) are not recorded.
   bool timeline = false;
   sim::Tick timeline_window = 50 * sim::kNsPerUs;
+
+  // Engine worker threads (--engine-jobs). A chaos run executes as a
+  // single LP -- the closed-loop submitters share one Rng stream, so only
+  // serial execution reproduces the historical transcripts -- which makes
+  // any value byte-identical by construction; the flag is plumbed through
+  // so tools/check_determinism.sh can enforce exactly that end-to-end.
+  uint32_t engine_jobs = 1;
 };
 
 struct ChaosVerdict {

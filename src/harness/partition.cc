@@ -1,0 +1,49 @@
+#include "src/harness/partition.h"
+
+#include <algorithm>
+
+namespace xenic::harness {
+
+LpPartition PartitionNodes(uint32_t num_nodes, uint32_t target_lps) {
+  LpPartition part;
+  if (target_lps == 0) {
+    target_lps = 1;
+  }
+  part.num_lps = std::min(target_lps, std::max(num_nodes, 1u));
+  part.lp_of_node.resize(num_nodes);
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    // Balanced contiguous blocks: block sizes differ by at most one and the
+    // mapping is monotone in node id, keeping consecutive replica chains
+    // together wherever the arithmetic allows.
+    part.lp_of_node[n] =
+        static_cast<uint32_t>((static_cast<uint64_t>(n) * part.num_lps) / num_nodes);
+  }
+  return part;
+}
+
+LpPartition PartitionCluster(const txn::ClusterMap& map, uint32_t target_lps,
+                             sim::Tick lookahead) {
+  LpPartition part = PartitionNodes(map.num_nodes, target_lps);
+  part.lookahead = part.num_lps > 1 ? lookahead : 0;
+  return part;
+}
+
+sim::Tick DeriveLookahead(const net::PerfModel& model) { return model.wire_latency; }
+
+double LocalChainFraction(const txn::ClusterMap& map, const LpPartition& part) {
+  if (map.num_nodes == 0 || part.lp_of_node.size() < map.num_nodes) {
+    return 0.0;
+  }
+  uint32_t local = 0;
+  for (uint32_t p = 0; p < map.num_nodes; ++p) {
+    const uint32_t lp = part.lp_of_node[p];
+    bool all_local = true;
+    for (uint32_t i = 1; i < map.replication; ++i) {
+      all_local &= part.lp_of_node[(p + i) % map.num_nodes] == lp;
+    }
+    local += all_local ? 1 : 0;
+  }
+  return static_cast<double>(local) / static_cast<double>(map.num_nodes);
+}
+
+}  // namespace xenic::harness

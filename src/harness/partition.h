@@ -1,0 +1,65 @@
+// Node-group partitioning for the parallel (multi-LP) engine.
+//
+// An LP partition assigns every node of a cluster map to one logical
+// process. Contiguous balanced blocks are used: the repo-wide placement
+// convention puts a shard's replica chain on consecutive node ids
+// (ClusterMap::PrimaryOf/BackupsOf), so contiguous blocks keep most
+// primary->backup traffic LP-local and split at most (replication - 1)
+// chains per block boundary.
+//
+// The lookahead fed to Engine::ConfigureLps is derived from the perf
+// model: every cross-node interaction rides a wire channel with at least
+// `PerfModel::wire_latency` ns of propagation delay, so wire latency is a
+// lower bound on how far in the future any cross-LP event can land --
+// exactly the conservative-synchronization requirement (DESIGN.md §14).
+//
+// Note on cluster runs: the closed-loop harness drives all nodes from one
+// shared Rng stream, so a full cluster run is only byte-identical to the
+// historical transcripts when it executes as a single LP -- which is what
+// RunWorkload/RunChaos do (RunConfig::engine_jobs is applied to the
+// engine but a 1-LP engine executes serially by construction). Multi-LP
+// execution is exercised by workloads with per-LP streams
+// (bench_sim_speed's topology section, tests/par_engine_test.cc).
+
+#ifndef SRC_HARNESS_PARTITION_H_
+#define SRC_HARNESS_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/perf_model.h"
+#include "src/sim/engine.h"
+#include "src/txn/types.h"
+
+namespace xenic::harness {
+
+struct LpPartition {
+  uint32_t num_lps = 1;
+  std::vector<uint32_t> lp_of_node;  // node id -> LP id
+  sim::Tick lookahead = 0;           // ns; 0 when num_lps == 1
+
+  uint32_t NodeLp(uint32_t node) const { return lp_of_node[node]; }
+};
+
+// Balanced contiguous blocks: num_lps = min(target_lps, num_nodes) groups
+// whose sizes differ by at most one, nodes in id order. target_lps == 0 is
+// treated as 1.
+LpPartition PartitionNodes(uint32_t num_nodes, uint32_t target_lps);
+
+// Same, taking the node count and placement from a cluster map and
+// stamping the partition with the given lookahead.
+LpPartition PartitionCluster(const txn::ClusterMap& map, uint32_t target_lps,
+                             sim::Tick lookahead);
+
+// Minimum cross-node propagation delay of the model: the conservative
+// lookahead for any partition of its cluster.
+sim::Tick DeriveLookahead(const net::PerfModel& model);
+
+// Fraction of the map's replica chains (primary + backups of each shard
+// owner) that stay entirely inside one LP -- a locality diagnostic for
+// choosing target_lps.
+double LocalChainFraction(const txn::ClusterMap& map, const LpPartition& part);
+
+}  // namespace xenic::harness
+
+#endif  // SRC_HARNESS_PARTITION_H_

@@ -67,7 +67,12 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
             // hint the coordinator returned with the abort.
             const sim::Tick backoff =
                 txn::RetryBackoff(sh->config->retry, tries, res.contention, sh->rng);
-            eng.ScheduleAfter(
+            // Detached: this completion runs under the aborted attempt's
+            // trace context (the system sets it for the commit/abort
+            // path), and that id was just Discard()ed above -- a plain
+            // ScheduleAfter would re-attach the dead id to the wakeup and
+            // surface as late/orphan spans in TxnTraceSink.
+            eng.ScheduleDetachedAfter(
                 backoff, [sh, self = std::move(self), r = std::move(r),
                           tries]() mutable {
                   if (!sh->stopped) {
@@ -114,6 +119,7 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
 
   const uint64_t events_before = system.engine().events_executed();
   const auto wall_start = std::chrono::steady_clock::now();
+  system.engine().set_engine_jobs(config.engine_jobs);
 
   // Observability attachments. Both are pure bookkeeping: the monitor only
   // hangs histograms off resources, the trace sink only records spans.

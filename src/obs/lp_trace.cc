@@ -1,0 +1,64 @@
+#include "src/obs/lp_trace.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace xenic::obs {
+
+LpTraceSet::LpTraceSet(sim::Engine* engine) : engine_(engine) {
+  assert(engine->sharded() && "LpTraceSet needs a sharded engine (ConfigureLps first)");
+  const uint32_t n = engine->num_lps();
+  sinks_.reserve(n);
+  for (uint32_t lp = 0; lp < n; ++lp) {
+    sinks_.push_back(std::make_unique<LpSink>(lp, lp * kPidStride));
+    engine->set_lp_trace(lp, sinks_.back().get());
+  }
+}
+
+LpTraceSet::~LpTraceSet() { Detach(); }
+
+void LpTraceSet::Detach() {
+  if (engine_ == nullptr) {
+    return;
+  }
+  for (uint32_t lp = 0; lp < num_lps(); ++lp) {
+    if (engine_->lp_trace(lp) == sinks_[lp].get()) {
+      engine_->set_lp_trace(lp, nullptr);
+    }
+  }
+  engine_ = nullptr;
+}
+
+size_t LpTraceSet::num_events() const {
+  size_t n = 0;
+  for (const auto& s : sinks_) {
+    n += s->num_events();
+  }
+  return n;
+}
+
+std::string LpTraceSet::MergedJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& s : sinks_) {
+    s->AppendJsonEvents(&out, &first);
+  }
+  out += "]}";
+  return out;
+}
+
+bool LpTraceSet::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = MergedJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written != json.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+}  // namespace xenic::obs

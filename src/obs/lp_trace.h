@@ -1,0 +1,81 @@
+// LpTraceSet: per-LP trace recording for a sharded (multi-LP) engine,
+// merged deterministically afterwards.
+//
+// A single TraceRecorder attached with Engine::set_trace works on a
+// sharded engine only while --engine-jobs is 1: with real worker threads,
+// LPs emit concurrently and an unsynchronized recorder would race (and a
+// locked one would interleave nondeterministically). LpTraceSet gives
+// each LP its own recorder via Engine::set_lp_trace -- no locking, no
+// cross-thread writes -- and merges them after the run by LP id. Each
+// LP's event stream is byte-identical for any worker count (the engine's
+// determinism contract), so the merged JSON is too: tracks are namespaced
+// "lp<k>.<process>" and pids are offset per LP, making the merge a pure
+// function of the per-LP streams.
+//
+// Usage:
+//   sim::Engine eng;
+//   eng.ConfigureLps(8, lookahead);
+//   obs::LpTraceSet traces(&eng);   // attaches to every LP
+//   ... run ...
+//   traces.Detach();                // or let the destructor do it
+//   traces.WriteJson("out.trace.json");
+
+#ifndef SRC_OBS_LP_TRACE_H_
+#define SRC_OBS_LP_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace_recorder.h"
+#include "src/sim/engine.h"
+
+namespace xenic::obs {
+
+class LpTraceSet {
+ public:
+  // Attaches one recorder per LP. The engine must be sharded
+  // (ConfigureLps called) and must outlive this set or be detached first.
+  explicit LpTraceSet(sim::Engine* engine);
+  ~LpTraceSet();
+
+  LpTraceSet(const LpTraceSet&) = delete;
+  LpTraceSet& operator=(const LpTraceSet&) = delete;
+
+  // Detach every per-LP sink from the engine (idempotent; the recorded
+  // events stay available for merging).
+  void Detach();
+
+  uint32_t num_lps() const { return static_cast<uint32_t>(sinks_.size()); }
+  const TraceRecorder& lp(uint32_t k) const { return *sinks_[k]; }
+  size_t num_events() const;
+
+  // Deterministic merged Chrome trace: LP streams spliced in LP order,
+  // each in its own pid namespace.
+  std::string MergedJson() const;
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  // Pid space reserved per LP; more processes than this in one LP would
+  // collide with the next LP's namespace.
+  static constexpr uint32_t kPidStride = 4096;
+
+  class LpSink : public TraceRecorder {
+   public:
+    LpSink(uint32_t lp, uint32_t pid_base)
+        : TraceRecorder(pid_base), prefix_("lp" + std::to_string(lp) + ".") {}
+    uint32_t RegisterTrack(const std::string& process, const std::string& track) override {
+      return TraceRecorder::RegisterTrack(prefix_ + process, track);
+    }
+
+   private:
+    std::string prefix_;
+  };
+
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<LpSink>> sinks_;
+};
+
+}  // namespace xenic::obs
+
+#endif  // SRC_OBS_LP_TRACE_H_

@@ -39,8 +39,8 @@ void AppendUs(std::string* out, sim::Tick ns) {
 }  // namespace
 
 uint32_t TraceRecorder::RegisterTrack(const std::string& process, const std::string& track) {
-  auto [it, inserted] =
-      pid_by_process_.try_emplace(process, static_cast<uint32_t>(pid_by_process_.size()) + 1);
+  auto [it, inserted] = pid_by_process_.try_emplace(
+      process, pid_base_ + static_cast<uint32_t>(pid_by_process_.size()) + 1);
   uint32_t tid = 1;
   for (const Track& t : tracks_) {
     if (t.pid == it->second) {
@@ -61,17 +61,32 @@ uint32_t TraceRecorder::InternName(const char* name) {
 
 void TraceRecorder::Span(uint32_t track, const char* name, sim::Tick start, sim::Tick end,
                          uint64_t id) {
+  // Ambient infrastructure work renders like un-correlated work: no id arg.
+  if (id == sim::kAmbientTraceCtx) {
+    id = 0;
+  }
   events_.push_back(
       Event{track, InternName(name), start, end >= start ? end - start : 0, id, false});
 }
 
 void TraceRecorder::Instant(uint32_t track, const char* name, sim::Tick at, uint64_t id) {
+  if (id == sim::kAmbientTraceCtx) {
+    id = 0;
+  }
   events_.push_back(Event{track, InternName(name), at, 0, id, true});
 }
 
 std::string TraceRecorder::ToJson() const {
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
+  AppendJsonEvents(&out, &first);
+  out += "]}";
+  return out;
+}
+
+void TraceRecorder::AppendJsonEvents(std::string* out_ptr, bool* first_ptr) const {
+  std::string& out = *out_ptr;
+  bool& first = *first_ptr;
   auto sep = [&] {
     if (!first) {
       out += ',';
@@ -111,8 +126,6 @@ std::string TraceRecorder::ToJson() const {
     }
     out += "}";
   }
-  out += "]}";
-  return out;
 }
 
 bool TraceRecorder::WriteJson(const std::string& path) const {

@@ -98,6 +98,9 @@ void TxnTraceSink::Span(uint32_t track, const char* name, sim::Tick start, sim::
   if (info.kind == TrackKind::kIgnore || info.kind == TrackKind::kNet) {
     return;
   }
+  if (id == sim::kAmbientTraceCtx) {
+    return;  // deliberately unattributed infrastructure work (poll ticks)
+  }
   if (id == 0) {
     zero_id_spans_++;
     return;
@@ -117,6 +120,9 @@ void TxnTraceSink::Span(uint32_t track, const char* name, sim::Tick start, sim::
 
 void TxnTraceSink::Instant(uint32_t track, const char* name, sim::Tick at, uint64_t id) {
   if (track >= tracks_.size() || tracks_[track].kind != TrackKind::kNet) {
+    return;
+  }
+  if (id == sim::kAmbientTraceCtx) {
     return;
   }
   if (id == 0) {

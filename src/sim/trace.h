@@ -22,6 +22,16 @@
 
 namespace xenic::sim {
 
+// Reserved correlation id for work that is deliberately not attributed to
+// any transaction: periodic infrastructure (worker poll ticks, log-apply
+// batches) sets this as the engine trace context before charging a
+// resource. Attribution sinks (obs::TxnTraceSink) skip ambient spans
+// silently, so their zero-id anomaly counters measure *lost* context --
+// txn work whose id fell off across an event boundary -- rather than
+// counting every poll. Id 0 remains "no context", which on a cost track
+// is exactly that anomaly.
+constexpr uint64_t kAmbientTraceCtx = ~uint64_t{0};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;

@@ -2536,7 +2536,10 @@ void XenicNode::WorkerTick(uint32_t worker, sim::Tick interval, uint64_t epoch) 
     return;
   }
   // Charge the poll, then apply up to a batch of records (charging the
-  // apply work before the next poll).
+  // apply work before the next poll). The poll is ambient infrastructure,
+  // not any transaction's work: mark it so attribution sinks don't count
+  // its host_cores span as a lost-context anomaly (obs::TxnTraceSink).
+  nic_->engine()->set_trace_ctx(sim::kAmbientTraceCtx);
   nic_->HostCompute(kWorkerPollCost, [this, worker, interval, epoch] {
     if (!workers_running_ || crashed_ || epoch != worker_epoch_) {
       return;

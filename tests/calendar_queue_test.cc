@@ -160,6 +160,115 @@ TEST(CalendarQueueTest, AdversarialScheduleMatchesReferenceHeap) {
   EXPECT_EQ(engine_order, ref_order);
 }
 
+// Same-timestamp FIFO audit (ISSUE 8 satellite): the byte-identical
+// contract silently leans on ties popping in push order even when the tied
+// events took different routes through the structure -- some straight into
+// a wheel bucket, some through the overflow heap and back during a rebase,
+// across an arbitrary interleaving of pushes and pops. The randomized
+// property test drives exactly that interleaving against the reference
+// heap; the targeted test pins the overflow-migration tie case by hand.
+// (Audit verdict: the behavior is correct -- bucket FIFO == seq order
+// because sequence numbers are globally monotone, and RebaseFromOverflow
+// migrates in heap (time, seq) order, so migrated ties land in the bucket
+// in seq order ahead of any later, higher-seq push. These tests pin it.)
+TEST(CalendarQueueTest, InterleavedRandomChurnMatchesReferenceHeap) {
+  for (uint64_t trial_seed : {7u, 77u, 7777u}) {
+    CalendarQueue cq;
+    ReferenceQueue rq;
+    Rng rng(trial_seed);
+    uint64_t seq = 0;
+    Tick now = 0;  // time of the last popped event (engine clock)
+    int next_id = 0;
+    std::vector<std::pair<Tick, int>> got;
+    std::vector<std::pair<Tick, int>> want;
+    for (int round = 0; round < 2000; ++round) {
+      // Push a burst. Delays mix exact ties (including ties with events
+      // already queued at `now`), dense near-term, the wheel-window edge,
+      // and far-future overflow territory.
+      const uint32_t pushes = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+      for (uint32_t p = 0; p < pushes; ++p) {
+        Tick delta = 0;
+        switch (rng.NextBounded(10)) {
+          case 0:
+          case 1:
+          case 2:
+            delta = 0;  // heavy tie pressure at the current tick
+            break;
+          case 3:
+            delta = rng.NextBounded(3);
+            break;
+          case 4:
+            delta = CalendarQueue::kWheelSize - 1 + rng.NextBounded(3);  // window edge
+            break;
+          case 5:
+            delta = CalendarQueue::kWheelSize * (1 + rng.NextBounded(4));  // deep overflow
+            break;
+          default:
+            delta = rng.NextBounded(600);
+            break;
+        }
+        const Tick at = now + delta;
+        const int id = next_id++;
+        cq.Push(at, seq, [&got, at, id] { got.push_back({at, id}); });
+        rq.Push(at, seq, id);
+        seq++;
+      }
+      // Pop a few (sometimes none, sometimes a full drain) -- pops advance
+      // `now`, dragging the wheel base across rebases and forcing ties
+      // pushed before and after a migration into the same bucket.
+      uint32_t pops = static_cast<uint32_t>(rng.NextBounded(6));
+      if (rng.NextBounded(64) == 0) {
+        pops = static_cast<uint32_t>(cq.size());  // full drain -> rebase on next push
+      }
+      for (uint32_t p = 0; p < pops && !cq.empty(); ++p) {
+        ASSERT_EQ(cq.PeekTime(), rq.PeekTime());
+        Tick t_cq = 0;
+        Tick t_rq = 0;
+        cq.PopNext(&t_cq)();
+        want.push_back({t_rq, 0});
+        want.back().second = rq.Pop(&t_rq);
+        want.back().first = t_rq;
+        ASSERT_EQ(t_cq, t_rq);
+        now = t_cq;
+      }
+    }
+    while (!cq.empty()) {
+      Tick t_cq = 0;
+      Tick t_rq = 0;
+      cq.PopNext(&t_cq)();
+      const int id = rq.Pop(&t_rq);
+      want.push_back({t_rq, id});
+      ASSERT_EQ(t_cq, t_rq);
+    }
+    EXPECT_TRUE(rq.empty());
+    ASSERT_EQ(got.size(), want.size()) << "seed " << trial_seed;
+    EXPECT_EQ(got, want) << "seed " << trial_seed;
+  }
+}
+
+TEST(CalendarQueueTest, TiesStraddlingOverflowMigrationStayFifo) {
+  CalendarQueue q;
+  std::vector<int> order;
+  uint64_t seq = 0;
+  const Tick far = CalendarQueue::kWheelSize + 100;
+  // Two ties pushed into the overflow heap (beyond the window)...
+  q.Push(far, seq++, [&order] { order.push_back(0); });
+  q.Push(far, seq++, [&order] { order.push_back(1); });
+  // ...a near event whose pop drains the wheel and triggers the rebase...
+  q.Push(1, seq++, [&order] { order.push_back(-1); });
+  Tick t = 0;
+  q.PopNext(&t)();
+  ASSERT_EQ(t, 1u);
+  // ...then a third tie pushed AFTER the migration put 0 and 1 into the
+  // rebased wheel bucket. FIFO within the bucket must still be seq order.
+  q.Push(far, seq++, [&order] { order.push_back(2); });
+  while (!q.empty()) {
+    q.PopNext(&t)();
+    EXPECT_EQ(t, far);
+  }
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2}));
+}
+
 TEST(CalendarQueueTest, ZeroDelaySelfRescheduleStaysFifoWithinTick) {
   Engine eng;
   std::vector<int> order;

@@ -105,5 +105,45 @@ TEST(ChaosRunTest, BaselineSkipsCrashesButTakesWireFaults) {
   EXPECT_EQ(v.unfinished, 0u);
 }
 
+// Regression for the --timeline final-partial-window bug: with a run
+// length (horizon + drain) that is not a multiple of the bin width, the
+// bin layout used to overhang the run end (floor-count + 1 full-width
+// bins) and post-drain audit completions were clamped into the final bin,
+// inflating the short window's rate. Bins must tile exactly [0, run_end]
+// with a truthfully narrower final bin, and nothing past the drain may be
+// recorded. The timeline is pure observation, so the verdict must match a
+// run with the feature off.
+TEST(ChaosRunTest, TimelineFinalPartialWindowTilesRunExactly) {
+  ChaosConfig config;
+  config.seed = 5;
+  config.faults = DefaultMix();
+  config.timeline = true;
+  config.timeline_window = 70 * sim::kNsPerUs;  // 800us run -> 12 bins, last one 30us
+  const sim::Tick run_end = config.horizon + config.drain;
+  ASSERT_NE(run_end % config.timeline_window, 0u);  // the schedule really is partial
+  const ChaosVerdict v = RunChaos(config);
+  ASSERT_EQ(v.timeline.size(), (run_end + config.timeline_window - 1) / config.timeline_window);
+  sim::Tick expect_start = 0;
+  uint64_t binned = 0;
+  for (const auto& b : v.timeline) {
+    EXPECT_EQ(b.start, expect_start);
+    EXPECT_GT(b.width, 0u);
+    EXPECT_LE(b.width, config.timeline_window);
+    EXPECT_LE(b.start + b.width, run_end);  // no bin overhangs the run
+    expect_start += b.width;
+    binned += b.committed;
+  }
+  EXPECT_EQ(expect_start, run_end);  // bins tile the run exactly
+  EXPECT_LT(v.timeline.back().width, config.timeline_window);
+  EXPECT_GT(binned, 0u);
+  EXPECT_LE(binned, v.committed);  // audit-phase completions stay un-binned
+
+  ChaosConfig plain = config;
+  plain.timeline = false;
+  const ChaosVerdict p = RunChaos(plain);
+  EXPECT_EQ(v.Summary(), p.Summary());
+  EXPECT_EQ(v.events_executed, p.events_executed);
+}
+
 }  // namespace
 }  // namespace xenic::chaos

@@ -1,0 +1,356 @@
+// Parallel (multi-LP) engine tests: conservative-lookahead correctness and
+// the byte-identical-for-any---engine-jobs contract (ctest label `par`).
+//
+// The workload here is a PHOLD-style message-passing topology: every LP
+// carries a private LCG stream and a set of self-rescheduling chains; each
+// firing mixes the LP digest, then hops either locally (short delay) or to
+// another LP at >= the lookahead horizon. The run's digest -- a fold of
+// per-LP state in LP order -- is a pure function of the schedule, so any
+// dependence on worker count or thread timing shows up as a digest diff.
+
+#include "src/sim/engine.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/lp_trace.h"
+
+namespace xenic::sim {
+namespace {
+
+constexpr Tick kLookahead = 850;
+
+// Deterministic per-LP stream (the "own RNG stream per LP" the partitioning
+// contract requires: consumed only by that LP's events).
+struct LpState {
+  uint64_t lcg;
+  uint64_t digest = 0;
+  uint64_t fires = 0;
+
+  uint64_t Next() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 16;
+  }
+};
+
+struct Topology {
+  Engine engine;
+  std::vector<LpState> lps;
+
+  explicit Topology(uint32_t num_lps, uint32_t jobs) {
+    engine.ConfigureLps(num_lps, kLookahead);
+    engine.set_engine_jobs(jobs);
+    lps.resize(num_lps);
+    for (uint32_t i = 0; i < num_lps; ++i) {
+      lps[i].lcg = 0x9e3779b97f4a7c15ull ^ (uint64_t{i} << 32);
+    }
+  }
+
+  void Fire(uint32_t lp) {
+    LpState& st = lps[lp];
+    st.fires++;
+    const uint64_t r = st.Next();
+    st.digest = (st.digest * 31) ^ r ^ engine.now();
+    EXPECT_EQ(engine.current_lp(), lp);
+    // 1-in-4 hops to another LP (at >= lookahead); otherwise a short local
+    // delay that keeps several events per LP inside each epoch window.
+    if ((r & 3) == 0 && lps.size() > 1) {
+      const uint32_t dst = static_cast<uint32_t>(r >> 8) % static_cast<uint32_t>(lps.size());
+      const Tick at = engine.now() + kLookahead + (r >> 40) % 512;
+      engine.ScheduleAtLp(dst, at, [this, dst] { Fire(dst); });
+    } else {
+      engine.ScheduleAfter(1 + (r >> 40) % 400, [this, lp] { Fire(lp); });
+    }
+  }
+
+  // Seed `chains` initial events per LP from the main thread and run to the
+  // horizon. Returns the run digest.
+  uint64_t Run(uint32_t chains, Tick horizon) {
+    for (uint32_t lp = 0; lp < lps.size(); ++lp) {
+      for (uint32_t c = 0; c < chains; ++c) {
+        engine.ScheduleAtLp(lp, 1 + c, [this, lp] { Fire(lp); });
+      }
+    }
+    engine.RunUntil(horizon);
+    uint64_t digest = 0;
+    for (const LpState& st : lps) {
+      digest = digest * 1000003 + (st.digest ^ st.fires);
+    }
+    return digest;
+  }
+};
+
+TEST(ParEngineTest, SingleLpConfigureIsSerial) {
+  Engine eng;
+  eng.ConfigureLps(1, 0);
+  EXPECT_FALSE(eng.sharded());
+  EXPECT_EQ(eng.num_lps(), 1u);
+  int runs = 0;
+  eng.ScheduleAt(5, [&] { runs++; });
+  EXPECT_TRUE(eng.Step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(eng.now(), 5u);
+}
+
+TEST(ParEngineTest, ByteIdenticalAcrossEngineJobs) {
+  // The contract the whole PR exists for: same LP partition => identical
+  // execution for every worker count, including re-runs.
+  const uint32_t kLps = 8;
+  const Tick kHorizon = 200 * kNsPerUs;
+  uint64_t expected_digest = 0;
+  uint64_t expected_events = 0;
+  uint64_t expected_epochs = 0;
+  uint64_t expected_cp = 0;
+  bool first = true;
+  for (uint32_t jobs : {1u, 2u, 8u, 8u}) {
+    Topology topo(kLps, jobs);
+    const uint64_t digest = topo.Run(/*chains=*/4, kHorizon);
+    if (first) {
+      expected_digest = digest;
+      expected_events = topo.engine.events_executed();
+      expected_epochs = topo.engine.barrier_epochs();
+      expected_cp = topo.engine.critical_path_events();
+      first = false;
+      EXPECT_GT(expected_events, 10000u);
+      EXPECT_GT(expected_epochs, 0u);
+    } else {
+      EXPECT_EQ(digest, expected_digest) << "jobs=" << jobs;
+      EXPECT_EQ(topo.engine.events_executed(), expected_events) << "jobs=" << jobs;
+      EXPECT_EQ(topo.engine.barrier_epochs(), expected_epochs) << "jobs=" << jobs;
+      EXPECT_EQ(topo.engine.critical_path_events(), expected_cp) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParEngineTest, CriticalPathBoundsParallelism) {
+  Topology topo(16, 2);
+  topo.Run(/*chains=*/4, 100 * kNsPerUs);
+  const uint64_t total = topo.engine.events_executed();
+  const uint64_t cp = topo.engine.critical_path_events();
+  ASSERT_GT(cp, 0u);
+  // The critical path can't exceed the total, and with 16 busy LPs the
+  // available parallelism (total/cp) should be well above 2x.
+  EXPECT_LE(cp, total);
+  EXPECT_GT(static_cast<double>(total) / static_cast<double>(cp), 2.0);
+}
+
+TEST(ParEngineTest, CrossLpTieBreakIsSourceLpThenSeq) {
+  // Three LPs all send to LP 0 at the SAME destination time; LP 2 sends two
+  // messages. Merge order must be (time, src LP, src seq): 1a, 2a, 2b --
+  // regardless of the order the epoch executed the senders in.
+  Engine eng;
+  eng.ConfigureLps(3, kLookahead);
+  std::vector<std::string> order;
+  const Tick at = 10 + kLookahead + 100;
+  eng.ScheduleAtLp(2, 10, [&] {
+    eng.ScheduleAtLp(0, at, [&] { order.push_back("2a"); });
+    eng.ScheduleAtLp(0, at, [&] { order.push_back("2b"); });
+  });
+  eng.ScheduleAtLp(1, 10, [&] {
+    eng.ScheduleAtLp(0, at, [&] { order.push_back("1a"); });
+  });
+  eng.Run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "1a");
+  EXPECT_EQ(order[1], "2a");
+  EXPECT_EQ(order[2], "2b");
+}
+
+TEST(ParEngineTest, CrossLpPreservesPerSenderFifoAtEqualTimes) {
+  Engine eng;
+  eng.ConfigureLps(2, kLookahead);
+  std::vector<int> order;
+  const Tick at = 5 + kLookahead;
+  eng.ScheduleAtLp(1, 5, [&] {
+    for (int i = 0; i < 8; ++i) {
+      eng.ScheduleAtLp(0, at, [&order, i] { order.push_back(i); });
+    }
+  });
+  eng.Run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParEngineTest, RunUntilAdvancesEveryLpClock) {
+  Engine eng;
+  eng.ConfigureLps(4, kLookahead);
+  int fired = 0;
+  eng.ScheduleAtLp(2, 100, [&] { fired++; });
+  const uint64_t n = eng.RunUntil(50 * kNsPerUs);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  for (uint32_t lp = 0; lp < 4; ++lp) {
+    EXPECT_EQ(eng.lp_now(lp), 50 * kNsPerUs);
+  }
+  EXPECT_EQ(eng.now(), 50 * kNsPerUs);
+  // Events at exactly the RunUntil bound execute (serial contract kept).
+  eng.ScheduleAtLp(1, 60 * kNsPerUs, [&] { fired++; });
+  eng.RunUntil(60 * kNsPerUs);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ParEngineTest, PerLpCountersAndMainThreadScheduling) {
+  Engine eng;
+  eng.ConfigureLps(2, kLookahead);
+  eng.set_engine_jobs(2);
+  EXPECT_EQ(eng.current_lp(), Engine::kNoLp);
+  int a = 0;
+  int b = 0;
+  eng.ScheduleAtLp(0, 10, [&] { a++; });
+  eng.ScheduleAtLp(1, 10, [&] { b++; });
+  // Plain ScheduleAt from the main thread lands on LP 0.
+  eng.ScheduleAt(20, [&] { a += 10; });
+  eng.Run();
+  EXPECT_EQ(a, 11);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(eng.lp_events_executed(0), 2u);
+  EXPECT_EQ(eng.lp_events_executed(1), 1u);
+  EXPECT_EQ(eng.events_executed(), 3u);
+  EXPECT_EQ(eng.current_lp(), Engine::kNoLp);
+}
+
+TEST(ParEngineTest, WorkerPoolSurvivesJobsResizeAndReuse) {
+  // Same engine across several Run calls with different worker counts:
+  // the pool rebuilds without losing determinism.
+  Topology topo(4, 1);
+  uint64_t d1 = topo.Run(2, 40 * kNsPerUs);
+  topo.engine.set_engine_jobs(3);
+  topo.engine.RunFor(40 * kNsPerUs);
+  topo.engine.set_engine_jobs(8);
+  topo.engine.RunFor(40 * kNsPerUs);
+
+  Topology ref(4, 1);
+  uint64_t r1 = ref.Run(2, 40 * kNsPerUs);
+  ref.engine.RunFor(40 * kNsPerUs);
+  ref.engine.RunFor(40 * kNsPerUs);
+  EXPECT_EQ(d1, r1);
+  uint64_t dig = 0;
+  uint64_t rdig = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    dig = dig * 1000003 + (topo.lps[i].digest ^ topo.lps[i].fires);
+    rdig = rdig * 1000003 + (ref.lps[i].digest ^ ref.lps[i].fires);
+  }
+  EXPECT_EQ(dig, rdig);
+  EXPECT_EQ(topo.engine.events_executed(), ref.engine.events_executed());
+}
+
+// Trace-context propagation across LP boundaries: the sender's context is
+// restored at the destination (per-LP ctx state, per-LP sinks).
+class CtxProbeSink : public TraceSink {
+ public:
+  uint32_t RegisterTrack(const std::string&, const std::string&) override { return 0; }
+  void Span(uint32_t, const char*, Tick, Tick, uint64_t) override {}
+  void Instant(uint32_t, const char*, Tick, uint64_t) override {}
+};
+
+TEST(ParEngineTest, TraceContextCrossesLpBoundary) {
+  Engine eng;
+  eng.ConfigureLps(2, kLookahead);
+  CtxProbeSink sink0;
+  CtxProbeSink sink1;
+  eng.set_lp_trace(0, &sink0);
+  eng.set_lp_trace(1, &sink1);
+  uint64_t seen_remote = 0;
+  uint64_t seen_local_after = 0;
+  eng.ScheduleAtLp(0, 10, [&] {
+    eng.set_trace_ctx(42);
+    eng.ScheduleAtLp(1, 10 + kLookahead, [&] { seen_remote = eng.trace_ctx(); });
+    eng.ScheduleAfter(5, [&] { seen_local_after = eng.trace_ctx(); });
+  });
+  eng.Run();
+  EXPECT_EQ(seen_remote, 42u);       // ctx rode the cross-LP message
+  EXPECT_EQ(seen_local_after, 42u);  // and the local capture still works
+}
+
+// Per-LP sinks merge deterministically: each LP's span stream is
+// identical for any worker count (no locking, no cross-thread writes), so
+// LpTraceSet's merged JSON must be byte-identical across --engine-jobs --
+// with real spans in it, and with the same event count as an untraced
+// run. Chains hop between 4 LPs; every hop emits a span into the current
+// LP's own sink through the engine's per-shard trace() dispatch.
+TEST(ParEngineTest, LpTraceSetMergesByteIdenticallyAcrossJobs) {
+  auto run = [](uint32_t jobs, std::string* json, size_t* span_count, uint64_t* events) {
+    Engine eng;
+    eng.ConfigureLps(4, kLookahead);
+    eng.set_engine_jobs(jobs);
+    obs::LpTraceSet traces(&eng);
+    struct LpState {
+      uint32_t track = ~uint32_t{0};
+      uint64_t lcg = 0;
+      uint64_t hops = 0;
+    };
+    auto lps = std::make_shared<std::vector<LpState>>(4);
+    for (int i = 0; i < 4; ++i) {
+      (*lps)[i].lcg = 1234567 + i;
+    }
+    auto fire = std::make_shared<std::function<void(uint32_t)>>();
+    *fire = [&eng, lps, fire](uint32_t lp) {
+      LpState& st = (*lps)[lp];
+      TraceSink* sink = eng.trace();  // this LP's own sink
+      ASSERT_NE(sink, nullptr);
+      if (st.track == ~uint32_t{0}) {
+        st.track = sink->RegisterTrack("worker", "ops");
+      }
+      st.lcg = st.lcg * 6364136223846793005ull + 1442695040888963407ull;
+      const uint64_t r = st.lcg >> 33;
+      const Tick now = eng.now();
+      sink->Span(st.track, "op", now, now + 10, (r | 1));
+      if (++st.hops >= 200) {
+        return;  // retire this chain
+      }
+      if (r % 3 == 0) {
+        const uint32_t dst = (lp + 1) % 4;
+        eng.ScheduleAtLp(dst, now + kLookahead + r % 100, [fire, dst] { (*fire)(dst); });
+      } else {
+        eng.ScheduleAfter(1 + r % 200, [fire, lp] { (*fire)(lp); });
+      }
+    };
+    for (uint32_t lp = 0; lp < 4; ++lp) {
+      eng.ScheduleAtLp(lp, 1 + lp, [fire, lp] { (*fire)(lp); });
+    }
+    eng.Run();
+    traces.Detach();
+    *json = traces.MergedJson();
+    *span_count = traces.num_events();
+    *events = eng.events_executed();
+  };
+
+  std::string ref_json;
+  size_t ref_spans = 0;
+  uint64_t ref_events = 0;
+  run(1, &ref_json, &ref_spans, &ref_events);
+  EXPECT_GT(ref_spans, 100u);
+  EXPECT_NE(ref_json.find("lp3.worker"), std::string::npos);
+  for (uint32_t jobs : {2u, 8u}) {
+    std::string json;
+    size_t spans = 0;
+    uint64_t events = 0;
+    run(jobs, &json, &spans, &events);
+    EXPECT_EQ(events, ref_events) << "jobs " << jobs;
+    EXPECT_EQ(spans, ref_spans) << "jobs " << jobs;
+    EXPECT_EQ(json, ref_json) << "jobs " << jobs;  // byte-identical merge
+  }
+}
+
+TEST(ParEngineTest, DetachedScheduleDropsContextOnLp) {
+  Engine eng;
+  eng.ConfigureLps(2, kLookahead);
+  CtxProbeSink sink;
+  eng.set_lp_trace(0, &sink);
+  uint64_t seen = 99;
+  eng.ScheduleAtLp(0, 10, [&] {
+    eng.set_trace_ctx(7);
+    eng.ScheduleDetachedAfter(5, [&] { seen = eng.trace_ctx(); });
+  });
+  eng.Run();
+  EXPECT_EQ(seen, 0u);  // ambient timer: no inherited transaction identity
+}
+
+}  // namespace
+}  // namespace xenic::sim

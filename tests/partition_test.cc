@@ -1,0 +1,81 @@
+// LP partitioning tests (ctest label `par`): balanced contiguous blocks,
+// lookahead derivation from the perf model, and replica-chain locality.
+
+#include "src/harness/partition.h"
+
+#include "gtest/gtest.h"
+
+namespace xenic::harness {
+namespace {
+
+TEST(PartitionTest, BalancedContiguousBlocks) {
+  for (uint32_t nodes : {1u, 6u, 24u, 96u, 97u}) {
+    for (uint32_t target : {1u, 2u, 8u, 32u, 200u}) {
+      const LpPartition part = PartitionNodes(nodes, target);
+      ASSERT_EQ(part.lp_of_node.size(), nodes);
+      EXPECT_EQ(part.num_lps, std::min(target, nodes));
+      std::vector<uint32_t> sizes(part.num_lps, 0);
+      uint32_t prev = 0;
+      for (uint32_t n = 0; n < nodes; ++n) {
+        const uint32_t lp = part.NodeLp(n);
+        ASSERT_LT(lp, part.num_lps);
+        EXPECT_GE(lp, prev) << "mapping must be monotone (contiguous blocks)";
+        prev = lp;
+        sizes[lp]++;
+      }
+      uint32_t mn = nodes;
+      uint32_t mx = 0;
+      for (uint32_t s : sizes) {
+        EXPECT_GT(s, 0u) << "no empty LP";
+        mn = std::min(mn, s);
+        mx = std::max(mx, s);
+      }
+      EXPECT_LE(mx - mn, 1u) << "balanced within one node";
+    }
+  }
+}
+
+TEST(PartitionTest, ZeroTargetMeansSingleLp) {
+  const LpPartition part = PartitionNodes(6, 0);
+  EXPECT_EQ(part.num_lps, 1u);
+  for (uint32_t lp : part.lp_of_node) {
+    EXPECT_EQ(lp, 0u);
+  }
+}
+
+TEST(PartitionTest, DeriveLookaheadIsWireLatency) {
+  net::PerfModel model;
+  EXPECT_EQ(DeriveLookahead(model), model.wire_latency);
+  model.wire_latency = 1234;
+  EXPECT_EQ(DeriveLookahead(model), 1234u);
+}
+
+TEST(PartitionTest, PartitionClusterStampsLookahead) {
+  txn::ClusterMap map;
+  map.num_nodes = 24;
+  map.replication = 3;
+  const LpPartition part = PartitionCluster(map, 8, 850);
+  EXPECT_EQ(part.num_lps, 8u);
+  EXPECT_EQ(part.lookahead, 850u);
+  // A single-LP partition needs no lookahead (serial execution).
+  const LpPartition serial = PartitionCluster(map, 1, 850);
+  EXPECT_EQ(serial.num_lps, 1u);
+  EXPECT_EQ(serial.lookahead, 0u);
+}
+
+TEST(PartitionTest, ChainLocalityOfContiguousBlocks) {
+  txn::ClusterMap map;
+  map.num_nodes = 24;
+  map.replication = 3;
+  // 8 LPs of 3 nodes: each block boundary splits (replication - 1) = 2
+  // chains, so 24 - 8*2 = 8 of 24 chains stay local.
+  const LpPartition part = PartitionNodes(24, 8);
+  EXPECT_NEAR(LocalChainFraction(map, part), 8.0 / 24.0, 1e-9);
+  // Coarser partition, better locality: 4 LPs of 6 -> 16/24 local.
+  EXPECT_NEAR(LocalChainFraction(map, PartitionNodes(24, 4)), 16.0 / 24.0, 1e-9);
+  // Single LP: everything local.
+  EXPECT_NEAR(LocalChainFraction(map, PartitionNodes(24, 1)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xenic::harness

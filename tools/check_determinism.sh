@@ -197,3 +197,29 @@ for cc in occ nowait waitdie woundwait; do
   fi
 done
 echo "determinism OK: CC matrix (4 policies, ycsb, plain/attrib) is byte-identical"
+
+# --- Engine worker threads: --engine-jobs must never change results ---
+# Cluster runs execute as a single LP (the closed-loop submitters share one
+# harness Rng stream), so any engine worker count is inert by construction.
+# This enforces that contract end-to-end; the multi-LP engine's real
+# parallel determinism is pinned by the `par`-labeled ctests and the wider
+# seed matrix in tools/check_engine_jobs.sh.
+"$BIN" --point-check >"$serial" 2>/dev/null
+for ej in 2 8; do
+  "$BIN" --point-check --engine-jobs "$ej" >"$parallel" 2>/dev/null
+  if ! diff -u "$serial" "$parallel"; then
+    echo "FAIL: --engine-jobs $ej changed point-check results" >&2
+    exit 1
+  fi
+done
+if [[ -n "$CHAOS_BIN" ]]; then
+  "$CHAOS_BIN" --seeds 1-2 >"$serial" || true
+  for ej in 2 8; do
+    "$CHAOS_BIN" --seeds 1-2 --engine-jobs "$ej" >"$parallel" || true
+    if ! diff -u "$serial" "$parallel"; then
+      echo "FAIL: chaos --engine-jobs $ej changed verdicts" >&2
+      exit 1
+    fi
+  done
+fi
+echo "determinism OK: --engine-jobs {1,2,8} results are byte-identical"

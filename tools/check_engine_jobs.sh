@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Determinism stress matrix for --engine-jobs: N seeds x engine worker
+# counts {1,2,8} x configurations {plain, --attrib, --txn-attrib, armed
+# chaos}. Every output must be byte-identical to its --engine-jobs 1
+# reference -- cluster runs execute as a single LP, so engine workers must
+# be inert by construction, and the chaos seed-3 golden must reproduce
+# byte-exactly under every worker count. The multi-LP engine's *parallel*
+# determinism (real LP fan-out) is pinned separately by the par-labeled
+# gtests (par_engine_test) and the topology section of bench_sim_speed.
+#
+# Usage: check_engine_jobs.sh <xenic_sweep_check> <chaos_runner> <seed3-golden>
+set -euo pipefail
+
+BIN=${1:?usage: check_engine_jobs.sh <sweep_check> <chaos_runner> <seed3-golden>}
+CHAOS_BIN=${2:?usage: check_engine_jobs.sh <sweep_check> <chaos_runner> <seed3-golden>}
+GOLDEN=${3:?usage: check_engine_jobs.sh <sweep_check> <chaos_runner> <seed3-golden>}
+
+ref=$(mktemp)
+out=$(mktemp)
+trap 'rm -f "$ref" "$out"' EXIT
+
+SEEDS=(7 11 42)
+JOBS=(2 8)
+
+for seed in "${SEEDS[@]}"; do
+  # Point-check configurations: plain, resource attribution, txn attribution.
+  for mode_flags in "" "--attrib" "--txn-attrib"; do
+    # shellcheck disable=SC2086  # intentional word splitting of the mode
+    "$BIN" --point-check --seed "$seed" $mode_flags --engine-jobs 1 >"$ref" 2>/dev/null
+    for ej in "${JOBS[@]}"; do
+      # shellcheck disable=SC2086
+      "$BIN" --point-check --seed "$seed" $mode_flags --engine-jobs "$ej" >"$out" 2>/dev/null
+      if ! diff -u "$ref" "$out"; then
+        echo "FAIL: seed $seed ${mode_flags:-plain}: --engine-jobs $ej diverged" >&2
+        exit 1
+      fi
+    done
+  done
+
+  # Armed chaos: the full fault mix plus every contention feature.
+  chaos_flags=(--seed "$seed" --crashes 1 --storms 2 --stalls 1
+               --drop 0.01 --dup 0.01 --delay 0.02
+               --retry-policy cwnd --hot-key-path --adaptive-dma)
+  "$CHAOS_BIN" "${chaos_flags[@]}" --engine-jobs 1 >"$ref" || true
+  for ej in "${JOBS[@]}"; do
+    "$CHAOS_BIN" "${chaos_flags[@]}" --engine-jobs "$ej" >"$out" || true
+    if ! diff -u "$ref" "$out"; then
+      echo "FAIL: armed chaos seed $seed: --engine-jobs $ej diverged" >&2
+      exit 1
+    fi
+  done
+  echo "engine-jobs OK: seed $seed (plain/attrib/txn-attrib/armed-chaos x jobs 1,2,8)"
+done
+
+# Pinned transcript: the seed-3 recovery golden byte-exactly, per worker count.
+for ej in 1 "${JOBS[@]}"; do
+  "$CHAOS_BIN" --seed 3 --engine-jobs "$ej" >"$out" 2>&1 || {
+    echo "FAIL: chaos --seed 3 --engine-jobs $ej did not PASS" >&2
+    exit 1
+  }
+  if ! diff -u "$GOLDEN" "$out"; then
+    echo "FAIL: seed-3 golden diverged under --engine-jobs $ej" >&2
+    exit 1
+  fi
+done
+echo "engine-jobs OK: seed-3 recovery golden byte-exact for jobs 1,2,8"

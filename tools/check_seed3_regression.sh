@@ -12,13 +12,16 @@
 # PASS) rather than deleting this check.
 set -uo pipefail
 
-BIN=${1:?usage: check_seed3_regression.sh <path-to-chaos_runner> <golden-file>}
-GOLDEN=${2:?usage: check_seed3_regression.sh <path-to-chaos_runner> <golden-file>}
+BIN=${1:?usage: check_seed3_regression.sh <path-to-chaos_runner> <golden-file> [extra-flags...]}
+GOLDEN=${2:?usage: check_seed3_regression.sh <path-to-chaos_runner> <golden-file> [extra-flags...]}
+shift 2
+# Any remaining flags pass through to the runner. They must be inert ones
+# (--engine-jobs, --jobs): the diff below still demands the exact golden.
 
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-"$BIN" --seed 3 >"$out" 2>&1
+"$BIN" --seed 3 "$@" >"$out" 2>&1
 status=$?
 
 if [[ $status -ne 0 ]]; then

@@ -50,6 +50,7 @@ struct Args {
   uint64_t retry_cap_us = 0;
   bool hot_key_path = false;
   bool adaptive_dma = false;
+  uint64_t engine_jobs = 1;  // --engine-jobs=N; byte-identical for any N
   bool help = false;
   bool bad_flag = false;
 };
@@ -81,6 +82,8 @@ Args Parse(int argc, char** argv) {
       a.measure_us = std::stoull(v);
     } else if (ParseArg(argv[i], "--seed", &v)) {
       a.seed = std::stoull(v);
+    } else if (ParseArg(argv[i], "--engine-jobs", &v)) {
+      a.engine_jobs = std::stoull(v);
     } else if (ParseArg(argv[i], "--scale", &v)) {
       a.scale = std::stoull(v);
     } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -183,7 +186,8 @@ int main(int argc, char** argv) {
                  "          [--trace=out.trace.json]\n"
                  "          [--retry-policy=uniform|expjitter|cwnd]\n"
                  "          [--backoff-base=US] [--retry-cap=US]\n"
-                 "          [--hot-key-path] [--adaptive-dma]\n",
+                 "          [--hot-key-path] [--adaptive-dma]\n"
+                 "          [--engine-jobs=N]\n",
                  argv[0]);
     if (a.bad_flag) {
       return 2;
@@ -204,6 +208,7 @@ int main(int argc, char** argv) {
   harness::RunConfig rc;
   rc.contexts_per_node = a.contexts;
   rc.seed = a.seed;
+  rc.engine_jobs = static_cast<uint32_t>(a.engine_jobs);
   rc.warmup = 150 * sim::kNsPerUs;
   rc.measure = a.measure_us * sim::kNsPerUs;
   rc.retry.kind = retry_kind;
