@@ -4,7 +4,7 @@ namespace xenic::baseline {
 
 BaselineCluster::BaselineCluster(const BaselineClusterOptions& options,
                                  const txn::Partitioner* partitioner)
-    : options_(options) {
+    : options_(options), repl_(&map_, options.quorum) {
   map_.num_nodes = options.num_nodes;
   map_.replication = options.replication;
   map_.partitioner = partitioner;
@@ -20,7 +20,7 @@ BaselineCluster::BaselineCluster(const BaselineClusterOptions& options,
   for (uint32_t i = 0; i < options.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<BaselineNode>(&fabric_->node(i), cores[i],
                                                     stores_[i].get(), &map_, options.mode,
-                                                    &peers_));
+                                                    &peers_, &repl_));
   }
   for (auto& n : nodes_) {
     peers_.push_back(n.get());
@@ -31,7 +31,7 @@ void BaselineCluster::LoadReplicated(store::TableId table, store::Key key,
                                      const store::Value& value, store::Seq seq) {
   const store::NodeId primary = map_.PrimaryOf(table, key);
   stores_[primary]->table(table).Insert(key, value, seq);
-  for (store::NodeId b : map_.BackupsOf(primary)) {
+  for (store::NodeId b : repl_.BackupsOf(primary)) {
     stores_[b]->table(table).Insert(key, value, seq);
   }
 }

@@ -16,6 +16,9 @@ namespace xenic::baseline {
 struct BaselineClusterOptions {
   uint32_t num_nodes = 6;
   uint32_t replication = 3;
+  // Commit-point quorum (total copies including the primary); 0 or ==
+  // replication means wait-for-all (see repl::ReplicationGroup).
+  uint32_t quorum = 0;
   net::PerfModel perf;
   BaselineMode mode = BaselineMode::kDrtmH;
   std::vector<BaselineStore::TableSpec> tables;
@@ -32,6 +35,7 @@ class BaselineCluster {
   BaselineStore& store(store::NodeId id) { return *stores_[id]; }
   sim::Resource& host_cores(store::NodeId id) { return *host_cores_[id]; }
   const txn::ClusterMap& map() const { return map_; }
+  const repl::ReplicationGroup& repl() const { return repl_; }
   uint32_t size() const { return options_.num_nodes; }
   BaselineMode mode() const { return options_.mode; }
 
@@ -46,6 +50,7 @@ class BaselineCluster {
   BaselineClusterOptions options_;
   sim::Engine engine_;
   txn::ClusterMap map_;
+  repl::ReplicationGroup repl_;
   std::vector<std::unique_ptr<sim::Resource>> host_cores_;
   std::unique_ptr<nicmodel::RdmaFabric> fabric_;
   std::vector<std::unique_ptr<BaselineStore>> stores_;

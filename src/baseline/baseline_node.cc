@@ -38,11 +38,13 @@ const char* BaselineModeName(BaselineMode mode) {
 
 BaselineNode::BaselineNode(nicmodel::RdmaNic* nic, sim::Resource* host_cores,
                            BaselineStore* store, const ClusterMap* map, BaselineMode mode,
-                           std::vector<BaselineNode*>* peers)
+                           std::vector<BaselineNode*>* peers,
+                           const repl::ReplicationGroup* repl)
     : nic_(nic),
       host_cores_(host_cores),
       store_(store),
       map_(map),
+      repl_(repl),
       mode_(mode),
       peers_(peers),
       transport_(nic, &stats_.messages, &stats_.by_type) {}
@@ -815,14 +817,19 @@ void BaselineNode::LogPhase(TxnState* st) {
 
   const store::TxnId txn = st->id;
   uint32_t pending = 0;
-  std::vector<std::pair<store::NodeId, store::LogRecord>> sends;
+  struct Send {
+    store::NodeId backup;
+    store::NodeId shard;
+    store::LogRecord rec;
+  };
+  std::vector<Send> sends;
   for (store::NodeId shard : shards) {
     store::LogRecord rec;
     rec.type = store::LogRecordType::kLog;
     rec.txn = txn;
     rec.writes = ShardWrites(*st, shard);
-    for (store::NodeId backup : map_->BackupsOf(shard)) {
-      sends.emplace_back(backup, rec);
+    for (store::NodeId backup : repl_->BackupsOf(shard)) {
+      sends.push_back(Send{backup, shard, rec});
       pending++;
     }
   }
@@ -831,35 +838,76 @@ void BaselineNode::LogPhase(TxnState* st) {
     CommitPhase(st);
     return;
   }
-  st->pending = pending;
   stats_.remote_rounds++;
 
-  auto one_done = [this, txn] {
-    TxnState* st = FindState(txn);
-    if (st == nullptr) {
-      return;
+  const bool quorum = repl_->QuorumArmed();
+  std::function<void(store::NodeId)> one_done;
+  if (quorum) {
+    // Quorum commit point: fire once every written shard collected its
+    // required ack count; stragglers keep draining log_pending so the
+    // bookkeeping stays honest, but log_done makes them no-ops. The
+    // commit-phase counter st->pending is never shared with LOG acks here.
+    st->log_pending = pending;
+    st->log_done = false;
+    st->log_needed.clear();
+    for (store::NodeId shard : shards) {
+      st->log_needed[shard] = repl_->AcksRequired(shard);
     }
-    if (--st->pending > 0) {
-      return;
-    }
-    ReportAndFinish(st, TxnOutcome::kCommitted);
-    CommitPhase(st);
-  };
+    one_done = [this, txn](store::NodeId shard) {
+      TxnState* st = FindState(txn);
+      if (st == nullptr) {
+        return;
+      }
+      assert(st->log_pending > 0);
+      st->log_pending--;
+      auto it = st->log_needed.find(shard);
+      if (it != st->log_needed.end() && it->second > 0) {
+        it->second--;
+      }
+      if (st->log_done) {
+        return;
+      }
+      for (const auto& [s, needed] : st->log_needed) {
+        if (needed > 0) {
+          return;
+        }
+      }
+      st->log_done = true;
+      ReportAndFinish(st, TxnOutcome::kCommitted);
+      CommitPhase(st);
+    };
+  } else {
+    st->pending = pending;
+    one_done = [this, txn](store::NodeId shard) {
+      (void)shard;
+      TxnState* st = FindState(txn);
+      if (st == nullptr) {
+        return;
+      }
+      if (--st->pending > 0) {
+        return;
+      }
+      ReportAndFinish(st, TxnOutcome::kCommitted);
+      CommitPhase(st);
+    };
+  }
 
-  for (auto& [backup, rec] : sends) {
-    const auto bytes = static_cast<uint32_t>(rec.ByteSize());
-    BaselineNode* target = (*peers_)[backup];
-    auto append = [target, rec = std::move(rec)]() mutable {
+  for (auto& s : sends) {
+    const auto bytes = static_cast<uint32_t>(s.rec.ByteSize());
+    BaselineNode* target = (*peers_)[s.backup];
+    auto append = [target, rec = std::move(s.rec)]() mutable {
       auto r = target->store_->log().Append(std::move(rec));
       assert(r.ok() && "baseline backup log overflow");
       (void)r;
     };
+    auto acked = [one_done, shard = s.shard] { one_done(shard); };
     if (mode_ == BaselineMode::kFasst) {
-      transport_.Rpc(net::MsgType::kLog, backup, bytes, 16, kRpcHandlerPerKey,
-                     std::move(append), one_done, txn);
+      transport_.Rpc(net::MsgType::kLog, s.backup, bytes, 16, kRpcHandlerPerKey,
+                     std::move(append), std::move(acked), txn);
     } else {
       // One-sided WRITE into the backup's message log (FaRM-style).
-      transport_.Write(net::MsgType::kLog, backup, bytes, std::move(append), one_done, txn);
+      transport_.Write(net::MsgType::kLog, s.backup, bytes, std::move(append),
+                       std::move(acked), txn);
     }
   }
 }

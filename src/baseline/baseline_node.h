@@ -20,6 +20,7 @@
 #define SRC_BASELINE_BASELINE_NODE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "src/baseline/baseline_store.h"
 #include "src/net/transport.h"
 #include "src/nicmodel/rdma_nic.h"
+#include "src/repl/replication_group.h"
 #include "src/sim/resource.h"
 #include "src/txn/types.h"
 
@@ -54,7 +56,8 @@ const char* BaselineModeName(BaselineMode mode);
 class BaselineNode {
  public:
   BaselineNode(nicmodel::RdmaNic* nic, sim::Resource* host_cores, BaselineStore* store,
-               const ClusterMap* map, BaselineMode mode, std::vector<BaselineNode*>* peers);
+               const ClusterMap* map, BaselineMode mode, std::vector<BaselineNode*>* peers,
+               const repl::ReplicationGroup* repl);
 
   // Returns the transaction id assigned to this submission so harnesses
   // can link retries of the same logical transaction in traces.
@@ -90,6 +93,12 @@ class BaselineNode {
     bool app_abort = false;
     uint32_t exec_read_base = 0;
     uint32_t exec_write_base = 0;
+    // Quorum-mode LOG accounting (repl::ReplicationGroup::QuorumArmed).
+    // Separate from `pending`, which CommitPhase reuses for its own acks:
+    // quorum stragglers must never touch the commit-phase counter.
+    std::map<store::NodeId, uint32_t> log_needed;  // shard -> acks still required
+    uint32_t log_pending = 0;                      // fan-out sends not yet acked
+    bool log_done = false;                         // commit point already fired
   };
   using StatePtr = std::unique_ptr<TxnState>;
 
@@ -119,6 +128,7 @@ class BaselineNode {
   sim::Resource* host_cores_;
   BaselineStore* store_;
   const ClusterMap* map_;
+  const repl::ReplicationGroup* repl_;
   BaselineMode mode_;
   std::vector<BaselineNode*>* peers_;
   std::unordered_map<store::TxnId, StatePtr> txns_;

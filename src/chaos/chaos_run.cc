@@ -1,6 +1,7 @@
 #include "src/chaos/chaos_run.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <sstream>
 
@@ -312,6 +313,7 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
   verdict.check = recorder.Check();
   verdict.faults = injector.stats();
   verdict.typed_drop_armed = injector.typed_drop_armed();
+  verdict.handoffs_armed = config.faults.planned_handoffs > 0;
   verdict.faults.typed_drops = injector.typed_drops();
   system->ForEachWireChannel([&](sim::Channel& ch) {
     verdict.frames_dropped += ch.frames_dropped();
@@ -322,6 +324,7 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
   if (config.timeline) {
     verdict.timeline = std::move(bins);
     verdict.timeline_faults = injector.plan().events;
+    verdict.timeline_horizon = config.horizon;
   }
   return verdict;
 }
@@ -343,6 +346,10 @@ std::string ChaosVerdict::Summary() const {
   if (typed_drop_armed) {
     os << "typed_drop: drops=" << faults.typed_drops << "\n";
   }
+  if (handoffs_armed) {
+    os << "handoffs: performed=" << faults.handoffs << " skipped=" << faults.handoffs_skipped
+       << " stragglers_aborted=" << faults.handoff_stragglers << "\n";
+  }
   os << "checker: txns=" << check.txns << " edges=" << check.edges
      << " version_gaps=" << check.version_gaps << " violations=" << check.violations.size()
      << "\n";
@@ -360,13 +367,28 @@ std::string ChaosVerdict::Summary() const {
   return os.str();
 }
 
+namespace {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kEvictionStorm:
+      return "storm";
+    case FaultKind::kPlannedHandoff:
+      return "handoff";
+    case FaultKind::kStallStart:
+    default:
+      return "stall";
+  }
+}
+
+}  // namespace
+
 std::string ChaosVerdict::Timeline() const {
   std::ostringstream os;
   for (const auto& f : timeline_faults) {
-    const char* kind = f.kind == FaultKind::kCrash          ? "crash"
-                       : f.kind == FaultKind::kEvictionStorm ? "storm"
-                                                              : "stall";
-    os << "timeline fault at_us=" << f.at / sim::kNsPerUs << " kind=" << kind
+    os << "timeline fault at_us=" << f.at / sim::kNsPerUs << " kind=" << FaultKindName(f.kind)
        << " node=" << f.node;
     if (f.duration > 0) {
       os << " duration_us=" << f.duration / sim::kNsPerUs;
@@ -383,7 +405,102 @@ std::string ChaosVerdict::Timeline() const {
     }
     os << "\n";
   }
+  if (!timeline.empty() && !timeline_faults.empty()) {
+    const AvailabilityReport avail =
+        ComputeAvailability(timeline, timeline_faults, timeline_horizon);
+    for (const auto& a : avail.per_fault) {
+      os << "timeline avail fault_at_us=" << a.fault.at / sim::kNsPerUs
+         << " kind=" << FaultKindName(a.fault.kind) << " node=" << a.fault.node
+         << " dip_depth_pct=" << a.dip_depth_pct << " dip_width_us=" << a.dip_width_us
+         << " degraded_us=" << a.degraded_us << "\n";
+    }
+    char secs[32];
+    std::snprintf(secs, sizeof(secs), "%llu.%06llu",
+                  static_cast<unsigned long long>(avail.degraded_service_us / 1000000),
+                  static_cast<unsigned long long>(avail.degraded_service_us % 1000000));
+    os << "timeline avail degraded_service_seconds=" << secs << "\n";
+  }
   return os.str();
+}
+
+AvailabilityReport ComputeAvailability(const std::vector<ChaosVerdict::TimelineBin>& all_bins,
+                                       const std::vector<FaultEvent>& faults,
+                                       sim::Tick horizon) {
+  AvailabilityReport report;
+  // Only bins fully inside the submission window carry signal: the drain
+  // tail decays to zero because submission stopped, not because of a fault.
+  std::vector<ChaosVerdict::TimelineBin> bins;
+  for (const auto& b : all_bins) {
+    if (horizon == 0 || b.start + b.width <= horizon) {
+      bins.push_back(b);
+    }
+  }
+  if (bins.empty() || faults.empty()) {
+    return report;
+  }
+  // Baseline commit throughput: mean committed-per-bin over the healthy
+  // prefix (bins entirely before the first fault). Kept as the exact ratio
+  // num/den; if the first fault lands in bin 0 there is no healthy prefix
+  // and the whole run serves as the (pessimistic) baseline.
+  sim::Tick first_fault = faults.front().at;
+  for (const auto& f : faults) {
+    first_fault = std::min(first_fault, f.at);
+  }
+  uint64_t num = 0;
+  uint64_t den = 0;
+  for (const auto& b : bins) {
+    if (b.start + b.width <= first_fault) {
+      num += b.committed;
+      den++;
+    }
+  }
+  if (den == 0 || num == 0) {
+    num = 0;
+    den = 0;
+    for (const auto& b : bins) {
+      num += b.committed;
+      den++;
+    }
+  }
+  report.baseline_num = num;
+  report.baseline_den = den;
+  if (num == 0) {
+    return report;  // nothing ever committed; "availability" is undefined
+  }
+
+  for (const auto& f : faults) {
+    AvailStat stat;
+    stat.fault = f;
+    // The dip window opens at the bin containing the fault (or the first
+    // later bin that degrades -- a fault at a bin boundary dips in the next
+    // one) and closes at the first bin whose commit count recovers to
+    // >= 90% of baseline (committed >= 0.9 * num/den, cross-multiplied so
+    // the comparison stays integer). Each degraded bin accrues
+    // deficit-weighted service time: a bin at half the baseline throughput
+    // contributes half its width.
+    uint64_t deficit_weighted_ns = 0;  // sum of width_ns * deficit, / num later
+    for (const auto& b : bins) {
+      if (b.start + b.width <= f.at) {
+        continue;  // entirely before the fault
+      }
+      const bool recovered = b.committed * den * 10 >= num * 9;
+      if (recovered) {
+        if (b.start > f.at) {
+          break;  // first healthy bin after the fault ends the dip
+        }
+        continue;  // fault bin itself healthy; the dip may start next bin
+      }
+      const uint64_t deficit = num - b.committed * den;  // >0: not recovered
+      const uint32_t pct = static_cast<uint32_t>(deficit * 100 / num);
+      stat.dip_depth_pct = std::max(stat.dip_depth_pct, pct);
+      deficit_weighted_ns += b.width * deficit;
+      stat.dip_width_us += b.width / sim::kNsPerUs;
+    }
+    stat.degraded_us = deficit_weighted_ns / num / sim::kNsPerUs;
+    report.degraded_service_us += stat.degraded_us;
+    report.per_fault.push_back(stat);
+  }
+  return report;
 }
 
 }  // namespace xenic::chaos

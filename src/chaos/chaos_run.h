@@ -81,6 +81,9 @@ struct ChaosVerdict {
   // Typed-drop reporting is emitted only when the fault was armed, so
   // configs without it keep their historical Summary() byte layout.
   bool typed_drop_armed = false;
+  // Same convention for planned lease handoffs: the handoffs line appears
+  // only when FaultSpec::planned_handoffs > 0.
+  bool handoffs_armed = false;
   uint64_t frames_dropped = 0;
   uint64_t frames_duplicated = 0;
   uint64_t frames_delayed = 0;
@@ -104,6 +107,10 @@ struct ChaosVerdict {
   };
   std::vector<TimelineBin> timeline;
   std::vector<FaultEvent> timeline_faults;  // planned fault markers
+  // Submission horizon of the run (availability math must ignore the drain
+  // tail, whose throughput decays to zero because submission stopped, not
+  // because anything failed). 0 when the timeline is off.
+  sim::Tick timeline_horizon = 0;
 
   bool ok() const { return check.ok() && failures.empty(); }
   // Deterministic multi-line report (identical across runs of one config).
@@ -115,6 +122,37 @@ struct ChaosVerdict {
 };
 
 ChaosVerdict RunChaos(const ChaosConfig& config);
+
+// Availability transient of one fault, measured against the pre-fault
+// commit-throughput baseline of the timeline bins. All math is integer so
+// the derived lines obey the same byte-determinism contract as the rest of
+// the transcript.
+struct AvailStat {
+  FaultEvent fault;
+  uint32_t dip_depth_pct = 0;  // worst per-bin commit deficit vs baseline
+  uint64_t dip_width_us = 0;   // fault bin until throughput back over 90%
+  uint64_t degraded_us = 0;    // deficit-weighted service time lost
+};
+
+struct AvailabilityReport {
+  // Baseline committed-per-bin as the exact ratio num/den (den = number of
+  // bins averaged); kept unreduced so comparisons stay in integers.
+  uint64_t baseline_num = 0;
+  uint64_t baseline_den = 0;
+  std::vector<AvailStat> per_fault;
+  uint64_t degraded_service_us = 0;  // sum over faults, integer microseconds
+};
+
+// Derive per-fault dip depth/width and total degraded service time from a
+// completed run's timeline. Baseline throughput is averaged over the bins
+// strictly before the first fault (over all bins if a fault lands in bin
+// 0); a fault's dip ends at the first bin whose committed count recovers to
+// >= 90% of baseline. Overlapping faults are each measured independently.
+// Bins past `horizon` (the submission window; 0 = no clamp) are excluded --
+// the drain tail decays to zero by construction, not by fault.
+AvailabilityReport ComputeAvailability(const std::vector<ChaosVerdict::TimelineBin>& bins,
+                                       const std::vector<FaultEvent>& faults,
+                                       sim::Tick horizon = 0);
 
 }  // namespace xenic::chaos
 

@@ -1,5 +1,7 @@
 #include "src/chaos/fault_plan.h"
 
+#include "src/repl/failover.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -36,6 +38,12 @@ FaultPlan FaultPlan::Generate(uint64_t seed, uint64_t epoch, const FaultSpec& sp
   }
   for (uint32_t i = 0; i < spec.stall_windows; ++i) {
     place(FaultKind::kStallStart, spec.stall_duration);
+  }
+  // Placed after the historical kinds so existing plans draw the same RNG
+  // sequence; with ONLY handoffs armed, the first draws match a crash-only
+  // plan exactly, giving crash-vs-handoff runs the same (at, node) pairs.
+  for (uint32_t i = 0; i < spec.planned_handoffs; ++i) {
+    place(FaultKind::kPlannedHandoff, 0);
   }
   std::sort(plan.events.begin(), plan.events.end(), [](const FaultEvent& a, const FaultEvent& b) {
     if (a.at != b.at) {
@@ -121,6 +129,9 @@ void FaultInjector::Fire(const FaultEvent& ev) {
     case FaultKind::kStallStart:
       Stall(ev.node, ev.duration);
       break;
+    case FaultKind::kPlannedHandoff:
+      PlannedHandoffAt(ev.node);
+      break;
   }
 }
 
@@ -134,14 +145,23 @@ void FaultInjector::CrashNode(store::NodeId victim) {
     stats_.crashes_skipped++;
     return;
   }
-  // Keep a quorum: every shard needs at least one live backup, and the
-  // recovery scan needs surviving replicas to read from.
+  // Keep a quorum: enough survivors for the configured commit point (and
+  // for the recovery scan to read from), and at least one live backup of
+  // the victim for DetectAndRecover to promote.
   uint32_t live = 0;
   for (store::NodeId n = 0; n < cluster->size(); ++n) {
     live += cluster->node(n).crashed() ? 0 : 1;
   }
-  if (live <= cluster->options().replication) {
+  if (!cluster->repl().CrashAllowed(live)) {
     stats_.crashes_skipped++;
+    return;
+  }
+  bool has_live_backup = false;
+  for (store::NodeId b : cluster->repl().BackupsOf(victim)) {
+    has_live_backup |= !cluster->node(b).crashed();
+  }
+  if (!has_live_backup) {
+    stats_.crashes_skipped++;  // replication 1 (or all backups dead)
     return;
   }
   cluster->node(victim).Crash();
@@ -155,7 +175,7 @@ void FaultInjector::DetectAndRecover(store::NodeId victim) {
   txn::XenicCluster* cluster = system_.xenic_cluster();
   // Promote the first live backup of the failed primary.
   store::NodeId promoted = victim;
-  for (store::NodeId b : cluster->map().BackupsOf(victim)) {
+  for (store::NodeId b : cluster->repl().BackupsOf(victim)) {
     if (!cluster->node(b).crashed()) {
       promoted = b;
       break;
@@ -181,13 +201,40 @@ void FaultInjector::DetectAndRecover(store::NodeId victim) {
   stats_.discarded += coord.discarded;
   stats_.locks_released += coord.locks_released;
 
-  promotions_[victim] = promoted;
+  // Re-replicate while the map still routes the victim's keys here: the
+  // recovered state (backup base + the eager-applied in-doubt tail) is
+  // now authoritative at `promoted`, and fan-out for these shards will
+  // follow promoted's OWN backup chain from the flip on -- a chain that
+  // never held the base snapshot.
+  repl::TransferShardState(*cluster, promoted, victim, promoted);
+
+  // Chain-collapsing insert: a promotion chain ending at `victim` (an
+  // earlier handoff or crash that moved a shard HERE) must follow the new
+  // primary, or the one-hop routing table keeps sending that shard to the
+  // dead node.
+  repl::RecordPromotion(&promotions_, victim, promoted);
   remapped_ = std::make_unique<txn::RemappedPartitioner>(base_partitioner_, promotions_);
   cluster->mutable_map().partitioner = remapped_.get();
   // Evict the dead node from the membership view last: the sweep and the
   // recovery scans above reason about the pre-failure replica chains, but
   // from here on LOG fan-out must not wait on the dead backup's ack.
   cluster->mutable_map().MarkFailed(victim);
+}
+
+void FaultInjector::PlannedHandoffAt(store::NodeId victim) {
+  txn::XenicCluster* cluster = system_.xenic_cluster();
+  if (cluster == nullptr) {
+    stats_.handoffs_skipped++;  // baseline systems have no handoff support
+    return;
+  }
+  repl::HandoffReport r = repl::PlannedHandoff(*cluster, victim, base_partitioner_,
+                                               &promotions_, &remapped_);
+  if (!r.performed) {
+    stats_.handoffs_skipped++;
+    return;
+  }
+  stats_.handoffs++;
+  stats_.handoff_stragglers += r.stragglers_aborted;
 }
 
 void FaultInjector::EvictionStorm(store::NodeId node) {

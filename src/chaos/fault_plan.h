@@ -47,6 +47,9 @@ struct FaultSpec {
   uint32_t crashes = 0;           // fail-stop node crashes (with recovery)
   uint32_t eviction_storms = 0;   // NIC-index cache wipe on one node
   uint32_t stall_windows = 0;     // commit-log back-pressure: workers stopped
+  // Planned lease handoffs (repl::PlannedHandoff): the victim stays live,
+  // its primary role moves to an up-to-date backup with no sweep or scan.
+  uint32_t planned_handoffs = 0;
   sim::Tick stall_duration = 60 * sim::kNsPerUs;
   sim::Tick detection_delay = 8 * sim::kNsPerUs;  // crash -> lease expiry
 
@@ -62,6 +65,7 @@ enum class FaultKind : uint8_t {
   kCrash = 0,
   kEvictionStorm,
   kStallStart,
+  kPlannedHandoff,
 };
 
 struct FaultEvent {
@@ -95,6 +99,9 @@ class FaultInjector {
     uint64_t storms = 0;
     uint64_t storm_evictions = 0;
     uint64_t stalls = 0;
+    uint64_t handoffs = 0;            // planned lease handoffs performed
+    uint64_t handoffs_skipped = 0;    // victim crashed / no live backup
+    uint64_t handoff_stragglers = 0;  // in-flight txns aborted by handoffs
     uint64_t sweep_committed = 0;
     uint64_t sweep_aborted = 0;
     uint64_t rolled_forward = 0;  // RecoverShard + coordinator sweep
@@ -122,6 +129,7 @@ class FaultInjector {
   void Fire(const FaultEvent& ev);
   void CrashNode(store::NodeId victim);
   void DetectAndRecover(store::NodeId victim);
+  void PlannedHandoffAt(store::NodeId victim);
   void EvictionStorm(store::NodeId node);
   void Stall(store::NodeId node, sim::Tick duration);
 

@@ -10,6 +10,7 @@ class XenicAdapter : public SystemAdapter {
     txn::XenicClusterOptions o;
     o.num_nodes = config.num_nodes;
     o.replication = config.replication;
+    o.quorum = config.quorum;
     o.perf = config.perf;
     o.features = config.features;
     o.nic_features = config.nic_features;
@@ -130,6 +131,7 @@ class BaselineAdapter : public SystemAdapter {
     baseline::BaselineClusterOptions o;
     o.num_nodes = config.num_nodes;
     o.replication = config.replication;
+    o.quorum = config.quorum;
     o.perf = config.perf;
     o.mode = config.mode;
     o.workers_per_node = config.workers_per_node;

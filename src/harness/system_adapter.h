@@ -71,6 +71,9 @@ struct SystemConfig {
   net::PerfModel perf;
   uint32_t num_nodes = 6;
   uint32_t replication = 3;
+  // Total copies (primary included) that must ack before commit; 0 or
+  // >= replication keeps the historical wait-for-all behavior.
+  uint32_t quorum = 0;
   uint32_t workers_per_node = 3;
   uint64_t nic_cache_budget = 0;        // bytes; 0 = unlimited
   uint16_t max_displacement_override = 0;  // replace every table's Dm; 0 = keep

@@ -36,6 +36,8 @@ enum class MsgType : uint8_t {
   kLock,         // baseline lock acquisition (CAS or per-key lock RPC)
   kUnlock,       // baseline lock release / abort cleanup
   kWound,        // WOUND_WAIT: abort demand sent to a younger lock holder
+  kLogCommit,    // commit-point notification to backups (stabilizes LOG records)
+  kLeaseHandoff,  // planned failover: lease transfer to an up-to-date backup
   kCount,
 };
 
@@ -67,6 +69,10 @@ constexpr const char* MsgTypeName(MsgType t) {
       return "UNLOCK";
     case MsgType::kWound:
       return "WOUND";
+    case MsgType::kLogCommit:
+      return "LOG_COMMIT";
+    case MsgType::kLeaseHandoff:
+      return "LEASE_HANDOFF";
     case MsgType::kCount:
       return "ANY";
   }
@@ -152,6 +158,17 @@ constexpr uint32_t ValidateReq(size_t n_keys) {
 constexpr uint32_t LogAppend(uint64_t record_bytes) {
   return kHeader + static_cast<uint32_t>(record_bytes);
 }
+
+// LOG_COMMIT: commit-point notification to a backup -- just the txn id
+// echo, so the backup's applier may stabilize (and later reclaim) the
+// transaction's LOG records. Fire-and-forget, no reply.
+constexpr uint32_t LogCommit() { return kHeader + kAckBody; }
+
+// LEASE_HANDOFF: planned-failover lease transfer from the departing
+// primary to the promoted backup. The shard state itself is already
+// replicated through the log, so the transfer carries only the lease
+// (shard id + epoch echo, ack-sized).
+constexpr uint32_t LeaseHandoff() { return kHeader + kAckBody; }
 
 // Write set with versions and values (commit install; FaSST commit RPC).
 constexpr uint32_t WriteSet(size_t n_writes, uint64_t value_bytes) {

@@ -18,6 +18,7 @@ bool ParseMsgSelector(const char* name, MsgSelector* out) {
       {"ship_exec", MsgType::kShipExec}, {"ack", MsgType::kAck},
       {"read", MsgType::kRead},       {"lock", MsgType::kLock},
       {"unlock", MsgType::kUnlock},   {"wound", MsgType::kWound},
+      {"log_commit", MsgType::kLogCommit}, {"lease_handoff", MsgType::kLeaseHandoff},
       {"any", MsgType::kCount},
   };
   const std::string s(name);

@@ -1,0 +1,161 @@
+#include "src/repl/failover.h"
+
+#include <vector>
+
+#include "src/net/message.h"
+
+namespace xenic::repl {
+
+HandoffReport PlannedHandoff(txn::XenicCluster& cluster, store::NodeId from,
+                             const txn::Partitioner* base,
+                             std::map<store::NodeId, store::NodeId>* promotions,
+                             std::unique_ptr<txn::RemappedPartitioner>* remapped) {
+  HandoffReport report;
+  if (cluster.node(from).crashed()) {
+    return report;  // a dead node's lease cannot be handed off, only swept
+  }
+  store::NodeId promoted = from;
+  for (store::NodeId b : cluster.repl().BackupsOf(from)) {
+    if (!cluster.node(b).crashed()) {
+      promoted = b;
+      break;
+    }
+  }
+  if (promoted == from) {
+    return report;  // no live backup to hand the lease to
+  }
+
+  const txn::ClusterMap& map = cluster.map();
+  std::vector<store::NodeId> live;
+  for (store::NodeId n = 0; n < cluster.size(); ++n) {
+    if (!cluster.node(n).crashed()) {
+      live.push_back(n);
+    }
+  }
+
+  // Straggler mini-sweep, PURE abort. A transaction still in flight
+  // against the departing primary could otherwise complete after the
+  // routing flip and address its COMMIT (or a shipped execution's
+  // late-arriving acks) to the new primary, leaking locks at the old one
+  // -- which, unlike in crash recovery, stays alive to honor them. Unlike
+  // the crash sweep this touches only transactions whose PRIMARY role is
+  // moving (backup_touch=false): `from` keeps acking as a backup, so
+  // nothing else is wedged. Forcing commits is deliberately not attempted;
+  // the abort is clean because these transactions have not reported.
+  for (store::NodeId n : live) {
+    txn::XenicNode& node = cluster.node(n);
+    for (const auto& w : node.WedgedOn(from, /*backup_touch=*/false)) {
+      for (store::NodeId m : live) {
+        cluster.datastore(m).TombstoneTxn(w.id);
+      }
+      for (store::NodeId m : live) {
+        auto& ds = cluster.datastore(m);
+        for (const auto& k : w.keys) {
+          if (k.table < ds.num_tables() && map.PrimaryOf(k.table, k.key) == m) {
+            ds.index(k.table).ReleaseLock(k.key, w.id);
+          }
+        }
+      }
+      node.ForceAbortWedged(w.id);
+      report.stragglers_aborted++;
+    }
+  }
+
+  // The promoted node's NIC cache was never maintained by the commit
+  // protocol for the handed-off shard (a backup's NIC serves no lookups):
+  // drop those entries so lookups refill from the applier-maintained host
+  // tables.
+  auto& promoted_ds = cluster.datastore(promoted);
+  for (store::TableId t = 0; t < promoted_ds.num_tables(); ++t) {
+    for (const auto& e : promoted_ds.index(t).CachedEntries()) {
+      if (map.PrimaryOf(t, e.key) == from) {
+        promoted_ds.index(t).Invalidate(e.key);
+        report.cache_invalidated++;
+      }
+    }
+  }
+
+  // Re-replicate before the flip: the shard's records will fan out to the
+  // NEW primary's backup chain from here on, but those nodes never held
+  // the base snapshot (and `promoted` itself may trail the departing
+  // primary's applied state when the NIC applier is not armed). The
+  // departing primary is alive and authoritative, so copy its entries for
+  // every key it currently serves -- its own shard plus any chain that
+  // ended here -- into the new serving set. Without this, a later crash
+  // of `promoted` would promote a backup holding only the post-handoff
+  // tail.
+  report.records_transferred = TransferShardState(cluster, from, from, promoted);
+
+  // The lease itself crosses the wire (accounting; the flip below is
+  // synchronous, modeling a new primary that serves the instant its lease
+  // is valid -- the paper's planned reconfiguration has no detection or
+  // scan delay).
+  txn::XenicNode* server = &cluster.node(promoted);
+  cluster.node(from).transport().Send(
+      net::MsgType::kLeaseHandoff, promoted, net::wire::LeaseHandoff(),
+      [server, from] { server->ServeLeaseHandoff(from); }, 0);
+
+  // Routing flip. Chains that previously ended at `from` follow the lease
+  // too (a shard `from` had been promoted for moves along with its own).
+  RecordPromotion(promotions, from, promoted);
+  *remapped = std::make_unique<txn::RemappedPartitioner>(base, *promotions);
+  cluster.mutable_map().partitioner = remapped->get();
+  // Version bump WITHOUT MarkFailed: `from` stays in the membership view
+  // (live coordinator, live backup); only the primary role moved. 2PL
+  // transactions fence on the version; OCC revalidates reads anyway.
+  cluster.mutable_map().version++;
+
+  report.performed = true;
+  report.promoted = promoted;
+  return report;
+}
+
+size_t TransferShardState(txn::XenicCluster& cluster, store::NodeId holder,
+                          store::NodeId routed, store::NodeId to_primary) {
+  size_t copied = 0;
+  const txn::ClusterMap& map = cluster.map();
+  std::vector<store::NodeId> targets;
+  targets.push_back(to_primary);
+  for (store::NodeId b : cluster.repl().BackupsOf(to_primary)) {
+    targets.push_back(b);
+  }
+  auto& src = cluster.datastore(holder);
+  for (store::TableId t = 0; t < src.num_tables(); ++t) {
+    for (store::Key k : src.table(t).Keys()) {
+      if (map.PrimaryOf(t, k) != routed) {
+        continue;
+      }
+      const auto entry = src.table(t).Lookup(k);
+      if (!entry) {
+        continue;
+      }
+      for (store::NodeId n : targets) {
+        if (n == holder || cluster.node(n).crashed()) {
+          continue;
+        }
+        auto& ds = cluster.datastore(n);
+        auto& dst = ds.table(t);
+        if (entry->seq > dst.GetSeq(k).value_or(0)) {
+          dst.Apply(k, entry->value, entry->seq);
+          ds.index(t).Invalidate(k);
+          const size_t seg = dst.SegmentOfKey(k);
+          ds.index(t).UpdateHint(seg, dst.SegmentMaxDisp(seg), dst.SegmentHasOverflow(seg));
+          copied++;
+        }
+      }
+    }
+  }
+  return copied;
+}
+
+void RecordPromotion(std::map<store::NodeId, store::NodeId>* promotions,
+                     store::NodeId from, store::NodeId to) {
+  for (auto& [f, t] : *promotions) {
+    if (t == from) {
+      t = to;
+    }
+  }
+  (*promotions)[from] = to;
+}
+
+}  // namespace xenic::repl

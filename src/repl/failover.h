@@ -1,0 +1,79 @@
+// Planned failover (fast lease handoff) for the replication subsystem.
+//
+// Crash recovery (src/txn/recovery.cc) assumes the worst: the failed
+// node's state is gone, so every survivor's log is scanned, wedged
+// transactions are swept, lock state is rebuilt, and the whole cluster
+// pauses while it happens. A PLANNED handoff -- maintenance drain,
+// rebalance, rolling upgrade -- needs none of that: the departing primary
+// is alive, its backups hold (and with the NIC applier, have continuously
+// applied) every committed record, so the primary role can move by handing
+// the lease to an up-to-date backup. The only transactions at risk are the
+// handful still in flight against the departing primary at the flip
+// instant; those are aborted (they retry on the new routing) rather than
+// resolved by a cluster-wide scan.
+
+#ifndef SRC_REPL_FAILOVER_H_
+#define SRC_REPL_FAILOVER_H_
+
+#include <map>
+#include <memory>
+
+#include "src/txn/recovery.h"
+#include "src/txn/xenic_cluster.h"
+
+namespace xenic::repl {
+
+// Outcome of one planned lease handoff.
+struct HandoffReport {
+  bool performed = false;
+  store::NodeId promoted = 0;
+  // In-flight transactions wedged on the departing PRIMARY role at the
+  // flip instant, aborted so none can commit against stale routing.
+  size_t stragglers_aborted = 0;
+  // NIC cache entries for the handed-off shard dropped at the new primary.
+  size_t cache_invalidated = 0;
+  // Host-table entries copied to the new serving node's backup set
+  // (re-replication; see TransferShardState).
+  size_t records_transferred = 0;
+};
+
+// Promote the first live backup of `from` to primary for its shards
+// without a crash, log scan, or membership eviction: abort the in-flight
+// stragglers whose primary is departing, refresh the promoted node's NIC
+// cache, send the lease over the wire, and swap the routing table
+// (`promotions`/`remapped` are the caller's routing state, updated in
+// place; the map version is bumped so 2PL epoch fences observe the move).
+// `from` stays live as a coordinator and backup -- MarkFailed is NOT
+// called, which is the whole point: LOG fan-out keeps counting its acks.
+// Returns performed=false (and does nothing) if `from` is crashed or has
+// no live backup.
+HandoffReport PlannedHandoff(txn::XenicCluster& cluster, store::NodeId from,
+                             const txn::Partitioner* base,
+                             std::map<store::NodeId, store::NodeId>* promotions,
+                             std::unique_ptr<txn::RemappedPartitioner>* remapped);
+
+// Records a primary-role move (`from` -> `to`) in the promotion map,
+// collapsing chains first: any earlier promotion that ended at `from` is
+// rewritten to end at `to`. RemappedPartitioner flattens this map into a
+// one-hop routing table, so an uncollapsed chain -- handoff {A->B} followed
+// by a crash of B, or two chained crashes -- would keep routing A's shard
+// to a node that no longer serves it. Both the planned-handoff and the
+// crash-recovery promotion paths must go through this.
+void RecordPromotion(std::map<store::NodeId, store::NodeId>* promotions,
+                     store::NodeId from, store::NodeId to);
+
+// Re-replication after a primary-role move. LOG fan-out follows the
+// SERVING node's backup chain, so when a shard moves to `to_primary` the
+// nodes in BackupsOf(to_primary) start receiving its records -- but they
+// never held the shard's base snapshot. This copies every entry of
+// `holder`'s host tables whose key currently routes to `routed` (the
+// pre-flip serving node) into `to_primary` and each of its live backups,
+// seq-guarded so a copy never regresses a newer applied value. Without it
+// a SECOND failure of the new serving node would promote a backup with
+// only the post-move tail of the shard. Returns entries copied.
+size_t TransferShardState(txn::XenicCluster& cluster, store::NodeId holder,
+                          store::NodeId routed, store::NodeId to_primary);
+
+}  // namespace xenic::repl
+
+#endif  // SRC_REPL_FAILOVER_H_

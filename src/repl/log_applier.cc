@@ -1,0 +1,129 @@
+#include "src/repl/log_applier.h"
+
+namespace xenic::repl {
+
+namespace {
+
+// Same per-step budget as the host Robinhood workers (xenic_node.cc); the
+// ARM-core slowdown is applied on top via the NIC model's multithread
+// ratio, so the applier is the same loop costed for where it runs.
+constexpr sim::Tick kApplierPollCost = 80;
+constexpr sim::Tick kApplierRecordCost = 150;
+constexpr sim::Tick kApplierWriteCost = 120;
+constexpr int kApplierBatch = 16;
+
+}  // namespace
+
+sim::Tick LogApplier::ArmCost(sim::Tick host_cost) const {
+  return static_cast<sim::Tick>(static_cast<double>(host_cost) /
+                                nic_->model().arm_multithread_ratio);
+}
+
+void LogApplier::Start(uint32_t appliers, sim::Tick poll_interval) {
+  running_ = true;
+  epoch_++;
+  const uint64_t epoch = epoch_;
+  for (uint32_t a = 0; a < appliers; ++a) {
+    // Stagger like XenicNode::StartWorkers so appliers don't tick in
+    // lockstep with each other.
+    const sim::Tick offset = poll_interval * (a + 1) / (appliers + 1);
+    nic_->engine()->ScheduleAfter(offset, [this, a, poll_interval, epoch] {
+      Tick(a, poll_interval, epoch);
+    });
+  }
+}
+
+void LogApplier::Stop() {
+  running_ = false;
+  epoch_++;
+}
+
+void LogApplier::Tick(uint32_t applier, sim::Tick interval, uint64_t epoch) {
+  if (!running_ || epoch != epoch_) {
+    return;
+  }
+  // The poll is ambient infrastructure, not any transaction's work (same
+  // convention as the host worker ticks -- see obs::TxnTraceSink).
+  nic_->engine()->set_trace_ctx(sim::kAmbientTraceCtx);
+  nic_->NicCompute(ArmCost(kApplierPollCost), [this, applier, interval, epoch] {
+    if (!running_ || epoch != epoch_) {
+      return;
+    }
+    int applied = 0;
+    sim::Tick extra = 0;
+    while (applied < kApplierBatch) {
+      const store::LogRecord* rec = ds_->log().Peek();
+      if (rec == nullptr) {
+        break;
+      }
+      const uint64_t lsn = rec->lsn;
+      if (ds_->IsTombstoned(rec->txn)) {
+        // Epoch-aborted transaction: consume without applying, and tear
+        // down the NIC-side state from the append (mirrors the host
+        // worker's tombstone path).
+        for (const auto& w : rec->writes) {
+          if (w.table < ds_->num_tables()) {
+            auto& t = ds_->table(w.table);
+            const size_t seg = t.SegmentOfKey(w.key);
+            ds_->index(w.table).OnHostApplied(w.key, t.SegmentMaxDisp(seg),
+                                              t.SegmentHasOverflow(seg));
+            ds_->index(w.table).Invalidate(w.key);
+          }
+        }
+        ds_->ClearPending(*rec);
+        ds_->log().PopApplied();
+        ds_->log().Reclaim(lsn + 1);
+        applied++;
+        continue;
+      }
+      if (rec->type == store::LogRecordType::kLog && !ds_->log().IsStable(rec->txn)) {
+        // Commit point not yet known: the record may belong to a
+        // transaction that aborts after replication. Park until the
+        // coordinator's kLogCommit (or a sweep tombstone) resolves it.
+        stable_waits_++;
+        break;
+      }
+      extra += ArmCost(kApplierRecordCost);
+      for (const auto& w : rec->writes) {
+        extra += ArmCost(kApplierWriteCost);
+        if (w.table < ds_->num_tables()) {
+          auto& t = ds_->table(w.table);
+          if (w.is_delete) {
+            t.Erase(w.key);
+          } else {
+            t.Apply(w.key, w.value, w.seq);
+          }
+          const size_t seg = t.SegmentOfKey(w.key);
+          ds_->index(w.table).OnHostApplied(w.key, t.SegmentMaxDisp(seg),
+                                            t.SegmentHasOverflow(seg));
+        } else if (apply_hook_) {
+          extra += ArmCost(apply_hook_(w));
+        }
+      }
+      if (rec->type == store::LogRecordType::kLog) {
+        ds_->NoteLogApplied(rec->txn, rec->shard);
+      }
+      ds_->ClearPending(*rec);
+      ds_->log().PopApplied();
+      ds_->log().Reclaim(lsn + 1);
+      applied++;
+      applied_++;
+      if (applied_counter_ != nullptr) {
+        (*applied_counter_)++;
+      }
+    }
+    if (extra > 0) {
+      nic_->NicCompute(extra, [this, applier, interval, epoch] {
+        nic_->engine()->ScheduleAfter(interval, [this, applier, interval, epoch] {
+          Tick(applier, interval, epoch);
+        });
+      });
+    } else {
+      nic_->engine()->ScheduleAfter(interval, [this, applier, interval, epoch] {
+        Tick(applier, interval, epoch);
+      });
+    }
+  });
+}
+
+}  // namespace xenic::repl

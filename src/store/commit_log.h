@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/status.h"
@@ -88,12 +89,25 @@ class CommitLog {
   uint64_t next_lsn() const { return next_lsn_; }
   uint64_t appended() const { return next_lsn_; }
 
+  // Quorum-applied truncation support (repl::LogApplier): a replicated kLog
+  // record may only be applied -- and thus reclaimed -- once its
+  // transaction's commit point is known. The coordinator's kLogCommit
+  // notification (or recovery roll-forward) marks it; sweep-aborted
+  // transactions are tombstoned at the Datastore level instead.
+  void MarkStable(TxnId txn) { stable_.insert(txn); }
+  bool IsStable(TxnId txn) const { return stable_.count(txn) > 0; }
+  size_t stable_marks() const { return stable_.size(); }
+
  private:
   size_t capacity_;
   std::deque<LogRecord> records_;
   size_t applied_ = 0;  // records at the front that are applied but unacked
   uint64_t next_lsn_ = 0;
   uint64_t base_lsn_ = 0;
+  // Transactions whose commit point is known (see MarkStable). Bounded by
+  // the transactions of one run; only consulted by the stability-gated NIC
+  // applier, so the default host-worker path never reads it.
+  std::unordered_set<TxnId> stable_;
 };
 
 }  // namespace xenic::store

@@ -137,6 +137,22 @@ std::optional<Seq> RobinhoodTable::GetSeq(Key key) const {
   return std::nullopt;
 }
 
+std::vector<Key> RobinhoodTable::Keys() const {
+  std::vector<Key> out;
+  out.reserve(size());
+  for (size_t s = 0; s < capacity_; ++s) {
+    if (Occupied(s)) {
+      out.push_back(Header(s).key);
+    }
+  }
+  for (const auto& bucket : overflow_) {
+    for (const auto& e : bucket) {
+      out.push_back(e.key);
+    }
+  }
+  return out;
+}
+
 Status RobinhoodTable::Insert(Key key, const Value& value, Seq seq) {
   if (Contains(key)) {
     return Status::AlreadyExists();

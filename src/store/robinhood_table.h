@@ -116,6 +116,11 @@ class RobinhoodTable {
   bool Contains(Key key) const { return Lookup(key).has_value(); }
   std::optional<Seq> GetSeq(Key key) const;
 
+  // Every stored key, table slots in slot order then overflow buckets in
+  // segment order (a deterministic full scan). Used by the failover state
+  // transfer to enumerate a shard's entries; not on any hot path.
+  std::vector<Key> Keys() const;
+
   // --- Geometry, used by the NIC index to plan DMA reads. ---
 
   size_t capacity() const { return capacity_; }

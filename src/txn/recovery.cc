@@ -141,27 +141,38 @@ bool AppliedAt(const store::Datastore& ds, const store::LogRecord& rec) {
 }
 
 // Global completeness rule: records exist for every written shard and each
-// reached (or was already applied by) every live backup of its shard.
-// Exactly then may the coordinator have collected all LOG acks and reported
-// commit.
-bool IsComplete(XenicCluster& cluster, const TxnLogState& t, const ClusterMap& map,
+// gathered enough copies -- among live holders plus unobservable dead
+// backups, counted conservatively for commit -- to have reached the
+// coordinator's commit point (repl::ReplicationGroup::CompletenessThreshold;
+// at the default wait-for-all quorum this reduces to "every live backup
+// holds or applied it"). Exactly then may the coordinator have collected
+// its LOG acks and reported commit.
+bool IsComplete(XenicCluster& cluster, const TxnLogState& t,
                 const std::vector<NodeId>& live) {
   if (t.shards.size() < t.total_shards) {
     return false;
   }
   for (const auto& [shard, sr] : t.shards) {
-    for (NodeId b : map.BackupsOf(shard)) {
+    size_t evidence = 0;
+    for (NodeId b : cluster.repl().BackupsOf(shard)) {
       const bool is_live = std::find(live.begin(), live.end(), b) != live.end();
       if (!is_live) {
+        // The dead backup's copy is unobservable: it may have acked before
+        // dying, so count it toward the coordinator's quorum (roll-forward
+        // of a maybe-reported transaction is the safe direction).
+        evidence++;
         continue;
       }
       const bool holds =
           std::find(sr.holders.begin(), sr.holders.end(), b) != sr.holders.end() ||
           std::find(sr.appliers.begin(), sr.appliers.end(), b) != sr.appliers.end() ||
           AppliedAt(cluster.datastore(b), sr.record);
-      if (!holds) {
-        return false;
+      if (holds) {
+        evidence++;
       }
+    }
+    if (evidence < cluster.repl().CompletenessThreshold(shard)) {
+      return false;
     }
   }
   return true;
@@ -196,18 +207,22 @@ EpochSweepReport SweepWedgedTxns(XenicCluster& cluster, NodeId failed) {
   for (NodeId n : live) {
     XenicNode& node = cluster.node(n);
     for (const auto& w : node.WedgedOn(failed)) {
-      // Commit iff the fan-out demonstrably reached every live backup of
-      // every written shard: then only the dead node's acks are missing
-      // (or still in flight from live backups), and the commit decision is
-      // forced. Anything pre-LOG, or with a record still absent from a
-      // live backup (in-flight or back-pressured), aborts.
+      // Commit iff the fan-out demonstrably reached the commit point for
+      // every written shard: enough copies among live backups (dead
+      // backups count conservatively -- their ack may have been the one
+      // that completed the quorum) that only the dead node's acks are
+      // missing, and the commit decision is forced. Anything pre-LOG, or
+      // with too few records at live backups (in-flight or
+      // back-pressured), aborts.
       bool complete = w.logs_sent && !w.records.empty();
       for (const auto& [shard, rec] : w.records) {
         if (!complete) {
           break;
         }
-        for (NodeId b : map.BackupsOf(shard)) {
+        size_t evidence = 0;
+        for (NodeId b : cluster.repl().BackupsOf(shard)) {
           if (std::find(live.begin(), live.end(), b) == live.end()) {
+            evidence++;  // unobservable dead backup: counted for commit
             continue;
           }
           bool holds = AppliedAt(cluster.datastore(b), rec);
@@ -219,10 +234,12 @@ EpochSweepReport SweepWedgedTxns(XenicCluster& cluster, NodeId failed) {
               }
             }
           }
-          if (!holds) {
-            complete = false;
-            break;
+          if (holds) {
+            evidence++;
           }
+        }
+        if (evidence < cluster.repl().CompletenessThreshold(shard)) {
+          complete = false;
         }
       }
       if (complete) {
@@ -259,7 +276,7 @@ RecoveryReport RecoverShard(XenicCluster& cluster, NodeId failed, NodeId promote
                             const std::vector<store::TxnId>& known_committed) {
   RecoveryReport report;
   const ClusterMap& map = cluster.map();
-  const std::vector<NodeId> backups = map.BackupsOf(failed);
+  const std::vector<NodeId> backups = cluster.repl().BackupsOf(failed);
   assert(std::find(backups.begin(), backups.end(), promoted) != backups.end() &&
          "promoted node must be a backup of the failed primary");
 
@@ -293,7 +310,7 @@ RecoveryReport RecoverShard(XenicCluster& cluster, NodeId failed, NodeId promote
     const bool coord_says_committed =
         coord < cluster.size() && !cluster.node(coord).crashed() &&
         cluster.node(coord).HasReportedCommit(txn);
-    f.complete = IsComplete(cluster, state, map, live) ||
+    f.complete = IsComplete(cluster, state, live) ||
                  std::find(known_committed.begin(), known_committed.end(), txn) !=
                      known_committed.end() ||
                  coord_says_committed;
@@ -344,6 +361,13 @@ RecoveryReport RecoverShard(XenicCluster& cluster, NodeId failed, NodeId promote
       ds.index(w.table).ReleaseLock(w.key, txn);
     }
     if (f.complete) {
+      // Mark the commit stable at every survivor: with the NIC applier
+      // armed (features.nic_log_apply) a kLog record is parked until its
+      // transaction's commit point is known, and the dead coordinator can
+      // no longer say so. Recovery is the stability authority here.
+      for (NodeId n : live) {
+        cluster.datastore(n).log().MarkStable(txn);
+      }
       report.rolled_forward++;
     } else {
       for (NodeId n : live) {
@@ -384,7 +408,7 @@ CoordinatorSweepReport RecoverCoordinatorLocks(XenicCluster& cluster, NodeId fai
   for (const auto& [txn, has_records] : candidates) {
     report.txns_swept++;
     const bool complete =
-        has_records && IsComplete(cluster, in_flight.at(txn), map, live);
+        has_records && IsComplete(cluster, in_flight.at(txn), live);
     if (complete) {
       // The dead coordinator may have reported commit: finish its job at
       // every live primary (the failed shard itself is RecoverShard's).
@@ -396,6 +420,11 @@ CoordinatorSweepReport RecoverCoordinatorLocks(XenicCluster& cluster, NodeId fai
         for (const auto& w : sr.record.writes) {
           ApplyRecoveredWrite(cluster.datastore(shard), w);
         }
+      }
+      // The dead coordinator never sent its stability notices; unblock any
+      // armed NIC appliers still parked on this transaction's records.
+      for (NodeId n : live) {
+        cluster.datastore(n).log().MarkStable(txn);
       }
       report.rolled_forward++;
     } else {

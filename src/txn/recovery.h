@@ -44,18 +44,31 @@ class ClusterManager {
 // Partitioner wrapper routing a failed node's shards to promoted backups.
 class RemappedPartitioner : public Partitioner {
  public:
-  RemappedPartitioner(const Partitioner* base, std::map<NodeId, NodeId> promotions)
-      : base_(base), promotions_(std::move(promotions)) {}
+  RemappedPartitioner(const Partitioner* base, const std::map<NodeId, NodeId>& promotions)
+      : base_(base) {
+    // Flatten the promotion map into a node-id-indexed routing table: this
+    // sits on every post-failover PrimaryOf, so the hot path is one bounds
+    // check and one vector load instead of a tree lookup.
+    for (const auto& [from, to] : promotions) {
+      if (from >= table_.size()) {
+        const size_t old = table_.size();
+        table_.resize(static_cast<size_t>(from) + 1);
+        for (size_t n = old; n < table_.size(); ++n) {
+          table_[n] = static_cast<NodeId>(n);  // identity for untouched shards
+        }
+      }
+      table_[from] = to;
+    }
+  }
 
   NodeId PrimaryOf(TableId table, Key key) const override {
     const NodeId p = base_->PrimaryOf(table, key);
-    auto it = promotions_.find(p);
-    return it == promotions_.end() ? p : it->second;
+    return p < table_.size() ? table_[p] : p;
   }
 
  private:
   const Partitioner* base_;
-  std::map<NodeId, NodeId> promotions_;
+  std::vector<NodeId> table_;  // identity except promoted entries
 };
 
 // Epoch-change sweep (run at failure detection, before RecoverShard): every

@@ -148,6 +148,16 @@ struct XenicFeatures {
   // Off by default: changes event schedules, so the golden chaos
   // transcript and all existing seeds stay byte-identical.
   bool hot_key_fastpath = false;
+  // NIC-ARM-hosted continuous backup apply (repl::LogApplier): replicated
+  // LOG records are applied by the NIC ARM cores once their commit point
+  // is known (kLogCommit stability gate) instead of by host workers.
+  // Off by default: adds kLogCommit traffic and changes event schedules,
+  // so the golden chaos transcript and all existing seeds stay identical.
+  bool nic_log_apply = false;
+  // Serve single-shard read-only transactions from NIC-applied backup
+  // state behind a freshness/epoch fence (requires nic_log_apply; see
+  // XenicNode::ReplicaReadPath). Off by default, same reason as above.
+  bool replica_reads = false;
   // Concurrency-control policy. kOcc (default) is the unmodified paper
   // pipeline; any 2PL kind disables the shipped/hot-key routes, locks the
   // read set at EXECUTE time, and skips VALIDATE (see cc_policy.h).
@@ -287,6 +297,11 @@ struct TxnStats {
   uint64_t hot_path = 0;   // committed/aborted txns routed via the hot path
   uint64_t hot_waits = 0;  // times a hot-path txn parked behind the holder
   uint64_t hot_remote_parks = 0;  // remote lock denials parked at the primary
+
+  // Replication subsystem accounting (repl::, zero at default config).
+  uint64_t nic_log_applied = 0;      // records applied by the NIC-ARM applier
+  uint64_t replica_reads = 0;        // read-only txns served from backup state
+  uint64_t replica_read_fallback = 0;  // freshness fence failed -> distributed
 
   void Reset() { *this = TxnStats{}; }
 };

@@ -3,7 +3,7 @@
 namespace xenic::txn {
 
 XenicCluster::XenicCluster(const XenicClusterOptions& options, const Partitioner* partitioner)
-    : options_(options) {
+    : options_(options), repl_(&map_, options.quorum) {
   map_.num_nodes = options.num_nodes;
   map_.replication = options.replication;
   map_.partitioner = partitioner;
@@ -17,7 +17,7 @@ XenicCluster::XenicCluster(const XenicClusterOptions& options, const Partitioner
   }
   for (uint32_t i = 0; i < options.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<XenicNode>(&fabric_->node(i), stores_[i].get(), &map_,
-                                                 &options_.features, &peers_));
+                                                 &options_.features, &peers_, &repl_));
   }
   for (auto& n : nodes_) {
     peers_.push_back(n.get());
@@ -28,7 +28,7 @@ void XenicCluster::LoadReplicated(store::TableId table, store::Key key,
                                   const store::Value& value, store::Seq seq) {
   const NodeId primary = map_.PrimaryOf(table, key);
   stores_[primary]->Load(table, key, value, seq);
-  for (NodeId b : map_.BackupsOf(primary)) {
+  for (NodeId b : repl_.BackupsOf(primary)) {
     stores_[b]->Load(table, key, value, seq);
   }
 }
@@ -70,6 +70,9 @@ TxnStats XenicCluster::TotalStats() const {
     total.hot_remote_parks += s.hot_remote_parks;
     total.cc_waits += s.cc_waits;
     total.cc_wounds += s.cc_wounds;
+    total.nic_log_applied += s.nic_log_applied;
+    total.replica_reads += s.replica_reads;
+    total.replica_read_fallback += s.replica_read_fallback;
   }
   return total;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/nicmodel/smart_nic.h"
+#include "src/repl/replication_group.h"
 #include "src/store/datastore.h"
 #include "src/txn/types.h"
 #include "src/txn/xenic_node.h"
@@ -18,6 +19,11 @@ namespace xenic::txn {
 struct XenicClusterOptions {
   uint32_t num_nodes = 6;
   uint32_t replication = 3;  // total copies (1 primary + 2 backups)
+  // Commit-point quorum (total copies including the primary). 0 or ==
+  // replication: wait for every live backup's LOG ack -- the historical
+  // protocol. Smaller values let the commit point fire early; recovery's
+  // roll-forward threshold generalizes to match (repl::ReplicationGroup).
+  uint32_t quorum = 0;
   net::PerfModel perf;
   XenicFeatures features;
   nicmodel::NicFeatures nic_features;
@@ -42,6 +48,7 @@ class XenicCluster {
   // Recovery: lets a reconfiguration swap in a RemappedPartitioner after a
   // node failure (every node routes through this shared map).
   ClusterMap& mutable_map() { return map_; }
+  const repl::ReplicationGroup& repl() const { return repl_; }
   uint32_t size() const { return options_.num_nodes; }
   const XenicClusterOptions& options() const { return options_; }
 
@@ -61,6 +68,7 @@ class XenicCluster {
   XenicClusterOptions options_;
   sim::Engine engine_;
   ClusterMap map_;
+  repl::ReplicationGroup repl_;
   std::unique_ptr<nicmodel::SmartNicFabric> fabric_;
   std::vector<std::unique_ptr<store::Datastore>> stores_;
   std::vector<std::unique_ptr<XenicNode>> nodes_;

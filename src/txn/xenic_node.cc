@@ -54,12 +54,14 @@ bool ContainsKey(const std::vector<KeyRef>& v, const KeyRef& k) {
 }  // namespace
 
 XenicNode::XenicNode(nicmodel::SmartNic* nic, store::Datastore* ds, const ClusterMap* map,
-                     const XenicFeatures* features, std::vector<XenicNode*>* peers)
+                     const XenicFeatures* features, std::vector<XenicNode*>* peers,
+                     const repl::ReplicationGroup* repl)
     : nic_(nic),
       ds_(ds),
       map_(map),
       features_(features),
       peers_(peers),
+      repl_(repl),
       transport_(nic, &crashed_, &stats_.messages, &stats_.by_type) {}
 
 sim::Tick XenicNode::NicOpCost(size_t n_keys) const {
@@ -152,6 +154,16 @@ void XenicNode::SubmitOnHost(StatePtr st) {
     return;
   }
 
+  // Replica read (features.replica_reads): a read-only transaction whose
+  // whole read set lives on one remote shard that this node backs up can
+  // be served from the NIC-applied local backup state, behind a freshness
+  // fence, without any wire round trip.
+  NodeId replica_shard = 0;
+  if (ReplicaReadEligible(*st, &replica_shard)) {
+    ReplicaReadPath(std::move(st), replica_shard);
+    return;
+  }
+
   // Distributed: ship the transaction state to the coordinator-side NIC.
   const TxnId txn = st->id;
   TxnState* raw = st.get();
@@ -238,6 +250,120 @@ void XenicNode::LocalReadOnlyPath(StatePtr st) {
       stats_.app_aborted++;
     } else {
       stats_.committed++;
+    }
+    const TxnOutcome outcome = app_abort ? TxnOutcome::kAppAborted : TxnOutcome::kCommitted;
+    EraseState(txn);
+    done(outcome);
+  });
+}
+
+bool XenicNode::ReplicaReadEligible(const TxnState& st, NodeId* shard_out) const {
+  if (!features_->replica_reads || !features_->nic_log_apply || Cc2pl()) {
+    // Requires the NIC applier (stability-gated backup state) and OCC --
+    // 2PL reads take locks at the primary by design.
+    return false;
+  }
+  if (!st.write_keys.empty() || !st.req.local_log_writes.empty() || st.read_keys.empty()) {
+    return false;
+  }
+  const NodeId shard = map_->PrimaryOf(st.read_keys[0].table, st.read_keys[0].key);
+  for (const auto& k : st.read_keys) {
+    if (map_->PrimaryOf(k.table, k.key) != shard) {
+      return false;  // multi-shard read set: no single backup holds it all
+    }
+  }
+  if (shard == id() || map_->IsFailed(shard) || !repl_->IsBackupOf(id(), shard)) {
+    return false;
+  }
+  *shard_out = shard;
+  return true;
+}
+
+void XenicNode::ReplicaReadPath(StatePtr st, NodeId shard) {
+  TxnState* raw = st.get();
+  const TxnId txn = raw->id;
+  txns_[txn] = std::move(st);
+
+  // Same host cost shape as the local read-only path: the reads hit the
+  // local (backup) tables, so no NIC or wire work is charged.
+  sim::Tick cost = kHostInitCost + raw->req.exec_cost;
+  cost += kHostKeyCost * static_cast<sim::Tick>(raw->read_keys.size());
+  nic_->HostCompute(cost, [this, txn, shard] {
+    TxnState* st = FindState(txn);
+    if (st == nullptr || crashed_) {
+      return;
+    }
+    // Freshness fence. Serve from backup state only while (a) the routing
+    // epoch is unchanged since submission, (b) the shard's primary has not
+    // been declared failed, and (c) the local commit log is fully drained.
+    // With the stability gate, a drained log means every applied record
+    // was at or below its transaction's commit point and nothing newer is
+    // parked -- the backup tables are a prefix-consistent snapshot of the
+    // shard, so the whole read set is one serializable point-in-time view.
+    if (st->map_version != map_->version || map_->IsFailed(shard) ||
+        ds_->log().Peek() != nullptr) {
+      stats_.replica_read_fallback++;
+      EscalateToDistributed(txn);
+      return;
+    }
+    bool app_abort = false;
+    int round = 0;
+    while (true) {
+      for (size_t i = 0; i < st->read_keys.size(); ++i) {
+        if (st->reads[i].found) {
+          continue;
+        }
+        const auto& k = st->read_keys[i];
+        auto r = ds_->FreshLookup(k.table, k.key);
+        if (r) {
+          st->reads[i] = ReadResult{true, r->seq, std::move(r->value)};
+        }
+      }
+      std::vector<KeyRef> add_reads;
+      std::vector<KeyRef> add_writes;
+      bool abort_flag = false;
+      ExecRound er;
+      er.round = round++;
+      er.read_keys = &st->read_keys;
+      er.reads = &st->reads;
+      er.write_keys = &st->write_keys;
+      er.writes = &st->writes;
+      er.add_reads = &add_reads;
+      er.add_writes = &add_writes;
+      er.abort = &abort_flag;
+      if (st->req.execute) {
+        st->req.execute(er);
+      }
+      if (abort_flag) {
+        app_abort = true;
+        break;
+      }
+      assert(add_writes.empty() && "read-only transaction added writes");
+      if (add_reads.empty()) {
+        break;
+      }
+      bool same_shard = true;
+      for (const auto& k : add_reads) {
+        same_shard &= map_->PrimaryOf(k.table, k.key) == shard;
+      }
+      if (!same_shard) {
+        // Execution discovered keys off this shard: the snapshot no longer
+        // covers the read set. Restart on the distributed path.
+        stats_.replica_read_fallback++;
+        EscalateToDistributed(txn);
+        return;
+      }
+      for (const auto& k : add_reads) {
+        st->read_keys.push_back(k);
+        st->reads.emplace_back();
+      }
+    }
+    auto done = std::move(st->done);
+    if (app_abort) {
+      stats_.app_aborted++;
+    } else {
+      stats_.committed++;
+      stats_.replica_reads++;
     }
     const TxnOutcome outcome = app_abort ? TxnOutcome::kAppAborted : TxnOutcome::kCommitted;
     EraseState(txn);
@@ -1339,7 +1465,7 @@ void XenicNode::LogPhase(TxnState* st) {
     rec.total_shards = static_cast<uint32_t>(shards.size());
     rec.shard = shard;
     rec.writes = ShardWrites(*st, shard);
-    for (NodeId backup : map_->BackupsOf(shard)) {
+    for (NodeId backup : repl_->BackupsOf(shard)) {
       to_send.emplace_back(backup, rec);
       pending++;
     }
@@ -1353,9 +1479,18 @@ void XenicNode::LogPhase(TxnState* st) {
   st->pending = pending;
   st->logs_sent = true;
   st->log_waiting.clear();
+  st->log_shards.clear();
+  st->log_needed.clear();
   for (const auto& [backup, rec] : to_send) {
-    (void)rec;
     st->log_waiting.push_back(backup);
+    st->log_shards.push_back(rec.shard);
+  }
+  if (repl_->QuorumArmed()) {
+    for (NodeId shard : shards) {
+      st->log_needed[shard] = repl_->AcksRequired(shard);
+    }
+  } else {
+    st->log_shards.clear();  // wait-for-all: per-shard attribution unused
   }
   stats_.remote_rounds++;
   for (auto& [backup, rec] : to_send) {
@@ -1372,6 +1507,25 @@ void XenicNode::LogPhase(TxnState* st) {
         },
         txn);
   }
+  if (!st->log_needed.empty()) {
+    bool met = true;
+    for (const auto& [shard, needed] : st->log_needed) {
+      if (needed > 0) {
+        met = false;
+        break;
+      }
+    }
+    if (met) {
+      // Quorum of one (the primary's own copy suffices): the commit point
+      // is reached the moment the fan-out is on the wire. Clearing the
+      // waiting lists turns every eventual ack into a late-arrival no-op.
+      st->log_waiting.clear();
+      st->log_shards.clear();
+      st->log_needed.clear();
+      ReportAndFinish(st, TxnOutcome::kCommitted);
+      CommitPhase(st);
+    }
+  }
 }
 
 void XenicNode::OnLogAck(TxnId id, bool ok, NodeId from) {
@@ -1380,13 +1534,24 @@ void XenicNode::OnLogAck(TxnId id, bool ok, NodeId from) {
     return;
   }
   // Consume one expected ack from `from`. If none is listed, an epoch sweep
-  // already synthesized it (the sender was declared failed): ignore the
-  // late arrival instead of double-counting.
+  // already synthesized it (the sender was declared failed) or the quorum
+  // commit point already fired: ignore the late arrival instead of
+  // double-counting.
   auto it = std::find(st->log_waiting.begin(), st->log_waiting.end(), from);
   if (it == st->log_waiting.end()) {
     return;
   }
+  const size_t idx = static_cast<size_t>(it - st->log_waiting.begin());
   st->log_waiting.erase(it);
+  if (!st->log_shards.empty()) {
+    // Quorum mode: retire this ack against its shard's remaining count.
+    const NodeId shard = st->log_shards[idx];
+    st->log_shards.erase(st->log_shards.begin() + static_cast<ptrdiff_t>(idx));
+    auto ni = st->log_needed.find(shard);
+    if (ni != st->log_needed.end() && ni->second > 0) {
+      ni->second--;
+    }
+  }
   if (!ok) {
     st->abort = true;
     if (st->abort_reason == AbortReason::kNone) {
@@ -1394,7 +1559,34 @@ void XenicNode::OnLogAck(TxnId id, bool ok, NodeId from) {
     }
   }
   assert(st->pending > 0);
-  if (--st->pending > 0) {
+  --st->pending;
+  if (!st->log_needed.empty()) {
+    // Quorum mode. An abort still waits for the full fan-out to drain (the
+    // cleanup must not race stragglers); a commit fires as soon as every
+    // written shard has its required ack count.
+    if (st->abort) {
+      if (st->pending > 0) {
+        return;
+      }
+      AbortCleanup(st, TxnOutcome::kAborted);
+      return;
+    }
+    for (const auto& [shard, needed] : st->log_needed) {
+      if (needed > 0) {
+        return;  // some shard below quorum: keep waiting
+      }
+    }
+    // Commit point: every written shard reached its quorum. Stragglers hit
+    // the late-arrival ignore path above; CommitPhase may safely reuse
+    // st->pending for its own ack counting.
+    st->log_waiting.clear();
+    st->log_shards.clear();
+    st->log_needed.clear();
+    ReportAndFinish(st, TxnOutcome::kCommitted);
+    CommitPhase(st);
+    return;
+  }
+  if (st->pending > 0) {
     return;
   }
   if (st->abort) {
@@ -1408,6 +1600,32 @@ void XenicNode::OnLogAck(TxnId id, bool ok, NodeId from) {
 }
 
 void XenicNode::CommitPhase(TxnState* st) {
+  if (features_->nic_log_apply && st->logs_sent) {
+    // Stability notice for the NIC appliers: each backup parks a LOG
+    // record until it learns the transaction reached its commit point
+    // (otherwise a quorum straggler could apply a record whose transaction
+    // later aborts). Fire-and-forget -- commit progress never waits on it.
+    std::vector<NodeId> logged;
+    for (const auto& k : st->write_keys) {
+      const NodeId p = map_->PrimaryOf(k.table, k.key);
+      if (std::find(logged.begin(), logged.end(), p) == logged.end()) {
+        logged.push_back(p);
+      }
+    }
+    if (!st->req.local_log_writes.empty() &&
+        std::find(logged.begin(), logged.end(), id()) == logged.end()) {
+      logged.push_back(id());
+    }
+    const TxnId stable_txn = st->id;
+    for (NodeId shard : logged) {
+      for (NodeId backup : repl_->BackupsOf(shard)) {
+        XenicNode* server = (*peers_)[backup];
+        transport_.Send(
+            net::MsgType::kLogCommit, backup, net::wire::LogCommit(),
+            [server, stable_txn] { server->ServeLogCommit(stable_txn); }, stable_txn);
+      }
+    }
+  }
   std::vector<NodeId> shards;
   for (const auto& k : st->write_keys) {
     const NodeId p = map_->PrimaryOf(k.table, k.key);
@@ -1686,10 +1904,26 @@ void XenicNode::ShippedPath(TxnState* st, NodeId remote) {
     }
     st->pending = 1;  // EXEC result
     st->log_waiting.assign(1, kShipExecSignal);
+    st->log_shards.clear();
+    st->log_needed.clear();
     for (NodeId s : shards) {
-      for (NodeId b : map_->BackupsOf(s)) {
+      for (NodeId b : repl_->BackupsOf(s)) {
         st->pending++;
         st->log_waiting.push_back(b);
+      }
+    }
+    if (repl_->QuorumArmed()) {
+      // Lockstep shard attribution: the EXEC result is modeled as a
+      // pseudo-shard requiring exactly one signal, so the quorum test in
+      // OnLogAck cannot commit before the executor reports back.
+      st->log_shards.assign(1, kShipExecSignal);
+      st->log_needed[kShipExecSignal] = 1;
+      for (NodeId s : shards) {
+        for (NodeId b : repl_->BackupsOf(s)) {
+          (void)b;
+          st->log_shards.push_back(s);
+        }
+        st->log_needed[s] = repl_->AcksRequired(s);
       }
     }
 
@@ -1837,7 +2071,7 @@ void XenicNode::ServeShipExec(TxnId txn, NodeId coord, TxnState* st) {
           rec.total_shards = static_cast<uint32_t>(shards.size());
           rec.shard = shard;
           rec.writes = coordinator->ShardWrites(*st, shard);
-          for (NodeId backup : map_->BackupsOf(shard)) {
+          for (NodeId backup : repl_->BackupsOf(shard)) {
             const uint32_t bytes = net::wire::LogAppend(rec.ByteSize());
             XenicNode* bnode = (*peers_)[backup];
             transport_.Send(
@@ -2480,6 +2714,26 @@ void XenicNode::ServeRelease(TxnId txn, std::vector<KeyRef> keys) {
   });
 }
 
+void XenicNode::ServeLogCommit(TxnId txn) {
+  if (crashed_) {
+    return;
+  }
+  nic_->NicCompute(NicOpCost(0), [this, txn] {
+    if (crashed_) {
+      return;
+    }
+    ds_->log().MarkStable(txn);
+  });
+}
+
+void XenicNode::ServeLeaseHandoff(NodeId from) {
+  if (crashed_) {
+    return;
+  }
+  (void)from;  // the routing flip itself happens in repl::PlannedHandoff
+  nic_->NicCompute(NicOpCost(0), [] {});
+}
+
 // ---------------------------------------------------------------------------
 // Robinhood workers (paper step 7).
 // ---------------------------------------------------------------------------
@@ -2487,6 +2741,18 @@ void XenicNode::ServeRelease(TxnId txn, std::vector<KeyRef> keys) {
 void XenicNode::StartWorkers(uint32_t count, sim::Tick poll_interval) {
   if (crashed_) {
     return;  // dead nodes stay dead
+  }
+  if (features_->nic_log_apply) {
+    // Replication subsystem: the commit log is drained by NIC-ARM applier
+    // contexts (repl::LogApplier) instead of host Robinhood workers. Same
+    // loop and batch shape; the cycles land on the NIC cores and kLog
+    // records wait for the coordinator's stability notice.
+    if (applier_ == nullptr) {
+      applier_ = std::make_unique<repl::LogApplier>(nic_, ds_, &stats_.nic_log_applied);
+    }
+    applier_->set_apply_hook(worker_apply_hook_);
+    applier_->Start(count, poll_interval);
+    return;
   }
   workers_running_ = true;
   // Bump the generation so stale ticks from a previous start/stop cycle
@@ -2505,6 +2771,9 @@ void XenicNode::StartWorkers(uint32_t count, sim::Tick poll_interval) {
 void XenicNode::StopWorkers() {
   workers_running_ = false;
   worker_epoch_++;
+  if (applier_ != nullptr) {
+    applier_->Stop();
+  }
 }
 
 void XenicNode::TracePhase(const char* name, sim::Tick start, sim::Tick end, TxnId txn) {
@@ -2644,6 +2913,9 @@ void XenicNode::Crash() {
   crashed_ = true;
   workers_running_ = false;
   worker_epoch_++;
+  if (applier_ != nullptr) {
+    applier_->Stop();  // the NIC cores die with the node
+  }
   hot_waiters_.clear();  // parked submissions die with the node
   // Parked remote lock requests die too: their replies are never sent,
   // which is exactly what a request lost with the node looks like to the
@@ -2656,7 +2928,7 @@ void XenicNode::Crash() {
   // for the events already in flight.
 }
 
-std::vector<XenicNode::WedgedTxn> XenicNode::WedgedOn(NodeId failed) const {
+std::vector<XenicNode::WedgedTxn> XenicNode::WedgedOn(NodeId failed, bool backup_touch) const {
   std::vector<WedgedTxn> out;
   if (crashed_) {
     return out;
@@ -2673,8 +2945,11 @@ std::vector<XenicNode::WedgedTxn> XenicNode::WedgedOn(NodeId failed) const {
       const NodeId p = map_->PrimaryOf(k.table, k.key);
       touches |= p == failed;
       // A written shard whose backup died can never collect all LOG acks.
-      if (!touches) {
-        for (NodeId b : map_->BackupsOf(p)) {
+      // A planned handoff (backup_touch=false) only wedges transactions
+      // whose PRIMARY is departing: the node stays live as a backup, so
+      // its acks keep flowing.
+      if (backup_touch && !touches) {
+        for (NodeId b : repl_->BackupsOf(p)) {
           touches |= b == failed;
         }
       }

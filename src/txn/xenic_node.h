@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,6 +35,8 @@
 #include "src/common/histogram.h"
 #include "src/net/transport.h"
 #include "src/nicmodel/smart_nic.h"
+#include "src/repl/log_applier.h"
+#include "src/repl/replication_group.h"
 #include "src/store/commit_log.h"
 #include "src/store/datastore.h"
 #include "src/txn/cc_policy.h"
@@ -45,8 +48,11 @@ namespace xenic::txn {
 class XenicNode {
  public:
   // `peers` is the cluster registry, filled by XenicCluster before use.
+  // `repl` owns every replication decision (fan-out targets, ack quorums);
+  // this node never walks the replica chain itself.
   XenicNode(nicmodel::SmartNic* nic, store::Datastore* ds, const ClusterMap* map,
-            const XenicFeatures* features, std::vector<XenicNode*>* peers);
+            const XenicFeatures* features, std::vector<XenicNode*>* peers,
+            const repl::ReplicationGroup* repl);
 
   // Application entry point (called in host context): run one transaction.
   // Returns the transaction's id (0 if the node is crashed and the request
@@ -113,7 +119,11 @@ class XenicNode {
     // Per written shard, the LOG record the fan-out sent (set iff logs_sent).
     std::vector<std::pair<NodeId, store::LogRecord>> records;
   };
-  std::vector<WedgedTxn> WedgedOn(NodeId failed) const;
+  // `backup_touch` additionally flags transactions whose only involvement
+  // with `failed` is a written shard replicated there -- needed for crash
+  // sweeps (the dead backup's acks never arrive) but not for planned
+  // handoff, where the departing node stays live and keeps acking.
+  std::vector<WedgedTxn> WedgedOn(NodeId failed, bool backup_touch = true) const;
   // Whether this coordinator reported `txn` committed to its application.
   // Recovery consults live coordinators before discarding an in-doubt
   // record: a reported commit must always be rolled forward, even when the
@@ -125,6 +135,10 @@ class XenicNode {
   // live acks arrive -- for a sweep-verified-complete transaction they are
   // already in flight.
   size_t ForceCommitWedged(TxnId txn, NodeId failed);
+  // Planned failover (repl::PlannedHandoff): the departing primary's lease
+  // lands here. State transfer already happened through the replicated
+  // log; this just charges the NIC handler for installing the lease.
+  void ServeLeaseHandoff(NodeId from);
   // Abort a wedged transaction (caller has already tombstoned its records
   // and released its locks cluster-wide, so the normal release fan-out is
   // suppressed).
@@ -164,6 +178,14 @@ class XenicNode {
     // synthesize a dead backup's acks exactly once -- a late real ack whose
     // sender is no longer listed is ignored instead of double-counted.
     std::vector<NodeId> log_waiting;
+    // Quorum replication only (repl::ReplicationGroup::QuorumArmed): the
+    // shard each outstanding ack replicates (lockstep with log_waiting;
+    // kShipExecSignal entries carry the sentinel itself) and the per-shard
+    // ack counts still required before the commit point may fire. Both
+    // stay empty at the default wait-for-all quorum, keeping that path
+    // byte-identical.
+    std::vector<NodeId> log_shards;
+    std::map<NodeId, uint32_t> log_needed;
     bool logs_sent = false;             // LOG fan-out happened
     uint8_t contention_hint = 0;        // max sketch level across conflicts
     AbortReason abort_reason = AbortReason::kNone;  // first abort cause wins
@@ -190,6 +212,14 @@ class XenicNode {
   // ---- Coordinator-side phases.
   void SubmitOnHost(StatePtr st);
   void LocalReadOnlyPath(StatePtr st);
+  // Replica read (features.replica_reads): a single-shard read-only
+  // transaction whose shard this node backs is served from the local
+  // NIC-applied backup tables iff the freshness fence holds at serve time
+  // (membership unchanged since submit AND the local log is fully drained,
+  // so the tables are a stable prefix of the shard's commit order);
+  // otherwise it escalates to the normal distributed path.
+  bool ReplicaReadEligible(const TxnState& st, NodeId* shard_out) const;
+  void ReplicaReadPath(StatePtr st, NodeId shard);
   void LocalWritePath(StatePtr st);
   void CoordStartOnNic(TxnId id);
   // A local fast-path execution discovered remote keys: restart the
@@ -247,6 +277,10 @@ class XenicNode {
   void ServeValidate(std::vector<std::pair<KeyRef, Seq>> checks,
                      std::function<void(bool, uint8_t)> reply);
   void ServeLog(store::LogRecord record, std::function<void(bool)> reply);
+  // Commit-point notification (features.nic_log_apply): stabilizes the
+  // transaction's LOG records so the NIC applier may apply and reclaim
+  // them. Fire-and-forget; no reply.
+  void ServeLogCommit(TxnId txn);
   void ServeCommit(TxnId txn, std::vector<store::LogWrite> writes,
                    std::vector<KeyRef> release_keys, sim::Engine::Callback ack);
   void ServeRelease(TxnId txn, std::vector<KeyRef> keys);
@@ -361,6 +395,11 @@ class XenicNode {
   const ClusterMap* map_;
   const XenicFeatures* features_;
   std::vector<XenicNode*>* peers_;
+  const repl::ReplicationGroup* repl_;
+  // NIC-ARM log applier (features.nic_log_apply): replaces the host
+  // Robinhood workers for this node's commit log. Created on first
+  // StartWorkers with the feature armed.
+  std::unique_ptr<repl::LogApplier> applier_;
   std::unordered_map<TxnId, StatePtr> txns_;
   // Commit outcomes this coordinator reported (recovery oracle; see
   // HasReportedCommit). Lost with the node on a crash, like any host state.

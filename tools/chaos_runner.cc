@@ -11,6 +11,8 @@
 // Usage:
 //   chaos_runner [--seed N | --seeds A-B] [--system xenic|drtmh|drtmh-nc|fasst|drtmr]
 //                [--jobs N] [--engine-jobs N] [--nodes N] [--epoch N] [--horizon-us N]
+//                [--replicas N] [--quorum N] [--handoffs N]
+//                [--nic-log-apply] [--replica-reads]
 //                [--crashes N] [--storms N] [--stalls N]
 //                [--drop P] [--dup P] [--delay P] [--log-capacity N]
 //                [--drop-type NAME] [--drop-node N]
@@ -35,10 +37,21 @@
 // acknowledging <x>, e.g. "validate_reply") sent by --drop-node (default 0)
 // is dropped and redelivered by link-layer retransmit. Xenic systems only.
 //
+// --replicas / --quorum size the replication group (quorum counts the
+// primary; 0 or >= replicas keeps the historical wait-for-all commit).
+// --handoffs schedules N planned lease handoffs: the primary role of a live
+// node moves to its first live backup without a crash or log sweep (Xenic
+// systems only; baselines count them as skipped). --nic-log-apply moves
+// backup log apply onto the NIC ARM cores (continuous apply); adding
+// --replica-reads lets a backup's node serve single-shard read-only
+// transactions locally behind a freshness fence (requires --nic-log-apply).
+//
 // --timeline appends a windowed throughput/abort/latency time series (with
-// planned-fault markers) after each seed's summary. Every extra line starts
-// with "timeline ", and the summaries themselves are byte-identical with
-// the flag on or off (check_determinism.sh enforces it).
+// planned-fault markers) after each seed's summary, followed by "timeline
+// avail" lines quantifying each fault's availability dip (depth, width,
+// degraded_service_seconds). Every extra line starts with "timeline ", and
+// the summaries themselves are byte-identical with the flag on or off
+// (check_determinism.sh enforces it).
 
 #include <cstdio>
 #include <cstdlib>
@@ -119,6 +132,23 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--nodes") {
       base.system.num_nodes = static_cast<uint32_t>(ParseU64(next()));
+    } else if (a == "--replicas") {
+      base.system.replication = static_cast<uint32_t>(ParseU64(next()));
+    } else if (a == "--quorum") {
+      base.system.quorum = static_cast<uint32_t>(ParseU64(next()));
+    } else if (a == "--handoffs") {
+      base.faults.planned_handoffs = static_cast<uint32_t>(ParseU64(next()));
+    } else if (a == "--detect-us") {
+      // Crash detection (lease expiry) delay. The default 8us is almost
+      // instant; realistic lease timeouts are tens of microseconds, which
+      // is exactly the availability gap planned handoff closes.
+      base.faults.detection_delay =
+          static_cast<xenic::sim::Tick>(ParseU64(next())) * xenic::sim::kNsPerUs;
+    } else if (a == "--nic-log-apply") {
+      base.system.features.nic_log_apply = true;
+    } else if (a == "--replica-reads") {
+      base.system.features.nic_log_apply = true;  // reads need the applier
+      base.system.features.replica_reads = true;
     } else if (a == "--epoch") {
       base.epoch = ParseU64(next());
     } else if (a == "--horizon-us") {

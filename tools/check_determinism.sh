@@ -81,6 +81,43 @@ if [[ -n "$CHAOS_BIN" ]]; then
     exit 1
   fi
   echo "determinism OK: chaos --timeline is observer-only (verdicts unchanged)"
+
+  # --- Replication matrix: group size never leaks host state ---
+  # ReplicationGroup owns LOG fan-out, ack counting, and membership; its
+  # replication factor must obey the same determinism contract as every
+  # other simulation knob. For each factor, crash-driven recovery and
+  # planned lease handoff are exercised separately (they take different
+  # promotion paths through repl::Failover) and each must be byte-identical
+  # for --jobs 1 vs --jobs 4.
+  for repl in 1 2 3; do
+    for mode in "--crashes 1 --handoffs 0" "--crashes 0 --handoffs 1"; do
+      # shellcheck disable=SC2086
+      "$CHAOS_BIN" --seeds 1-2 --replicas "$repl" $mode --jobs 1 >"$serial" || true
+      # shellcheck disable=SC2086
+      "$CHAOS_BIN" --seeds 1-2 --replicas "$repl" $mode --jobs 4 >"$parallel" || true
+      if ! diff -u "$serial" "$parallel"; then
+        echo "FAIL: chaos --replicas $repl $mode differs between --jobs 1 and 4" >&2
+        exit 1
+      fi
+    done
+  done
+  # Quorum-armed stack: sub-group quorum + NIC log applier + replica reads
+  # + a planned handoff, all at once. Same byte-identical contract, plus
+  # the handoff must actually fire (the Summary line only appears when
+  # handoffs are armed, and performed=0 would mean a silently dead path).
+  armed=(--seeds 1-2 --replicas 3 --quorum 2 --nic-log-apply --replica-reads
+         --crashes 1 --handoffs 1)
+  "$CHAOS_BIN" "${armed[@]}" --jobs 1 >"$serial" || true
+  "$CHAOS_BIN" "${armed[@]}" --jobs 4 >"$parallel" || true
+  if ! diff -u "$serial" "$parallel"; then
+    echo "FAIL: quorum-armed chaos differs between --jobs 1 and 4" >&2
+    exit 1
+  fi
+  if ! grep -q "^handoffs: performed=[1-9]" "$serial"; then
+    echo "FAIL: quorum-armed chaos run performed no planned handoffs" >&2
+    exit 1
+  fi
+  echo "determinism OK: replication matrix (factors 1-3, crash+handoff, quorum-armed) is byte-identical"
 fi
 
 # --- Tracing on vs off: results must be byte-identical ---

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Pins the planned-failover availability transcript: `chaos_runner --seed 3
+# --crashes 0 --handoffs 1 --timeline` with the NIC log applier armed. The
+# schedule performs one planned lease handoff mid-run; because the applier
+# keeps the promoted backup continuously up to date, the timeline must show
+# a zero-depth, zero-width availability dip (the handoff is invisible to
+# committed throughput) and the run must PASS. The golden lives in
+# tools/golden/chaos_handoff_seed3.txt and includes the per-window timeline,
+# the per-fault avail lines, and degraded_service_seconds -- so a regression
+# in handoff routing, applier freshness, or the availability accounting all
+# surface as a byte diff. If a legitimate protocol change shifts the
+# schedule, regenerate the golden and re-verify dip_depth_pct=0 before
+# committing it.
+set -uo pipefail
+
+BIN=${1:?usage: check_handoff_golden.sh <path-to-chaos_runner> <golden-file>}
+GOLDEN=${2:?usage: check_handoff_golden.sh <path-to-chaos_runner> <golden-file>}
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+"$BIN" --seed 3 --crashes 0 --handoffs 1 --nic-log-apply --timeline \
+  >"$out" 2>&1
+status=$?
+
+if [[ $status -ne 0 ]]; then
+  echo "FAIL: planned-handoff schedule exited $status, expected 0" >&2
+  exit 1
+fi
+
+if ! diff -u "$GOLDEN" "$out"; then
+  echo "FAIL: planned-handoff output diverged from the recorded transcript" >&2
+  exit 1
+fi
+
+if ! grep -q "^timeline avail .*kind=handoff.*dip_depth_pct=0 dip_width_us=0" "$GOLDEN"; then
+  echo "FAIL: golden no longer records a zero-dip planned handoff" >&2
+  exit 1
+fi
+
+echo "handoff golden OK: planned failover reproduced byte-exactly with zero dip"

@@ -39,6 +39,41 @@ if [[ -n "$hits" ]]; then
   fail=1
 fi
 
+# Replication fan-out ownership: backup enumeration for LOG fan-out, ack
+# counting, and recovery completeness lives in src/repl/ReplicationGroup.
+# The protocol layers must route every backup walk through the group
+# (repl_->BackupsOf / cluster.repl().BackupsOf); a bare map-level
+# BackupsOf( in these files means a private copy of the fan-out logic
+# crept back in.
+hits=$(grep -n "BackupsOf(" \
+  src/txn/xenic_node.cc src/baseline/baseline_node.cc src/txn/recovery.cc 2>/dev/null \
+  | grep -v "repl_->BackupsOf(\|repl()\.BackupsOf(" || true)
+if [[ -n "$hits" ]]; then
+  echo "FAIL: raw BackupsOf fan-out outside repl::ReplicationGroup:" >&2
+  echo "$hits" >&2
+  fail=1
+fi
+
+# The replication wire messages (LOG stability notifications, lease
+# handoff) must stay typed end to end: their wire-size formulas exist only
+# in net::wire, and every use outside src/net goes through a transport
+# Send with the net::wire helper -- no hand-rolled header arithmetic.
+# (transport_test.cc is the spec test for those formulas and is exempt.)
+hits=$(grep -rn --exclude=check_no_raw_sends.sh --exclude=transport_test.cc \
+  "kHeader\b" "${DIRS[@]}" tools tests examples 2>/dev/null \
+  | grep -v "net::wire" || true)
+if [[ -n "$hits" ]]; then
+  echo "FAIL: raw wire-size arithmetic outside net::wire:" >&2
+  echo "$hits" >&2
+  fail=1
+fi
+for msg in log_commit lease_handoff; do
+  if ! grep -q "\"$msg\"" src/net/transport.cc; then
+    echo "FAIL: MsgType selector \"$msg\" missing from ParseMsgSelector" >&2
+    fail=1
+  fi
+done
+
 if [[ $fail -ne 0 ]]; then
   exit 1
 fi

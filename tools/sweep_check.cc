@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::Parse(argc, argv);
   bool point_check = false;
   std::string workload_name = "smallbank";
+  uint32_t replication = 3;
+  uint32_t quorum = 0;  // 0 = historical wait-for-all commit
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--point-check") == 0) {
       point_check = true;
@@ -34,6 +36,14 @@ int main(int argc, char** argv) {
       workload_name = argv[++i];
     } else if (std::strncmp(argv[i], "--workload=", 11) == 0) {
       workload_name = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      replication = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--replicas=", 11) == 0) {
+      replication = static_cast<uint32_t>(std::strtoul(argv[i] + 11, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quorum") == 0 && i + 1 < argc) {
+      quorum = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--quorum=", 9) == 0) {
+      quorum = static_cast<uint32_t>(std::strtoul(argv[i] + 9, nullptr, 10));
     }
   }
   if (workload_name != "smallbank" && workload_name != "ycsb") {
@@ -65,11 +75,15 @@ int main(int argc, char** argv) {
   SystemConfig xenic_cfg;
   xenic_cfg.kind = SystemConfig::Kind::kXenic;
   xenic_cfg.num_nodes = nodes;
+  xenic_cfg.replication = replication;
+  xenic_cfg.quorum = quorum;
   cfgs.push_back(xenic_cfg);
   SystemConfig drtmh;
   drtmh.kind = SystemConfig::Kind::kBaseline;
   drtmh.mode = baseline::BaselineMode::kDrtmH;
   drtmh.num_nodes = nodes;
+  drtmh.replication = replication;
+  drtmh.quorum = quorum;
   cfgs.push_back(drtmh);
 
   if (point_check) {
@@ -78,6 +92,10 @@ int main(int argc, char** argv) {
     // output must be byte-identical with tracing on or off -- and across
     // any refactor of the message send paths (transport-layer invariance).
     std::vector<SystemConfig> all = Figure8Systems(nodes);
+    for (SystemConfig& c : all) {
+      c.replication = replication;
+      c.quorum = quorum;
+    }
     ApplyContentionOptions(opts, &rc, &all);
     obs::TraceRecorder rec;
     for (size_t ci = 0; ci < all.size(); ++ci) {

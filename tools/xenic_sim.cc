@@ -35,6 +35,7 @@ struct Args {
   std::string workload = "smallbank";
   uint32_t nodes = 6;
   uint32_t replication = 3;
+  uint32_t quorum = 0;  // copies (incl. primary) to ack; 0 = all
   uint32_t contexts = 32;
   uint64_t measure_us = 1000;
   uint64_t seed = 1;
@@ -50,6 +51,8 @@ struct Args {
   uint64_t retry_cap_us = 0;
   bool hot_key_path = false;
   bool adaptive_dma = false;
+  bool nic_log_apply = false;
+  bool replica_reads = false;
   uint64_t engine_jobs = 1;  // --engine-jobs=N; byte-identical for any N
   bool help = false;
   bool bad_flag = false;
@@ -74,8 +77,10 @@ Args Parse(int argc, char** argv) {
       a.workload = v;
     } else if (ParseArg(argv[i], "--nodes", &v)) {
       a.nodes = static_cast<uint32_t>(std::stoul(v));
-    } else if (ParseArg(argv[i], "--replication", &v)) {
+    } else if (ParseArg(argv[i], "--replication", &v) || ParseArg(argv[i], "--replicas", &v)) {
       a.replication = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseArg(argv[i], "--quorum", &v)) {
+      a.quorum = static_cast<uint32_t>(std::stoul(v));
     } else if (ParseArg(argv[i], "--contexts", &v)) {
       a.contexts = static_cast<uint32_t>(std::stoul(v));
     } else if (ParseArg(argv[i], "--measure-us", &v)) {
@@ -104,6 +109,11 @@ Args Parse(int argc, char** argv) {
       a.hot_key_path = true;
     } else if (std::strcmp(argv[i], "--adaptive-dma") == 0) {
       a.adaptive_dma = true;
+    } else if (std::strcmp(argv[i], "--nic-log-apply") == 0) {
+      a.nic_log_apply = true;
+    } else if (std::strcmp(argv[i], "--replica-reads") == 0) {
+      a.nic_log_apply = true;  // replica reads require the NIC applier
+      a.replica_reads = true;
     } else if (ParseArg(argv[i], "--trace", &v)) {
       a.trace_path = v;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -145,6 +155,7 @@ std::unique_ptr<workload::Workload> MakeWorkload(const Args& a) {
 bool MakeSystemConfig(const Args& a, harness::SystemConfig* cfg) {
   cfg->num_nodes = a.nodes;
   cfg->replication = a.replication;
+  cfg->quorum = a.quorum;
   if (a.system == "xenic") {
     cfg->kind = harness::SystemConfig::Kind::kXenic;
     return true;
@@ -180,13 +191,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --system=xenic|drtmh|drtmhnc|fasst|drtmr\n"
                  "          --workload=smallbank|retwis|tpcc|tpcc-no\n"
-                 "          [--nodes=N] [--replication=R] [--contexts=C]\n"
+                 "          [--nodes=N] [--replicas=R] [--quorum=Q] [--contexts=C]\n"
                  "          [--measure-us=T] [--seed=S] [--scale=K] [--csv]\n"
                  "          [--attrib] [--txn-attrib] [--abort-breakdown]\n"
                  "          [--trace=out.trace.json]\n"
                  "          [--retry-policy=uniform|expjitter|cwnd]\n"
                  "          [--backoff-base=US] [--retry-cap=US]\n"
                  "          [--hot-key-path] [--adaptive-dma]\n"
+                 "          [--nic-log-apply] [--replica-reads]\n"
                  "          [--engine-jobs=N]\n",
                  argv[0]);
     if (a.bad_flag) {
@@ -199,6 +211,12 @@ int main(int argc, char** argv) {
   }
   if (a.adaptive_dma) {
     cfg.nic_features.adaptive_dma_batching = true;
+  }
+  if (a.nic_log_apply) {
+    cfg.features.nic_log_apply = true;
+  }
+  if (a.replica_reads) {
+    cfg.features.replica_reads = true;
   }
 
   auto system = harness::BuildSystem(cfg, *wl);
