@@ -20,6 +20,8 @@
 #include "src/harness/sweep.h"
 #include "src/obs/attribution.h"
 #include "src/obs/critical_path.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/txn_trace.h"
 
@@ -255,6 +257,14 @@ struct BenchOptions {
   bool latency_hist = false;
   // --abort-breakdown: abort-reason table at each system's peak point.
   bool abort_breakdown = false;
+  // --metrics: rerun each system's peak point with a MetricRegistry,
+  // print the windowed series ("metrics [system] " lines) and write
+  // <slug>.metrics.json + <slug>.metrics.om (OpenMetrics, first system).
+  bool metrics = false;
+  uint64_t metrics_window_us = 50;  // --metrics-window-us W
+  // --slo SPEC ("p99<50us,goodput>0.95"): evaluate objectives over each
+  // system's peak-point metric windows; implies the metrics rerun.
+  std::string slo;
   std::string trace_path;
 
   // --retry-policy uniform|expjitter|cwnd (validated; unknown -> exit 2).
@@ -280,6 +290,11 @@ struct BenchOptions {
         "  --txn-attrib        p50-vs-tail critical-path waterfall at peaks\n"
         "  --latency-hist      latency histogram buckets for every point\n"
         "  --abort-breakdown   abort-reason table at each system's peak\n"
+        "  --metrics           windowed metric series at each system's peak\n"
+        "                      (writes <slug>.metrics.json / .om)\n"
+        "  --metrics-window-us W  sampling window in microseconds (default 50)\n"
+        "  --slo SPEC          objectives over the metric windows, e.g.\n"
+        "                      \"p99<50us,goodput>0.95\" (implies --metrics rerun)\n"
         "  --trace PATH        Chrome trace of the first system's peak point\n"
         "  --seed N            override the run seed (default: bench-specific)\n"
         "  --engine-jobs N     engine worker threads (results byte-identical)\n"
@@ -330,6 +345,16 @@ struct BenchOptions {
         o.latency_hist = true;
       } else if (std::strcmp(argv[i], "--abort-breakdown") == 0) {
         o.abort_breakdown = true;
+      } else if (std::strcmp(argv[i], "--metrics") == 0) {
+        o.metrics = true;
+      } else if (std::strcmp(argv[i], "--metrics-window-us") == 0 && i + 1 < argc) {
+        o.metrics_window_us = ParseCount("--metrics-window-us", argv[++i]);
+      } else if (std::strncmp(argv[i], "--metrics-window-us=", 20) == 0) {
+        o.metrics_window_us = ParseCount("--metrics-window-us", argv[i] + 20);
+      } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+        o.slo = argv[++i];
+      } else if (std::strncmp(argv[i], "--slo=", 6) == 0) {
+        o.slo = argv[i] + 6;
       } else if (std::strcmp(argv[i], "--hot-key-path") == 0) {
         o.hot_key_path = true;
       } else if (std::strcmp(argv[i], "--adaptive-dma") == 0) {
@@ -569,6 +594,70 @@ inline void FinishBench(const BenchOptions& opts, const std::string& slug,
       }
     }
     std::printf("\n");
+  }
+  if (opts.metrics || !opts.slo.empty()) {
+    // Windowed-metrics pass: rerun each system's peak point with a
+    // MetricRegistry attached (observer-only, so it reproduces the printed
+    // point exactly) and export the series. SLO objectives, when given,
+    // are evaluated per system over the same windows.
+    obs::SloSpec slo;
+    if (!opts.slo.empty()) {
+      std::string err;
+      if (!obs::ParseSloSpec(opts.slo, &slo, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        std::exit(2);
+      }
+    }
+    std::string json = "{\"bench\":\"" + slug + "\",\"systems\":[";
+    std::string om;  // OpenMetrics exposition (first system's registry)
+    bool first = true;
+    for (size_t i = 0; i < cfgs.size() && i < curves.size(); ++i) {
+      const int peak = curves[i].PeakIndex();
+      if (peak < 0) {
+        continue;
+      }
+      const uint32_t contexts = curves[i].points[static_cast<size_t>(peak)].contexts;
+      obs::MetricRegistry reg;
+      RunConfig r = rc;
+      r.metrics = &reg;
+      r.metrics_window = opts.metrics_window_us * sim::kNsPerUs;
+      RerunPoint(cfgs[i], make_workload, r, contexts,
+                 /*collect_resources=*/false, /*trace=*/nullptr);
+      if (opts.metrics) {
+        std::printf("%s", reg.Lines("metrics [" + curves[i].system + "] ").c_str());
+      }
+      std::string slo_json;
+      if (!slo.empty()) {
+        const obs::SloReport report = obs::EvaluateSlo(
+            slo, obs::SloInputsFromSeries(reg.series(), reg.FindCounter("txn_committed"),
+                                          reg.FindCounter("txn_aborted"),
+                                          reg.FindHistogram("txn_latency_ns")));
+        std::printf("%s", report.Lines("slo [" + curves[i].system + "] ").c_str());
+        slo_json = report.Json();
+      }
+      if (!first) {
+        json += ',';
+      }
+      first = false;
+      json += "{\"system\":\"" + curves[i].system + "\",\"contexts\":" +
+              std::to_string(contexts) + ",\"metrics\":" + reg.Json(slug, slo_json) + "}";
+      if (om.empty()) {
+        om = reg.OpenMetrics("xenic", {{"system", curves[i].system}});
+      }
+    }
+    json += "]}";
+    const std::string path = slug + ".metrics.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    const std::string om_path = slug + ".metrics.om";
+    if (std::FILE* f = std::fopen(om_path.c_str(), "w"); f != nullptr) {
+      std::fwrite(om.data(), 1, om.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", om_path.c_str());
+    }
   }
   if (opts.txn_attrib) {
     std::string json = "{\"bench\":\"" + slug + "\",\"systems\":[";

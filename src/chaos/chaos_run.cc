@@ -1,8 +1,10 @@
 #include "src/chaos/chaos_run.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <sstream>
 
 #include "src/workload/workload.h"
@@ -89,6 +91,20 @@ class BankWorkload : public workload::Workload {
   txn::HashPartitioner part_;
 };
 
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kEvictionStorm:
+      return "storm";
+    case FaultKind::kPlannedHandoff:
+      return "handoff";
+    case FaultKind::kStallStart:
+    default:
+      return "stall";
+  }
+}
+
 }  // namespace
 
 ChaosVerdict RunChaos(const ChaosConfig& config) {
@@ -128,39 +144,87 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
   HistoryRecorder recorder;
 
   // Timeline bins (pure bookkeeping on the completion callbacks already in
-  // place; never schedules anything, so the verdict is unaffected).
+  // place; never schedules anything, so the verdict is unaffected). The
+  // tiling contract this block used to spell out inline -- ceil(run_end /
+  // window) bins tiling exactly [0, run_end], partial final bin when the
+  // window does not divide the run, post-run completions dropped, t ==
+  // run_end folded into the last bin -- now lives in obs::WindowSeries,
+  // shared with the metrics registry and the harness.
   std::vector<ChaosVerdict::TimelineBin> bins;
   const sim::Tick run_end = config.horizon + config.drain;
-  if (config.timeline && config.timeline_window > 0) {
-    // ceil(run_end / window) bins tile exactly [0, run_end]: the final bin
-    // is partial when the window does not divide the run, and its width
-    // says so (consumers normalizing to rates would otherwise inflate the
-    // tail window). The old layout (floor + 1 full-width bins) overhung the
-    // run end and, for divisible horizons, appended a bin whose only
-    // honest content was the single instant t == run_end.
-    const size_t n_bins = std::max<size_t>(
-        1, static_cast<size_t>((run_end + config.timeline_window - 1) / config.timeline_window));
-    bins.resize(n_bins);
-    for (size_t i = 0; i < n_bins; ++i) {
-      bins[i].start = static_cast<sim::Tick>(i) * config.timeline_window;
-      bins[i].width = std::min(config.timeline_window, run_end - bins[i].start);
+  const bool metrics_armed =
+      (config.metrics || !config.slo.empty()) && config.timeline_window > 0;
+  obs::WindowSeries series;  // empty unless the bins are armed
+  if ((config.timeline || metrics_armed) && config.timeline_window > 0) {
+    series = obs::WindowSeries(config.timeline_window, run_end);
+    bins.resize(series.size());
+    for (size_t i = 0; i < series.size(); ++i) {
+      bins[i].start = series.StartOf(i);
+      bins[i].width = series.WidthOf(i);
     }
   }
+
+  // Windowed metrics (--metrics / --slo). Observer-only by construction:
+  // the counters ride the completion callback above the bins already use,
+  // and window closes sample at boundaries the engine was going to reach
+  // anyway (see the sliced run loop below).
+  obs::MetricRegistry reg;
+  obs::WindowCounter* m_committed = nullptr;
+  obs::WindowCounter* m_aborted = nullptr;
+  obs::WindowHistogram* m_latency = nullptr;
+  auto stats_snap = std::make_shared<txn::TxnStats>();
+  if (metrics_armed) {
+    m_committed = reg.AddCounter("chaos_committed");
+    m_aborted = reg.AddCounter("chaos_aborted");
+    m_latency = reg.AddHistogram("chaos_latency_ns");
+    // One TxnStats snapshot per window close, shared by every derived
+    // metric (TotalStats walks all nodes; pay that once per window, not
+    // once per metric).
+    auto* sys = system.get();
+    reg.AddSampleHook([stats_snap, sys] { *stats_snap = sys->TotalStats(); });
+    reg.AddCumulative("txn_messages", {}, [stats_snap] { return stats_snap->messages; });
+    reg.AddCumulative("txn_remote_rounds", {},
+                      [stats_snap] { return stats_snap->remote_rounds; });
+    reg.AddCumulative("abort_lock_execute", {},
+                      [stats_snap] { return stats_snap->abort_lock_execute; });
+    reg.AddCumulative("abort_validate", {},
+                      [stats_snap] { return stats_snap->abort_validate; });
+    reg.AddCumulative("abort_wounded", {},
+                      [stats_snap] { return stats_snap->abort_wounded; });
+    reg.AddCumulative("nic_log_applied", {},
+                      [stats_snap] { return stats_snap->nic_log_applied; });
+    // The --msg-breakdown conservation law as a live metric: the per-type
+    // message counts must sum to the transport total at every boundary.
+    reg.AddGauge("net_conservation_violations", {}, [stats_snap] {
+      const uint64_t per_type = stats_snap->by_type.TotalMsgs();
+      const uint64_t total = stats_snap->messages;
+      return per_type >= total ? per_type - total : total - per_type;
+    });
+    reg.BeginWindows(series, /*origin=*/0);
+  }
+
   auto record_completion = [&](sim::Tick submitted, bool committed) {
+    const sim::Tick now = engine.now();
+    if (metrics_armed) {
+      // Same domain as the bins: the registry drops post-run_end samples.
+      (committed ? m_committed : m_aborted)->Add(now);
+      if (committed) {
+        // SLO latency is committed-transaction latency (the timeline's
+        // lat_sum below deliberately keeps covering all completions).
+        m_latency->Record(now, now - submitted);
+      }
+    }
     if (bins.empty()) {
       return;
     }
-    const sim::Tick now = engine.now();
-    if (now > run_end) {
+    size_t bi = 0;
+    if (!series.IndexOf(now, &bi)) {
       // Post-run completion: the money-audit phase keeps the engine moving
       // after the drain, and wedged chains can complete there. Those land
       // outside the timeline's domain; clamping them into the final bin
       // (the old behavior) inflated its counts and latency tail.
       return;
     }
-    // Completions at exactly run_end fold into the final (closed) bin.
-    const size_t bi = std::min(bins.size() - 1,
-                               static_cast<size_t>(now / config.timeline_window));
     ChaosVerdict::TimelineBin& b = bins[bi];
     (committed ? b.committed : b.aborted)++;
     const uint64_t lat = now - submitted;
@@ -210,8 +274,20 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
     }
   }
 
-  engine.RunUntil(config.horizon);
-  engine.RunFor(config.drain);
+  if (metrics_armed) {
+    // Slice the run at window boundaries. RunUntil never schedules, so this
+    // executes the identical event sequence as the single RunUntil/RunFor
+    // pair below, and the series tiles [0, horizon + drain] exactly, so the
+    // clock lands on run_end either way: the verdict -- events_executed
+    // included -- is byte-identical with metrics on or off.
+    for (size_t w = 0; w < series.size(); ++w) {
+      engine.RunUntil(series.StartOf(w) + series.WidthOf(w));
+      reg.CloseWindow(w);
+    }
+  } else {
+    engine.RunUntil(config.horizon);
+    engine.RunFor(config.drain);
+  }
   verdict.unfinished = active;
 
   // Chains wedge only when their coordinator died mid-flight; anything
@@ -321,6 +397,35 @@ ChaosVerdict RunChaos(const ChaosConfig& config) {
     verdict.frames_delayed += ch.frames_delayed();
   });
   verdict.events_executed = engine.events_executed();
+
+#ifndef NDEBUG
+  // Per-type message conservation (the --msg-breakdown law), promoted from
+  // a test-only check to an always-on debug assertion. transport.cc bumps
+  // the total and the per-type counter in the same call, so divergence
+  // means a lost or double-counted send.
+  const txn::TxnStats end_stats = system->TotalStats();
+  assert(end_stats.by_type.TotalMsgs() == end_stats.messages);
+#endif
+
+  if (metrics_armed) {
+    for (const FaultEvent& f : injector.plan().events) {
+      reg.MarkFault(f.at, FaultKindName(f.kind), f.node);
+    }
+    // Degraded-service live series: the availability accounting re-expressed
+    // per window (summed across faults), exported next to the raw series.
+    const AvailabilityReport avail =
+        ComputeAvailability(bins, injector.plan().events, config.horizon);
+    reg.SetSeries("repl_degraded_us", {}, avail.degraded_us_per_window);
+    if (config.metrics) {
+      verdict.metrics_text = reg.Lines("metrics ");
+    }
+    if (!config.slo.empty()) {
+      const auto inputs =
+          obs::SloInputsFromSeries(series, m_committed, m_aborted, m_latency);
+      verdict.slo_text = obs::EvaluateSlo(config.slo, inputs).Lines("slo ");
+    }
+  }
+
   if (config.timeline) {
     verdict.timeline = std::move(bins);
     verdict.timeline_faults = injector.plan().events;
@@ -367,24 +472,6 @@ std::string ChaosVerdict::Summary() const {
   return os.str();
 }
 
-namespace {
-
-const char* FaultKindName(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kCrash:
-      return "crash";
-    case FaultKind::kEvictionStorm:
-      return "storm";
-    case FaultKind::kPlannedHandoff:
-      return "handoff";
-    case FaultKind::kStallStart:
-    default:
-      return "stall";
-  }
-}
-
-}  // namespace
-
 std::string ChaosVerdict::Timeline() const {
   std::ostringstream os;
   for (const auto& f : timeline_faults) {
@@ -429,12 +516,16 @@ AvailabilityReport ComputeAvailability(const std::vector<ChaosVerdict::TimelineB
   AvailabilityReport report;
   // Only bins fully inside the submission window carry signal: the drain
   // tail decays to zero because submission stopped, not because of a fault.
-  std::vector<ChaosVerdict::TimelineBin> bins;
-  for (const auto& b : all_bins) {
-    if (horizon == 0 || b.start + b.width <= horizon) {
-      bins.push_back(b);
-    }
-  }
+  // The bins are a WindowSeries tiling (uniform width, partial tail), so
+  // reconstructing the series and keeping CountWithin(horizon) leading
+  // windows is the same prefix filter this loop used to spell out.
+  const obs::WindowSeries tiling(
+      all_bins.empty() ? 0 : all_bins.front().width,
+      all_bins.empty() ? 0 : all_bins.back().start + all_bins.back().width);
+  const size_t n_in_horizon = std::min(all_bins.size(), tiling.CountWithin(horizon));
+  const std::vector<ChaosVerdict::TimelineBin> bins(all_bins.begin(),
+                                                    all_bins.begin() + n_in_horizon);
+  report.degraded_us_per_window.assign(bins.size(), 0);
   if (bins.empty() || faults.empty()) {
     return report;
   }
@@ -468,6 +559,7 @@ AvailabilityReport ComputeAvailability(const std::vector<ChaosVerdict::TimelineB
     return report;  // nothing ever committed; "availability" is undefined
   }
 
+  std::vector<uint64_t> weighted_ns_per_window(bins.size(), 0);
   for (const auto& f : faults) {
     AvailStat stat;
     stat.fault = f;
@@ -479,7 +571,8 @@ AvailabilityReport ComputeAvailability(const std::vector<ChaosVerdict::TimelineB
     // deficit-weighted service time: a bin at half the baseline throughput
     // contributes half its width.
     uint64_t deficit_weighted_ns = 0;  // sum of width_ns * deficit, / num later
-    for (const auto& b : bins) {
+    for (size_t i = 0; i < bins.size(); ++i) {
+      const ChaosVerdict::TimelineBin& b = bins[i];
       if (b.start + b.width <= f.at) {
         continue;  // entirely before the fault
       }
@@ -494,11 +587,15 @@ AvailabilityReport ComputeAvailability(const std::vector<ChaosVerdict::TimelineB
       const uint32_t pct = static_cast<uint32_t>(deficit * 100 / num);
       stat.dip_depth_pct = std::max(stat.dip_depth_pct, pct);
       deficit_weighted_ns += b.width * deficit;
+      weighted_ns_per_window[i] += b.width * deficit;
       stat.dip_width_us += b.width / sim::kNsPerUs;
     }
     stat.degraded_us = deficit_weighted_ns / num / sim::kNsPerUs;
     report.degraded_service_us += stat.degraded_us;
     report.per_fault.push_back(stat);
+  }
+  for (size_t i = 0; i < bins.size(); ++i) {
+    report.degraded_us_per_window[i] = weighted_ns_per_window[i] / num / sim::kNsPerUs;
   }
   return report;
 }

@@ -20,6 +20,8 @@
 #include "src/chaos/fault_plan.h"
 #include "src/chaos/history.h"
 #include "src/harness/system_adapter.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/txn/retry_policy.h"
 
 namespace xenic::chaos {
@@ -59,6 +61,21 @@ struct ChaosConfig {
   // (the audit phase) are not recorded.
   bool timeline = false;
   sim::Tick timeline_window = 50 * sim::kNsPerUs;
+
+  // Windowed metric sampling (chaos_runner --metrics): per-window
+  // committed/aborted/latency series plus TxnStats deltas and the
+  // conservation gauge, sampled on the timeline_window cadence via
+  // obs::MetricRegistry and rendered as "metrics "-prefixed lines in
+  // ChaosVerdict::metrics_text with fault markers aligned to windows.
+  // Sampling slices the run into RunUntil calls at window boundaries; the
+  // engine executes the identical event schedule either way, so the
+  // verdict -- including events_executed -- is byte-identical with it on
+  // or off (check_determinism.sh enforces this).
+  bool metrics = false;
+  // Declarative objectives (chaos_runner --slo) evaluated over the metric
+  // windows; non-empty implies metrics sampling. Result lines (prefixed
+  // "slo ") land in ChaosVerdict::slo_text.
+  obs::SloSpec slo;
 
   // Engine worker threads (--engine-jobs). A chaos run executes as a
   // single LP -- the closed-loop submitters share one Rng stream, so only
@@ -112,6 +129,13 @@ struct ChaosVerdict {
   // because anything failed). 0 when the timeline is off.
   sim::Tick timeline_horizon = 0;
 
+  // Windowed metric series ("metrics "-prefixed lines; empty unless
+  // ChaosConfig::metrics or an SLO is armed) and the SLO objective report
+  // ("slo "-prefixed lines; empty unless ChaosConfig::slo is set). Both
+  // deterministic, both strippable by prefix.
+  std::string metrics_text;
+  std::string slo_text;
+
   bool ok() const { return check.ok() && failures.empty(); }
   // Deterministic multi-line report (identical across runs of one config).
   std::string Summary() const;
@@ -141,6 +165,12 @@ struct AvailabilityReport {
   uint64_t baseline_den = 0;
   std::vector<AvailStat> per_fault;
   uint64_t degraded_service_us = 0;  // sum over faults, integer microseconds
+  // Deficit-weighted degraded service accrued per timeline window (summed
+  // across faults, indexed like the clamped bins) -- the "degraded service
+  // live" series the metrics layer exports. Per-window integer division
+  // rounds each window down independently, so the sum can undershoot
+  // degraded_service_us by at most one us per window.
+  std::vector<uint64_t> degraded_us_per_window;
 };
 
 // Derive per-fault dip depth/width and total degraded service time from a

@@ -33,6 +33,19 @@ class Histogram {
   uint64_t P99() const { return ValueAtQuantile(0.99); }
   uint64_t P999() const { return ValueAtQuantile(0.999); }
 
+  // Approximate count of recorded values greater than `value` (bucket-
+  // midpoint granularity, the same resolution as the quantiles). The SLO
+  // error-budget accounting counts threshold-exceeding events with this.
+  uint64_t CountAbove(uint64_t value) const {
+    uint64_t n = 0;
+    VisitBuckets([&](uint64_t midpoint, uint64_t count) {
+      if (midpoint > value) {
+        n += count;
+      }
+    });
+    return n;
+  }
+
   // Invoke fn(bucket_midpoint, count) for each non-empty bucket in
   // ascending value order. Used by --latency-hist dumps.
   template <typename Fn>

@@ -1,7 +1,9 @@
 #include "src/harness/runner.h"
 
+#include <cassert>
 #include <chrono>
 #include <memory>
+#include <string>
 
 namespace xenic::harness {
 
@@ -21,6 +23,12 @@ struct Shared {
   // Non-null only while RunConfig::txn_trace is the attached engine sink.
   obs::TxnTraceSink* txn_sink = nullptr;
   std::vector<obs::BucketBreakdown> txn_paths;
+  // Windowed metric feeds (non-null only with RunConfig::metrics). Push
+  // sites mirror the scalar counters above exactly, so the series always
+  // integrates back to the RunResult totals.
+  obs::WindowCounter* m_committed = nullptr;
+  obs::WindowCounter* m_aborted = nullptr;
+  obs::WindowHistogram* m_latency = nullptr;
 };
 
 // One closed-loop application context.
@@ -57,6 +65,9 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
               tries < sh->config->retry.max_retries) {
             if (tries == 0 && sh->measuring) {
               sh->aborts++;
+              if (sh->m_aborted != nullptr) {
+                sh->m_aborted->Add(eng.now());
+              }
             }
             if (sh->txn_sink != nullptr && *id_box != 0) {
               // Aborted attempt: its spans are not replayed into the
@@ -84,10 +95,16 @@ void RunContext(std::shared_ptr<Shared> sh, store::NodeId node) {
           bool counted = false;
           if (res.outcome == txn::TxnOutcome::kCommitted && sh->measuring) {
             sh->commits++;
+            if (sh->m_committed != nullptr) {
+              sh->m_committed->Add(eng.now());
+            }
             if (sh->workload->CountsForThroughput(tag)) {
               counted = true;
               sh->counted_commits++;
               sh->latency.Record(eng.now() - start);
+              if (sh->m_latency != nullptr) {
+                sh->m_latency->Record(eng.now(), eng.now() - start);
+              }
             }
           }
           if (sh->txn_sink != nullptr && *id_box != 0) {
@@ -139,6 +156,69 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
     }
   }
 
+  // Windowed metric sources. Registration order is the export order, so it
+  // is fixed here once: push counters, the TxnStats breakdown, the
+  // conservation gauge, DMA, then per-resource sources in ForEachResource
+  // order (deterministic per adapter).
+  obs::MetricRegistry* reg = config.metrics;
+  if (reg != nullptr) {
+    sh->m_committed = reg->AddCounter("txn_committed");
+    sh->m_aborted = reg->AddCounter("txn_aborted");
+    sh->m_latency = reg->AddHistogram("txn_latency_ns");
+    // One TxnStats snapshot per window close, shared by all derived sources
+    // (TotalStats walks every node; pay it once per window, not per metric).
+    auto snap = std::make_shared<txn::TxnStats>();
+    SystemAdapter* sys = &system;
+    reg->AddSampleHook([snap, sys] { *snap = sys->TotalStats(); });
+    reg->AddCumulative("txn_messages", {}, [snap] { return snap->messages; });
+    reg->AddCumulative("txn_remote_rounds", {}, [snap] { return snap->remote_rounds; });
+    reg->AddCumulative("txn_local_fastpath", {}, [snap] { return snap->local_fastpath; });
+    reg->AddCumulative("txn_app_aborted", {}, [snap] { return snap->app_aborted; });
+    reg->AddCumulative("abort_lock_execute", {},
+                       [snap] { return snap->abort_lock_execute; });
+    reg->AddCumulative("abort_lock_local", {}, [snap] { return snap->abort_lock_local; });
+    reg->AddCumulative("abort_lock_ship", {}, [snap] { return snap->abort_lock_ship; });
+    reg->AddCumulative("abort_validate", {}, [snap] { return snap->abort_validate; });
+    reg->AddCumulative("abort_gap", {}, [snap] { return snap->abort_gap; });
+    reg->AddCumulative("abort_wounded", {}, [snap] { return snap->abort_wounded; });
+    reg->AddCumulative("abort_epoch_fence", {},
+                       [snap] { return snap->abort_epoch_fence; });
+    reg->AddCumulative("abort_other", {}, [snap] { return snap->abort_other; });
+    reg->AddCumulative("cc_waits", {}, [snap] { return snap->cc_waits; });
+    reg->AddCumulative("hot_path", {}, [snap] { return snap->hot_path; });
+    reg->AddCumulative("nic_log_applied", {}, [snap] { return snap->nic_log_applied; });
+    reg->AddCumulative("replica_reads", {}, [snap] { return snap->replica_reads; });
+    // The --msg-breakdown conservation law as a live metric: per-type
+    // message counts must sum to the transport total at every boundary
+    // (sampling happens between events, where the law always holds).
+    reg->AddGauge("net_conservation_violations", {}, [snap] {
+      const uint64_t per_type = snap->by_type.TotalMsgs();
+      const uint64_t total = snap->messages;
+      return per_type >= total ? per_type - total : total - per_type;
+    });
+    reg->AddCumulative("dma_ops", {}, [sys] { return sys->DmaOps(); });
+    reg->AddCumulative("dma_bytes", {}, [sys] { return sys->DmaBytes(); });
+    system.ForEachResource([reg](const obs::ResourceRef& ref) {
+      const obs::MetricLabels labels = {{"res", ref.name},
+                                        {"node", std::to_string(ref.node)}};
+      if (ref.pool != nullptr) {
+        sim::Resource* pool = ref.pool;
+        reg->AddGauge("resource_queue_depth", labels,
+                      [pool] { return static_cast<uint64_t>(pool->queue_depth()); });
+        reg->AddCumulative("resource_busy_ns", labels,
+                           [pool] { return static_cast<uint64_t>(pool->busy_time()); });
+        reg->AddCumulative("resource_completed", labels,
+                           [pool] { return pool->completed(); });
+      } else if (ref.link != nullptr) {
+        sim::Channel* link = ref.link;
+        reg->AddCumulative("link_busy_ns", labels,
+                           [link] { return static_cast<uint64_t>(link->busy_time()); });
+        reg->AddCumulative("link_bytes_sent", labels,
+                           [link] { return link->bytes_sent(); });
+      }
+    });
+  }
+
   system.StartWorkers();
   for (uint32_t n = 0; n < system.num_nodes(); ++n) {
     for (uint32_t c = 0; c < config.contexts_per_node; ++c) {
@@ -153,12 +233,29 @@ RunResult RunWorkload(SystemAdapter& system, workload::Workload& workload,
   system.ResetStats();
   monitor.ResetWindow();
   const sim::Tick t0 = system.engine().now();
-  system.engine().RunFor(config.measure);
+  if (reg != nullptr && config.metrics_window > 0) {
+    // Slice the measurement window at metric boundaries. RunUntil never
+    // schedules and the series tiles [0, measure] exactly, so this executes
+    // the identical event sequence as the single RunFor below and lands the
+    // clock on the same tick -- every result scalar is byte-identical.
+    reg->BeginWindows(obs::WindowSeries(config.metrics_window, config.measure), t0);
+    for (size_t w = 0; w < reg->series().size(); ++w) {
+      system.engine().RunUntil(t0 + reg->series().StartOf(w) + reg->series().WidthOf(w));
+      reg->CloseWindow(w);
+    }
+  } else {
+    system.engine().RunFor(config.measure);
+  }
   const sim::Tick window = system.engine().now() - t0;
   sh->measuring = false;
 
   RunResult result;
   result.txn_stats = system.TotalStats();
+  // Per-type message conservation (the --msg-breakdown law), promoted from
+  // a test-only check to an always-on debug assertion: transport bumps the
+  // total and the per-type counter together, so divergence means a lost or
+  // double-counted send.
+  assert(result.txn_stats.by_type.TotalMsgs() == result.txn_stats.messages);
   result.committed = sh->commits;
   result.aborted = sh->aborts;
   result.abort_rate = sh->commits + sh->aborts == 0

@@ -15,6 +15,7 @@
 #include "src/common/histogram.h"
 #include "src/harness/system_adapter.h"
 #include "src/obs/critical_path.h"
+#include "src/obs/metrics.h"
 #include "src/obs/resource_stats.h"
 #include "src/obs/txn_trace.h"
 #include "src/sim/trace.h"
@@ -53,6 +54,16 @@ struct RunConfig {
   // BucketBreakdown for every counted committed transaction into
   // RunResult::txn_paths, linking retries via the redo bucket.
   obs::TxnTraceSink* txn_trace = nullptr;
+  // Windowed metric sampling over the measurement window. When set, the
+  // runner registers the standard sources (txn_committed / txn_aborted /
+  // txn_latency_ns, the TxnStats breakdown as per-window deltas, the
+  // conservation gauge, and one gauge + cumulative pair per
+  // SystemAdapter::ForEachResource entry), then slices the measurement
+  // RunFor into RunUntil calls every metrics_window ticks. RunUntil never
+  // schedules, so the event sequence -- and every result scalar -- is
+  // byte-identical with this on or off (check_determinism.sh enforces it).
+  obs::MetricRegistry* metrics = nullptr;
+  sim::Tick metrics_window = 50 * sim::kNsPerUs;
 };
 
 struct RunResult {

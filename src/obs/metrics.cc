@@ -1,0 +1,433 @@
+#include "src/obs/metrics.h"
+
+#include <sstream>
+
+namespace xenic::obs {
+
+WindowSeries::WindowSeries(sim::Tick window, sim::Tick end)
+    : window_(window), end_(end) {
+  if (window_ == 0) {
+    return;
+  }
+  // ceil(end / window) windows tile exactly [0, end] (at least one even for
+  // a degenerate zero-length run, so exactly-at-end samples have a home).
+  count_ = std::max<size_t>(1, static_cast<size_t>((end_ + window_ - 1) / window_));
+}
+
+bool WindowSeries::IndexOf(sim::Tick t, size_t* index) const {
+  if (count_ == 0 || t > end_) {
+    return false;
+  }
+  *index = std::min(count_ - 1, static_cast<size_t>(t / window_));
+  return true;
+}
+
+size_t WindowSeries::CountWithin(sim::Tick clamp) const {
+  if (clamp == 0) {
+    return count_;
+  }
+  size_t n = 0;
+  while (n < count_ && StartOf(n) + WidthOf(n) <= clamp) {
+    n++;
+  }
+  return n;
+}
+
+void WindowCounter::Add(sim::Tick t, uint64_t n) {
+  if (!reg_->active() || t < reg_->origin()) {
+    return;
+  }
+  size_t i = 0;
+  if (reg_->series().IndexOf(t - reg_->origin(), &i)) {
+    values_[i] += n;
+  }
+}
+
+uint64_t WindowCounter::Total() const {
+  uint64_t sum = 0;
+  for (uint64_t v : values_) {
+    sum += v;
+  }
+  return sum;
+}
+
+void WindowHistogram::Record(sim::Tick t, uint64_t value) {
+  if (!reg_->active() || t < reg_->origin()) {
+    return;
+  }
+  size_t i = 0;
+  if (reg_->series().IndexOf(t - reg_->origin(), &i)) {
+    if (windows_[i] == nullptr) {
+      windows_[i] = std::make_unique<Histogram>();
+    }
+    windows_[i]->Record(value);
+  }
+}
+
+const Histogram* WindowHistogram::WindowAt(size_t i) const {
+  return i < windows_.size() ? windows_[i].get() : nullptr;
+}
+
+Histogram WindowHistogram::Merged(size_t lo, size_t hi) const {
+  Histogram out;
+  for (size_t i = lo; i < hi && i < windows_.size(); ++i) {
+    if (windows_[i] != nullptr) {
+      out.Merge(*windows_[i]);
+    }
+  }
+  return out;
+}
+
+WindowCounter* MetricRegistry::AddCounter(const std::string& name, MetricLabels labels) {
+  auto m = std::make_unique<Metric>();
+  m->name = name;
+  m->labels = std::move(labels);
+  m->kind = Kind::kCounter;
+  m->counter.reset(new WindowCounter(this));
+  WindowCounter* out = m->counter.get();
+  metrics_.push_back(std::move(m));
+  return out;
+}
+
+WindowHistogram* MetricRegistry::AddHistogram(const std::string& name, MetricLabels labels) {
+  auto m = std::make_unique<Metric>();
+  m->name = name;
+  m->labels = std::move(labels);
+  m->kind = Kind::kHistogram;
+  m->hist.reset(new WindowHistogram(this));
+  WindowHistogram* out = m->hist.get();
+  metrics_.push_back(std::move(m));
+  return out;
+}
+
+void MetricRegistry::AddGauge(const std::string& name, MetricLabels labels,
+                              std::function<uint64_t()> read) {
+  auto m = std::make_unique<Metric>();
+  m->name = name;
+  m->labels = std::move(labels);
+  m->kind = Kind::kGauge;
+  m->read = std::move(read);
+  metrics_.push_back(std::move(m));
+}
+
+void MetricRegistry::AddCumulative(const std::string& name, MetricLabels labels,
+                                   std::function<uint64_t()> read) {
+  auto m = std::make_unique<Metric>();
+  m->name = name;
+  m->labels = std::move(labels);
+  m->kind = Kind::kCumulative;
+  m->read = std::move(read);
+  metrics_.push_back(std::move(m));
+}
+
+void MetricRegistry::SetSeries(const std::string& name, MetricLabels labels,
+                               std::vector<uint64_t> values) {
+  auto m = std::make_unique<Metric>();
+  m->name = name;
+  m->labels = std::move(labels);
+  m->kind = Kind::kSeries;
+  m->values = std::move(values);
+  m->values.resize(series_.size(), 0);
+  metrics_.push_back(std::move(m));
+}
+
+void MetricRegistry::AddSampleHook(std::function<void()> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+void MetricRegistry::BeginWindows(const WindowSeries& series, sim::Tick origin) {
+  series_ = series;
+  origin_ = origin;
+  active_ = true;
+  for (auto& m : metrics_) {
+    switch (m->kind) {
+      case Kind::kCounter:
+        m->counter->values_.assign(series_.size(), 0);
+        break;
+      case Kind::kHistogram:
+        m->hist->windows_.clear();
+        m->hist->windows_.resize(series_.size());
+        break;
+      case Kind::kGauge:
+      case Kind::kCumulative:
+        m->values.assign(series_.size(), 0);
+        // Baseline the delta at window-0 open, so a source that was already
+        // counting before the measurement window (it was just Reset, but a
+        // caller may attach late) reports only in-window activity.
+        m->last = m->kind == Kind::kCumulative ? m->read() : 0;
+        break;
+      case Kind::kSeries:
+        m->values.resize(series_.size(), 0);
+        break;
+    }
+  }
+}
+
+void MetricRegistry::CloseWindow(size_t i) {
+  if (!active_ || i >= series_.size()) {
+    return;
+  }
+  for (auto& hook : hooks_) {
+    hook();
+  }
+  for (auto& m : metrics_) {
+    if (m->kind == Kind::kGauge) {
+      m->values[i] = m->read();
+    } else if (m->kind == Kind::kCumulative) {
+      const uint64_t now = m->read();
+      m->values[i] = now - m->last;
+      m->last = now;
+    }
+  }
+}
+
+const WindowCounter* MetricRegistry::FindCounter(const std::string& name) const {
+  for (const auto& m : metrics_) {
+    if (m->kind == Kind::kCounter && m->name == name) {
+      return m->counter.get();
+    }
+  }
+  return nullptr;
+}
+
+const WindowHistogram* MetricRegistry::FindHistogram(const std::string& name) const {
+  for (const auto& m : metrics_) {
+    if (m->kind == Kind::kHistogram && m->name == name) {
+      return m->hist.get();
+    }
+  }
+  return nullptr;
+}
+
+void MetricRegistry::MarkFault(sim::Tick at, const std::string& kind, uint32_t node) {
+  FaultMark f;
+  f.at = at;
+  f.kind = kind;
+  f.node = node;
+  const sim::Tick rel = at >= origin_ ? at - origin_ : 0;
+  size_t idx = 0;
+  f.in_range = at >= origin_ && series_.IndexOf(rel, &idx);
+  f.window = idx;
+  faults_.push_back(f);
+}
+
+namespace {
+
+std::string RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+const char* KindName(uint8_t k) {
+  switch (k) {
+    case 0:
+      return "counter";
+    case 1:
+      return "histogram";
+    case 2:
+      return "gauge";
+    case 3:
+      return "counter";  // cumulative sources are counters, stored as deltas
+    default:
+      return "series";
+  }
+}
+
+std::string JsonLabels(const MetricLabels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += "\"" + labels[i].first + "\":\"" + labels[i].second + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricRegistry::Lines(const std::string& prefix) const {
+  std::ostringstream os;
+  os << prefix << "window_ns=" << series_.window() << " end_ns=" << series_.end()
+     << " windows=" << series_.size() << " origin_ns=" << origin_ << "\n";
+  for (const auto& f : faults_) {
+    os << prefix << "fault at_us=" << f.at / sim::kNsPerUs << " kind=" << f.kind
+       << " node=" << f.node << " window=";
+    if (f.in_range) {
+      os << f.window;
+    } else {
+      os << "--";
+    }
+    os << "\n";
+  }
+  for (const auto& m : metrics_) {
+    const std::string id = m->name + RenderLabels(m->labels);
+    if (m->kind == Kind::kHistogram) {
+      // count / p50 / p99 sub-series; empty windows render "--" (the text
+      // twin of the NaN-sentinel convention in P999LatencyUs).
+      for (const char* stat : {"count", "p50", "p99"}) {
+        os << prefix << id << "." << stat << ":";
+        for (size_t i = 0; i < series_.size(); ++i) {
+          const Histogram* h = m->hist->WindowAt(i);
+          os << ' ';
+          if (h == nullptr || h->count() == 0) {
+            os << "--";
+          } else if (std::string(stat) == "count") {
+            os << h->count();
+          } else if (std::string(stat) == "p50") {
+            os << h->Median();
+          } else {
+            os << h->P99();
+          }
+        }
+        os << "\n";
+      }
+      continue;
+    }
+    os << prefix << id << ":";
+    for (size_t i = 0; i < series_.size(); ++i) {
+      os << ' '
+         << (m->kind == Kind::kCounter ? m->counter->ValueAt(i)
+                                       : (i < m->values.size() ? m->values[i] : 0));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricRegistry::Json(const std::string& bench, const std::string& extra_json) const {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << bench << "\",\"window_ns\":" << series_.window()
+     << ",\"end_ns\":" << series_.end() << ",\"origin_ns\":" << origin_ << ",\"windows\":[";
+  for (size_t i = 0; i < series_.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << "{\"start_ns\":" << series_.StartOf(i) << ",\"width_ns\":" << series_.WidthOf(i)
+       << "}";
+  }
+  os << "],\"faults\":[";
+  for (size_t i = 0; i < faults_.size(); ++i) {
+    const FaultMark& f = faults_[i];
+    if (i > 0) {
+      os << ',';
+    }
+    os << "{\"at_ns\":" << f.at << ",\"kind\":\"" << f.kind << "\",\"node\":" << f.node
+       << ",\"window\":";
+    if (f.in_range) {
+      os << f.window;
+    } else {
+      os << "null";
+    }
+    os << "}";
+  }
+  os << "],\"metrics\":[";
+  for (size_t mi = 0; mi < metrics_.size(); ++mi) {
+    const Metric& m = *metrics_[mi];
+    if (mi > 0) {
+      os << ',';
+    }
+    os << "{\"name\":\"" << m.name << "\",\"labels\":" << JsonLabels(m.labels)
+       << ",\"kind\":\"" << KindName(static_cast<uint8_t>(m.kind)) << "\"";
+    if (m.kind == Kind::kHistogram) {
+      auto stat = [&](const char* key, auto&& get) {
+        os << ",\"" << key << "\":[";
+        for (size_t i = 0; i < series_.size(); ++i) {
+          if (i > 0) {
+            os << ',';
+          }
+          const Histogram* h = m.hist->WindowAt(i);
+          if (h == nullptr || h->count() == 0) {
+            os << "null";
+          } else {
+            os << get(*h);
+          }
+        }
+        os << "]";
+      };
+      stat("count", [](const Histogram& h) { return h.count(); });
+      stat("p50", [](const Histogram& h) { return h.Median(); });
+      stat("p99", [](const Histogram& h) { return h.P99(); });
+      stat("max", [](const Histogram& h) { return h.max(); });
+    } else {
+      os << ",\"values\":[";
+      for (size_t i = 0; i < series_.size(); ++i) {
+        if (i > 0) {
+          os << ',';
+        }
+        os << (m.kind == Kind::kCounter ? m.counter->ValueAt(i)
+                                        : (i < m.values.size() ? m.values[i] : 0));
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "]";
+  if (!extra_json.empty()) {
+    os << ",\"slo\":" << extra_json;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string MetricRegistry::OpenMetrics(const std::string& prefix,
+                                        const MetricLabels& extra) const {
+  std::ostringstream os;
+  auto labels = [&](const Metric& m, size_t window) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& kv : extra) {
+      out += (first ? "" : ",") + kv.first + "=\"" + kv.second + "\"";
+      first = false;
+    }
+    for (const auto& kv : m.labels) {
+      out += (first ? "" : ",") + kv.first + "=\"" + kv.second + "\"";
+      first = false;
+    }
+    out += (first ? "" : ",");
+    out += "window=\"" + std::to_string(window) + "\"}";
+    return out;
+  };
+  for (const auto& mp : metrics_) {
+    const Metric& m = *mp;
+    const std::string name = prefix + "_" + m.name;
+    if (m.kind == Kind::kHistogram) {
+      os << "# TYPE " << name << " summary\n";
+      for (size_t i = 0; i < series_.size(); ++i) {
+        const Histogram* h = m.hist->WindowAt(i);
+        if (h == nullptr || h->count() == 0) {
+          continue;  // OpenMetrics has no NaN row; absent sample = no data
+        }
+        std::string l = labels(m, i);
+        l.pop_back();  // reopen to append the quantile label
+        os << name << l << ",quantile=\"0.5\"} " << h->Median() << "\n";
+        os << name << l << ",quantile=\"0.99\"} " << h->P99() << "\n";
+        os << name << "_count" << labels(m, i) << " " << h->count() << "\n";
+      }
+      continue;
+    }
+    const bool counter = m.kind == Kind::kCounter || m.kind == Kind::kCumulative;
+    os << "# TYPE " << name << (counter ? " counter\n" : " gauge\n");
+    for (size_t i = 0; i < series_.size(); ++i) {
+      const uint64_t v = m.kind == Kind::kCounter
+                             ? m.counter->ValueAt(i)
+                             : (i < m.values.size() ? m.values[i] : 0);
+      os << name << (counter ? "_total" : "") << labels(m, i) << " " << v << "\n";
+    }
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+}  // namespace xenic::obs

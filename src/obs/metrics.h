@@ -1,0 +1,213 @@
+// Windowed metrics: a deterministic, observer-only time-series layer over
+// the simulated cluster.
+//
+// WindowSeries is the one shared windowing helper: it tiles [0, end] with
+// ceil(end/window) windows whose final window is partial (smaller width)
+// when the window does not divide the run, drops samples past the end, and
+// folds samples at exactly the end into the final window. The chaos
+// --timeline bins, the availability-dip accounting, and the metric
+// registry's sampling cadence all sit on it, so the partial-window bug
+// class (fixed once in PR 8) cannot recur independently in three places.
+//
+// MetricRegistry holds named metrics in first-registration order
+// (deterministic output) and samples them on a simulated-time cadence:
+//   - WindowCounter / WindowHistogram: push-style, fed from completion
+//     callbacks already in place (the chaos-timeline idiom -- pure
+//     bookkeeping, never schedules anything).
+//   - gauges / cumulatives: pull-style reader callbacks sampled when the
+//     driver closes a window. Cumulative sources (monotonic counters such
+//     as Resource::busy_time) are stored as per-window deltas.
+//
+// Determinism contract: attaching a registry is observer-only. The driver
+// samples by slicing one RunFor into repeated RunUntil calls at window
+// boundaries -- the engine executes the identical event schedule either
+// way (RunUntil never schedules; it only bounds dispatch), so every
+// simulation-derived scalar, including events_executed, is byte-identical
+// with metrics on or off. tools/check_determinism.sh enforces this.
+//
+// All stored and rendered values are integers (ns, counts); empty
+// histogram windows render as "--" (text) / null (JSON), matching the
+// NaN-sentinel convention of P999LatencyUs.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/sim/engine.h"
+
+namespace xenic::obs {
+
+// Tiles [0, end] with `window`-wide windows. Default-constructed (or
+// window == 0): empty, every lookup misses.
+class WindowSeries {
+ public:
+  WindowSeries() = default;
+  WindowSeries(sim::Tick window, sim::Tick end);
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  sim::Tick window() const { return window_; }
+  sim::Tick end() const { return end_; }
+  sim::Tick StartOf(size_t i) const { return static_cast<sim::Tick>(i) * window_; }
+  // The final window is partial when `window` does not divide `end`;
+  // consumers normalizing to rates must use this, not window().
+  sim::Tick WidthOf(size_t i) const { return std::min(window_, end_ - StartOf(i)); }
+
+  // Window containing `t`. Samples at exactly `end` fold into the final
+  // (closed) window; samples past it are outside the domain -> false.
+  bool IndexOf(sim::Tick t, size_t* index) const;
+
+  // Number of leading windows that lie entirely within [0, clamp]
+  // (clamp == 0 keeps all). Availability math uses this to exclude
+  // drain-tail windows, partial or not, past the submission horizon.
+  size_t CountWithin(sim::Tick clamp) const;
+
+ private:
+  sim::Tick window_ = 0;
+  sim::Tick end_ = 0;
+  size_t count_ = 0;
+};
+
+// Metric labels, rendered in the given order (callers keep it canonical).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricRegistry;
+
+// Push-style per-window event counter. Add() before BeginWindows or with a
+// timestamp outside the series domain is dropped (warmup / drain).
+class WindowCounter {
+ public:
+  void Add(sim::Tick t, uint64_t n = 1);
+  uint64_t ValueAt(size_t i) const { return i < values_.size() ? values_[i] : 0; }
+  uint64_t Total() const;
+  size_t size() const { return values_.size(); }
+
+ private:
+  friend class MetricRegistry;
+  explicit WindowCounter(const MetricRegistry* reg) : reg_(reg) {}
+  const MetricRegistry* reg_;
+  std::vector<uint64_t> values_;
+};
+
+// Push-style windowed histogram (one Histogram per window). Record() with a
+// timestamp at a window boundary lands in the window the boundary starts
+// (start-inclusive), except exactly-at-end which folds into the final
+// window -- the same tiling rule every WindowSeries consumer uses.
+class WindowHistogram {
+ public:
+  void Record(sim::Tick t, uint64_t value);
+  // Null for windows with no samples (callers render "--" / null).
+  const Histogram* WindowAt(size_t i) const;
+  // Merged distribution over windows [lo, hi).
+  Histogram Merged(size_t lo, size_t hi) const;
+  size_t size() const { return windows_.size(); }
+
+ private:
+  friend class MetricRegistry;
+  explicit WindowHistogram(const MetricRegistry* reg) : reg_(reg) {}
+  const MetricRegistry* reg_;
+  std::vector<std::unique_ptr<Histogram>> windows_;
+};
+
+// One planned fault, aligned to the window that contains it (the alignment
+// chaos timelines need to overlay markers on the series).
+struct FaultMark {
+  sim::Tick at = 0;
+  std::string kind;
+  uint32_t node = 0;
+  bool in_range = false;  // false: fault fired outside the series domain
+  size_t window = 0;      // valid when in_range
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // --- Registration (before BeginWindows; first-registration order is the
+  // output order, so it must be deterministic -- which every caller's
+  // enumeration already is, e.g. SystemAdapter::ForEachResource).
+  WindowCounter* AddCounter(const std::string& name, MetricLabels labels = {});
+  WindowHistogram* AddHistogram(const std::string& name, MetricLabels labels = {});
+  // Instantaneous reading sampled when a window closes (queue depths).
+  void AddGauge(const std::string& name, MetricLabels labels,
+                std::function<uint64_t()> read);
+  // Monotonic source (busy_ns, completed, messages); stored per-window
+  // deltas, so the series integrates back to the source's final value.
+  void AddCumulative(const std::string& name, MetricLabels labels,
+                     std::function<uint64_t()> read);
+  // Post-run series computed outside the registry (e.g. per-window
+  // degraded service time derived from availability accounting).
+  void SetSeries(const std::string& name, MetricLabels labels,
+                 std::vector<uint64_t> values);
+  // Runs first at every CloseWindow, in registration order; sources that
+  // share an expensive snapshot (TxnStats) refresh it here once.
+  void AddSampleHook(std::function<void()> hook);
+
+  // --- Sampling (driven by the harness at window boundaries).
+  void BeginWindows(const WindowSeries& series, sim::Tick origin);
+  void CloseWindow(size_t i);
+  bool active() const { return active_; }
+  const WindowSeries& series() const { return series_; }
+  sim::Tick origin() const { return origin_; }
+
+  // `at` is engine time (same clock as BeginWindows' origin).
+  void MarkFault(sim::Tick at, const std::string& kind, uint32_t node);
+  const std::vector<FaultMark>& faults() const { return faults_; }
+
+  // Name lookup (first match; null when absent or of another kind), so SLO
+  // evaluation can find the standard harness series without the registrant
+  // having to thread raw pointers through.
+  const WindowCounter* FindCounter(const std::string& name) const;
+  const WindowHistogram* FindHistogram(const std::string& name) const;
+
+  // --- Deterministic exports.
+  // One line per metric, every line prefixed with `prefix` (callers pass
+  // "metrics " so check_determinism.sh can strip them). Integer-only;
+  // empty histogram windows render "--".
+  std::string Lines(const std::string& prefix) const;
+  // JSON object: windows, fault markers, every metric as a value array
+  // (null for empty histogram windows). `extra_json` (e.g. an SLO report)
+  // is spliced in as a top-level "slo" member when non-empty.
+  std::string Json(const std::string& bench, const std::string& extra_json = "") const;
+  // OpenMetrics text exposition; every sample carries a window="i" label
+  // (plus `extra`), counters get the _total suffix, ends with # EOF.
+  std::string OpenMetrics(const std::string& prefix = "xenic",
+                          const MetricLabels& extra = {}) const;
+
+ private:
+  friend class WindowCounter;
+  friend class WindowHistogram;
+
+  enum class Kind : uint8_t { kCounter, kHistogram, kGauge, kCumulative, kSeries };
+  struct Metric {
+    std::string name;
+    MetricLabels labels;
+    Kind kind;
+    std::unique_ptr<WindowCounter> counter;   // kCounter
+    std::unique_ptr<WindowHistogram> hist;    // kHistogram
+    std::function<uint64_t()> read;           // kGauge / kCumulative
+    uint64_t last = 0;                        // kCumulative delta base
+    std::vector<uint64_t> values;             // kGauge / kCumulative / kSeries
+  };
+
+  std::vector<std::unique_ptr<Metric>> metrics_;
+  std::vector<std::function<void()>> hooks_;
+  std::vector<FaultMark> faults_;
+  WindowSeries series_;
+  sim::Tick origin_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace xenic::obs
+
+#endif  // SRC_OBS_METRICS_H_

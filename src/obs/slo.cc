@@ -1,0 +1,237 @@
+#include "src/obs/slo.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace xenic::obs {
+
+namespace {
+
+// One clause: "p99<50us" or "goodput>0.95".
+bool ParseClause(const std::string& clause, SloObjective* out, std::string* error) {
+  auto fail = [&](const char* why) {
+    if (error != nullptr) {
+      *error = "bad SLO clause '" + clause + "': " + why;
+    }
+    return false;
+  };
+  out->spec = clause;
+  if (clause.rfind("goodput>", 0) == 0) {
+    const std::string v = clause.substr(8);
+    char* end = nullptr;
+    const double f = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || f <= 0 || f >= 1) {
+      return fail("goodput wants a fraction in (0, 1)");
+    }
+    out->kind = SloKind::kGoodput;
+    out->min_goodput_ppm = static_cast<uint64_t>(std::llround(f * 1e6));
+    out->budget_ppm = 1000000 - out->min_goodput_ppm;
+    return true;
+  }
+  if (clause.size() < 2 || clause[0] != 'p') {
+    return fail("expected pQQ<BOUND or goodput>F");
+  }
+  const size_t lt = clause.find('<');
+  if (lt == std::string::npos || lt < 2) {
+    return fail("latency objective wants pQQ<BOUND");
+  }
+  // pQQ -> quantile QQ / 10^digits (p99 -> 0.99, p999 -> 0.999), kept as
+  // exact ppm so the budget needs no float round-trip.
+  uint64_t q_ppm = 0;
+  uint64_t scale = 1000000;
+  for (size_t i = 1; i < lt; ++i) {
+    if (clause[i] < '0' || clause[i] > '9') {
+      return fail("quantile digits");
+    }
+    if (scale < 10) {
+      return fail("quantile too precise (max p99999)");
+    }
+    scale /= 10;
+    q_ppm = q_ppm * 10 + static_cast<uint64_t>(clause[i] - '0');
+  }
+  q_ppm *= scale;
+  if (q_ppm == 0 || q_ppm >= 1000000) {
+    return fail("quantile must be in (0, 1)");
+  }
+  const std::string bound = clause.substr(lt + 1);
+  char* end = nullptr;
+  const double v = std::strtod(bound.c_str(), &end);
+  if (end == bound.c_str() || v <= 0) {
+    return fail("latency bound");
+  }
+  uint64_t unit_ns = 0;
+  const std::string unit(end);
+  if (unit == "ns") {
+    unit_ns = 1;
+  } else if (unit == "us") {
+    unit_ns = 1000;
+  } else if (unit == "ms") {
+    unit_ns = 1000000;
+  } else {
+    return fail("latency unit (ns|us|ms)");
+  }
+  out->kind = SloKind::kLatencyQuantile;
+  out->quantile = static_cast<double>(q_ppm) / 1e6;
+  out->threshold_ns = static_cast<uint64_t>(std::llround(v * static_cast<double>(unit_ns)));
+  out->budget_ppm = 1000000 - q_ppm;
+  return true;
+}
+
+}  // namespace
+
+bool ParseSloSpec(const std::string& text, SloSpec* spec, std::string* error) {
+  spec->objectives.clear();
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = text.size();
+    }
+    const std::string clause = text.substr(pos, comma - pos);
+    if (!clause.empty()) {
+      SloObjective obj;
+      if (!ParseClause(clause, &obj, error)) {
+        return false;
+      }
+      spec->objectives.push_back(obj);
+    }
+    pos = comma + 1;
+  }
+  if (spec->objectives.empty()) {
+    if (error != nullptr) {
+      *error = "empty SLO spec";
+    }
+    return false;
+  }
+  return true;
+}
+
+SloReport EvaluateSlo(const SloSpec& spec, const std::vector<SloWindowInput>& windows) {
+  SloReport report;
+  for (const SloObjective& obj : spec.objectives) {
+    SloObjectiveResult r;
+    r.objective = obj;
+    r.windows_total = windows.size();
+
+    // Per-window event/bad-event counts, first pass (run totals size the
+    // error budget before exhaustion can be located).
+    std::vector<uint64_t> events(windows.size(), 0);
+    std::vector<uint64_t> bad(windows.size(), 0);
+    for (size_t i = 0; i < windows.size(); ++i) {
+      const SloWindowInput& w = windows[i];
+      if (obj.kind == SloKind::kLatencyQuantile) {
+        const Histogram* h = w.latency;
+        events[i] = h == nullptr ? 0 : h->count();
+        bad[i] = (h == nullptr || events[i] == 0) ? 0 : h->CountAbove(obj.threshold_ns);
+      } else {
+        events[i] = w.committed + w.aborted;
+        bad[i] = w.aborted;
+      }
+      r.total_events += events[i];
+      r.bad_events += bad[i];
+    }
+
+    // Run budget: budget_ppm * total_events bad-event-millionths.
+    const uint64_t allowed_x1e6 = obj.budget_ppm * r.total_events;
+    uint64_t cum_bad = 0;
+    for (size_t i = 0; i < windows.size(); ++i) {
+      const SloWindowInput& w = windows[i];
+      if (events[i] == 0) {
+        continue;  // zero traffic: vacuously compliant, no burn
+      }
+      r.windows_with_traffic++;
+      bool violating = false;
+      if (obj.kind == SloKind::kLatencyQuantile) {
+        // Strict bound: pQQ < T is violated at exactly T.
+        violating = w.latency->ValueAtQuantile(obj.quantile) >= obj.threshold_ns;
+      } else {
+        // goodput > F is violated at exactly F (cross-multiplied integers).
+        violating = w.committed * 1000000 <= obj.min_goodput_ppm * events[i];
+      }
+      if (violating) {
+        r.windows_violating++;
+        if (r.first_violation_us < 0) {
+          r.first_violation_us = static_cast<int64_t>(w.start / sim::kNsPerUs);
+        }
+      }
+      if (obj.budget_ppm > 0) {
+        const uint64_t burn =
+            bad[i] * 1000000000ULL / (events[i] * obj.budget_ppm);
+        r.max_window_burn_x1000 = std::max(r.max_window_burn_x1000, burn);
+      }
+      cum_bad += bad[i];
+      if (r.budget_exhausted_us < 0 && allowed_x1e6 > 0 &&
+          cum_bad * 1000000 > allowed_x1e6) {
+        r.budget_exhausted_us = static_cast<int64_t>(w.start / sim::kNsPerUs);
+      }
+    }
+    if (r.total_events > 0 && obj.budget_ppm > 0) {
+      r.run_burn_x1000 = r.bad_events * 1000000000ULL / (r.total_events * obj.budget_ppm);
+      r.budget_consumed_ppm =
+          r.bad_events * 1000000000000ULL / (r.total_events * obj.budget_ppm);
+    }
+    report.objectives.push_back(std::move(r));
+  }
+  return report;
+}
+
+std::vector<SloWindowInput> SloInputsFromSeries(const WindowSeries& series,
+                                               const WindowCounter* committed,
+                                               const WindowCounter* aborted,
+                                               const WindowHistogram* latency) {
+  std::vector<SloWindowInput> out;
+  out.reserve(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    SloWindowInput w;
+    w.start = series.StartOf(i);
+    w.width = series.WidthOf(i);
+    w.committed = committed != nullptr ? committed->ValueAt(i) : 0;
+    w.aborted = aborted != nullptr ? aborted->ValueAt(i) : 0;
+    w.latency = latency != nullptr ? latency->WindowAt(i) : nullptr;
+    out.push_back(w);
+  }
+  return out;
+}
+
+std::string SloReport::Lines(const std::string& prefix) const {
+  std::ostringstream os;
+  for (const auto& r : objectives) {
+    os << prefix << "objective=" << r.objective.spec << " violated=" << (r.violated() ? 1 : 0)
+       << " windows_violating=" << r.windows_violating
+       << " windows_traffic=" << r.windows_with_traffic << " windows=" << r.windows_total
+       << " first_violation_us=" << r.first_violation_us << " bad_events=" << r.bad_events
+       << " total_events=" << r.total_events
+       << " budget_consumed_ppm=" << r.budget_consumed_ppm
+       << " max_window_burn_x1000=" << r.max_window_burn_x1000
+       << " run_burn_x1000=" << r.run_burn_x1000
+       << " budget_exhausted_us=" << r.budget_exhausted_us << "\n";
+  }
+  os << prefix << "verdict=" << (ok() ? "OK" : "VIOLATED") << "\n";
+  return os.str();
+}
+
+std::string SloReport::Json() const {
+  std::ostringstream os;
+  os << "{\"ok\":" << (ok() ? "true" : "false") << ",\"objectives\":[";
+  for (size_t i = 0; i < objectives.size(); ++i) {
+    const auto& r = objectives[i];
+    if (i > 0) {
+      os << ',';
+    }
+    os << "{\"spec\":\"" << r.objective.spec << "\",\"violated\":"
+       << (r.violated() ? "true" : "false") << ",\"windows_violating\":" << r.windows_violating
+       << ",\"windows_traffic\":" << r.windows_with_traffic
+       << ",\"windows\":" << r.windows_total
+       << ",\"first_violation_us\":" << r.first_violation_us
+       << ",\"bad_events\":" << r.bad_events << ",\"total_events\":" << r.total_events
+       << ",\"budget_consumed_ppm\":" << r.budget_consumed_ppm
+       << ",\"max_window_burn_x1000\":" << r.max_window_burn_x1000
+       << ",\"run_burn_x1000\":" << r.run_burn_x1000
+       << ",\"budget_exhausted_us\":" << r.budget_exhausted_us << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace xenic::obs

@@ -1,0 +1,112 @@
+// Declarative service-level objectives over the windowed metric series,
+// with SRE-style error-budget accounting.
+//
+// An objective spec is a comma list, e.g. "p99<50us,goodput>0.95":
+//   pQQ<Tus | pQQ<Tms | pQQ<Tns   latency quantile bound per window
+//   goodput>F                     committed / (committed + aborted) > F
+//
+// Semantics (pinned by tests/slo_test.cc):
+//   - Window-level violation is strict: "p99<50us" is violated when the
+//     window's p99 is >= 50us (exactly-at-threshold violates "< T");
+//     "goodput>0.95" is violated at exactly 0.95.
+//   - Zero-traffic windows are vacuously compliant: no events means no bad
+//     events, no budget burn, and no quantile to test.
+//   - Error budget: the allowed bad-event fraction implied by the
+//     objective -- 1-q for a latency quantile bound (p99 -> 1% of events
+//     may exceed T), 1-F for goodput. A window's burn rate is its
+//     bad-event fraction over the budget (x1000: 1000 = burning exactly at
+//     budget); the run-level budget is budget * total run events, and
+//     budget_exhausted_us reports the first window where cumulative bad
+//     events cross it.
+//
+// Everything stored and rendered is integer (ppm / x1000 fixed point), so
+// SLO reports obey the same byte-determinism contract as the rest of the
+// observability stack.
+
+#ifndef SRC_OBS_SLO_H_
+#define SRC_OBS_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace xenic::obs {
+
+enum class SloKind : uint8_t { kLatencyQuantile, kGoodput };
+
+struct SloObjective {
+  SloKind kind = SloKind::kLatencyQuantile;
+  std::string spec;           // original text, e.g. "p99<50us"
+  double quantile = 0;        // kLatencyQuantile: e.g. 0.99
+  uint64_t threshold_ns = 0;  // kLatencyQuantile latency bound
+  uint64_t min_goodput_ppm = 0;  // kGoodput: F in parts-per-million
+  // Allowed bad-event fraction in ppm (10000 = 1%).
+  uint64_t budget_ppm = 0;
+};
+
+struct SloSpec {
+  std::vector<SloObjective> objectives;
+  bool empty() const { return objectives.empty(); }
+};
+
+// Parse "p99<50us,goodput>0.95". On failure returns false and, when
+// `error` is non-null, names the offending clause.
+bool ParseSloSpec(const std::string& text, SloSpec* spec, std::string* error = nullptr);
+
+// One sampling window's inputs, in series order.
+struct SloWindowInput {
+  sim::Tick start = 0;
+  sim::Tick width = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  const Histogram* latency = nullptr;  // null / empty = no completions
+};
+
+struct SloObjectiveResult {
+  SloObjective objective;
+  uint64_t windows_total = 0;
+  uint64_t windows_with_traffic = 0;
+  uint64_t windows_violating = 0;
+  int64_t first_violation_us = -1;  // start of first violating window
+  uint64_t total_events = 0;
+  uint64_t bad_events = 0;
+  // Fraction of the run's error budget consumed, ppm (1000000 = exactly
+  // exhausted; can exceed it).
+  uint64_t budget_consumed_ppm = 0;
+  int64_t budget_exhausted_us = -1;  // window start where cumulative bad
+                                     // events crossed the run budget
+  uint64_t max_window_burn_x1000 = 0;  // worst single-window burn rate
+  uint64_t run_burn_x1000 = 0;         // whole-run average burn rate
+  bool violated() const { return windows_violating > 0; }
+};
+
+struct SloReport {
+  std::vector<SloObjectiveResult> objectives;
+  bool ok() const {
+    for (const auto& o : objectives) {
+      if (o.violated()) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Deterministic "slo "-prefixed lines (integer-only).
+  std::string Lines(const std::string& prefix) const;
+  std::string Json() const;
+};
+
+SloReport EvaluateSlo(const SloSpec& spec, const std::vector<SloWindowInput>& windows);
+
+// Build the per-window inputs from the standard harness metrics (the
+// txn_committed / txn_aborted counters and the txn_latency_ns histogram
+// registered by RunWorkload, or their chaos equivalents).
+std::vector<SloWindowInput> SloInputsFromSeries(const WindowSeries& series,
+                                                const WindowCounter* committed,
+                                                const WindowCounter* aborted,
+                                                const WindowHistogram* latency);
+
+}  // namespace xenic::obs
+
+#endif  // SRC_OBS_SLO_H_

@@ -1,0 +1,279 @@
+// Windowed metrics layer: WindowSeries tiling (the one shared windowing
+// helper chaos timelines, availability accounting, and the registry all sit
+// on), counter/histogram boundary semantics, registry sampling (gauges,
+// cumulative deltas), NaN-safe rendering of empty windows, the observer-only
+// contract of attaching a registry to RunWorkload, and the per-window
+// degraded-service series derived from chaos availability accounting.
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/chaos/chaos_run.h"
+#include "src/harness/runner.h"
+#include "src/workload/smallbank.h"
+
+namespace xenic::obs {
+namespace {
+
+constexpr sim::Tick kUs = sim::kNsPerUs;
+
+// --- WindowSeries: the shared tiling rules -------------------------------
+
+TEST(WindowSeriesTest, ExactTiling) {
+  WindowSeries s(50 * kUs, 200 * kUs);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.StartOf(3), 150 * kUs);
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.WidthOf(i), 50 * kUs);
+  }
+}
+
+TEST(WindowSeriesTest, PartialFinalWindow) {
+  WindowSeries s(50 * kUs, 230 * kUs);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.WidthOf(3), 50 * kUs);
+  EXPECT_EQ(s.WidthOf(4), 30 * kUs);  // 200..230
+  // The widths always tile the domain exactly.
+  sim::Tick total = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    total += s.WidthOf(i);
+  }
+  EXPECT_EQ(total, 230 * kUs);
+}
+
+TEST(WindowSeriesTest, IndexOfBoundaries) {
+  WindowSeries s(50 * kUs, 200 * kUs);
+  size_t i = 99;
+  ASSERT_TRUE(s.IndexOf(0, &i));
+  EXPECT_EQ(i, 0u);
+  // A boundary belongs to the window it starts (start-inclusive).
+  ASSERT_TRUE(s.IndexOf(50 * kUs, &i));
+  EXPECT_EQ(i, 1u);
+  ASSERT_TRUE(s.IndexOf(50 * kUs - 1, &i));
+  EXPECT_EQ(i, 0u);
+  // ...except exactly-at-end, which folds into the final (closed) window.
+  ASSERT_TRUE(s.IndexOf(200 * kUs, &i));
+  EXPECT_EQ(i, 3u);
+  // Past the end: outside the domain.
+  EXPECT_FALSE(s.IndexOf(200 * kUs + 1, &i));
+}
+
+TEST(WindowSeriesTest, EmptySeries) {
+  WindowSeries def;
+  EXPECT_TRUE(def.empty());
+  size_t i = 0;
+  EXPECT_FALSE(def.IndexOf(0, &i));
+  WindowSeries zero_window(0, 100 * kUs);
+  EXPECT_TRUE(zero_window.empty());
+  EXPECT_EQ(zero_window.CountWithin(0), 0u);
+}
+
+TEST(WindowSeriesTest, CountWithinClampsDrainTail) {
+  WindowSeries s(50 * kUs, 230 * kUs);  // 5 windows, last partial
+  EXPECT_EQ(s.CountWithin(0), 5u);      // 0 = no clamp
+  EXPECT_EQ(s.CountWithin(230 * kUs), 5u);
+  EXPECT_EQ(s.CountWithin(200 * kUs), 4u);  // partial tail excluded
+  EXPECT_EQ(s.CountWithin(150 * kUs), 3u);  // exact boundary: window kept
+  EXPECT_EQ(s.CountWithin(149 * kUs), 2u);
+  EXPECT_EQ(s.CountWithin(1), 0u);
+}
+
+// --- Registry + push metrics ---------------------------------------------
+
+TEST(MetricRegistryTest, CounterDropsOutsideDomain) {
+  MetricRegistry reg;
+  WindowCounter* c = reg.AddCounter("events");
+  c->Add(10 * kUs);  // before BeginWindows: dropped (warmup idiom)
+  reg.BeginWindows(WindowSeries(50 * kUs, 100 * kUs), /*origin=*/100 * kUs);
+  c->Add(90 * kUs);        // before origin: dropped
+  c->Add(100 * kUs);       // window 0 start
+  c->Add(149 * kUs + 999);  // still window 0
+  c->Add(150 * kUs);       // window 1 (start-inclusive boundary)
+  c->Add(200 * kUs);       // exactly at end: folds into final window
+  c->Add(200 * kUs + 1);   // past end: dropped (drain idiom)
+  EXPECT_EQ(c->ValueAt(0), 2u);
+  EXPECT_EQ(c->ValueAt(1), 2u);
+  EXPECT_EQ(c->Total(), 4u);
+}
+
+TEST(MetricRegistryTest, HistogramMergeAcrossWindowBoundary) {
+  MetricRegistry reg;
+  WindowHistogram* h = reg.AddHistogram("lat");
+  reg.BeginWindows(WindowSeries(50 * kUs, 150 * kUs), 0);
+  h->Record(10 * kUs, 1000);
+  h->Record(49 * kUs, 3000);
+  h->Record(50 * kUs, 5000);  // boundary -> window 1
+  ASSERT_NE(h->WindowAt(0), nullptr);
+  EXPECT_EQ(h->WindowAt(0)->count(), 2u);
+  ASSERT_NE(h->WindowAt(1), nullptr);
+  EXPECT_EQ(h->WindowAt(1)->count(), 1u);
+  EXPECT_EQ(h->WindowAt(2), nullptr);  // no samples: null, renders "--"
+  // Merged re-integrates the split distribution: counts add up and the
+  // max survives, exactly as if the windows had never partitioned it.
+  const Histogram merged = h->Merged(0, h->size());
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_EQ(merged.max(), 5000u);
+  const Histogram first_only = h->Merged(0, 1);
+  EXPECT_EQ(first_only.count(), 2u);
+}
+
+TEST(MetricRegistryTest, EmptyWindowsRenderNaNSafe) {
+  MetricRegistry reg;
+  WindowHistogram* h = reg.AddHistogram("lat");
+  reg.BeginWindows(WindowSeries(50 * kUs, 100 * kUs), 0);
+  h->Record(10 * kUs, 1000);  // window 1 stays empty
+  const std::string text = reg.Lines("metrics ");
+  EXPECT_NE(text.find("metrics lat.count: 1 --"), std::string::npos) << text;
+  // p50 of the populated window is bucket-approximate; only the empty
+  // window's sentinel is pinned.
+  const size_t p50 = text.find("metrics lat.p50: ");
+  ASSERT_NE(p50, std::string::npos) << text;
+  const std::string p50_line = text.substr(p50, text.find('\n', p50) - p50);
+  EXPECT_EQ(p50_line.substr(p50_line.size() - 3), " --") << p50_line;
+  const std::string json = reg.Json("test");
+  EXPECT_NE(json.find("null"), std::string::npos) << json;
+  // OpenMetrics omits empty histogram windows entirely and stays terminated.
+  const std::string om = reg.OpenMetrics();
+  EXPECT_EQ(om.find("window=\"1\""), std::string::npos) << om;
+  EXPECT_NE(om.find("# EOF"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, CumulativeDeltasAndGauges) {
+  MetricRegistry reg;
+  uint64_t monotonic = 100;  // nonzero before BeginWindows: baselined away
+  uint64_t level = 7;
+  reg.AddCumulative("busy", {}, [&] { return monotonic; });
+  reg.AddGauge("depth", {}, [&] { return level; });
+  uint64_t hook_runs = 0;
+  reg.AddSampleHook([&] { ++hook_runs; });
+  reg.BeginWindows(WindowSeries(50 * kUs, 150 * kUs), 0);
+  monotonic = 130;
+  level = 3;
+  reg.CloseWindow(0);
+  monotonic = 130;  // idle window: delta 0
+  level = 9;
+  reg.CloseWindow(1);
+  monotonic = 200;
+  reg.CloseWindow(2);
+  EXPECT_EQ(hook_runs, 3u);
+  const std::string text = reg.Lines("");
+  // Cumulative: per-window deltas integrate back to final - baseline.
+  EXPECT_NE(text.find("busy: 30 0 70"), std::string::npos) << text;
+  // Gauge: instantaneous at each close.
+  EXPECT_NE(text.find("depth: 3 9 9"), std::string::npos) << text;
+}
+
+TEST(MetricRegistryTest, FaultMarksAlignToWindows) {
+  MetricRegistry reg;
+  reg.BeginWindows(WindowSeries(50 * kUs, 200 * kUs), 0);
+  reg.MarkFault(120 * kUs, "crash", 2);
+  reg.MarkFault(500 * kUs, "storm", 1);  // outside the series domain
+  ASSERT_EQ(reg.faults().size(), 2u);
+  EXPECT_TRUE(reg.faults()[0].in_range);
+  EXPECT_EQ(reg.faults()[0].window, 2u);
+  EXPECT_FALSE(reg.faults()[1].in_range);
+  const std::string text = reg.Lines("metrics ");
+  EXPECT_NE(text.find("metrics fault at_us=120 kind=crash node=2 window=2"),
+            std::string::npos)
+      << text;
+}
+
+// --- Observer-only contract against the real harness ---------------------
+
+harness::RunResult RunPoint(MetricRegistry* reg) {
+  workload::Smallbank::Options wo;
+  wo.num_nodes = 3;
+  wo.accounts_per_node = 3000;
+  workload::Smallbank wl(wo);
+  harness::SystemConfig cfg;
+  cfg.kind = harness::SystemConfig::Kind::kXenic;
+  cfg.num_nodes = 3;
+  cfg.replication = 2;
+  auto sys = harness::BuildSystem(cfg, wl);
+  harness::LoadWorkload(*sys, wl);
+  harness::RunConfig rc;
+  rc.contexts_per_node = 6;
+  rc.seed = 42;
+  rc.warmup = 100 * kUs;
+  rc.measure = 400 * kUs;
+  rc.metrics = reg;
+  rc.metrics_window = 50 * kUs;
+  return harness::RunWorkload(*sys, wl, rc);
+}
+
+TEST(MetricsHarnessTest, AttachingRegistryIsObserverOnly) {
+  const harness::RunResult plain = RunPoint(nullptr);
+  MetricRegistry reg;
+  const harness::RunResult sampled = RunPoint(&reg);
+  // Slicing the measure phase into RunUntil calls at window boundaries
+  // executes the identical event schedule: every simulation-derived scalar
+  // matches, including the event count.
+  EXPECT_EQ(sampled.committed, plain.committed);
+  EXPECT_EQ(sampled.aborted, plain.aborted);
+  EXPECT_EQ(sampled.sim_events, plain.sim_events);
+  EXPECT_EQ(sampled.latency.count(), plain.latency.count());
+  EXPECT_EQ(sampled.latency.Median(), plain.latency.Median());
+  EXPECT_EQ(sampled.latency.P99(), plain.latency.P99());
+  // And the windowed series integrates back to the run totals.
+  const WindowCounter* committed = reg.FindCounter("txn_committed");
+  ASSERT_NE(committed, nullptr);
+  EXPECT_EQ(committed->Total(), plain.committed);
+  const WindowHistogram* lat = reg.FindHistogram("txn_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Merged(0, lat->size()).count(), plain.latency.count());
+}
+
+TEST(MetricsHarnessTest, ConservationGaugeStaysZero) {
+  MetricRegistry reg;
+  (void)RunPoint(&reg);
+  const std::string text = reg.Lines("");
+  const size_t pos = text.find("net_conservation_violations:");
+  ASSERT_NE(pos, std::string::npos) << text;
+  const std::string line = text.substr(pos, text.find('\n', pos) - pos);
+  // Every sampled value must be 0: the transport increments the per-type
+  // and total message counters together, always.
+  EXPECT_EQ(line.find_first_of("123456789"), std::string::npos) << line;
+}
+
+TEST(MetricsHarnessTest, FindersMissGracefully) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.FindCounter("nope"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("nope"), nullptr);
+  reg.AddCounter("c");
+  EXPECT_EQ(reg.FindHistogram("c"), nullptr);  // kind-checked
+  EXPECT_NE(reg.FindCounter("c"), nullptr);
+}
+
+// --- Chaos: per-window degraded service series ---------------------------
+
+TEST(MetricsChaosTest, DegradedPerWindowSumsToTotal) {
+  chaos::ChaosConfig config;
+  config.seed = 3;
+  config.faults.crashes = 1;
+  config.faults.eviction_storms = 0;
+  config.faults.stall_windows = 0;
+  config.faults.drop_prob = 0;
+  config.faults.dup_prob = 0;
+  config.faults.delay_prob = 0;
+  config.faults.detection_delay = 100 * kUs;  // slow lease: a visible dip
+  config.timeline = true;
+  const chaos::ChaosVerdict v = chaos::RunChaos(config);
+  const chaos::AvailabilityReport avail = chaos::ComputeAvailability(
+      v.timeline, v.timeline_faults, v.timeline_horizon);
+  ASSERT_FALSE(avail.degraded_us_per_window.empty());
+  EXPECT_GT(avail.degraded_service_us, 0u);
+  uint64_t sum = 0;
+  for (uint64_t w : avail.degraded_us_per_window) {
+    sum += w;
+  }
+  // Per-window integer division rounds each window down independently, so
+  // the sum can undershoot the total by at most 1us per window.
+  EXPECT_LE(sum, avail.degraded_service_us);
+  EXPECT_GE(sum + avail.degraded_us_per_window.size(), avail.degraded_service_us);
+}
+
+}  // namespace
+}  // namespace xenic::obs

@@ -17,6 +17,7 @@
 //                [--drop P] [--dup P] [--delay P] [--log-capacity N]
 //                [--drop-type NAME] [--drop-node N]
 //                [--timeline] [--timeline-window-us N]
+//                [--metrics] [--slo SPEC]
 //                [--retry-policy uniform|expjitter|cwnd] [--backoff-base US]
 //                [--retry-cap US] [--hot-key-path] [--adaptive-dma]
 //                [--cc occ|nowait|waitdie|woundwait] [--workload bank|ycsb]
@@ -213,6 +214,14 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--timeline") {
       base.timeline = true;
+    } else if (a == "--metrics") {
+      base.metrics = true;
+    } else if (a == "--slo") {
+      std::string err;
+      if (!xenic::obs::ParseSloSpec(next(), &base.slo, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+      }
     } else if (a == "--timeline-window-us") {
       base.timeline_window =
           static_cast<xenic::sim::Tick>(ParseU64(next())) * xenic::sim::kNsPerUs;
@@ -251,6 +260,9 @@ int main(int argc, char** argv) {
     if (base.timeline) {
       std::fputs(v.Timeline().c_str(), stdout);
     }
+    // "metrics " / "slo " lines are strippable by prefix, like "timeline ".
+    std::fputs(v.metrics_text.c_str(), stdout);
+    std::fputs(v.slo_text.c_str(), stdout);
     std::fputs("\n", stdout);
     all_ok = all_ok && v.ok();
   }

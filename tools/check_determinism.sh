@@ -235,6 +235,59 @@ for cc in occ nowait waitdie woundwait; do
 done
 echo "determinism OK: CC matrix (4 policies, ycsb, plain/attrib) is byte-identical"
 
+# --- Windowed metrics: --metrics / --slo must be observer-only ---
+# The metrics registry samples by slicing the measure phase into RunUntil
+# calls at window boundaries, which executes the identical event schedule.
+# Contract: (a) stripping the "metrics " lines from a --metrics point-check
+# reproduces the plain run byte-for-byte (including sim_events), (b) the
+# metrics lines are actually there (a silently dead flag can't pass),
+# (c) metrics sampling composes with --engine-jobs, and (d) the same holds
+# for chaos runs with --metrics and --slo ("slo " lines strip too).
+"$BIN" --point-check >"$serial" 2>/dev/null
+"$BIN" --point-check --metrics >"$parallel" 2>/dev/null
+if ! grep -q "^metrics " "$parallel"; then
+  echo "FAIL: --metrics produced no metrics lines" >&2
+  exit 1
+fi
+if ! diff -u "$serial" <(grep -v "^metrics " "$parallel"); then
+  echo "FAIL: --metrics perturbed the simulation (point-check output differs)" >&2
+  exit 1
+fi
+if ! grep -q "^metrics net_conservation_violations" "$parallel"; then
+  echo "FAIL: net_conservation_violations gauge missing from --metrics output" >&2
+  exit 1
+fi
+if grep "^metrics net_conservation_violations" "$parallel" | grep -q "[1-9]"; then
+  echo "FAIL: per-type message conservation violated under --metrics" >&2
+  exit 1
+fi
+"$BIN" --point-check --metrics --engine-jobs 2 >"$serial" 2>/dev/null
+"$BIN" --point-check --metrics --engine-jobs 8 >"$parallel" 2>/dev/null
+if ! diff -u "$serial" "$parallel"; then
+  echo "FAIL: --metrics point-check differs between --engine-jobs 2 and 8" >&2
+  exit 1
+fi
+if [[ -n "$CHAOS_BIN" ]]; then
+  "$CHAOS_BIN" --seeds 1-2 --jobs 1 >"$serial" || true
+  "$CHAOS_BIN" --seeds 1-2 --jobs 1 --metrics --slo "p99<500us,goodput>0.05" \
+      >"$parallel" || true
+  if ! grep -q "^metrics " "$parallel" || ! grep -q "^slo " "$parallel"; then
+    echo "FAIL: chaos --metrics/--slo produced no metrics/slo lines" >&2
+    exit 1
+  fi
+  if ! diff -u "$serial" <(grep -v -e "^metrics " -e "^slo " "$parallel"); then
+    echo "FAIL: chaos --metrics/--slo perturbed the verdict output" >&2
+    exit 1
+  fi
+  "$CHAOS_BIN" --seeds 1-2 --jobs 4 --metrics --slo "p99<500us,goodput>0.05" \
+      >"$serial" || true
+  if ! diff -u "$serial" "$parallel"; then
+    echo "FAIL: chaos --metrics/--slo differs between --jobs 1 and 4" >&2
+    exit 1
+  fi
+fi
+echo "determinism OK: --metrics/--slo are observer-only (point-check + chaos)"
+
 # --- Engine worker threads: --engine-jobs must never change results ---
 # Cluster runs execute as a single LP (the closed-loop submitters share one
 # harness Rng stream), so any engine worker count is inert by construction.

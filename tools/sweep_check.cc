@@ -111,6 +111,13 @@ int main(int argc, char** argv) {
       // check_determinism.sh); the waterfall prints after it.
       obs::TxnTraceSink txn_sink;
       r.txn_trace = (opts.txn_attrib && r.trace == nullptr) ? &txn_sink : nullptr;
+      // --metrics: windowed sampling on the first system (Xenic). The
+      // point-check line must stay byte-identical with this attached
+      // (enforced by the metrics section of check_determinism.sh); the
+      // "metrics "-prefixed series print after it.
+      obs::MetricRegistry reg;
+      r.metrics = (ci == 0 && opts.metrics) ? &reg : nullptr;
+      r.metrics_window = opts.metrics_window_us * sim::kNsPerUs;
       RunResult res = harness::RunWorkload(*system, *wl, r);
       std::printf("point-check[%s]: committed=%llu aborted=%llu counted=%llu median_ns=%llu "
                   "p99_ns=%llu max_ns=%llu sim_events=%llu window_ns=%llu\n",
@@ -122,6 +129,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(res.latency.max()),
                   static_cast<unsigned long long>(res.sim_events),
                   static_cast<unsigned long long>(res.measure_window));
+      if (r.metrics != nullptr) {
+        std::printf("%s", reg.Lines("metrics ").c_str());
+      }
       if (opts.msg_breakdown) {
         PrintMsgBreakdown(system->Name(), res);
       }

@@ -20,6 +20,8 @@
 #include "src/harness/runner.h"
 #include "src/obs/attribution.h"
 #include "src/obs/critical_path.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace_recorder.h"
 #include "src/obs/txn_trace.h"
 #include "src/workload/retwis.h"
@@ -44,6 +46,9 @@ struct Args {
   bool attrib = false;
   bool txn_attrib = false;
   bool abort_breakdown = false;
+  bool metrics = false;
+  uint64_t metrics_window_us = 50;
+  std::string slo;  // e.g. "p99<50us,goodput>0.95"; implies --metrics
   std::string trace_path;
   // Contention controls (defaults reproduce the historical behavior).
   std::string retry_policy = "uniform";
@@ -99,6 +104,12 @@ Args Parse(int argc, char** argv) {
       a.txn_attrib = true;
     } else if (std::strcmp(argv[i], "--abort-breakdown") == 0) {
       a.abort_breakdown = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      a.metrics = true;
+    } else if (ParseArg(argv[i], "--metrics-window-us", &v)) {
+      a.metrics_window_us = std::stoull(v);
+    } else if (ParseArg(argv[i], "--slo", &v)) {
+      a.slo = v;
     } else if (ParseArg(argv[i], "--retry-policy", &v)) {
       a.retry_policy = v;
     } else if (ParseArg(argv[i], "--backoff-base", &v)) {
@@ -187,6 +198,15 @@ int main(int argc, char** argv) {
                  a.retry_policy.c_str());
     return 2;
   }
+  obs::SloSpec slo;
+  if (!a.slo.empty()) {
+    std::string err;
+    if (!obs::ParseSloSpec(a.slo, &slo, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    a.metrics = true;  // objectives are evaluated over the metric windows
+  }
   if (a.help || wl == nullptr || !MakeSystemConfig(a, &cfg)) {
     std::fprintf(stderr,
                  "usage: %s --system=xenic|drtmh|drtmhnc|fasst|drtmr\n"
@@ -194,6 +214,7 @@ int main(int argc, char** argv) {
                  "          [--nodes=N] [--replicas=R] [--quorum=Q] [--contexts=C]\n"
                  "          [--measure-us=T] [--seed=S] [--scale=K] [--csv]\n"
                  "          [--attrib] [--txn-attrib] [--abort-breakdown]\n"
+                 "          [--metrics] [--metrics-window-us=W] [--slo=SPEC]\n"
                  "          [--trace=out.trace.json]\n"
                  "          [--retry-policy=uniform|expjitter|cwnd]\n"
                  "          [--backoff-base=US] [--retry-cap=US]\n"
@@ -238,6 +259,9 @@ int main(int argc, char** argv) {
   }
   obs::TraceRecorder rec;
   obs::TxnTraceSink txn_sink;
+  obs::MetricRegistry reg;
+  rc.metrics = a.metrics ? &reg : nullptr;
+  rc.metrics_window = a.metrics_window_us * sim::kNsPerUs;
   rc.collect_resources = a.attrib;
   rc.trace = a.trace_path.empty() ? nullptr : &rec;
   // --txn-attrib and --trace both need the engine's single trace slot;
@@ -254,6 +278,35 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "failed to write %s\n", a.trace_path.c_str());
       return 1;
+    }
+  }
+
+  if (a.metrics) {
+    // "metrics " / "slo " prefixes keep the default output strippable (the
+    // check_determinism.sh idiom); the JSON and OpenMetrics twins go to
+    // files next to the txn-attrib export.
+    std::printf("%s", reg.Lines("metrics ").c_str());
+    std::string slo_json;
+    if (!slo.empty()) {
+      const obs::SloReport report = obs::EvaluateSlo(
+          slo, obs::SloInputsFromSeries(reg.series(), reg.FindCounter("txn_committed"),
+                                        reg.FindCounter("txn_aborted"),
+                                        reg.FindHistogram("txn_latency_ns")));
+      std::printf("%s", report.Lines("slo ").c_str());
+      slo_json = report.Json();
+    }
+    const std::string json =
+        reg.Json(std::string("xenic_sim.") + a.system + "." + a.workload, slo_json);
+    if (std::FILE* f = std::fopen("xenicsim.metrics.json", "w"); f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote xenicsim.metrics.json\n");
+    }
+    const std::string om = reg.OpenMetrics();
+    if (std::FILE* f = std::fopen("xenicsim.metrics.om", "w"); f != nullptr) {
+      std::fwrite(om.data(), 1, om.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote xenicsim.metrics.om\n");
     }
   }
 
